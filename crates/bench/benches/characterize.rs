@@ -1,0 +1,51 @@
+//! Cost of the one-time black-box power characterization (Figures 5–6):
+//! single sweep points and the full eight-category fit.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use easched_core::characterize::{measure_point, sweep_category};
+use easched_core::{characterize, CharacterizationConfig};
+use easched_kernels::microbench::MicroBenchmark;
+use easched_sim::Platform;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_characterize(c: &mut Criterion) {
+    let platform = Platform::haswell_desktop();
+    let mut group = c.benchmark_group("characterize");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+
+    let long = MicroBenchmark::for_platform(&platform, true, false, false);
+    group.bench_function("measure_point_long_memory", |b| {
+        b.iter(|| measure_point(black_box(&platform), &long, 0.5, 1))
+    });
+
+    let short = MicroBenchmark::for_platform(&platform, false, true, true);
+    group.bench_function("sweep_short_compute_11pts", |b| {
+        b.iter(|| {
+            sweep_category(
+                black_box(&platform),
+                &short,
+                &CharacterizationConfig {
+                    alpha_steps: 10,
+                    ..Default::default()
+                },
+            )
+        })
+    });
+
+    group.bench_function("full_characterization", |b| {
+        b.iter(|| {
+            characterize(
+                black_box(&platform),
+                &CharacterizationConfig {
+                    alpha_steps: 10,
+                    ..Default::default()
+                },
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_characterize);
+criterion_main!(benches);

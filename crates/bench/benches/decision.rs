@@ -1,0 +1,65 @@
+//! The paper's §5 overhead claim: one EAS scheduling decision costs
+//! 1–2 µs. This bench times the decision path (classification + power-curve
+//! lookup + α grid minimization) in isolation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use easched_core::{characterize, CharacterizationConfig, EasConfig, EasScheduler, Objective};
+use easched_runtime::Observation;
+use easched_sim::{CounterSnapshot, Platform};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn observation() -> Observation {
+    Observation {
+        elapsed: 0.001,
+        cpu_items: 1_000,
+        gpu_items: 2_048,
+        cpu_time: 0.001,
+        gpu_time: 0.001,
+        energy_joules: 0.05,
+        counters: CounterSnapshot {
+            instructions: 1e6,
+            loads: 2e5,
+            l3_misses: 1e5,
+        },
+    }
+}
+
+fn bench_decision(c: &mut Criterion) {
+    let platform = Platform::haswell_desktop();
+    let model = characterize(&platform, &CharacterizationConfig::default());
+    let obs = observation();
+
+    let mut group = c.benchmark_group("decision");
+    group.sample_size(30).measurement_time(Duration::from_secs(2));
+
+    for (name, objective) in [
+        ("edp", Objective::EnergyDelay),
+        ("energy", Objective::Energy),
+        ("time", Objective::Time),
+    ] {
+        let mut eas = EasScheduler::new(model.clone(), EasConfig::new(objective));
+        group.bench_function(format!("decide_alpha_{name}"), |b| {
+            b.iter(|| eas.decide_alpha(black_box(&obs), black_box(500_000)))
+        });
+    }
+
+    // Finer grid: the cost should scale roughly linearly with grid points.
+    let mut cfg = EasConfig::new(Objective::EnergyDelay);
+    cfg.alpha_search = easched_core::AlphaSearch::Grid(100);
+    let mut eas = EasScheduler::new(model.clone(), cfg);
+    group.bench_function("decide_alpha_grid100", |b| {
+        b.iter(|| eas.decide_alpha(black_box(&obs), black_box(500_000)))
+    });
+
+    let mut cfg = EasConfig::new(Objective::EnergyDelay);
+    cfg.alpha_search = easched_core::AlphaSearch::GoldenSection { tol: 1e-4 };
+    let mut eas = EasScheduler::new(model, cfg);
+    group.bench_function("decide_alpha_golden", |b| {
+        b.iter(|| eas.decide_alpha(black_box(&obs), black_box(500_000)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_decision);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Functional throughput of the benchmark kernels themselves (items/s of
+//! real Rust work) — the cost of recording an invocation trace.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use easched_kernels::workload::{record_trace, SerialInvoker, Workload};
+use easched_kernels::{
+    blackscholes::BlackScholes, mandelbrot::Mandelbrot, matmul::MatMul, seismic::Seismic,
+    skiplist::SkipList,
+};
+use std::time::Duration;
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernels");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+
+    let bs = BlackScholes::new(16_384, 1, 1, BlackScholes::default_profile());
+    group.throughput(Throughput::Elements(16_384));
+    group.bench_function("blackscholes_16k_options", |b| {
+        b.iter(|| bs.drive(&mut SerialInvoker))
+    });
+
+    let mb = Mandelbrot::new(256, 192, 128, Mandelbrot::default_profile());
+    group.throughput(Throughput::Elements(256 * 192));
+    group.bench_function("mandelbrot_256x192", |b| b.iter(|| mb.drive(&mut SerialInvoker)));
+
+    let mm = MatMul::new(96, 1, MatMul::default_profile());
+    group.throughput(Throughput::Elements(96 * 96));
+    group.bench_function("matmul_96", |b| b.iter(|| mm.drive(&mut SerialInvoker)));
+
+    let sl = SkipList::new(50_000, 50_000, 1, SkipList::default_profile());
+    group.throughput(Throughput::Elements(50_000));
+    group.bench_function("skiplist_50k_lookups", |b| b.iter(|| sl.drive(&mut SerialInvoker)));
+
+    let sm = Seismic::new(129, 97, 10, Seismic::default_profile());
+    group.throughput(Throughput::Elements(129 * 97 * 10));
+    group.bench_function("seismic_129x97x10", |b| b.iter(|| sm.drive(&mut SerialInvoker)));
+
+    let bfs = easched_kernels::graphs::Bfs::new(64, 64, 1, easched_kernels::graphs::Bfs::default_profile());
+    group.bench_function("bfs_64x64_road_trace", |b| b.iter(|| record_trace(&bfs)));
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

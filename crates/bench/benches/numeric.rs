@@ -1,0 +1,32 @@
+//! Numeric substrate costs: the sixth-order fit and the α grid search used
+//! on every scheduling decision.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use easched_num::{grid_min, polyfit, Polynomial};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_numeric(c: &mut Criterion) {
+    let mut group = c.benchmark_group("numeric");
+    group.sample_size(50).measurement_time(Duration::from_secs(2));
+
+    // A realistic desktop power curve.
+    let curve = Polynomial::new(vec![45.2, -37.9, 293.3, -849.5, 1129.7, -708.5, 170.0]);
+    let xs: Vec<f64> = (0..=20).map(|i| i as f64 / 20.0).collect();
+    let ys: Vec<f64> = xs.iter().map(|&x| curve.eval(x)).collect();
+
+    group.bench_function("polyfit_order6_21pts", |b| {
+        b.iter(|| polyfit(black_box(&xs), black_box(&ys), 6).unwrap())
+    });
+
+    group.bench_function("poly_eval", |b| b.iter(|| curve.eval(black_box(0.37))));
+
+    group.bench_function("grid_min_11pts", |b| {
+        b.iter(|| grid_min(0.0, 1.0, 10, |a| curve.eval(a) * (1.0 - a + 0.2)))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_numeric);
+criterion_main!(benches);

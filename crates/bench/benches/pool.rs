@@ -1,0 +1,31 @@
+//! Work-stealing pool scaling: `parallel_for` wall time per item versus
+//! worker count.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use easched_runtime::parallel_for;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn busy_item(i: usize) {
+    let mut acc = i as u64;
+    for k in 0..64u64 {
+        acc = acc.wrapping_mul(0x9E3779B97F4A7C15).rotate_left((k % 31) as u32);
+    }
+    black_box(acc);
+}
+
+fn bench_pool(c: &mut Criterion) {
+    let n = 200_000u64;
+    let mut group = c.benchmark_group("pool");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group.throughput(Throughput::Elements(n));
+    for workers in [1usize, 2, 4] {
+        group.bench_function(format!("parallel_for_{workers}w"), |b| {
+            b.iter(|| parallel_for(n, workers, &busy_item))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pool);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Simulator throughput: how fast virtual phases execute (this bounds the
+//! cost of oracle sweeps and trace replays).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use easched_sim::{KernelTraits, Machine, PhasePlan, Platform};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_simulator(c: &mut Criterion) {
+    let traits = KernelTraits::builder("bench")
+        .cpu_rate(4.0e6)
+        .gpu_rate(6.0e6)
+        .memory_intensity(0.9)
+        .build();
+
+    let mut group = c.benchmark_group("simulator");
+    group.sample_size(20).measurement_time(Duration::from_secs(2));
+
+    for n in [10_000u64, 1_000_000, 10_000_000] {
+        group.throughput(Throughput::Elements(n));
+        group.bench_function(format!("split_phase_{n}_items"), |b| {
+            b.iter(|| {
+                let mut m = Machine::new(Platform::haswell_desktop());
+                m.run_phase(black_box(&traits), &PhasePlan::split(n, 0.6))
+            })
+        });
+    }
+
+    group.bench_function("profile_step", |b| {
+        b.iter(|| {
+            let mut m = Machine::new(Platform::haswell_desktop());
+            m.run_phase(black_box(&traits), &PhasePlan::profile(1_000_000, 2_048))
+        })
+    });
+
+    group.bench_function("idle_one_second", |b| {
+        b.iter(|| {
+            let mut m = Machine::new(Platform::haswell_desktop());
+            m.idle(1.0);
+            black_box(m.total_joules())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulator);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Experiment harness for the `easched` reproduction: regenerates every
+//! table and figure of the CGO'16 evaluation and runs the ablation studies
+//! listed in `DESIGN.md` §5.
+//!
+//! The entry point is the `figures` binary:
+//!
+//! ```text
+//! cargo run --release -p easched-bench --bin figures -- all
+//! cargo run --release -p easched-bench --bin figures -- fig9
+//! cargo run --release -p easched-bench --bin figures -- ablation-poly
+//! ```
+//!
+//! Results are written under `results/` as CSV + markdown.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablations;
+pub mod experiments;
+pub mod report;
+
+pub use experiments::Lab;
+pub use report::Report;

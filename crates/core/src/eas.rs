@@ -1,0 +1,521 @@
+//! The energy-aware scheduler — the paper's Figure 7 algorithm.
+//!
+//! Per kernel invocation:
+//!
+//! 1. If the kernel's offload ratio α is already in the global table G,
+//!    reuse it (steps 2–4).
+//! 2. If N is smaller than `GPU_PROFILE_SIZE`, run everything on the CPU
+//!    (steps 6–10).
+//! 3. Otherwise **repeat online profiling for half the iterations** (the
+//!    size-based strategy from Kaleem et al.): each round offloads
+//!    `GPU_PROFILE_SIZE` items to the GPU while CPU workers drain the pool,
+//!    yielding combined-mode throughputs R_C, R_G and hardware counters;
+//!    classify the workload, pick the matching power curve P(α), build
+//!    T(α) from Equations 1–4, and grid-minimize the objective
+//!    OBJ(P(α), T(α)) over α ∈ {0, 0.1, …, 1} (steps 13–22).
+//! 4. Run the remaining iterations at the chosen α (steps 23–25) and fold α
+//!    into G with sample-weighted accumulation (step 26).
+//!
+//! The policy observes nothing but times, the energy register, and two
+//! hardware counters — black-box end to end.
+
+use crate::classify::{Classifier, WorkloadClass};
+use crate::objective::Objective;
+use crate::power_model::PowerModel;
+use crate::time_model::TimeModel;
+use easched_num::{golden_section_min, grid_min};
+use easched_runtime::{Backend, KernelId, Scheduler};
+use std::collections::HashMap;
+
+/// How the objective is minimized over the offload ratio.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AlphaSearch {
+    /// The paper's method: evaluate the objective at `steps + 1` grid
+    /// points over [0, 1] (paper: 10 → 0.1 increments).
+    Grid(usize),
+    /// Continuous golden-section search to the given bracket tolerance —
+    /// a future-work-style refinement; OBJ(P(α), T(α)) is unimodal for the
+    /// built-in objectives, so this converges to the same optimum with
+    /// fewer evaluations at high precision (ablation §5.2).
+    GoldenSection {
+        /// Final bracket width.
+        tol: f64,
+    },
+}
+
+/// EAS configuration.
+#[derive(Debug, Clone)]
+pub struct EasConfig {
+    /// The energy metric to minimize.
+    pub objective: Objective,
+    /// Minimization strategy over α.
+    pub alpha_search: AlphaSearch,
+    /// Fraction of a first-seen invocation spent in repeated profiling
+    /// (paper: 1/2, the size-based strategy).
+    pub profile_fraction: f64,
+    /// Classifier thresholds.
+    pub classifier: Classifier,
+    /// How profiling-round α decisions fold into the kernel table G.
+    pub accumulation: Accumulation,
+    /// Stop the repeated-profiling loop early once this many *consecutive*
+    /// rounds decide the same α (the estimate has converged); the N/2 bound
+    /// still caps the loop. This keeps the paper's near-zero-overhead claim
+    /// honest on single-invocation kernels, where profiling to N/2 at
+    /// combined-mode power would otherwise cost measurable energy.
+    pub profile_stable_rounds: usize,
+    /// Re-profile a known kernel every `k`-th invocation instead of blindly
+    /// reusing G — the paper's "for workloads where the same kernel behaves
+    /// differently over time, we repeat profiling step since our online
+    /// profiling has low overhead" (§3.1). Re-profiled ratios fold into G
+    /// with sample weighting, averaging out per-invocation noise on
+    /// irregular kernels. `None` disables (pure Figure 7 reuse).
+    pub reprofile_every: Option<u64>,
+}
+
+impl EasConfig {
+    /// The paper's configuration for a given objective.
+    pub fn new(objective: Objective) -> EasConfig {
+        EasConfig {
+            objective,
+            alpha_search: AlphaSearch::Grid(10),
+            profile_fraction: 0.5,
+            classifier: Classifier::default(),
+            accumulation: Accumulation::SampleWeighted,
+            profile_stable_rounds: 3,
+            reprofile_every: Some(32),
+        }
+    }
+}
+
+/// Strategy for folding newly computed offload ratios into the kernel
+/// table G.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Accumulation {
+    /// The paper's choice: weight each α by the number of iterations it was
+    /// computed from (the sample-weighted technique from Kaleem et al.).
+    SampleWeighted,
+    /// Keep only the most recent α (ablation baseline).
+    LastValue,
+}
+
+/// One recorded α decision (the paper's Fig 7 steps 15–20), for
+/// observability and the harness's diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Decision {
+    /// The kernel the decision was made for.
+    pub kernel: KernelId,
+    /// Measured combined-mode CPU throughput, items/s.
+    pub r_c: f64,
+    /// Measured combined-mode GPU throughput, items/s.
+    pub r_g: f64,
+    /// The workload class the observation mapped to.
+    pub class: WorkloadClass,
+    /// Iterations remaining when the decision was made.
+    pub n_remaining: u64,
+    /// The chosen offload ratio.
+    pub alpha: f64,
+}
+
+/// An entry of the global table G: the learned ratio and its sample weight.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct AlphaEntry {
+    alpha: f64,
+    weight: f64,
+    invocations_seen: u64,
+}
+
+/// The energy-aware scheduler. One instance per platform; carries the
+/// kernel table G across invocations and workloads.
+#[derive(Debug, Clone)]
+pub struct EasScheduler {
+    config: EasConfig,
+    model: PowerModel,
+    table: HashMap<KernelId, AlphaEntry>,
+    name: String,
+    /// Total decision-making invocations, for diagnostics.
+    decisions: u64,
+    log: Vec<Decision>,
+    current_kernel: KernelId,
+}
+
+impl EasScheduler {
+    /// Creates the scheduler from a platform's characterized power model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.profile_fraction` is outside (0, 1] — a zero
+    /// fraction would silently disable profiling and degenerate every
+    /// first-seen kernel to CPU-only execution.
+    pub fn new(model: PowerModel, config: EasConfig) -> EasScheduler {
+        assert!(
+            config.profile_fraction > 0.0 && config.profile_fraction <= 1.0,
+            "profile_fraction must be in (0, 1]"
+        );
+        let name = format!("EAS({})", config.objective.name());
+        EasScheduler {
+            config,
+            model,
+            table: HashMap::new(),
+            name,
+            decisions: 0,
+            log: Vec::new(),
+            current_kernel: 0,
+        }
+    }
+
+    /// An *online* performance-oriented variant: the same profiling
+    /// machinery minimizing pure execution time, which lands on
+    /// α_PERF = R_G/(R_C+R_G) (Eq. 2). The paper's PERF comparison scheme
+    /// is an offline best-time fixed split
+    /// ([`Evaluator::perf_scheme`](crate::Evaluator::perf_scheme)); this
+    /// online variant is used by the ablation study.
+    pub fn perf_online(model: PowerModel) -> EasScheduler {
+        let mut s = EasScheduler::new(model, EasConfig::new(Objective::Time));
+        s.name = "PERF-online".into();
+        s
+    }
+
+    /// The learned offload ratio for a kernel, if any.
+    pub fn learned_alpha(&self, kernel: KernelId) -> Option<f64> {
+        self.table.get(&kernel).map(|e| e.alpha)
+    }
+
+    /// Number of α decisions made so far (profiling rounds across all
+    /// invocations).
+    pub fn decisions(&self) -> u64 {
+        self.decisions
+    }
+
+    /// Every α decision made so far, in order.
+    pub fn decision_log(&self) -> &[Decision] {
+        &self.log
+    }
+
+    /// Serializes the decision log as CSV (for the harness and post-hoc
+    /// analysis).
+    ///
+    /// ```
+    /// # use easched_core::{EasConfig, EasScheduler, Objective, PowerModel, PowerCurve, WorkloadClass};
+    /// # use easched_num::Polynomial;
+    /// # let curves = WorkloadClass::all().into_iter()
+    /// #     .map(|c| PowerCurve::new(c, Polynomial::constant(50.0), 0.0, 11)).collect();
+    /// # let model = PowerModel::new("x", curves);
+    /// let eas = EasScheduler::new(model, EasConfig::new(Objective::Energy));
+    /// assert!(eas.decision_log_csv().starts_with("kernel,r_c,r_g,"));
+    /// ```
+    pub fn decision_log_csv(&self) -> String {
+        let mut out = String::from("kernel,r_c,r_g,class,n_remaining,alpha
+");
+        for d in &self.log {
+            out.push_str(&format!(
+                "{},{:.3},{:.3},{},{},{:.3}
+",
+                d.kernel,
+                d.r_c,
+                d.r_g,
+                d.class.index(),
+                d.n_remaining,
+                d.alpha
+            ));
+        }
+        out
+    }
+
+    /// Sample-weighted accumulation of a newly computed α (step 26; the
+    /// technique from Kaleem et al.).
+    fn accumulate(&mut self, kernel: KernelId, alpha: f64, weight: f64) {
+        let entry = self.table.entry(kernel).or_insert(AlphaEntry {
+            alpha,
+            weight: 0.0,
+            invocations_seen: 0,
+        });
+        match self.config.accumulation {
+            Accumulation::SampleWeighted => {
+                let total = entry.weight + weight;
+                if total > 0.0 {
+                    entry.alpha = (entry.alpha * entry.weight + alpha * weight) / total;
+                    entry.weight = total;
+                }
+            }
+            Accumulation::LastValue => {
+                entry.alpha = alpha;
+                entry.weight = weight;
+            }
+        }
+    }
+
+    /// One α decision from a profiling observation (Fig 7 steps 15–20):
+    /// derive R_C/R_G, classify, pick the power curve, and grid-minimize the
+    /// objective over the remaining iterations. Public so the overhead
+    /// benchmark can time the paper's "1–2 µs" decision path directly.
+    pub fn decide_alpha(
+        &mut self,
+        obs: &easched_runtime::Observation,
+        n_remaining: u64,
+    ) -> f64 {
+        self.decisions += 1;
+        let r_c = obs.cpu_rate();
+        let r_g = obs.gpu_rate();
+        let class = self.config.classifier.classify(obs, n_remaining);
+        let record = |alpha: f64, log: &mut Vec<Decision>, kernel: KernelId| {
+            log.push(Decision {
+                kernel,
+                r_c,
+                r_g,
+                class,
+                n_remaining,
+                alpha,
+            });
+            alpha
+        };
+        // Degenerate devices: all work to the live one.
+        if r_g <= 0.0 {
+            return record(0.0, &mut self.log, self.current_kernel);
+        }
+        if r_c <= 0.0 {
+            return record(1.0, &mut self.log, self.current_kernel);
+        }
+        let curve = self.model.curve(class).clone();
+        let tm = TimeModel::new(r_c, r_g);
+        let objective = self.config.objective.clone();
+        let score = |alpha: f64| {
+            let t = tm.total_time(alpha, n_remaining);
+            if !t.is_finite() {
+                return f64::INFINITY;
+            }
+            objective.evaluate(curve.predict(alpha), t)
+        };
+        let chosen = match self.config.alpha_search {
+            AlphaSearch::Grid(steps) => grid_min(0.0, 1.0, steps.max(1), score).x,
+            AlphaSearch::GoldenSection { tol } => {
+                // Golden section finds interior optima; compare against the
+                // endpoints explicitly since boundary optima are common.
+                let (x, v) = golden_section_min(0.0, 1.0, tol.max(1e-6), score);
+                let mut best = (x, v);
+                for endpoint in [0.0, 1.0] {
+                    let v = score(endpoint);
+                    if v < best.1 {
+                        best = (endpoint, v);
+                    }
+                }
+                best.0
+            }
+        };
+        record(chosen, &mut self.log, self.current_kernel)
+    }
+}
+
+impl Scheduler for EasScheduler {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn schedule(&mut self, kernel: KernelId, backend: &mut dyn Backend) {
+        self.current_kernel = kernel;
+        let n = backend.remaining();
+        if n == 0 {
+            return;
+        }
+        let profile_size = backend.gpu_profile_size();
+
+        // Steps 2–4: reuse the learned ratio for known kernels (unless a
+        // periodic re-profile is due). The small-N guard of steps 6–8 still
+        // applies on this path: an invocation too small to fill the GPU runs
+        // on the CPU regardless of the learned ratio — offloading a
+        // sub-occupancy sliver would waste both time and energy (this is the
+        // reason the guard exists, and it matters for cascade-style kernels
+        // like FD whose invocation sizes swing by orders of magnitude).
+        if let Some(entry) = self.table.get_mut(&kernel) {
+            entry.invocations_seen += 1;
+            let due_reprofile = self
+                .config
+                .reprofile_every
+                .is_some_and(|k| entry.invocations_seen % k == 0)
+                && n >= profile_size;
+            if !due_reprofile {
+                let alpha = if n < profile_size { 0.0 } else { entry.alpha };
+                backend.run_split(alpha);
+                return;
+            }
+            // Fall through to a fresh profiling pass that re-accumulates.
+        }
+
+        // Steps 6–10: tiny invocations cannot fill the GPU — CPU alone.
+        if n < profile_size {
+            backend.run_split(0.0);
+            self.accumulate(kernel, 0.0, n as f64);
+            return;
+        }
+
+        // Steps 11–22: repeat profiling for `profile_fraction` of the
+        // iterations, re-deciding α each round.
+        let profile_until = ((n as f64) * (1.0 - self.config.profile_fraction)) as u64;
+        let mut alpha = 0.0;
+        let mut alpha_weight = 0.0;
+        let mut streak = 0usize;
+        while backend.remaining() > profile_until.max(profile_size) {
+            let before = backend.remaining();
+            let obs = backend.profile_step(profile_size);
+            let consumed = before - backend.remaining();
+            if consumed == 0 {
+                break; // safety: no progress (degenerate backend)
+            }
+            let decided = self.decide_alpha(&obs, backend.remaining());
+            streak = if (decided - alpha).abs() < 1e-9 && alpha_weight > 0.0 {
+                streak + 1
+            } else {
+                1
+            };
+            alpha = decided;
+            alpha_weight += consumed as f64;
+            if self.config.profile_stable_rounds > 0 && streak >= self.config.profile_stable_rounds
+            {
+                break; // converged: stop profiling early
+            }
+        }
+
+        // Steps 23–25: run the remainder at the decided ratio.
+        if backend.remaining() > 0 {
+            backend.run_split(alpha);
+        }
+        // Step 26: sample-weighted accumulation into G.
+        self.accumulate(kernel, alpha, alpha_weight.max(n as f64 * 0.5));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classify::WorkloadClass;
+    use crate::power_model::PowerCurve;
+    use easched_num::Polynomial;
+    use easched_runtime::backend::test_support::FakeBackend;
+
+    /// A flat power model: every class draws `watts` at any α, except that
+    /// CPU-heavier mixes can be made pricier via `slope` (power =
+    /// watts − slope·α).
+    fn linear_model(watts: f64, slope: f64) -> PowerModel {
+        let curves = WorkloadClass::all()
+            .into_iter()
+            .map(|c| {
+                PowerCurve::new(c, Polynomial::new(vec![watts, -slope]), 0.0, 11)
+            })
+            .collect();
+        PowerModel::new("fake", curves)
+    }
+
+    #[test]
+    fn small_n_goes_cpu_only() {
+        let mut eas = EasScheduler::new(linear_model(50.0, 0.0), EasConfig::new(Objective::Energy));
+        let mut b = FakeBackend::new(100, 1000.0, 1000.0);
+        eas.schedule(1, &mut b);
+        assert_eq!(b.remaining(), 0);
+        assert_eq!(b.log, vec!["split(0.00)"]);
+        assert_eq!(eas.learned_alpha(1), Some(0.0));
+    }
+
+    #[test]
+    fn profiles_then_splits_first_invocation() {
+        let mut eas = EasScheduler::new(linear_model(50.0, 0.0), EasConfig::new(Objective::Time));
+        let mut b = FakeBackend::new(100_000, 1.0e6, 2.0e6);
+        eas.schedule(7, &mut b);
+        assert_eq!(b.remaining(), 0);
+        assert!(b.log.iter().any(|l| l.starts_with("profile")), "{:?}", b.log);
+        assert!(b.log.last().unwrap().starts_with("split"), "{:?}", b.log);
+        // Time objective on a 1:2 machine → α_PERF ≈ 0.667, grid → 0.7.
+        let a = eas.learned_alpha(7).unwrap();
+        assert!((a - 0.7).abs() < 0.01, "alpha {a}");
+    }
+
+    #[test]
+    fn reuses_learned_alpha_without_reprofiling() {
+        let mut eas = EasScheduler::new(linear_model(50.0, 0.0), EasConfig::new(Objective::Time));
+        let mut b = FakeBackend::new(100_000, 1.0e6, 2.0e6);
+        eas.schedule(7, &mut b);
+        let mut b2 = FakeBackend::new(100_000, 1.0e6, 2.0e6);
+        eas.schedule(7, &mut b2);
+        assert_eq!(b2.log.len(), 1, "second invocation reuses G: {:?}", b2.log);
+        assert!(b2.log[0].starts_with("split"));
+    }
+
+    #[test]
+    fn energy_objective_prefers_cheaper_device() {
+        // Power falls steeply with α (P(0)=80 W, P(1)=20 W) while rates are
+        // equal: energy minimization should pick a GPU-heavy split even
+        // though it is slower than the balanced one (E(1)=20·T < E(0.5)=25·T).
+        let mut eas = EasScheduler::new(linear_model(80.0, 60.0), EasConfig::new(Objective::Energy));
+        let mut b = FakeBackend::new(100_000, 1.0e6, 1.0e6);
+        eas.schedule(3, &mut b);
+        let a = eas.learned_alpha(3).unwrap();
+        assert!(a > 0.6, "energy objective should go GPU-heavy, got {a}");
+
+        // Same machine, time objective: balanced split.
+        let mut perf = EasScheduler::perf_online(linear_model(80.0, 60.0));
+        let mut b = FakeBackend::new(100_000, 1.0e6, 1.0e6);
+        perf.schedule(3, &mut b);
+        let a = perf.learned_alpha(3).unwrap();
+        assert!((a - 0.5).abs() < 0.01, "PERF balances equal devices, got {a}");
+    }
+
+    #[test]
+    fn dead_gpu_routes_everything_to_cpu() {
+        let mut eas = EasScheduler::new(linear_model(50.0, 0.0), EasConfig::new(Objective::Energy));
+        let mut b = FakeBackend::new(100_000, 1.0e6, 1.0e6);
+        // Simulate a dead GPU by zeroing the observed rate post-hoc: use a
+        // backend with a GPU so slow it contributes nothing measurable.
+        b.gpu_rate = 1e-9;
+        eas.schedule(9, &mut b);
+        assert_eq!(b.remaining(), 0);
+        let a = eas.learned_alpha(9).unwrap();
+        assert!(a < 0.05, "dead GPU → CPU alone, got {a}");
+    }
+
+    #[test]
+    fn sample_weighted_accumulation_converges() {
+        let mut eas = EasScheduler::new(linear_model(50.0, 0.0), EasConfig::new(Objective::Time));
+        eas.accumulate(5, 1.0, 100.0);
+        eas.accumulate(5, 0.0, 100.0);
+        assert!((eas.learned_alpha(5).unwrap() - 0.5).abs() < 1e-9);
+        eas.accumulate(5, 0.5, 200.0);
+        assert!((eas.learned_alpha(5).unwrap() - 0.5).abs() < 1e-9);
+        // Weighting matters: a heavy sample dominates.
+        eas.accumulate(6, 0.0, 1.0);
+        eas.accumulate(6, 1.0, 999.0);
+        assert!(eas.learned_alpha(6).unwrap() > 0.99);
+    }
+
+    #[test]
+    fn reprofile_every_triggers_new_profiling() {
+        let mut cfg = EasConfig::new(Objective::Time);
+        cfg.reprofile_every = Some(2);
+        let mut eas = EasScheduler::new(linear_model(50.0, 0.0), cfg);
+        let run = |eas: &mut EasScheduler| {
+            let mut b = FakeBackend::new(100_000, 1.0e6, 2.0e6);
+            eas.schedule(1, &mut b);
+            b.log
+        };
+        run(&mut eas); // first: profiles
+        let second = run(&mut eas); // seen=1: reuse
+        assert_eq!(second.len(), 1);
+        let third = run(&mut eas); // seen=2: re-profile
+        assert!(third.len() > 1, "expected re-profiling: {third:?}");
+    }
+
+    #[test]
+    fn empty_invocation_is_noop() {
+        let mut eas = EasScheduler::new(linear_model(50.0, 0.0), EasConfig::new(Objective::Energy));
+        let mut b = FakeBackend::new(0, 1.0e6, 1.0e6);
+        eas.schedule(1, &mut b);
+        assert!(b.log.is_empty());
+        assert_eq!(eas.learned_alpha(1), None);
+    }
+
+    #[test]
+    fn decisions_counted() {
+        let mut eas = EasScheduler::new(linear_model(50.0, 0.0), EasConfig::new(Objective::Time));
+        assert_eq!(eas.decisions(), 0);
+        let mut b = FakeBackend::new(100_000, 1.0e6, 2.0e6);
+        eas.schedule(1, &mut b);
+        assert!(eas.decisions() > 0);
+    }
+}

@@ -1,0 +1,128 @@
+//! High-level user-facing runtime: characterize once, then run workloads
+//! under the energy-aware scheduler.
+
+use crate::eas::{EasConfig, EasScheduler};
+use crate::power_model::PowerModel;
+use easched_kernels::{Verification, Workload};
+use easched_runtime::{run_workload, RunMetrics};
+use easched_sim::{Machine, Platform};
+
+/// Outcome of running one workload under the energy-aware runtime.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunOutcome {
+    /// End-to-end execution time, seconds.
+    pub time: f64,
+    /// Package energy, joules.
+    pub energy_joules: f64,
+    /// Energy-delay product, joule-seconds.
+    pub edp: f64,
+    /// Functional verification of the workload's output.
+    pub verification: Verification,
+    /// Raw totals.
+    pub metrics: RunMetrics,
+}
+
+/// The user-facing energy-aware runtime: a machine plus an
+/// [`EasScheduler`] with its cross-workload kernel table.
+///
+/// # Examples
+///
+/// ```
+/// use easched_core::{characterize, CharacterizationConfig, EasConfig, EasRuntime, Objective};
+/// use easched_kernels::suite;
+/// use easched_sim::Platform;
+///
+/// let platform = Platform::haswell_desktop();
+/// let model = characterize(&platform, &CharacterizationConfig::default());
+/// let mut runtime = EasRuntime::new(platform, model, EasConfig::new(Objective::EnergyDelay));
+/// let outcome = runtime.run(suite::blackscholes_small().as_ref());
+/// assert!(outcome.verification.is_passed());
+/// assert!(outcome.edp > 0.0);
+/// ```
+#[derive(Debug)]
+pub struct EasRuntime {
+    machine: Machine,
+    scheduler: EasScheduler,
+}
+
+impl EasRuntime {
+    /// Creates a runtime for `platform` from its characterized `model`.
+    pub fn new(platform: Platform, model: PowerModel, config: EasConfig) -> EasRuntime {
+        EasRuntime {
+            machine: Machine::new(platform),
+            scheduler: EasScheduler::new(model, config),
+        }
+    }
+
+    /// Runs a workload to completion (functional execution + verification),
+    /// partitioning every kernel invocation with EAS.
+    pub fn run(&mut self, workload: &dyn Workload) -> RunOutcome {
+        let (metrics, verification) =
+            run_workload(&mut self.machine, workload, &mut self.scheduler);
+        RunOutcome {
+            time: metrics.time,
+            energy_joules: metrics.energy_joules,
+            edp: metrics.edp(),
+            verification,
+            metrics,
+        }
+    }
+
+    /// Access to the scheduler (e.g. to inspect learned ratios).
+    pub fn scheduler(&self) -> &EasScheduler {
+        &self.scheduler
+    }
+
+    /// The machine's current virtual time, seconds.
+    pub fn now(&self) -> f64 {
+        self.machine.now()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::characterize::{characterize, CharacterizationConfig};
+    use crate::objective::Objective;
+    use easched_kernels::suite;
+
+    fn runtime() -> EasRuntime {
+        let mut platform = Platform::haswell_desktop();
+        platform.pcu.measurement_noise = 0.0;
+        let model = characterize(
+            &platform,
+            &CharacterizationConfig {
+                alpha_steps: 10,
+                ..Default::default()
+            },
+        );
+        EasRuntime::new(platform, model, EasConfig::new(Objective::EnergyDelay))
+    }
+
+    #[test]
+    fn runs_and_verifies_workloads() {
+        let mut rt = runtime();
+        let out = rt.run(suite::blackscholes_small().as_ref());
+        assert!(out.verification.is_passed());
+        assert!(out.time > 0.0 && out.energy_joules > 0.0);
+        assert!((out.edp - out.energy_joules * out.time).abs() < 1e-9);
+    }
+
+    #[test]
+    fn kernel_table_persists_across_workload_runs() {
+        let mut rt = runtime();
+        rt.run(suite::mandelbrot_small().as_ref());
+        let first_decisions = rt.scheduler().decisions();
+        rt.run(suite::mandelbrot_small().as_ref());
+        // Second run of the same kernel reuses G: no new decisions.
+        assert_eq!(rt.scheduler().decisions(), first_decisions);
+    }
+
+    #[test]
+    fn clock_advances_monotonically() {
+        let mut rt = runtime();
+        let t0 = rt.now();
+        rt.run(suite::blackscholes_small().as_ref());
+        assert!(rt.now() > t0);
+    }
+}

@@ -1,0 +1,345 @@
+//! Power-model persistence.
+//!
+//! The characterization step is "computed once for each processor"
+//! (abstract): on a real deployment the fitted model is saved and reloaded
+//! on every subsequent run. The format is a small line-oriented text file —
+//! stable, diffable, and dependency-free:
+//!
+//! ```text
+//! easched-power-model v1
+//! platform haswell-desktop
+//! curve 0 rmse 0.169 samples 21 coeffs 32.55 -0.95 ...
+//! ... (8 curve lines, class-index order)
+//! ```
+
+use crate::classify::WorkloadClass;
+use crate::power_model::{PowerCurve, PowerModel};
+use easched_num::Polynomial;
+use std::error::Error;
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Format header of version 1.
+const HEADER_V1: &str = "easched-power-model v1";
+
+/// Error parsing a persisted power model.
+#[derive(Debug)]
+pub enum ModelParseError {
+    /// Missing or unknown header line.
+    BadHeader(String),
+    /// A line could not be parsed; carries the 1-based line number and a
+    /// description.
+    BadLine {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// The file did not contain exactly one curve per class.
+    WrongCurveCount(usize),
+    /// Underlying I/O failure.
+    Io(io::Error),
+}
+
+impl fmt::Display for ModelParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelParseError::BadHeader(h) => write!(f, "unrecognized header {h:?}"),
+            ModelParseError::BadLine { line, message } => {
+                write!(f, "line {line}: {message}")
+            }
+            ModelParseError::WrongCurveCount(n) => {
+                write!(f, "expected 8 curves, found {n}")
+            }
+            ModelParseError::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+impl Error for ModelParseError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ModelParseError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for ModelParseError {
+    fn from(e: io::Error) -> Self {
+        ModelParseError::Io(e)
+    }
+}
+
+/// Serializes a model to the v1 text format.
+///
+/// # Examples
+///
+/// ```
+/// use easched_core::persist::{model_to_text, model_from_text};
+/// use easched_core::{characterize, CharacterizationConfig};
+/// use easched_sim::Platform;
+///
+/// let model = characterize(
+///     &Platform::haswell_desktop(),
+///     &CharacterizationConfig { alpha_steps: 10, ..Default::default() },
+/// );
+/// let text = model_to_text(&model);
+/// let back = model_from_text(&text)?;
+/// assert_eq!(back.platform_name(), model.platform_name());
+/// # Ok::<(), easched_core::persist::ModelParseError>(())
+/// ```
+pub fn model_to_text(model: &PowerModel) -> String {
+    let mut out = String::new();
+    out.push_str(HEADER_V1);
+    out.push('\n');
+    out.push_str(&format!("platform {}\n", model.platform_name()));
+    for curve in model.curves() {
+        out.push_str(&format!(
+            "curve {} rmse {:e} samples {} coeffs",
+            curve.class().index(),
+            curve.rmse(),
+            curve.samples(),
+        ));
+        for c in curve.poly().coeffs() {
+            // Full round-trip precision.
+            out.push_str(&format!(" {c:e}"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses the v1 text format.
+///
+/// # Errors
+///
+/// [`ModelParseError`] on malformed input.
+pub fn model_from_text(text: &str) -> Result<PowerModel, ModelParseError> {
+    let mut lines = text.lines().enumerate();
+    let (_, header) = lines.next().unwrap_or((0, ""));
+    if header.trim() != HEADER_V1 {
+        return Err(ModelParseError::BadHeader(header.to_string()));
+    }
+    let mut platform = String::new();
+    let mut curves: Vec<PowerCurve> = Vec::new();
+    for (idx, raw) in lines {
+        let line_no = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut tokens = line.split_whitespace();
+        match tokens.next() {
+            Some("platform") => {
+                platform = tokens.collect::<Vec<_>>().join(" ");
+                if platform.is_empty() {
+                    return Err(ModelParseError::BadLine {
+                        line: line_no,
+                        message: "platform name missing".into(),
+                    });
+                }
+            }
+            Some("curve") => {
+                curves.push(parse_curve(line_no, &mut tokens)?);
+            }
+            other => {
+                return Err(ModelParseError::BadLine {
+                    line: line_no,
+                    message: format!("unknown record {other:?}"),
+                });
+            }
+        }
+    }
+    if curves.len() != 8 {
+        return Err(ModelParseError::WrongCurveCount(curves.len()));
+    }
+    // PowerModel::new validates one-curve-per-class; map its panic into a
+    // parse error by checking first.
+    let mut seen = [false; 8];
+    for c in &curves {
+        let i = c.class().index();
+        if seen[i] {
+            return Err(ModelParseError::WrongCurveCount(curves.len()));
+        }
+        seen[i] = true;
+    }
+    Ok(PowerModel::new(platform, curves))
+}
+
+fn parse_curve<'a>(
+    line: usize,
+    tokens: &mut impl Iterator<Item = &'a str>,
+) -> Result<PowerCurve, ModelParseError> {
+    let bad = |message: String| ModelParseError::BadLine { line, message };
+    let index: usize = tokens
+        .next()
+        .ok_or_else(|| bad("missing class index".into()))?
+        .parse()
+        .map_err(|e| bad(format!("class index: {e}")))?;
+    if index >= 8 {
+        return Err(bad(format!("class index {index} out of range")));
+    }
+    expect_keyword(line, tokens, "rmse")?;
+    let rmse: f64 = tokens
+        .next()
+        .ok_or_else(|| bad("missing rmse".into()))?
+        .parse()
+        .map_err(|e| bad(format!("rmse: {e}")))?;
+    expect_keyword(line, tokens, "samples")?;
+    let samples: usize = tokens
+        .next()
+        .ok_or_else(|| bad("missing samples".into()))?
+        .parse()
+        .map_err(|e| bad(format!("samples: {e}")))?;
+    expect_keyword(line, tokens, "coeffs")?;
+    let coeffs: Result<Vec<f64>, _> = tokens.map(str::parse).collect();
+    let coeffs = coeffs.map_err(|e| bad(format!("coefficient: {e}")))?;
+    if coeffs.is_empty() {
+        return Err(bad("curve has no coefficients".into()));
+    }
+    Ok(PowerCurve::new(
+        WorkloadClass::from_index(index),
+        Polynomial::new(coeffs),
+        rmse,
+        samples,
+    ))
+}
+
+fn expect_keyword<'a>(
+    line: usize,
+    tokens: &mut impl Iterator<Item = &'a str>,
+    keyword: &str,
+) -> Result<(), ModelParseError> {
+    match tokens.next() {
+        Some(t) if t == keyword => Ok(()),
+        other => Err(ModelParseError::BadLine {
+            line,
+            message: format!("expected {keyword:?}, found {other:?}"),
+        }),
+    }
+}
+
+/// Saves a model to a file.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn save_model(model: &PowerModel, path: impl AsRef<Path>) -> io::Result<()> {
+    fs::write(path, model_to_text(model))
+}
+
+/// Loads a model from a file.
+///
+/// # Errors
+///
+/// [`ModelParseError`] on I/O or format problems.
+pub fn load_model(path: impl AsRef<Path>) -> Result<PowerModel, ModelParseError> {
+    model_from_text(&fs::read_to_string(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::characterize::{characterize, CharacterizationConfig};
+    use easched_sim::Platform;
+
+    fn sample_model() -> PowerModel {
+        let mut p = Platform::haswell_desktop();
+        p.pcu.measurement_noise = 0.0;
+        characterize(
+            &p,
+            &CharacterizationConfig {
+                alpha_steps: 10,
+                ..Default::default()
+            },
+        )
+    }
+
+    #[test]
+    fn roundtrip_is_lossless() {
+        let model = sample_model();
+        let back = model_from_text(&model_to_text(&model)).unwrap();
+        assert_eq!(back.platform_name(), model.platform_name());
+        for class in WorkloadClass::all() {
+            for i in 0..=20 {
+                let a = i as f64 / 20.0;
+                assert_eq!(back.predict(class, a), model.predict(class, a), "{class:?} α={a}");
+            }
+            assert_eq!(back.curve(class).rmse(), model.curve(class).rmse());
+            assert_eq!(back.curve(class).samples(), model.curve(class).samples());
+        }
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let model = sample_model();
+        let path = std::env::temp_dir().join(format!("easched_model_{}.txt", std::process::id()));
+        save_model(&model, &path).unwrap();
+        let back = load_model(&path).unwrap();
+        assert_eq!(back, model_from_text(&model_to_text(&model)).unwrap());
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        let err = model_from_text("easched-power-model v99\n").unwrap_err();
+        assert!(matches!(err, ModelParseError::BadHeader(_)));
+        assert!(model_from_text("").is_err());
+    }
+
+    #[test]
+    fn rejects_missing_curves() {
+        let text = format!("{HEADER_V1}\nplatform x\ncurve 0 rmse 0.1 samples 3 coeffs 1.0 2.0\n");
+        let err = model_from_text(&text).unwrap_err();
+        assert!(matches!(err, ModelParseError::WrongCurveCount(1)));
+    }
+
+    #[test]
+    fn rejects_duplicate_class() {
+        let mut text = format!("{HEADER_V1}\nplatform x\n");
+        for _ in 0..8 {
+            text.push_str("curve 3 rmse 0.1 samples 3 coeffs 1.0\n");
+        }
+        let err = model_from_text(&text).unwrap_err();
+        assert!(matches!(err, ModelParseError::WrongCurveCount(_)));
+    }
+
+    #[test]
+    fn rejects_malformed_fields() {
+        for bad in [
+            "curve x rmse 0.1 samples 3 coeffs 1.0",
+            "curve 9 rmse 0.1 samples 3 coeffs 1.0",
+            "curve 0 rmse abc samples 3 coeffs 1.0",
+            "curve 0 rmse 0.1 samples 3 coeffs",
+            "curve 0 rmse 0.1 coeffs 1.0",
+            "mystery 1 2 3",
+        ] {
+            let text = format!("{HEADER_V1}\nplatform x\n{bad}\n");
+            let err = model_from_text(&text).unwrap_err();
+            assert!(
+                matches!(err, ModelParseError::BadLine { .. } | ModelParseError::WrongCurveCount(_)),
+                "{bad}: {err}"
+            );
+            assert!(!err.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let model = sample_model();
+        let mut text = model_to_text(&model);
+        text = text.replace("platform", "# leading comment\n\nplatform");
+        assert!(model_from_text(&text).is_ok());
+    }
+
+    #[test]
+    fn load_missing_file_is_io_error() {
+        let err = load_model("/definitely/not/here.txt").unwrap_err();
+        assert!(matches!(err, ModelParseError::Io(_)));
+        use std::error::Error as _;
+        assert!(err.source().is_some());
+    }
+}

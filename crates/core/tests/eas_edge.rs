@@ -1,0 +1,159 @@
+//! Edge-case integration tests for the EAS scheduler against the simulated
+//! machine.
+
+use easched_core::{
+    characterize, AlphaSearch, CharacterizationConfig, EasConfig, EasScheduler, Objective,
+    PowerModel,
+};
+use easched_kernels::InvocationTrace;
+use easched_runtime::replay_trace;
+use easched_sim::{KernelTraits, Machine, Platform};
+use std::sync::Arc;
+
+fn model() -> (Platform, PowerModel) {
+    let platform = Platform::haswell_desktop();
+    let model = characterize(
+        &platform,
+        &CharacterizationConfig {
+            alpha_steps: 10,
+            ..Default::default()
+        },
+    );
+    (platform, model)
+}
+
+fn traits() -> KernelTraits {
+    KernelTraits::builder("edge")
+        .cpu_rate(2.0e6)
+        .gpu_rate(5.0e6)
+        .memory_intensity(0.1)
+        .build()
+}
+
+fn run_with(config: EasConfig) -> (f64, f64, Option<f64>) {
+    let (platform, model) = model();
+    let mut eas = EasScheduler::new(model, config);
+    let mut machine = Machine::new(platform);
+    let trace = InvocationTrace {
+        sizes: vec![400_000; 3],
+    };
+    let m = replay_trace(&mut machine, &traits(), 1, &trace, &mut eas);
+    (m.time, m.energy_joules, eas.learned_alpha(1))
+}
+
+#[test]
+fn golden_section_agrees_with_grid() {
+    let grid = run_with(EasConfig::new(Objective::EnergyDelay));
+    let mut cfg = EasConfig::new(Objective::EnergyDelay);
+    cfg.alpha_search = AlphaSearch::GoldenSection { tol: 1e-5 };
+    let golden = run_with(cfg);
+    let (a, b) = (grid.2.unwrap(), golden.2.unwrap());
+    assert!(
+        (a - b).abs() <= 0.1 + 1e-9,
+        "grid α {a} vs golden α {b} should agree within one grid step"
+    );
+}
+
+#[test]
+fn custom_objective_drives_decisions() {
+    // An extreme power-phobic metric should offload everything to the
+    // cheaper GPU.
+    let mut cfg = EasConfig::new(Objective::Custom {
+        name: "P^4",
+        f: Arc::new(|p, _t| p.powi(4)),
+    });
+    cfg.reprofile_every = None;
+    let (_, _, alpha) = run_with(cfg);
+    assert!(alpha.unwrap() > 0.85, "power-phobic α {alpha:?}");
+}
+
+#[test]
+fn profile_everything_still_terminates() {
+    let mut cfg = EasConfig::new(Objective::EnergyDelay);
+    cfg.profile_fraction = 1.0;
+    cfg.profile_stable_rounds = 0; // no early stop
+    let (time, energy, alpha) = run_with(cfg);
+    assert!(time > 0.0 && energy > 0.0);
+    assert!(alpha.is_some());
+}
+
+#[test]
+#[should_panic(expected = "profile_fraction must be in (0, 1]")]
+fn zero_profile_fraction_rejected() {
+    let (_, model) = model();
+    let mut cfg = EasConfig::new(Objective::EnergyDelay);
+    cfg.profile_fraction = 0.0;
+    let _ = EasScheduler::new(model, cfg);
+}
+
+#[test]
+fn extreme_classifier_thresholds_still_schedule() {
+    for (mem, short) in [(0.0, 1e-9), (1.0, 1e9)] {
+        let mut cfg = EasConfig::new(Objective::EnergyDelay);
+        cfg.classifier = easched_core::Classifier {
+            memory_threshold: mem,
+            short_threshold: short,
+        };
+        let (time, ..) = run_with(cfg);
+        assert!(time > 0.0);
+    }
+}
+
+#[test]
+fn single_item_invocations_all_cpu() {
+    let (platform, model) = model();
+    let mut eas = EasScheduler::new(model, EasConfig::new(Objective::EnergyDelay));
+    let mut machine = Machine::new(platform);
+    let trace = InvocationTrace {
+        sizes: vec![1; 50],
+    };
+    let m = replay_trace(&mut machine, &traits(), 1, &trace, &mut eas);
+    assert_eq!(m.items, 50);
+    // All below GPU_PROFILE_SIZE → learned ratio stays 0.
+    assert_eq!(eas.learned_alpha(1), Some(0.0));
+}
+
+#[test]
+fn distinct_kernels_learn_distinct_ratios() {
+    let (platform, model) = model();
+    let mut eas = EasScheduler::new(model, EasConfig::new(Objective::EnergyDelay));
+    let mut machine = Machine::new(platform);
+    let gpu_friendly = KernelTraits::builder("g")
+        .cpu_rate(1.0e6)
+        .gpu_rate(8.0e6)
+        .build();
+    let cpu_friendly = KernelTraits::builder("c")
+        .cpu_rate(8.0e6)
+        .gpu_rate(1.0e6)
+        .build();
+    let trace = InvocationTrace {
+        sizes: vec![400_000; 2],
+    };
+    replay_trace(&mut machine, &gpu_friendly, 1, &trace, &mut eas);
+    replay_trace(&mut machine, &cpu_friendly, 2, &trace, &mut eas);
+    let a1 = eas.learned_alpha(1).unwrap();
+    let a2 = eas.learned_alpha(2).unwrap();
+    assert!(a1 > 0.7, "gpu-friendly kernel α {a1}");
+    assert!(a2 < 0.3, "cpu-friendly kernel α {a2}");
+}
+
+#[test]
+fn ed2_objective_prefers_speed_over_energy() {
+    // ED² weighs time harder than energy does, so its choice must run at
+    // least as fast (here: hybrid beats the GPU-alone split energy picks).
+    let mut cfg_e = EasConfig::new(Objective::Energy);
+    cfg_e.reprofile_every = None;
+    let (time_e, energy_e, _) = run_with(cfg_e);
+    let mut cfg_ed2 = EasConfig::new(Objective::EnergyDelaySquared);
+    cfg_ed2.reprofile_every = None;
+    let (time_ed2, energy_ed2, _) = run_with(cfg_ed2);
+    assert!(
+        time_ed2 <= time_e * 1.02,
+        "ED² time {time_ed2} vs energy-objective time {time_e}"
+    );
+    // And the energy objective must not burn more joules than ED²'s pick.
+    assert!(
+        energy_e <= energy_ed2 * 1.02,
+        "energy {energy_e} vs ED² energy {energy_ed2}"
+    );
+}

@@ -1,0 +1,160 @@
+//! Property-based tests for the scheduler's analytical models.
+
+use easched_core::{Classifier, Objective, TimeModel, WorkloadClass};
+use easched_runtime::Observation;
+use easched_sim::CounterSnapshot;
+use proptest::prelude::*;
+
+proptest! {
+    /// T(α) is minimized at α_PERF (Equation 2 is the argmin of Equation 4).
+    #[test]
+    fn alpha_perf_minimizes_time(
+        r_c in 1e3..1e8f64,
+        r_g in 1e3..1e8f64,
+        n in 1u64..10_000_000,
+    ) {
+        let m = TimeModel::new(r_c, r_g);
+        let t_opt = m.total_time(m.alpha_perf(), n);
+        for i in 0..=20 {
+            let a = i as f64 / 20.0;
+            prop_assert!(m.total_time(a, n) >= t_opt * (1.0 - 1e-12));
+        }
+    }
+
+    /// The combined phase never exceeds the total (Eq 1 vs Eq 4) and both
+    /// scale linearly in N.
+    #[test]
+    fn combined_phase_bounds_and_scaling(
+        r_c in 1e3..1e8f64,
+        r_g in 1e3..1e8f64,
+        alpha_step in 0usize..=10,
+        n in 1u64..1_000_000,
+    ) {
+        let alpha = alpha_step as f64 / 10.0;
+        let m = TimeModel::new(r_c, r_g);
+        prop_assert!(m.combined_time(alpha, n) <= m.total_time(alpha, n) + 1e-12);
+        let t1 = m.total_time(alpha, n);
+        let t2 = m.total_time(alpha, 2 * n);
+        prop_assert!((t2 - 2.0 * t1).abs() < 1e-9 * (1.0 + t1.abs()) * 2e6);
+    }
+
+    /// Endpoint times equal single-device times.
+    #[test]
+    fn endpoints_are_solo_times(r_c in 1e3..1e8f64, r_g in 1e3..1e8f64, n in 1u64..1_000_000) {
+        let m = TimeModel::new(r_c, r_g);
+        prop_assert!((m.total_time(0.0, n) - n as f64 / r_c).abs() < 1e-6 * (n as f64 / r_c));
+        prop_assert!((m.total_time(1.0, n) - n as f64 / r_g).abs() < 1e-6 * (n as f64 / r_g));
+    }
+
+    /// Objectives are positive, monotone in both power and time.
+    #[test]
+    fn objectives_monotone(p in 0.1..200.0f64, t in 0.001..100.0f64, dp in 0.1..10.0f64, dt in 0.001..10.0f64) {
+        for obj in [Objective::Energy, Objective::EnergyDelay, Objective::EnergyDelaySquared] {
+            let base = obj.evaluate(p, t);
+            prop_assert!(base > 0.0);
+            prop_assert!(obj.evaluate(p + dp, t) > base);
+            prop_assert!(obj.evaluate(p, t + dt) > base);
+        }
+        prop_assert!((Objective::Time.evaluate(p, t) - t).abs() < 1e-12);
+    }
+
+    /// `of_totals` is consistent with `evaluate` at the implied power.
+    #[test]
+    fn of_totals_consistent(e in 0.1..1e5f64, t in 0.001..1e3f64) {
+        for obj in [Objective::Energy, Objective::EnergyDelay, Objective::Time] {
+            let via_totals = obj.of_totals(e, t);
+            let via_power = obj.evaluate(e / t, t);
+            prop_assert!((via_totals - via_power).abs() < 1e-9 * (1.0 + via_power.abs()));
+        }
+    }
+
+    /// Class index roundtrips and classification respects its thresholds.
+    #[test]
+    fn classification_thresholds(
+        miss_ratio in 0.0..1.0f64,
+        cpu_rate in 1e3..1e8f64,
+        gpu_rate in 1e3..1e8f64,
+        n in 1u64..10_000_000,
+    ) {
+        let c = Classifier::default();
+        let obs = Observation {
+            cpu_items: (cpu_rate * 0.01) as u64,
+            gpu_items: (gpu_rate * 0.01) as u64,
+            cpu_time: 0.01,
+            gpu_time: 0.01,
+            counters: CounterSnapshot {
+                instructions: 1e6,
+                loads: 1e5,
+                l3_misses: 1e5 * miss_ratio,
+            },
+            ..Default::default()
+        };
+        prop_assume!(obs.cpu_items > 0 && obs.gpu_items > 0);
+        let class = c.classify(&obs, n);
+        prop_assert_eq!(class.memory_bound, miss_ratio > c.memory_threshold);
+        prop_assert_eq!(class.cpu_short, n as f64 / obs.cpu_rate() <= c.short_threshold);
+        prop_assert_eq!(class.gpu_short, n as f64 / obs.gpu_rate() <= c.short_threshold);
+        prop_assert_eq!(WorkloadClass::from_index(class.index()), class);
+    }
+}
+
+mod persist_props {
+    use easched_core::persist::{model_from_text, model_to_text};
+    use easched_core::{PowerCurve, PowerModel, WorkloadClass};
+    use easched_num::Polynomial;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Any well-formed model round-trips through the text format with
+        /// bit-exact curve predictions.
+        #[test]
+        fn persistence_roundtrips_arbitrary_models(
+            coeffs in prop::collection::vec(
+                prop::collection::vec(-1e4..1e4f64, 1..8),
+                8,
+            ),
+            rmses in prop::collection::vec(0.0..10.0f64, 8),
+        ) {
+            let curves: Vec<PowerCurve> = WorkloadClass::all()
+                .into_iter()
+                .zip(coeffs.iter().zip(&rmses))
+                .map(|(class, (cs, &rmse))| {
+                    PowerCurve::new(class, Polynomial::new(cs.clone()), rmse, 21)
+                })
+                .collect();
+            let model = PowerModel::new("prop-platform", curves);
+            let back = model_from_text(&model_to_text(&model)).unwrap();
+            prop_assert_eq!(back.platform_name(), model.platform_name());
+            for class in WorkloadClass::all() {
+                prop_assert_eq!(
+                    back.curve(class).poly().coeffs(),
+                    model.curve(class).poly().coeffs()
+                );
+                for i in 0..=10 {
+                    let a = i as f64 / 10.0;
+                    prop_assert_eq!(back.predict(class, a), model.predict(class, a));
+                }
+            }
+        }
+
+        /// Truncating a file never panics: it either fails cleanly or (when
+        /// the cut happens to land on a token boundary of the last line)
+        /// still yields a structurally valid eight-curve model.
+        #[test]
+        fn truncated_files_never_panic(cut in 0usize..400) {
+            let curves: Vec<PowerCurve> = WorkloadClass::all()
+                .into_iter()
+                .map(|c| PowerCurve::new(c, Polynomial::constant(42.0), 0.1, 21))
+                .collect();
+            let text = model_to_text(&PowerModel::new("p", curves));
+            let truncated: String = text.chars().take(cut.min(text.len())).collect();
+            match model_from_text(&truncated) {
+                Ok(model) => prop_assert_eq!(model.curves().len(), 8),
+                Err(e) => prop_assert!(!e.to_string().is_empty()),
+            }
+            // Dropping a whole curve line must always fail.
+            let missing_line: String = text.lines().take(9).collect::<Vec<_>>().join("\n");
+            prop_assert!(model_from_text(&missing_line).is_err());
+        }
+    }
+}

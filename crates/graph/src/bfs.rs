@@ -1,0 +1,234 @@
+//! Frontier-based breadth-first search with thread-safe item processing.
+//!
+//! Each BFS *level* is one data-parallel kernel invocation whose items are
+//! the current frontier's vertices — the structure that gives the paper's BFS
+//! workload its 1748 invocations with wildly varying N. `process_item` may be
+//! called concurrently from many workers; `advance` is called once per level
+//! by the driver.
+
+use crate::csr::Csr;
+use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
+
+/// Level-synchronous parallel BFS engine borrowing a graph.
+///
+/// # Examples
+///
+/// ```
+/// use easched_graph::{gen, BfsEngine, reference};
+///
+/// let g = gen::erdos_renyi(64, 200, 3);
+/// let mut bfs = BfsEngine::new(&g, 0);
+/// while !bfs.is_done() {
+///     for i in 0..bfs.frontier_len() {
+///         bfs.process_item(i); // safe to call from many threads
+///     }
+///     bfs.advance();
+/// }
+/// assert_eq!(bfs.distances(), reference::bfs_levels(&g, 0));
+/// ```
+#[derive(Debug)]
+pub struct BfsEngine<'g> {
+    graph: &'g Csr,
+    dist: Vec<AtomicU32>,
+    frontier: Vec<u32>,
+    next: Vec<AtomicU32>,
+    next_len: AtomicUsize,
+    level: u32,
+    invocations: u32,
+}
+
+impl<'g> BfsEngine<'g> {
+    /// Creates an engine rooted at `src`. The first frontier is `[src]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` is out of range on a non-empty graph.
+    pub fn new(graph: &'g Csr, src: u32) -> Self {
+        let n = graph.vertex_count() as usize;
+        let dist: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(u32::MAX)).collect();
+        let next: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(0)).collect();
+        let mut frontier = Vec::new();
+        if n > 0 {
+            assert!((src as usize) < n, "source out of range");
+            dist[src as usize].store(0, Ordering::Relaxed);
+            frontier.push(src);
+        }
+        BfsEngine {
+            graph,
+            dist,
+            frontier,
+            next,
+            next_len: AtomicUsize::new(0),
+            level: 0,
+            invocations: 0,
+        }
+    }
+
+    /// Number of items (frontier vertices) in the current invocation.
+    pub fn frontier_len(&self) -> usize {
+        self.frontier.len()
+    }
+
+    /// True when the search has exhausted all frontiers.
+    pub fn is_done(&self) -> bool {
+        self.frontier.is_empty()
+    }
+
+    /// Current BFS level (0-based).
+    pub fn level(&self) -> u32 {
+        self.level
+    }
+
+    /// Number of kernel invocations performed so far (levels advanced).
+    pub fn invocations(&self) -> u32 {
+        self.invocations
+    }
+
+    /// Processes frontier item `i`: relaxes all edges of the `i`-th frontier
+    /// vertex, claiming unvisited neighbors for the next level. Thread-safe.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= frontier_len()`.
+    pub fn process_item(&self, i: usize) {
+        let v = self.frontier[i];
+        let next_dist = self.level + 1;
+        for &u in self.graph.neighbors(v) {
+            if self.dist[u as usize]
+                .compare_exchange(u32::MAX, next_dist, Ordering::Relaxed, Ordering::Relaxed)
+                .is_ok()
+            {
+                let slot = self.next_len.fetch_add(1, Ordering::Relaxed);
+                self.next[slot].store(u, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Completes the current invocation: swaps in the next frontier (sorted
+    /// for determinism regardless of worker interleaving) and bumps the
+    /// level.
+    pub fn advance(&mut self) {
+        let len = self.next_len.swap(0, Ordering::Relaxed);
+        self.frontier.clear();
+        self.frontier
+            .extend(self.next[..len].iter().map(|a| a.load(Ordering::Relaxed)));
+        self.frontier.sort_unstable();
+        self.level += 1;
+        self.invocations += 1;
+    }
+
+    /// Final distances; `u32::MAX` marks unreachable vertices. Call after
+    /// [`is_done`](Self::is_done) returns true (calling earlier yields the
+    /// partial state).
+    pub fn distances(&self) -> Vec<u32> {
+        self.dist.iter().map(|a| a.load(Ordering::Relaxed)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{gen, reference};
+
+    fn drive(engine: &mut BfsEngine<'_>) {
+        while !engine.is_done() {
+            for i in 0..engine.frontier_len() {
+                engine.process_item(i);
+            }
+            engine.advance();
+        }
+    }
+
+    #[test]
+    fn matches_reference_on_random_graphs() {
+        for seed in 0..5 {
+            let g = gen::erdos_renyi(200, 500, seed);
+            let mut e = BfsEngine::new(&g, 0);
+            drive(&mut e);
+            assert_eq!(e.distances(), reference::bfs_levels(&g, 0), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn matches_reference_on_road_network() {
+        let g = gen::road_network(30, 30, 2);
+        let mut e = BfsEngine::new(&g, 5);
+        drive(&mut e);
+        assert_eq!(e.distances(), reference::bfs_levels(&g, 5));
+    }
+
+    #[test]
+    fn invocation_count_equals_levels() {
+        let g = gen::path(10);
+        let mut e = BfsEngine::new(&g, 0);
+        drive(&mut e);
+        // Path of 10: frontiers are 9 singleton levels after the root, plus
+        // the final empty-producing one.
+        assert_eq!(e.invocations(), 10);
+    }
+
+    #[test]
+    fn frontier_sizes_vary_on_road_network() {
+        let g = gen::road_network(40, 40, 8);
+        let mut e = BfsEngine::new(&g, 0);
+        let mut sizes = Vec::new();
+        while !e.is_done() {
+            sizes.push(e.frontier_len());
+            for i in 0..e.frontier_len() {
+                e.process_item(i);
+            }
+            e.advance();
+        }
+        let max = *sizes.iter().max().unwrap();
+        let min = *sizes.iter().min().unwrap();
+        assert!(max > 10 * min.max(1), "frontiers should vary: {min}..{max}");
+    }
+
+    #[test]
+    fn concurrent_processing_matches_serial() {
+        let g = gen::rmat(9, 8, 6);
+        let serial = reference::bfs_levels(&g, 0);
+        let mut e = BfsEngine::new(&g, 0);
+        while !e.is_done() {
+            let n = e.frontier_len();
+            std::thread::scope(|s| {
+                let chunks = 4;
+                for c in 0..chunks {
+                    let eref = &e;
+                    s.spawn(move || {
+                        let mut i = c;
+                        while i < n {
+                            eref.process_item(i);
+                            i += chunks;
+                        }
+                    });
+                }
+            });
+            e.advance();
+        }
+        assert_eq!(e.distances(), serial);
+    }
+
+    #[test]
+    fn empty_graph_immediately_done() {
+        let g = Csr::from_edges(0, &[]).unwrap();
+        let e = BfsEngine::new(&g, 0);
+        assert!(e.is_done());
+        assert!(e.distances().is_empty());
+    }
+
+    #[test]
+    fn single_vertex() {
+        let g = Csr::from_edges(1, &[]).unwrap();
+        let mut e = BfsEngine::new(&g, 0);
+        drive(&mut e);
+        assert_eq!(e.distances(), vec![0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "source out of range")]
+    fn bad_source_rejected() {
+        let g = gen::path(3);
+        BfsEngine::new(&g, 10);
+    }
+}

@@ -1,0 +1,216 @@
+//! Frontier-based connected components by parallel label propagation.
+//!
+//! Each round is one data-parallel kernel invocation over the vertices whose
+//! label changed in the previous round (the *active set*). Labels converge
+//! to the minimum vertex id in each component. On road networks convergence
+//! takes thousands of rounds with highly variable active-set sizes — the
+//! irregularity that trips up EAS's online profiling for CC in the paper
+//! (§5, desktop EDP discussion).
+
+use crate::csr::Csr;
+use std::sync::atomic::{AtomicU32, AtomicU8, AtomicUsize, Ordering};
+
+/// Parallel label-propagation connected-components engine.
+///
+/// # Examples
+///
+/// ```
+/// use easched_graph::{gen, CcEngine, reference};
+///
+/// let g = gen::road_network(16, 16, 1);
+/// let mut cc = CcEngine::new(&g);
+/// while !cc.is_done() {
+///     for i in 0..cc.active_len() {
+///         cc.process_item(i);
+///     }
+///     cc.advance();
+/// }
+/// assert_eq!(cc.labels(), reference::components(&g));
+/// ```
+#[derive(Debug)]
+pub struct CcEngine<'g> {
+    graph: &'g Csr,
+    labels: Vec<AtomicU32>,
+    active: Vec<u32>,
+    /// Labels of the active vertices as of the start of the round, so
+    /// propagation is synchronous (round count independent of worker
+    /// interleaving and processing order).
+    active_labels: Vec<u32>,
+    /// 0/1 membership flags for the next active set (dedup).
+    in_next: Vec<AtomicU8>,
+    next: Vec<AtomicU32>,
+    next_len: AtomicUsize,
+    invocations: u32,
+}
+
+impl<'g> CcEngine<'g> {
+    /// Creates an engine over `graph`; every vertex starts active with its
+    /// own id as label.
+    pub fn new(graph: &'g Csr) -> Self {
+        let n = graph.vertex_count() as usize;
+        CcEngine {
+            graph,
+            labels: (0..n as u32).map(AtomicU32::new).collect(),
+            active: (0..n as u32).collect(),
+            active_labels: (0..n as u32).collect(),
+            in_next: (0..n).map(|_| AtomicU8::new(0)).collect(),
+            next: (0..n).map(|_| AtomicU32::new(0)).collect(),
+            next_len: AtomicUsize::new(0),
+            invocations: 0,
+        }
+    }
+
+    /// Number of items in the current invocation (active vertices).
+    pub fn active_len(&self) -> usize {
+        self.active.len()
+    }
+
+    /// True when labels have converged.
+    pub fn is_done(&self) -> bool {
+        self.active.is_empty()
+    }
+
+    /// Number of kernel invocations performed so far.
+    pub fn invocations(&self) -> u32 {
+        self.invocations
+    }
+
+    /// Processes active item `i`: pushes the vertex's label to all neighbors
+    /// with larger labels, scheduling improved neighbors for the next round.
+    /// Thread-safe.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= active_len()`.
+    pub fn process_item(&self, i: usize) {
+        let v = self.active[i];
+        let my = self.active_labels[i];
+        for &u in self.graph.neighbors(v) {
+            let prev = self.labels[u as usize].fetch_min(my, Ordering::Relaxed);
+            if my < prev {
+                // u improved; make sure it is in the next active set once.
+                if self.in_next[u as usize]
+                    .compare_exchange(0, 1, Ordering::Relaxed, Ordering::Relaxed)
+                    .is_ok()
+                {
+                    let slot = self.next_len.fetch_add(1, Ordering::Relaxed);
+                    self.next[slot].store(u, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+
+    /// Completes the invocation: installs the (sorted, deduplicated) next
+    /// active set.
+    pub fn advance(&mut self) {
+        let len = self.next_len.swap(0, Ordering::Relaxed);
+        self.active.clear();
+        self.active
+            .extend(self.next[..len].iter().map(|a| a.load(Ordering::Relaxed)));
+        for &v in &self.active {
+            self.in_next[v as usize].store(0, Ordering::Relaxed);
+        }
+        self.active.sort_unstable();
+        self.active_labels.clear();
+        self.active_labels.extend(
+            self.active
+                .iter()
+                .map(|&v| self.labels[v as usize].load(Ordering::Relaxed)),
+        );
+        self.invocations += 1;
+    }
+
+    /// Current labels (converged once [`is_done`](Self::is_done)).
+    pub fn labels(&self) -> Vec<u32> {
+        self.labels.iter().map(|a| a.load(Ordering::Relaxed)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{gen, reference};
+
+    fn drive(engine: &mut CcEngine<'_>) {
+        while !engine.is_done() {
+            for i in 0..engine.active_len() {
+                engine.process_item(i);
+            }
+            engine.advance();
+        }
+    }
+
+    #[test]
+    fn matches_reference_on_random_graphs() {
+        for seed in 0..5 {
+            let g = gen::erdos_renyi(150, 200, seed);
+            let mut e = CcEngine::new(&g);
+            drive(&mut e);
+            assert_eq!(e.labels(), reference::components(&g), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn disjoint_components_keep_separate_labels() {
+        let g = Csr::from_edges(5, &[(0, 1), (1, 0), (2, 3), (3, 2)]).unwrap();
+        let mut e = CcEngine::new(&g);
+        drive(&mut e);
+        assert_eq!(e.labels(), vec![0, 0, 2, 2, 4]);
+    }
+
+    #[test]
+    fn path_takes_many_rounds() {
+        // Label 0 must walk the whole path: rounds scale with length.
+        let g = gen::path(64);
+        let mut e = CcEngine::new(&g);
+        drive(&mut e);
+        assert!(e.invocations() >= 32, "got {}", e.invocations());
+        assert!(e.labels().iter().all(|&l| l == 0));
+    }
+
+    #[test]
+    fn active_set_shrinks_over_time() {
+        let g = gen::road_network(20, 20, 5);
+        let mut e = CcEngine::new(&g);
+        let first = e.active_len();
+        let mut last = first;
+        while !e.is_done() {
+            last = e.active_len();
+            for i in 0..e.active_len() {
+                e.process_item(i);
+            }
+            e.advance();
+        }
+        assert!(last < first, "active set should shrink: {first} -> {last}");
+    }
+
+    #[test]
+    fn concurrent_processing_matches_serial() {
+        let g = gen::rmat(8, 8, 3);
+        let serial = reference::components(&g);
+        let mut e = CcEngine::new(&g);
+        while !e.is_done() {
+            let n = e.active_len();
+            std::thread::scope(|s| {
+                for c in 0..4 {
+                    let eref = &e;
+                    s.spawn(move || {
+                        let mut i = c;
+                        while i < n {
+                            eref.process_item(i);
+                            i += 4;
+                        }
+                    });
+                }
+            });
+            e.advance();
+        }
+        assert_eq!(e.labels(), serial);
+    }
+
+    #[test]
+    fn empty_graph_done_immediately() {
+        let g = Csr::from_edges(0, &[]).unwrap();
+        assert!(CcEngine::new(&g).is_done());
+    }
+}

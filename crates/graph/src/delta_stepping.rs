@@ -1,0 +1,137 @@
+//! Delta-stepping single-source shortest paths (Meyer & Sanders).
+//!
+//! The bucket-based middle ground between Dijkstra (work-efficient, serial)
+//! and Bellman-Ford (parallel, work-redundant). The frontier engines in
+//! [`sssp`](crate::sssp) mirror the paper's data-parallel kernel; this module
+//! provides the classic alternative used as a faster serial reference and
+//! for the graph-analytics example.
+
+use crate::csr::Csr;
+
+/// Computes shortest-path distances from `src` with bucket width `delta`;
+/// unreachable vertices get `u64::MAX`.
+///
+/// `delta` trades bucket count against re-relaxation: 1 degenerates to
+/// Dijkstra-like behaviour, very large values to Bellman-Ford. A good
+/// default is the mean edge weight.
+///
+/// # Panics
+///
+/// Panics if `delta` is zero, or if `src` is out of range on a non-empty
+/// graph.
+///
+/// # Examples
+///
+/// ```
+/// use easched_graph::{delta_stepping::delta_stepping, gen, reference};
+///
+/// let g = gen::road_network(20, 20, 3);
+/// assert_eq!(delta_stepping(&g, 0, 50), reference::dijkstra(&g, 0));
+/// ```
+pub fn delta_stepping(g: &Csr, src: u32, delta: u64) -> Vec<u64> {
+    assert!(delta > 0, "delta must be positive");
+    let n = g.vertex_count() as usize;
+    let mut dist = vec![u64::MAX; n];
+    if n == 0 {
+        return dist;
+    }
+    assert!((src as usize) < n, "source out of range");
+
+    // Buckets keyed by dist / delta; lazily grown ring of vectors.
+    let mut buckets: Vec<Vec<u32>> = vec![Vec::new()];
+    dist[src as usize] = 0;
+    buckets[0].push(src);
+    let mut current = 0usize;
+
+    let relax = |dist: &mut Vec<u64>, buckets: &mut Vec<Vec<u32>>, v: u32, nd: u64| {
+        if nd < dist[v as usize] {
+            dist[v as usize] = nd;
+            let b = (nd / delta) as usize;
+            if b >= buckets.len() {
+                buckets.resize(b + 1, Vec::new());
+            }
+            buckets[b].push(v);
+        }
+    };
+
+    while current < buckets.len() {
+        // Phase 1: repeatedly settle light edges within the bucket.
+        let mut settled: Vec<u32> = Vec::new();
+        while let Some(v) = buckets[current].pop() {
+            let dv = dist[v as usize];
+            // Stale entry (vertex moved to an earlier bucket already).
+            if (dv / delta) as usize != current {
+                continue;
+            }
+            settled.push(v);
+            for (u, w) in g.weighted_neighbors(v) {
+                if u64::from(w) <= delta {
+                    relax(&mut dist, &mut buckets, u, dv + u64::from(w));
+                }
+            }
+        }
+        // Phase 2: relax heavy edges of everything settled in this bucket.
+        for &v in &settled {
+            let dv = dist[v as usize];
+            for (u, w) in g.weighted_neighbors(v) {
+                if u64::from(w) > delta {
+                    relax(&mut dist, &mut buckets, u, dv + u64::from(w));
+                }
+            }
+        }
+        current += 1;
+    }
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{gen, reference};
+
+    #[test]
+    fn matches_dijkstra_on_random_graphs() {
+        for seed in 0..5 {
+            let g = gen::erdos_renyi(150, 500, seed);
+            for delta in [1, 10, 50, 1000] {
+                assert_eq!(
+                    delta_stepping(&g, 0, delta),
+                    reference::dijkstra(&g, 0),
+                    "seed {seed}, delta {delta}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matches_dijkstra_on_road_network() {
+        let g = gen::road_network(30, 30, 7);
+        assert_eq!(delta_stepping(&g, 17, 50), reference::dijkstra(&g, 17));
+    }
+
+    #[test]
+    fn heavy_edges_only() {
+        // All weights above delta: phase 2 does all the work.
+        let g = Csr::from_weighted_edges(4, &[(0, 1), (1, 2), (2, 3)], &[100, 100, 100]).unwrap();
+        assert_eq!(delta_stepping(&g, 0, 10), vec![0, 100, 200, 300]);
+    }
+
+    #[test]
+    fn disconnected_vertices_unreachable() {
+        let g = Csr::from_weighted_edges(3, &[(0, 1)], &[5]).unwrap();
+        assert_eq!(delta_stepping(&g, 0, 5), vec![0, 5, u64::MAX]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Csr::from_edges(0, &[]).unwrap();
+        assert!(delta_stepping(&g, 0, 1).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "delta must be positive")]
+    fn rejects_zero_delta() {
+        let g = gen::path(3);
+        delta_stepping(&g, 0, 0);
+    }
+}

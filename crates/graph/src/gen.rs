@@ -1,0 +1,263 @@
+//! Deterministic graph generators.
+//!
+//! The paper's graph workloads run on the W-USA road network (|V| = 6.2 M).
+//! We cannot redistribute that dataset, so [`road_network`] generates a graph
+//! with the same algorithmically relevant properties: planar-ish grid
+//! structure, mean degree ≈ 2.5–3, very high diameter (thousands of BFS
+//! levels at full scale), and integer travel-time weights. [`rmat`] and
+//! [`erdos_renyi`] provide contrasting low-diameter topologies for the test
+//! suite and ablations.
+
+use crate::csr::Csr;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates a road-network-like weighted graph on a `width × height` grid.
+///
+/// Each grid point connects to its right and down neighbors (both
+/// directions), a small fraction of edges are deleted (dead ends), and a
+/// sparse set of "highway" shortcuts is added. Weights model travel times:
+/// uniform in `1..=100` for local roads, shorter per-distance for highways.
+///
+/// The result is connected-ish (a giant component containing almost all
+/// vertices) with diameter Θ(width + height).
+///
+/// # Panics
+///
+/// Panics if `width` or `height` is zero.
+///
+/// # Examples
+///
+/// ```
+/// use easched_graph::gen::road_network;
+/// let g = road_network(16, 16, 42);
+/// assert_eq!(g.vertex_count(), 256);
+/// assert!(g.mean_degree() > 2.0 && g.mean_degree() < 5.0);
+/// ```
+pub fn road_network(width: u32, height: u32, seed: u64) -> Csr {
+    assert!(width > 0 && height > 0, "grid dimensions must be positive");
+    let n = width * height;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges = Vec::new();
+    let mut weights = Vec::new();
+    let add = |a: u32, b: u32, w: u32, edges: &mut Vec<(u32, u32)>, weights: &mut Vec<u32>| {
+        edges.push((a, b));
+        weights.push(w);
+        edges.push((b, a));
+        weights.push(w);
+    };
+    let idx = |x: u32, y: u32| y * width + x;
+    for y in 0..height {
+        for x in 0..width {
+            let v = idx(x, y);
+            if x + 1 < width && rng.gen_bool(0.93) {
+                add(v, idx(x + 1, y), rng.gen_range(1..=100), &mut edges, &mut weights);
+            }
+            if y + 1 < height && rng.gen_bool(0.93) {
+                add(v, idx(x, y + 1), rng.gen_range(1..=100), &mut edges, &mut weights);
+            }
+        }
+    }
+    // Highways: *local* shortcuts a few grid cells long (real highways
+    // connect nearby towns; long-range random edges would collapse the
+    // diameter into a small world, which road networks are not).
+    let highways = (n / 300).max(1);
+    for _ in 0..highways {
+        let x = rng.gen_range(0..width);
+        let y = rng.gen_range(0..height);
+        let dx: i64 = rng.gen_range(-6..=6);
+        let dy: i64 = rng.gen_range(-6..=6);
+        let bx = (i64::from(x) + dx).clamp(0, i64::from(width) - 1) as u32;
+        let by = (i64::from(y) + dy).clamp(0, i64::from(height) - 1) as u32;
+        let (a, b) = (idx(x, y), idx(bx, by));
+        if a != b {
+            add(a, b, rng.gen_range(20..=60), &mut edges, &mut weights);
+        }
+    }
+    Csr::from_weighted_edges(n, &edges, &weights).expect("generator produces valid edges")
+}
+
+/// Generates an RMAT power-law graph with `2^scale` vertices and
+/// `edge_factor · 2^scale` undirected edges (standard Graph500 parameters
+/// a=0.57, b=0.19, c=0.19).
+///
+/// # Panics
+///
+/// Panics if `scale` is 0 or greater than 30.
+///
+/// ```
+/// use easched_graph::gen::rmat;
+/// let g = rmat(8, 8, 1);
+/// assert_eq!(g.vertex_count(), 256);
+/// assert!(g.max_degree() > g.mean_degree() as usize * 4, "skewed degrees");
+/// ```
+pub fn rmat(scale: u32, edge_factor: u32, seed: u64) -> Csr {
+    assert!(scale > 0 && scale <= 30, "scale must be in 1..=30");
+    let n = 1u32 << scale;
+    let m = (n as u64 * edge_factor as u64) as usize;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let (a, b, c) = (0.57, 0.19, 0.19);
+    let mut edges = Vec::with_capacity(m * 2);
+    let mut weights = Vec::with_capacity(m * 2);
+    for _ in 0..m {
+        let (mut x, mut y) = (0u32, 0u32);
+        for bit in (0..scale).rev() {
+            let r: f64 = rng.gen();
+            let (dx, dy) = if r < a {
+                (0, 0)
+            } else if r < a + b {
+                (0, 1)
+            } else if r < a + b + c {
+                (1, 0)
+            } else {
+                (1, 1)
+            };
+            x |= dx << bit;
+            y |= dy << bit;
+        }
+        let w = rng.gen_range(1..=100);
+        edges.push((x, y));
+        weights.push(w);
+        edges.push((y, x));
+        weights.push(w);
+    }
+    Csr::from_weighted_edges(n, &edges, &weights).expect("generator produces valid edges")
+}
+
+/// Generates an Erdős–Rényi G(n, m) graph with `m` undirected edges.
+///
+/// ```
+/// use easched_graph::gen::erdos_renyi;
+/// let g = erdos_renyi(100, 300, 5);
+/// assert_eq!(g.vertex_count(), 100);
+/// assert_eq!(g.edge_count(), 600); // both directions
+/// ```
+pub fn erdos_renyi(n: u32, m: usize, seed: u64) -> Csr {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges = Vec::with_capacity(m * 2);
+    let mut weights = Vec::with_capacity(m * 2);
+    for _ in 0..m {
+        let a = rng.gen_range(0..n);
+        let b = rng.gen_range(0..n);
+        let w = rng.gen_range(1..=100);
+        edges.push((a, b));
+        weights.push(w);
+        edges.push((b, a));
+        weights.push(w);
+    }
+    Csr::from_weighted_edges(n, &edges, &weights).expect("generator produces valid edges")
+}
+
+/// A simple path graph 0—1—…—(n−1) with unit weights; the worst case for
+/// frontier parallelism (every frontier has one vertex).
+///
+/// ```
+/// use easched_graph::gen::path;
+/// let g = path(4);
+/// assert_eq!(g.neighbors(1), &[0, 2]);
+/// ```
+pub fn path(n: u32) -> Csr {
+    let mut edges = Vec::new();
+    for v in 1..n {
+        edges.push((v - 1, v));
+        edges.push((v, v - 1));
+    }
+    Csr::from_edges(n, &edges).expect("path edges valid")
+}
+
+/// A star graph: vertex 0 connected to all others; maximal one-level
+/// frontier fan-out.
+///
+/// ```
+/// use easched_graph::gen::star;
+/// assert_eq!(star(5).degree(0), 4);
+/// ```
+pub fn star(n: u32) -> Csr {
+    let mut edges = Vec::new();
+    for v in 1..n {
+        edges.push((0, v));
+        edges.push((v, 0));
+    }
+    Csr::from_edges(n, &edges).expect("star edges valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference;
+
+    #[test]
+    fn road_network_deterministic() {
+        let a = road_network(20, 20, 9);
+        let b = road_network(20, 20, 9);
+        assert_eq!(a, b);
+        let c = road_network(20, 20, 10);
+        assert_ne!(a, c, "different seeds differ");
+    }
+
+    #[test]
+    fn road_network_mostly_connected() {
+        let g = road_network(40, 40, 3);
+        let sizes = reference::component_sizes(&g);
+        let giant = *sizes.iter().max().unwrap();
+        assert!(
+            giant as f64 > 0.95 * g.vertex_count() as f64,
+            "giant component {giant} of {}",
+            g.vertex_count()
+        );
+    }
+
+    #[test]
+    fn road_network_high_diameter() {
+        // BFS depth from a corner should scale with grid dimension.
+        let g = road_network(50, 50, 1);
+        let dist = reference::bfs_levels(&g, 0);
+        let max = dist.iter().filter(|&&d| d != u32::MAX).max().unwrap();
+        assert!(*max >= 50, "road networks have high diameter, got {max}");
+    }
+
+    #[test]
+    fn rmat_low_diameter_and_skewed() {
+        let g = rmat(10, 16, 2);
+        let dist = reference::bfs_levels(&g, 0);
+        let max = dist.iter().filter(|&&d| d != u32::MAX).max().unwrap();
+        assert!(*max < 12, "rmat graphs have low diameter, got {max}");
+        assert!(g.max_degree() > 50);
+    }
+
+    #[test]
+    fn erdos_renyi_edge_count_exact() {
+        let g = erdos_renyi(50, 123, 7);
+        assert_eq!(g.edge_count(), 246);
+    }
+
+    #[test]
+    fn path_and_star_shapes() {
+        let p = path(10);
+        assert_eq!(p.degree(0), 1);
+        assert_eq!(p.degree(5), 2);
+        let s = star(10);
+        assert_eq!(s.degree(0), 9);
+        assert_eq!(s.degree(3), 1);
+    }
+
+    #[test]
+    fn generated_graphs_are_symmetric() {
+        for g in [road_network(15, 15, 4), rmat(7, 8, 4), erdos_renyi(64, 100, 4)] {
+            for v in 0..g.vertex_count() {
+                for (u, w) in g.weighted_neighbors(v) {
+                    assert!(
+                        g.weighted_neighbors(u).any(|(t, tw)| t == v && tw == w),
+                        "missing reverse edge {v}->{u}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "grid dimensions must be positive")]
+    fn road_network_rejects_zero() {
+        road_network(0, 5, 1);
+    }
+}

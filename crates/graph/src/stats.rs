@@ -1,0 +1,138 @@
+//! Structural graph statistics.
+//!
+//! Used by the harness and examples to show that the synthetic road
+//! networks have the W-USA-like structure the substitution argument relies
+//! on (DESIGN.md §2): low, flat degree distribution and high diameter, in
+//! contrast to RMAT's skewed-degree small worlds.
+
+use crate::csr::Csr;
+use crate::reference;
+
+/// Summary of a graph's structure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphStats {
+    /// Vertex count.
+    pub vertices: u32,
+    /// Directed edge count.
+    pub edges: usize,
+    /// Mean out-degree.
+    pub mean_degree: f64,
+    /// Maximum out-degree.
+    pub max_degree: usize,
+    /// Size of the largest connected component.
+    pub giant_component: usize,
+    /// Number of connected components.
+    pub components: usize,
+    /// Lower bound on the diameter from a double BFS sweep (exact on trees,
+    /// a good estimate on road networks).
+    pub pseudo_diameter: u32,
+}
+
+/// Computes [`GraphStats`].
+///
+/// The pseudo-diameter uses the classic double sweep: BFS from vertex 0 in
+/// the giant component, then BFS again from the farthest vertex found.
+///
+/// # Examples
+///
+/// ```
+/// use easched_graph::{gen, stats::graph_stats};
+///
+/// let s = graph_stats(&gen::path(10));
+/// assert_eq!(s.pseudo_diameter, 9);
+/// assert_eq!(s.components, 1);
+/// ```
+pub fn graph_stats(g: &Csr) -> GraphStats {
+    let labels = reference::components(g);
+    let mut sizes = std::collections::HashMap::new();
+    for &l in &labels {
+        *sizes.entry(l).or_insert(0usize) += 1;
+    }
+    let (giant_label, giant_component) = sizes
+        .iter()
+        .max_by_key(|(_, &s)| s)
+        .map(|(&l, &s)| (l, s))
+        .unwrap_or((0, 0));
+
+    let pseudo_diameter = if giant_component > 1 {
+        let d1 = reference::bfs_levels(g, giant_label);
+        let far = farthest(&d1);
+        let d2 = reference::bfs_levels(g, far);
+        d2.iter().filter(|&&d| d != u32::MAX).max().copied().unwrap_or(0)
+    } else {
+        0
+    };
+
+    GraphStats {
+        vertices: g.vertex_count(),
+        edges: g.edge_count(),
+        mean_degree: g.mean_degree(),
+        max_degree: g.max_degree(),
+        giant_component,
+        components: sizes.len(),
+        pseudo_diameter,
+    }
+}
+
+fn farthest(dist: &[u32]) -> u32 {
+    dist.iter()
+        .enumerate()
+        .filter(|(_, &d)| d != u32::MAX)
+        .max_by_key(|(_, &d)| d)
+        .map(|(i, _)| i as u32)
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn path_stats_exact() {
+        let s = graph_stats(&gen::path(16));
+        assert_eq!(s.vertices, 16);
+        assert_eq!(s.pseudo_diameter, 15);
+        assert_eq!(s.giant_component, 16);
+        assert_eq!(s.max_degree, 2);
+    }
+
+    #[test]
+    fn star_diameter_two() {
+        let s = graph_stats(&gen::star(20));
+        assert_eq!(s.pseudo_diameter, 2);
+        assert_eq!(s.max_degree, 19);
+    }
+
+    #[test]
+    fn disconnected_components_counted() {
+        let g = Csr::from_edges(5, &[(0, 1), (1, 0), (2, 3), (3, 2)]).unwrap();
+        let s = graph_stats(&g);
+        assert_eq!(s.components, 3);
+        assert_eq!(s.giant_component, 2);
+    }
+
+    #[test]
+    fn road_network_vs_rmat_structure() {
+        // The substitution argument: road networks are high-diameter and
+        // flat-degree; RMAT is the opposite.
+        let road = graph_stats(&gen::road_network(40, 40, 1));
+        let rmat = graph_stats(&gen::rmat(10, 8, 1)); // ~1024 vertices too
+        assert!(
+            road.pseudo_diameter > 4 * rmat.pseudo_diameter,
+            "road {} vs rmat {}",
+            road.pseudo_diameter,
+            rmat.pseudo_diameter
+        );
+        assert!(road.max_degree < 12);
+        assert!(rmat.max_degree > 40);
+    }
+
+    #[test]
+    fn empty_graph_stats() {
+        let s = graph_stats(&Csr::from_edges(0, &[]).unwrap());
+        assert_eq!(s.vertices, 0);
+        assert_eq!(s.components, 0);
+        assert_eq!(s.pseudo_diameter, 0);
+    }
+}

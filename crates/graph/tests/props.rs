@@ -1,0 +1,104 @@
+//! Property-based tests: the data-parallel engines agree with the serial
+//! references on arbitrary graphs.
+
+use easched_graph::{gen, reference, BfsEngine, CcEngine, Csr, SsspEngine};
+use proptest::prelude::*;
+
+/// Arbitrary small undirected weighted graph.
+fn graphs() -> impl Strategy<Value = Csr> {
+    (2u32..60, prop::collection::vec((0u32..60, 0u32..60, 1u32..100), 0..150)).prop_map(
+        |(n, raw)| {
+            let mut edges = Vec::new();
+            let mut weights = Vec::new();
+            for (a, b, w) in raw {
+                let (a, b) = (a % n, b % n);
+                edges.push((a, b));
+                weights.push(w);
+                edges.push((b, a));
+                weights.push(w);
+            }
+            Csr::from_weighted_edges(n, &edges, &weights).expect("valid edges")
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn bfs_engine_matches_reference(g in graphs(), src_raw in 0u32..60) {
+        let src = src_raw % g.vertex_count();
+        let mut e = BfsEngine::new(&g, src);
+        while !e.is_done() {
+            for i in 0..e.frontier_len() {
+                e.process_item(i);
+            }
+            e.advance();
+        }
+        prop_assert_eq!(e.distances(), reference::bfs_levels(&g, src));
+    }
+
+    #[test]
+    fn sssp_engine_matches_dijkstra(g in graphs(), src_raw in 0u32..60) {
+        let src = src_raw % g.vertex_count();
+        let mut e = SsspEngine::new(&g, src);
+        while !e.is_done() {
+            for i in 0..e.frontier_len() {
+                e.process_item(i);
+            }
+            e.advance();
+        }
+        prop_assert_eq!(e.distances(), reference::dijkstra(&g, src));
+    }
+
+    #[test]
+    fn cc_engine_matches_reference(g in graphs()) {
+        let mut e = CcEngine::new(&g);
+        while !e.is_done() {
+            for i in 0..e.active_len() {
+                e.process_item(i);
+            }
+            e.advance();
+        }
+        prop_assert_eq!(e.labels(), reference::components(&g));
+    }
+
+    /// Component labels are the minimum id in each component, so every
+    /// label is ≤ its vertex and labels are fixed points.
+    #[test]
+    fn component_labels_are_canonical(g in graphs()) {
+        let labels = reference::components(&g);
+        for (v, &l) in labels.iter().enumerate() {
+            prop_assert!(l as usize <= v);
+            prop_assert_eq!(labels[l as usize], l, "label of a label is itself");
+        }
+    }
+
+    /// BFS distances satisfy the triangle property along edges.
+    #[test]
+    fn bfs_distances_are_tight_on_edges(g in graphs(), src_raw in 0u32..60) {
+        let src = src_raw % g.vertex_count();
+        let dist = reference::bfs_levels(&g, src);
+        for v in 0..g.vertex_count() {
+            for &u in g.neighbors(v) {
+                let (dv, du) = (dist[v as usize], dist[u as usize]);
+                if dv != u32::MAX {
+                    prop_assert!(du != u32::MAX && du <= dv + 1, "edge {v}-{u}: {dv} vs {du}");
+                }
+            }
+        }
+    }
+
+    /// Generated road networks are symmetric with positive weights.
+    #[test]
+    fn road_network_symmetric(w in 2u32..20, h in 2u32..20, seed in any::<u64>()) {
+        let g = gen::road_network(w, h, seed);
+        prop_assert_eq!(g.vertex_count(), w * h);
+        for v in 0..g.vertex_count() {
+            for (u, wt) in g.weighted_neighbors(v) {
+                prop_assert!(wt >= 1);
+                prop_assert!(g.weighted_neighbors(u).any(|(t, tw)| t == v && tw == wt));
+            }
+        }
+    }
+}

@@ -1,0 +1,236 @@
+//! Standard benchmark instances at the evaluation scales.
+//!
+//! The `_desktop()` constructors build the twelve-benchmark suite the
+//! figures harness runs on the Haswell platform; `_tablet()` builds the
+//! seven tablet-runnable workloads at their (smaller) Table 1 inputs;
+//! `_small()` variants are reduced-scale instances for tests and doc
+//! examples. Inputs are scaled down from the paper's (we regenerate, not
+//! redistribute, the datasets); the calibration profiles keep execution
+//! *times* in the paper's regime — see `profiles`.
+
+use crate::barnes_hut::BarnesHut;
+use crate::blackscholes::BlackScholes;
+use crate::face_detect::FaceDetect;
+use crate::graphs::{Bfs, ConnectedComponents, ShortestPath};
+use crate::mandelbrot::Mandelbrot;
+use crate::matmul::MatMul;
+use crate::nbody::NBody;
+use crate::raytracer::RayTracer;
+use crate::seismic::Seismic;
+use crate::skiplist::SkipList;
+use crate::workload::Workload;
+
+/// BarnesHut at desktop evaluation scale (50 k bodies, 1 step).
+pub fn barnes_hut_desktop() -> Box<dyn Workload> {
+    Box::new(BarnesHut::new(50_000, 0xB4, BarnesHut::default_profile()))
+}
+
+/// BFS at desktop evaluation scale (512×512 road network).
+pub fn bfs_desktop() -> Box<dyn Workload> {
+    Box::new(Bfs::new(512, 512, 0xBF5, Bfs::default_profile()))
+}
+
+/// Connected Components at desktop evaluation scale.
+pub fn cc_desktop() -> Box<dyn Workload> {
+    Box::new(ConnectedComponents::new(
+        512,
+        512,
+        0xCC,
+        ConnectedComponents::default_profile(),
+    ))
+}
+
+/// Face Detect at desktop evaluation scale (1280×960 synthetic group photo).
+pub fn face_detect_desktop() -> Box<dyn Workload> {
+    Box::new(FaceDetect::new(1280, 960, 12, 12, 0xFD, FaceDetect::default_profile()))
+}
+
+/// Mandelbrot at desktop evaluation scale (1024×768, 256 iterations).
+pub fn mandelbrot_desktop() -> Box<dyn Workload> {
+    Box::new(Mandelbrot::new(1024, 768, 256, Mandelbrot::default_profile()))
+}
+
+/// SkipList at desktop evaluation scale (500 k keys, 1 M lookups).
+pub fn skiplist_desktop() -> Box<dyn Workload> {
+    Box::new(SkipList::new(500_000, 1_000_000, 0x51, SkipList::default_profile()))
+}
+
+/// Shortest Path at desktop evaluation scale.
+pub fn shortest_path_desktop() -> Box<dyn Workload> {
+    Box::new(ShortestPath::new(512, 512, 0x59, ShortestPath::default_profile()))
+}
+
+/// Blackscholes at desktop evaluation scale (64 Ki options × 500 passes).
+pub fn blackscholes_desktop() -> Box<dyn Workload> {
+    Box::new(BlackScholes::new(65_536, 500, 0xB5, BlackScholes::default_profile()))
+}
+
+/// Matrix Multiply at desktop evaluation scale (512×512).
+pub fn matmul_desktop() -> Box<dyn Workload> {
+    Box::new(MatMul::new(512, 0x33, MatMul::default_profile()))
+}
+
+/// N-Body at desktop evaluation scale (4096 bodies × 101 steps, as in the paper).
+pub fn nbody_desktop() -> Box<dyn Workload> {
+    Box::new(NBody::new(4096, 101, 0x3B, NBody::default_profile()))
+}
+
+/// Ray Tracer at desktop evaluation scale (512×384, 256 spheres, 5 lights).
+pub fn raytracer_desktop() -> Box<dyn Workload> {
+    Box::new(RayTracer::new(512, 384, 256, 5, 0x47, RayTracer::default_profile()))
+}
+
+/// Seismic at desktop evaluation scale (975×663, 100 frames).
+pub fn seismic_desktop() -> Box<dyn Workload> {
+    Box::new(Seismic::new(975, 663, 100, Seismic::default_profile()))
+}
+
+/// The full twelve-benchmark desktop suite, in Table 1 order.
+pub fn desktop_suite() -> Vec<Box<dyn Workload>> {
+    vec![
+        barnes_hut_desktop(),
+        bfs_desktop(),
+        cc_desktop(),
+        face_detect_desktop(),
+        mandelbrot_desktop(),
+        skiplist_desktop(),
+        shortest_path_desktop(),
+        blackscholes_desktop(),
+        matmul_desktop(),
+        nbody_desktop(),
+        raytracer_desktop(),
+        seismic_desktop(),
+    ]
+}
+
+/// Mandelbrot at tablet scale (same image as the desktop, per Table 1).
+pub fn mandelbrot_tablet() -> Box<dyn Workload> {
+    Box::new(Mandelbrot::new(1024, 768, 256, Mandelbrot::default_profile()))
+}
+
+/// SkipList at tablet scale (100 k keys, 200 k lookups).
+pub fn skiplist_tablet() -> Box<dyn Workload> {
+    Box::new(SkipList::new(100_000, 200_000, 0x52, SkipList::default_profile()))
+}
+
+/// Blackscholes at tablet scale (256 Ki options × 100 passes — the paper's
+/// tablet input is *larger* per pass than the desktop's).
+pub fn blackscholes_tablet() -> Box<dyn Workload> {
+    Box::new(BlackScholes::new(262_144, 100, 0xB6, BlackScholes::default_profile()))
+}
+
+/// Matrix Multiply at tablet scale (256×256).
+pub fn matmul_tablet() -> Box<dyn Workload> {
+    Box::new(MatMul::new(256, 0x34, MatMul::default_profile()))
+}
+
+/// N-Body at tablet scale (1024 bodies × 101 steps, as in the paper).
+pub fn nbody_tablet() -> Box<dyn Workload> {
+    Box::new(NBody::new(1024, 101, 0x3C, NBody::default_profile()))
+}
+
+/// Ray Tracer at tablet scale (320×240, 225 spheres).
+pub fn raytracer_tablet() -> Box<dyn Workload> {
+    Box::new(RayTracer::new(320, 240, 225, 5, 0x48, RayTracer::default_profile()))
+}
+
+/// Seismic at tablet scale (same grid as the desktop, per Table 1).
+pub fn seismic_tablet() -> Box<dyn Workload> {
+    Box::new(Seismic::new(975, 663, 100, Seismic::default_profile()))
+}
+
+/// The seven tablet-runnable workloads (Table 1 marks the other five N/A on
+/// the 32-bit tablet).
+pub fn tablet_suite() -> Vec<Box<dyn Workload>> {
+    vec![
+        mandelbrot_tablet(),
+        skiplist_tablet(),
+        blackscholes_tablet(),
+        matmul_tablet(),
+        nbody_tablet(),
+        raytracer_tablet(),
+        seismic_tablet(),
+    ]
+}
+
+/// Reduced-scale Mandelbrot for tests and examples.
+pub fn mandelbrot_small() -> Box<dyn Workload> {
+    Box::new(Mandelbrot::new(64, 48, 64, Mandelbrot::default_profile()))
+}
+
+/// Reduced-scale Blackscholes for tests and examples.
+pub fn blackscholes_small() -> Box<dyn Workload> {
+    Box::new(BlackScholes::new(512, 4, 0xB7, BlackScholes::default_profile()))
+}
+
+/// Reduced-scale BFS for tests and examples.
+pub fn bfs_small() -> Box<dyn Workload> {
+    Box::new(Bfs::new(48, 48, 0xBF6, Bfs::default_profile()))
+}
+
+/// Reduced-scale suite covering every kernel family quickly (for
+/// integration tests).
+pub fn small_suite() -> Vec<Box<dyn Workload>> {
+    vec![
+        Box::new(BarnesHut::new(600, 1, BarnesHut::default_profile())),
+        bfs_small(),
+        Box::new(ConnectedComponents::new(
+            32,
+            32,
+            2,
+            ConnectedComponents::default_profile(),
+        )),
+        Box::new(FaceDetect::new(200, 150, 3, 8, 3, FaceDetect::default_profile())),
+        mandelbrot_small(),
+        Box::new(SkipList::new(4_000, 8_000, 4, SkipList::default_profile())),
+        Box::new(ShortestPath::new(32, 32, 5, ShortestPath::default_profile())),
+        blackscholes_small(),
+        Box::new(MatMul::new(40, 6, MatMul::default_profile())),
+        Box::new(NBody::new(64, 6, 7, NBody::default_profile())),
+        Box::new(RayTracer::new(48, 36, 12, 2, 8, RayTracer::default_profile())),
+        Box::new(Seismic::new(33, 29, 8, Seismic::default_profile())),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::record_trace;
+
+    #[test]
+    fn desktop_suite_has_twelve_in_table_order() {
+        let abbrevs: Vec<&str> = desktop_suite().iter().map(|w| w.spec().abbrev).collect();
+        assert_eq!(
+            abbrevs,
+            vec!["BH", "BFS", "CC", "FD", "MB", "SL", "SP", "BS", "MM", "NB", "RT", "SM"]
+        );
+    }
+
+    #[test]
+    fn tablet_suite_has_the_seven_runnable() {
+        let suite = tablet_suite();
+        assert_eq!(suite.len(), 7);
+        assert!(suite.iter().all(|w| w.spec().runs_on_tablet));
+    }
+
+    #[test]
+    fn small_suite_covers_all_abbrevs_and_verifies() {
+        let suite = small_suite();
+        assert_eq!(suite.len(), 12);
+        for w in &suite {
+            let (trace, v) = record_trace(w.as_ref());
+            assert!(v.is_passed(), "{} failed verification", w.spec().abbrev);
+            assert!(trace.invocations() >= 1, "{}", w.spec().abbrev);
+        }
+    }
+
+    #[test]
+    fn regular_irregular_split_matches_table1() {
+        let irregular: Vec<&str> = desktop_suite()
+            .iter()
+            .filter(|w| !w.spec().regular)
+            .map(|w| w.spec().abbrev)
+            .collect();
+        assert_eq!(irregular, vec!["BH", "BFS", "CC", "FD", "MB", "SL", "SP"]);
+    }
+}

@@ -1,0 +1,104 @@
+//! Property-based tests: workload verification must hold under any valid
+//! item-execution order and partitioning — the contract the heterogeneous
+//! runtime relies on.
+
+use easched_kernels::blackscholes::BlackScholes;
+use easched_kernels::mandelbrot::Mandelbrot;
+use easched_kernels::matmul::MatMul;
+use easched_kernels::nbody::NBody;
+use easched_kernels::seismic::Seismic;
+use easched_kernels::skiplist::SkipList;
+use easched_kernels::workload::{Invoker, Workload};
+use proptest::prelude::*;
+
+/// An invoker that executes items in a deterministic shuffled order split
+/// into two "device" halves processed back to front — a worst-case legal
+/// schedule.
+struct ShuffledInvoker {
+    seed: u64,
+}
+
+impl Invoker for ShuffledInvoker {
+    fn invoke(&mut self, n: u64, process: &(dyn Fn(usize) + Sync)) {
+        let n = n as usize;
+        let mut order: Vec<usize> = (0..n).collect();
+        // Deterministic Fisher-Yates from splitmix64.
+        let mut state = self.seed;
+        for i in (1..n).rev() {
+            state = easched_sim::noise::splitmix64(state);
+            let j = (state % (i as u64 + 1)) as usize;
+            order.swap(i, j);
+        }
+        // "GPU" half runs first (from the back), then the "CPU" half.
+        let split = n / 3;
+        for &i in order[split..].iter().rev() {
+            process(i);
+        }
+        for &i in &order[..split] {
+            process(i);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn blackscholes_verifies_under_any_order(
+        n in 8u32..300,
+        invocations in 1u32..4,
+        seed in any::<u64>(),
+    ) {
+        let w = BlackScholes::new(n, invocations, seed, BlackScholes::default_profile());
+        let mut invoker = ShuffledInvoker { seed };
+        prop_assert!(w.drive(&mut invoker).is_passed());
+    }
+
+    #[test]
+    fn matmul_verifies_under_any_order(n in 2usize..24, seed in any::<u64>()) {
+        let w = MatMul::new(n, seed, MatMul::default_profile());
+        let mut invoker = ShuffledInvoker { seed };
+        prop_assert!(w.drive(&mut invoker).is_passed());
+    }
+
+    #[test]
+    fn mandelbrot_verifies_under_any_order(
+        wpx in 4usize..40,
+        hpx in 4usize..30,
+        seed in any::<u64>(),
+    ) {
+        let w = Mandelbrot::new(wpx, hpx, 48, Mandelbrot::default_profile());
+        let mut invoker = ShuffledInvoker { seed };
+        prop_assert!(w.drive(&mut invoker).is_passed());
+    }
+
+    #[test]
+    fn seismic_verifies_under_any_order(
+        wpx in 3usize..20,
+        hpx in 3usize..20,
+        frames in 1u32..6,
+        seed in any::<u64>(),
+    ) {
+        let w = Seismic::new(wpx, hpx, frames, Seismic::default_profile());
+        let mut invoker = ShuffledInvoker { seed };
+        prop_assert!(w.drive(&mut invoker).is_passed());
+    }
+
+    #[test]
+    fn nbody_verifies_under_any_order(n in 4usize..40, steps in 2u32..5, seed in any::<u64>()) {
+        let w = NBody::new(n, steps, seed, NBody::default_profile());
+        let mut invoker = ShuffledInvoker { seed };
+        prop_assert!(w.drive(&mut invoker).is_passed());
+    }
+
+    #[test]
+    fn skiplist_verifies_under_any_order(
+        keys in 2usize..300,
+        lookups in 1usize..300,
+        seed in any::<u64>(),
+    ) {
+        let w = SkipList::new(keys, lookups, seed, SkipList::default_profile());
+        let mut invoker = ShuffledInvoker { seed };
+        prop_assert!(w.drive(&mut invoker).is_passed());
+    }
+}

@@ -1,0 +1,212 @@
+//! Small dense linear-algebra routines.
+//!
+//! Only what the polynomial fitter needs: solving a square linear system with
+//! partially-pivoted Gaussian elimination. Matrices are represented as
+//! row-major `Vec<Vec<f64>>` since systems here are tiny (≤ 9×9 for an
+//! eighth-order fit).
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when a linear system cannot be solved.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinAlgError {
+    /// The matrix is singular (or numerically so) and has no unique solution.
+    Singular,
+    /// The matrix is not square or its shape disagrees with the RHS vector.
+    ShapeMismatch {
+        /// Number of matrix rows supplied.
+        rows: usize,
+        /// Number of matrix columns in the first row (0 if no rows).
+        cols: usize,
+        /// Length of the right-hand-side vector.
+        rhs: usize,
+    },
+}
+
+impl fmt::Display for LinAlgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinAlgError::Singular => write!(f, "matrix is singular to working precision"),
+            LinAlgError::ShapeMismatch { rows, cols, rhs } => write!(
+                f,
+                "shape mismatch: {rows}x{cols} matrix with rhs of length {rhs}"
+            ),
+        }
+    }
+}
+
+impl Error for LinAlgError {}
+
+/// Pivot magnitudes below this (relative to the largest row entry) are
+/// treated as singular.
+const PIVOT_EPS: f64 = 1e-12;
+
+/// Solves the square system `A·x = b` by Gaussian elimination with partial
+/// pivoting, returning `x`.
+///
+/// `a` is row-major and consumed as the working storage.
+///
+/// # Errors
+///
+/// Returns [`LinAlgError::ShapeMismatch`] if `a` is not square or `b` has the
+/// wrong length, and [`LinAlgError::Singular`] if no numerically reliable
+/// pivot can be found.
+///
+/// # Examples
+///
+/// ```
+/// use easched_num::solve_linear;
+///
+/// let a = vec![vec![2.0, 1.0], vec![1.0, 3.0]];
+/// let x = solve_linear(a, vec![5.0, 10.0])?;
+/// assert!((x[0] - 1.0).abs() < 1e-12);
+/// assert!((x[1] - 3.0).abs() < 1e-12);
+/// # Ok::<(), easched_num::LinAlgError>(())
+/// ```
+pub fn solve_linear(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Result<Vec<f64>, LinAlgError> {
+    let n = a.len();
+    let cols = a.first().map_or(0, Vec::len);
+    if n == 0 || a.iter().any(|row| row.len() != n) || b.len() != n {
+        return Err(LinAlgError::ShapeMismatch {
+            rows: n,
+            cols,
+            rhs: b.len(),
+        });
+    }
+
+    // Scale factors for implicit (scaled) partial pivoting: make pivoting
+    // robust when rows have wildly different magnitudes, which happens for
+    // Vandermonde normal equations of high order.
+    let scale: Vec<f64> = a
+        .iter()
+        .map(|row| row.iter().fold(0.0f64, |m, v| m.max(v.abs())))
+        .collect();
+    if scale.contains(&0.0) {
+        return Err(LinAlgError::Singular);
+    }
+
+    for col in 0..n {
+        // Find the row with the largest scaled pivot.
+        let (pivot_row, pivot_mag) = (col..n)
+            .map(|r| (r, a[r][col].abs() / scale[r]))
+            .max_by(|x, y| x.1.total_cmp(&y.1))
+            .expect("non-empty row range");
+        if pivot_mag < PIVOT_EPS {
+            return Err(LinAlgError::Singular);
+        }
+        a.swap(col, pivot_row);
+        b.swap(col, pivot_row);
+
+        let pivot = a[col][col];
+        for row in col + 1..n {
+            let factor = a[row][col] / pivot;
+            if factor == 0.0 {
+                continue;
+            }
+            // Split so we can borrow the pivot row and target row disjointly.
+            let (upper, lower) = a.split_at_mut(row);
+            let pivot_row_slice = &upper[col];
+            let target = &mut lower[0];
+            for k in col..n {
+                target[k] -= factor * pivot_row_slice[k];
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut sum = b[row];
+        for k in row + 1..n {
+            sum -= a[row][k] * x[k];
+        }
+        x[row] = sum / a[row][row];
+    }
+    Ok(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_identity() {
+        let a = vec![vec![1.0, 0.0], vec![0.0, 1.0]];
+        let x = solve_linear(a, vec![3.0, -4.0]).unwrap();
+        assert_eq!(x, vec![3.0, -4.0]);
+    }
+
+    #[test]
+    fn solves_3x3() {
+        // A·[1, -2, 3] with A below.
+        let a = vec![
+            vec![2.0, 1.0, -1.0],
+            vec![-3.0, -1.0, 2.0],
+            vec![-2.0, 1.0, 2.0],
+        ];
+        let b = vec![
+            2.0 * 1.0 + 1.0 * -2.0 + -3.0,
+            -3.0 * 1.0 + -1.0 * -2.0 + 2.0 * 3.0,
+            -2.0 * 1.0 + 1.0 * -2.0 + 2.0 * 3.0,
+        ];
+        let x = solve_linear(a, b).unwrap();
+        for (got, want) in x.iter().zip([1.0, -2.0, 3.0]) {
+            assert!((got - want).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn requires_pivoting() {
+        // Zero in the (0,0) position forces a row swap.
+        let a = vec![vec![0.0, 1.0], vec![1.0, 0.0]];
+        let x = solve_linear(a, vec![2.0, 5.0]).unwrap();
+        assert_eq!(x, vec![5.0, 2.0]);
+    }
+
+    #[test]
+    fn singular_detected() {
+        let a = vec![vec![1.0, 2.0], vec![2.0, 4.0]];
+        assert_eq!(solve_linear(a, vec![1.0, 2.0]), Err(LinAlgError::Singular));
+    }
+
+    #[test]
+    fn zero_matrix_is_singular() {
+        let a = vec![vec![0.0, 0.0], vec![0.0, 0.0]];
+        assert_eq!(solve_linear(a, vec![0.0, 0.0]), Err(LinAlgError::Singular));
+    }
+
+    #[test]
+    fn shape_mismatch_reported() {
+        let err = solve_linear(vec![vec![1.0, 2.0]], vec![1.0]).unwrap_err();
+        assert!(matches!(err, LinAlgError::ShapeMismatch { .. }));
+        let err = solve_linear(vec![vec![1.0]], vec![1.0, 2.0]).unwrap_err();
+        assert!(matches!(err, LinAlgError::ShapeMismatch { rhs: 2, .. }));
+        let err = solve_linear(Vec::new(), Vec::new()).unwrap_err();
+        assert!(matches!(err, LinAlgError::ShapeMismatch { rows: 0, .. }));
+    }
+
+    #[test]
+    fn badly_scaled_rows_handled() {
+        // Same system as solves_identity but with row 0 scaled by 1e12:
+        // scaled pivoting must not pick the huge row for the wrong column.
+        let a = vec![vec![1e12, 1e12], vec![1.0, 2.0]];
+        let b = vec![3e12, 4.0];
+        let x = solve_linear(a, b).unwrap();
+        // Solution of x+y=3, x+2y=4 → x=2, y=1.
+        assert!((x[0] - 2.0).abs() < 1e-6, "{x:?}");
+        assert!((x[1] - 1.0).abs() < 1e-6, "{x:?}");
+    }
+
+    #[test]
+    fn error_display_nonempty() {
+        assert!(!LinAlgError::Singular.to_string().is_empty());
+        let e = LinAlgError::ShapeMismatch {
+            rows: 1,
+            cols: 2,
+            rhs: 3,
+        };
+        assert!(e.to_string().contains("1x2"));
+    }
+}

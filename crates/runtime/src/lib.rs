@@ -1,0 +1,47 @@
+//! Concord-style heterogeneous runtime for `easched`.
+//!
+//! The paper's runtime (§4) executes `parallel_for` loops with work-stealing
+//! CPU workers plus one *GPU proxy thread* that offloads chunks to the GPU,
+//! profiles both devices online, and partitions the remaining iterations.
+//! This crate provides that machinery:
+//!
+//! * [`Backend`] — the per-invocation execution interface a scheduler drives:
+//!   profile steps, split execution, and the black-box observables
+//!   (wall/virtual time, the package energy register, hardware counters);
+//! * [`SimBackend`] — executes invocations on the simulated machine
+//!   (`easched-sim`), the paper-evaluation path;
+//! * [`ThreadBackend`] — executes invocations with real OS threads: a
+//!   work-stealing CPU pool and a pacing GPU-proxy thread emulating the
+//!   integrated GPU's throughput (wall-clock demo path);
+//! * [`pool`] — the work-stealing `parallel_for` substrate (crossbeam
+//!   deques);
+//! * [`energy_probe`] — the porting seam for package-energy measurement:
+//!   the simulated register or a real Linux RAPL powercap zone;
+//! * [`SchedulerInvoker`] / [`replay_trace`] — adapters connecting
+//!   [`Workload`](easched_kernels::Workload)s and recorded invocation traces
+//!   to a [`Scheduler`].
+//!
+//! Scheduling policies themselves (EAS, PERF, fixed-α) live in
+//! `easched-core`; this crate only defines the [`Scheduler`] interface they
+//! implement.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod backend;
+pub mod energy_probe;
+pub mod observation;
+pub mod parallel_invoker;
+pub mod pool;
+pub mod scheduler;
+pub mod sim_backend;
+pub mod thread_backend;
+
+pub use backend::Backend;
+pub use energy_probe::{EnergyProbe, MachineProbe, RaplProbe};
+pub use observation::{Observation, RunMetrics};
+pub use parallel_invoker::ParallelInvoker;
+pub use pool::{parallel_for, PoolReport};
+pub use scheduler::{KernelId, Scheduler};
+pub use sim_backend::{replay_trace, run_workload, SchedulerInvoker, SimBackend};
+pub use thread_backend::{ThreadBackend, ThreadBackendConfig};

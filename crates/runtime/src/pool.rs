@@ -1,0 +1,258 @@
+//! Work-stealing CPU `parallel_for` (paper §4: "our runtime implements
+//! work-stealing on the CPU").
+//!
+//! Each call spawns scoped worker threads with per-worker Chase-Lev deques
+//! (crossbeam). Iteration chunks are distributed round-robin; idle workers
+//! steal from victims. Per-worker item counts and busy times are collected
+//! locally — the "CPU workers locally collect profiling information" part of
+//! the paper's adaptive profiling — and returned in a [`PoolReport`].
+
+use crossbeam::deque::{Steal, Stealer, Worker};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Instant;
+
+/// Per-worker and aggregate statistics from one `parallel_for`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PoolReport {
+    /// Items executed by each worker.
+    pub items_per_worker: Vec<u64>,
+    /// Busy seconds per worker.
+    pub busy_per_worker: Vec<f64>,
+    /// Wall-clock seconds for the whole call.
+    pub elapsed: f64,
+    /// Number of successful steals across workers.
+    pub steals: u64,
+}
+
+impl PoolReport {
+    /// Total items executed.
+    pub fn total_items(&self) -> u64 {
+        self.items_per_worker.iter().sum()
+    }
+
+    /// Aggregate CPU throughput: total items / wall time (0 if instant).
+    pub fn throughput(&self) -> f64 {
+        if self.elapsed > 0.0 {
+            self.total_items() as f64 / self.elapsed
+        } else {
+            0.0
+        }
+    }
+}
+
+/// A contiguous chunk of iteration indices.
+#[derive(Debug, Clone, Copy)]
+struct Chunk {
+    start: u64,
+    end: u64,
+}
+
+/// Executes `f(i)` for every `i < n` on `workers` threads with work
+/// stealing, optionally aborting early when `stop` becomes true (used by
+/// the profiling path, where CPU workers quit once the GPU chunk
+/// completes). Returns per-worker statistics; when stopped early, the
+/// report's `total_items` tells how far the pool got, and every index below
+/// that boundary *within completed chunks* has been executed.
+///
+/// Chunks are `chunk` indices each (the shared-counter granularity).
+///
+/// # Panics
+///
+/// Panics if `workers` or `chunk` is zero.
+pub fn parallel_for_until(
+    n: u64,
+    workers: usize,
+    chunk: u64,
+    stop: Option<&AtomicBool>,
+    f: &(dyn Fn(usize) + Sync),
+) -> PoolReport {
+    assert!(workers > 0, "need at least one worker");
+    assert!(chunk > 0, "chunk size must be positive");
+    let start = Instant::now();
+
+    // Build one deque per worker and seed chunks round-robin.
+    let locals: Vec<Worker<Chunk>> = (0..workers).map(|_| Worker::new_fifo()).collect();
+    let stealers: Vec<Stealer<Chunk>> = locals.iter().map(Worker::stealer).collect();
+    let mut next = 0u64;
+    let mut wi = 0usize;
+    while next < n {
+        let end = (next + chunk).min(n);
+        locals[wi].push(Chunk { start: next, end });
+        next = end;
+        wi = (wi + 1) % workers;
+    }
+
+    let mut items = vec![0u64; workers];
+    let mut busy = vec![0.0f64; workers];
+    let mut steals = vec![0u64; workers];
+
+    std::thread::scope(|s| {
+        let mut handles = Vec::new();
+        for (id, local) in locals.into_iter().enumerate() {
+            let stealers = &stealers;
+            let handle = s.spawn(move || {
+                let t0 = Instant::now();
+                let mut my_items = 0u64;
+                let mut my_steals = 0u64;
+                'outer: loop {
+                    if stop.is_some_and(|s| s.load(Ordering::Relaxed)) {
+                        break;
+                    }
+                    // Local work first, then steal.
+                    let job = local.pop().or_else(|| {
+                        for (v, st) in stealers.iter().enumerate() {
+                            if v == id {
+                                continue;
+                            }
+                            loop {
+                                match st.steal() {
+                                    Steal::Success(c) => {
+                                        my_steals += 1;
+                                        return Some(c);
+                                    }
+                                    Steal::Retry => continue,
+                                    Steal::Empty => break,
+                                }
+                            }
+                        }
+                        None
+                    });
+                    let Some(c) = job else { break 'outer };
+                    for i in c.start..c.end {
+                        f(i as usize);
+                    }
+                    my_items += c.end - c.start;
+                }
+                (my_items, t0.elapsed().as_secs_f64(), my_steals)
+            });
+            handles.push(handle);
+        }
+        for (id, h) in handles.into_iter().enumerate() {
+            let (i, b, st) = h.join().expect("worker panicked");
+            items[id] = i;
+            busy[id] = b;
+            steals[id] = st;
+        }
+    });
+
+    PoolReport {
+        items_per_worker: items,
+        busy_per_worker: busy,
+        elapsed: start.elapsed().as_secs_f64(),
+        steals: steals.iter().sum(),
+    }
+}
+
+/// Executes `f(i)` for every `i < n` on `workers` threads with work
+/// stealing (runs to completion).
+///
+/// # Panics
+///
+/// Panics if `workers` is zero.
+///
+/// # Examples
+///
+/// ```
+/// use easched_runtime::parallel_for;
+/// use std::sync::atomic::{AtomicU64, Ordering};
+///
+/// let sum = AtomicU64::new(0);
+/// let report = parallel_for(1000, 4, &|i| {
+///     sum.fetch_add(i as u64, Ordering::Relaxed);
+/// });
+/// assert_eq!(sum.load(Ordering::Relaxed), 499_500);
+/// assert_eq!(report.total_items(), 1000);
+/// ```
+pub fn parallel_for(n: u64, workers: usize, f: &(dyn Fn(usize) + Sync)) -> PoolReport {
+    assert!(workers > 0, "need at least one worker");
+    let chunk = (n / (workers as u64 * 8)).clamp(1, 4096);
+    parallel_for_until(n, workers, chunk, None, f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn executes_every_index_once() {
+        let hits: Vec<AtomicU64> = (0..10_000).map(|_| AtomicU64::new(0)).collect();
+        let r = parallel_for(10_000, 4, &|i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(r.total_items(), 10_000);
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn zero_items_ok() {
+        let r = parallel_for(0, 4, &|_| panic!("no items"));
+        assert_eq!(r.total_items(), 0);
+    }
+
+    #[test]
+    fn single_worker_ok() {
+        let count = AtomicU64::new(0);
+        let r = parallel_for(100, 1, &|_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(r.total_items(), 100);
+        assert_eq!(r.items_per_worker.len(), 1);
+    }
+
+    #[test]
+    fn work_distributes_across_workers() {
+        let r = parallel_for(100_000, 4, &|i| {
+            // Enough per-item work that the call cannot finish before the
+            // other workers have started.
+            for k in 0..50u64 {
+                std::hint::black_box(i as u64 ^ k);
+            }
+        });
+        let active = r.items_per_worker.iter().filter(|&&c| c > 0).count();
+        assert!(active >= 2, "expected multiple active workers: {:?}", r.items_per_worker);
+    }
+
+    #[test]
+    fn stealing_rebalances_skewed_work() {
+        // Make the chunks in worker 0's deque extremely slow; others must
+        // steal to finish.
+        let r = parallel_for_until(
+            1_000,
+            4,
+            10,
+            None,
+            &|i| {
+                if i < 250 {
+                    // Worker 0's initial share is slow.
+                    std::thread::sleep(std::time::Duration::from_micros(50));
+                }
+            },
+        );
+        assert_eq!(r.total_items(), 1_000);
+        assert!(r.steals > 0, "expected steals, got {:?}", r);
+    }
+
+    #[test]
+    fn stop_flag_aborts_early() {
+        let stop = AtomicBool::new(false);
+        let count = AtomicU64::new(0);
+        let r = parallel_for_until(1_000_000, 2, 64, Some(&stop), &|_| {
+            if count.fetch_add(1, Ordering::Relaxed) == 1_000 {
+                stop.store(true, Ordering::Relaxed);
+            }
+            std::hint::spin_loop();
+        });
+        assert!(
+            r.total_items() < 1_000_000,
+            "should have stopped early: {}",
+            r.total_items()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least one worker")]
+    fn zero_workers_rejected() {
+        parallel_for(10, 0, &|_| {});
+    }
+}

@@ -1,0 +1,148 @@
+//! Edge-case integration tests for the machine model.
+
+use easched_sim::{KernelTraits, Machine, PhasePlan, Platform};
+
+fn quiet(mut p: Platform) -> Platform {
+    p.pcu.measurement_noise = 0.0;
+    p
+}
+
+fn kernel(mem: f64) -> KernelTraits {
+    KernelTraits::builder("edge")
+        .cpu_rate(1.0e6)
+        .gpu_rate(2.0e6)
+        .memory_intensity(mem)
+        .build()
+}
+
+#[test]
+fn partial_cpu_utilization_slows_and_saves_power() {
+    let k = kernel(0.0);
+    let run = |util: f64| {
+        let mut m = Machine::new(quiet(Platform::haswell_desktop()));
+        let r = m.run_phase(&k, &PhasePlan::cpu_only(2_000_000).with_cpu_util(util));
+        (r.elapsed, r.energy_joules / r.elapsed)
+    };
+    let (t_full, p_full) = run(1.0);
+    let (t_half, p_half) = run(0.5);
+    assert!(
+        (t_half - 2.0 * t_full).abs() < 0.1 * t_full,
+        "half utilization ≈ double time: {t_half} vs {t_full}"
+    );
+    assert!(p_half < p_full, "half utilization draws less power");
+    // But more than idle: the active half still burns.
+    assert!(p_half > Platform::haswell_desktop().power.idle * 1.5);
+}
+
+#[test]
+#[should_panic(expected = "cpu_util must be in (0, 1]")]
+fn zero_cpu_util_rejected() {
+    let _ = PhasePlan::cpu_only(10).with_cpu_util(0.0);
+}
+
+#[test]
+fn measurement_noise_does_not_break_determinism() {
+    let p = Platform::haswell_desktop(); // 1% noise enabled
+    let k = kernel(1.0);
+    let run = || {
+        let mut m = Machine::with_seed(p.clone(), 99);
+        let r = m.run_phase(&k, &PhasePlan::split(3_000_000, 0.5));
+        (r.elapsed, m.read_energy_raw())
+    };
+    assert_eq!(run(), run());
+    // And the noisy average stays near the steady point.
+    let mut m = Machine::with_seed(p.clone(), 99);
+    let r = m.run_phase(&k, &PhasePlan::split(3_000_000, 0.5));
+    let avg = r.energy_joules / r.elapsed;
+    assert!((avg - 63.0).abs() < 3.0, "noisy combined memory avg {avg}");
+}
+
+#[test]
+fn back_to_back_invocations_keep_steady_power() {
+    // Consecutive split phases must not re-trigger the activation dip
+    // (sub-millisecond GPU gaps).
+    let k = kernel(1.0);
+    let mut m = Machine::new(quiet(Platform::haswell_desktop()));
+    m.run_phase(&k, &PhasePlan::split(2_000_000, 0.6)); // warm up
+    let r = m.run_phase(&k, &PhasePlan::split(2_000_000, 0.6));
+    let avg = r.energy_joules / r.elapsed;
+    assert!(avg > 58.0, "steady back-to-back power {avg} (dip re-triggered?)");
+}
+
+#[test]
+fn idle_gap_rearms_the_dip() {
+    let k = kernel(1.0);
+    let mut m = Machine::new(quiet(Platform::haswell_desktop()));
+    m.enable_trace();
+    // CPU-only warmup, then idle long enough to re-arm, then a burst into
+    // the running CPU — modelled here as CPU phase followed by split.
+    m.run_phase(&k, &PhasePlan::cpu_only(2_000_000));
+    let r = m.run_phase(&k, &PhasePlan::split(2_000_000, 0.05));
+    let trace = m.take_trace();
+    // The burst right after a long CPU-only stretch dips.
+    let min_during_split = trace
+        .points()
+        .iter()
+        .filter(|pt| pt.time > r.elapsed.mul_add(-1.0, m.now()))
+        .map(|pt| pt.watts)
+        .fold(f64::INFINITY, f64::min);
+    assert!(min_during_split < 45.0, "expected dip, min {min_during_split}");
+}
+
+#[test]
+fn tablet_phases_scale_to_milliwatt_range() {
+    let k = KernelTraits::builder("tablet")
+        .cpu_rate(1.0e5)
+        .gpu_rate(1.5e5)
+        .memory_intensity(0.0)
+        .build();
+    let mut m = Machine::new(quiet(Platform::baytrail_tablet()));
+    let r = m.run_phase(&k, &PhasePlan::split(500_000, 0.6));
+    let avg = r.energy_joules / r.elapsed;
+    assert!(
+        (1.0..3.0).contains(&avg),
+        "tablet combined compute power {avg} W"
+    );
+}
+
+#[test]
+fn gpu_only_never_touches_cpu_counters() {
+    let k = kernel(1.0);
+    let mut m = Machine::new(quiet(Platform::haswell_desktop()));
+    m.run_phase(&k, &PhasePlan::gpu_only(1_000_000));
+    let c = m.counters();
+    assert_eq!(c.instructions, 0.0);
+    assert_eq!(c.l3_misses, 0.0);
+}
+
+#[test]
+fn interleaved_idle_and_phases_account_energy() {
+    let k = kernel(0.0);
+    let mut m = Machine::new(quiet(Platform::haswell_desktop()));
+    let r1 = m.run_phase(&k, &PhasePlan::cpu_only(500_000));
+    let e_mid = m.total_joules();
+    m.idle(1.0);
+    let idle_energy = m.total_joules() - e_mid;
+    // Idle burns ~5 W (after a short down-ramp from the 45 W phase).
+    assert!((idle_energy - 5.0).abs() < 1.0, "idle energy {idle_energy}");
+    let r2 = m.run_phase(&k, &PhasePlan::cpu_only(500_000));
+    // The second phase pays the ramp-up from idle again, so it costs no
+    // less than the first (which also ramped from idle).
+    assert!(r2.energy_joules > 0.9 * r1.energy_joules);
+    assert!(m.now() > r1.elapsed + 1.0);
+}
+
+#[test]
+fn zero_bandwidth_kernel_never_contends() {
+    let k = KernelTraits::builder("nobw")
+        .cpu_rate(1.0e8)
+        .gpu_rate(1.0e8)
+        .memory_intensity(1.0)
+        .bw_bytes_per_item(0.0)
+        .build();
+    let mut m = Machine::new(quiet(Platform::haswell_desktop()));
+    let r = m.run_phase(&k, &PhasePlan::split(100_000_000, 0.5));
+    // Both devices run at their (shared-frequency-derated) full rates.
+    assert!(r.cpu_rate() > 0.95e8, "{}", r.cpu_rate());
+    assert!(r.gpu_rate() > 0.95e8, "{}", r.gpu_rate());
+}

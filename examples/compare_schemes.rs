@@ -1,0 +1,43 @@
+//! Compares the paper's five scheduling schemes (CPU / GPU / PERF / EAS /
+//! Oracle) on one workload — a miniature of the paper's Figure 9.
+//!
+//! ```text
+//! cargo run --release --example compare_schemes
+//! ```
+
+use easched::core::{characterize, CharacterizationConfig, Evaluator, Objective};
+use easched::kernels::suite;
+use easched::sim::Platform;
+
+fn main() {
+    let platform = Platform::haswell_desktop();
+    let model = characterize(&platform, &CharacterizationConfig::default());
+    let evaluator = Evaluator::new(platform, model);
+
+    let workload = suite::seismic_desktop();
+    println!("workload: {} (SM), objective: EDP\n", workload.spec().name);
+
+    let c = evaluator.compare(workload.as_ref(), &Objective::EnergyDelay);
+    let rows = [
+        ("CPU-alone", c.cpu),
+        ("GPU-alone", c.gpu),
+        ("PERF", c.perf),
+        ("EAS", c.eas),
+        ("Oracle", c.oracle),
+    ];
+    println!("{:<10} {:>10} {:>12} {:>12} {:>12}", "scheme", "time (s)", "energy (J)", "EDP", "vs Oracle");
+    for (name, r) in rows {
+        println!(
+            "{:<10} {:>10.3} {:>12.2} {:>12.1} {:>11.1}%",
+            name,
+            r.metrics.time,
+            r.metrics.energy_joules,
+            r.metrics.edp(),
+            100.0 * c.efficiency(r),
+        );
+    }
+    println!(
+        "\nOracle fixed split: α = {:.1}; EAS learned α = {:?}",
+        c.oracle_alpha, c.eas_alpha
+    );
+}

@@ -1,0 +1,42 @@
+//! Quickstart: characterize a platform once, then run workloads under the
+//! energy-aware scheduler.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use easched::core::{characterize, CharacterizationConfig, EasConfig, EasRuntime, Objective};
+use easched::kernels::suite;
+use easched::sim::Platform;
+
+fn main() {
+    // 1. One-time black-box power characterization of the platform
+    //    (the paper's §2: eight micro-benchmarks swept over GPU offload
+    //    ratios, sixth-order polynomial fits).
+    let platform = Platform::haswell_desktop();
+    println!("characterizing {} ...", platform.name);
+    let model = characterize(&platform, &CharacterizationConfig::default());
+    for curve in model.curves() {
+        println!("  {curve}");
+    }
+
+    // 2. Run applications under EAS, optimizing the energy-delay product.
+    let mut runtime = EasRuntime::new(platform, model, EasConfig::new(Objective::EnergyDelay));
+    for workload in [suite::blackscholes_small(), suite::mandelbrot_small()] {
+        let spec = workload.spec();
+        let outcome = runtime.run(workload.as_ref());
+        println!(
+            "{:>4}: {:>8.4} s  {:>8.3} J  EDP {:>9.4}  output {}",
+            spec.abbrev,
+            outcome.time,
+            outcome.energy_joules,
+            outcome.edp,
+            if outcome.verification.is_passed() { "verified" } else { "WRONG" },
+        );
+        assert!(outcome.verification.is_passed());
+    }
+    println!(
+        "scheduling decisions made: {} (the kernel table reuses learned ratios)",
+        runtime.scheduler().decisions()
+    );
+}

@@ -1,0 +1,383 @@
+//! `easched` — command-line interface to the energy-aware scheduler.
+//!
+//! ```text
+//! easched list
+//! easched characterize [--platform desktop|tablet] [--save FILE]
+//! easched run --workload MB [--platform P] [--objective edp|energy|ed2|time]
+//!              [--model FILE] [--decisions FILE]
+//! easched compare --workload SM|all [--platform P] [--objective O] [--model FILE]
+//! ```
+
+use easched::core::{
+    characterize, load_model, save_model, CharacterizationConfig, EasConfig, EasRuntime,
+    Evaluator, Objective, PowerModel,
+};
+use easched::kernels::{suite, Workload};
+use easched::sim::Platform;
+
+/// Parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+enum Command {
+    List,
+    Characterize {
+        platform: PlatformArg,
+        save: Option<String>,
+    },
+    Run {
+        workload: String,
+        platform: PlatformArg,
+        objective: ObjectiveArg,
+        model: Option<String>,
+        decisions: Option<String>,
+    },
+    Compare {
+        workload: String,
+        platform: PlatformArg,
+        objective: ObjectiveArg,
+        model: Option<String>,
+    },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PlatformArg {
+    Desktop,
+    Tablet,
+}
+
+impl PlatformArg {
+    fn build(self) -> Platform {
+        match self {
+            PlatformArg::Desktop => Platform::haswell_desktop(),
+            PlatformArg::Tablet => Platform::baytrail_tablet(),
+        }
+    }
+
+    fn suite(self) -> Vec<Box<dyn Workload>> {
+        match self {
+            PlatformArg::Desktop => suite::desktop_suite(),
+            PlatformArg::Tablet => suite::tablet_suite(),
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ObjectiveArg {
+    Edp,
+    Energy,
+    Ed2,
+    Time,
+}
+
+impl ObjectiveArg {
+    fn build(self) -> Objective {
+        match self {
+            ObjectiveArg::Edp => Objective::EnergyDelay,
+            ObjectiveArg::Energy => Objective::Energy,
+            ObjectiveArg::Ed2 => Objective::EnergyDelaySquared,
+            ObjectiveArg::Time => Objective::Time,
+        }
+    }
+}
+
+const USAGE: &str = "\
+usage:
+  easched list
+  easched characterize [--platform desktop|tablet] [--save FILE]
+  easched run --workload ABBREV [--platform P] [--objective edp|energy|ed2|time]
+               [--model FILE] [--decisions FILE]
+  easched compare --workload ABBREV|all [--platform P] [--objective O] [--model FILE]";
+
+fn parse_args(args: &[String]) -> Result<Command, String> {
+    let mut it = args.iter().map(String::as_str);
+    let sub = it.next().ok_or_else(|| USAGE.to_string())?;
+
+    let mut platform = PlatformArg::Desktop;
+    let mut objective = ObjectiveArg::Edp;
+    let mut workload: Option<String> = None;
+    let mut model: Option<String> = None;
+    let mut save: Option<String> = None;
+    let mut decisions: Option<String> = None;
+
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .map(str::to_string)
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match flag {
+            "--platform" => {
+                platform = match value("--platform")?.as_str() {
+                    "desktop" => PlatformArg::Desktop,
+                    "tablet" => PlatformArg::Tablet,
+                    other => return Err(format!("unknown platform {other:?}")),
+                }
+            }
+            "--objective" => {
+                objective = match value("--objective")?.as_str() {
+                    "edp" => ObjectiveArg::Edp,
+                    "energy" => ObjectiveArg::Energy,
+                    "ed2" => ObjectiveArg::Ed2,
+                    "time" => ObjectiveArg::Time,
+                    other => return Err(format!("unknown objective {other:?}")),
+                }
+            }
+            "--workload" => workload = Some(value("--workload")?),
+            "--model" => model = Some(value("--model")?),
+            "--save" => save = Some(value("--save")?),
+            "--decisions" => decisions = Some(value("--decisions")?),
+            other => return Err(format!("unknown flag {other:?}\n{USAGE}")),
+        }
+    }
+
+    match sub {
+        "list" => Ok(Command::List),
+        "characterize" => Ok(Command::Characterize { platform, save }),
+        "run" => Ok(Command::Run {
+            workload: workload.ok_or("run requires --workload")?,
+            platform,
+            objective,
+            model,
+            decisions,
+        }),
+        "compare" => Ok(Command::Compare {
+            workload: workload.ok_or("compare requires --workload")?,
+            platform,
+            objective,
+            model,
+        }),
+        other => Err(format!("unknown command {other:?}\n{USAGE}")),
+    }
+}
+
+fn obtain_model(platform: &Platform, path: Option<&str>) -> PowerModel {
+    match path {
+        Some(p) => {
+            let model = load_model(p).unwrap_or_else(|e| {
+                eprintln!("cannot load model from {p}: {e}");
+                std::process::exit(1);
+            });
+            if model.platform_name() != platform.name {
+                eprintln!(
+                    "warning: model characterizes {:?}, running on {:?}",
+                    model.platform_name(),
+                    platform.name
+                );
+            }
+            model
+        }
+        None => {
+            eprintln!("characterizing {} (pass --model FILE to reuse a saved model)...", platform.name);
+            characterize(platform, &CharacterizationConfig::default())
+        }
+    }
+}
+
+fn find_workload(suite: Vec<Box<dyn Workload>>, abbrev: &str) -> Box<dyn Workload> {
+    let available: Vec<String> = suite.iter().map(|w| w.spec().abbrev.to_string()).collect();
+    suite
+        .into_iter()
+        .find(|w| w.spec().abbrev.eq_ignore_ascii_case(abbrev))
+        .unwrap_or_else(|| {
+            eprintln!("unknown workload {abbrev:?}; available: {}", available.join(", "));
+            std::process::exit(1);
+        })
+}
+
+fn cmd_list() {
+    println!("{:<5} {:<22} {:<5} {:<7} desktop input", "abbr", "name", "kind", "tablet");
+    for w in suite::desktop_suite() {
+        let s = w.spec();
+        println!(
+            "{:<5} {:<22} {:<5} {:<7} {}",
+            s.abbrev,
+            s.name,
+            if s.regular { "R" } else { "IR" },
+            if s.runs_on_tablet { "yes" } else { "no" },
+            w.input_description(),
+        );
+    }
+}
+
+fn cmd_characterize(platform: PlatformArg, save: Option<String>) {
+    let p = platform.build();
+    println!("characterizing {} ...", p.name);
+    let model = characterize(&p, &CharacterizationConfig::default());
+    for curve in model.curves() {
+        println!("  {curve}");
+    }
+    if let Some(path) = save {
+        save_model(&model, &path).unwrap_or_else(|e| {
+            eprintln!("cannot save model to {path}: {e}");
+            std::process::exit(1);
+        });
+        println!("model saved to {path}");
+    }
+}
+
+fn cmd_run(
+    workload: &str,
+    platform: PlatformArg,
+    objective: ObjectiveArg,
+    model: Option<String>,
+    decisions: Option<String>,
+) {
+    let p = platform.build();
+    let model = obtain_model(&p, model.as_deref());
+    let w = find_workload(platform.suite(), workload);
+    let mut runtime = EasRuntime::new(p, model, EasConfig::new(objective.build()));
+    let outcome = runtime.run(w.as_ref());
+    println!(
+        "{}: {:.4} s, {:.3} J, EDP {:.4}, mean power {:.2} W, output {}",
+        w.spec().abbrev,
+        outcome.time,
+        outcome.energy_joules,
+        outcome.edp,
+        outcome.metrics.mean_power(),
+        if outcome.verification.is_passed() { "verified" } else { "WRONG" },
+    );
+    if let Some(path) = decisions {
+        std::fs::write(&path, runtime.scheduler().decision_log_csv()).unwrap_or_else(|e| {
+            eprintln!("cannot write decisions to {path}: {e}");
+            std::process::exit(1);
+        });
+        println!("decision log written to {path}");
+    }
+    if !outcome.verification.is_passed() {
+        std::process::exit(1);
+    }
+}
+
+fn cmd_compare(workload: &str, platform: PlatformArg, objective: ObjectiveArg, model: Option<String>) {
+    let p = platform.build();
+    let model = obtain_model(&p, model.as_deref());
+    let ev = Evaluator::new(p, model);
+    let objective = objective.build();
+    let workloads: Vec<Box<dyn Workload>> = if workload.eq_ignore_ascii_case("all") {
+        platform.suite()
+    } else {
+        vec![find_workload(platform.suite(), workload)]
+    };
+    println!(
+        "{:<5} {:>8} {:>8} {:>8} {:>8} {:>9} (efficiency vs Oracle, {})",
+        "abbr", "CPU", "GPU", "PERF", "EAS", "Oracle α", objective.name()
+    );
+    for w in workloads {
+        let c = ev.compare(w.as_ref(), &objective);
+        println!(
+            "{:<5} {:>7.1}% {:>7.1}% {:>7.1}% {:>7.1}% {:>9.1}",
+            c.abbrev,
+            100.0 * c.efficiency(c.cpu),
+            100.0 * c.efficiency(c.gpu),
+            100.0 * c.efficiency(c.perf),
+            100.0 * c.efficiency(c.eas),
+            c.oracle_alpha,
+        );
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match parse_args(&args) {
+        Ok(Command::List) => cmd_list(),
+        Ok(Command::Characterize { platform, save }) => cmd_characterize(platform, save),
+        Ok(Command::Run {
+            workload,
+            platform,
+            objective,
+            model,
+            decisions,
+        }) => cmd_run(&workload, platform, objective, model, decisions),
+        Ok(Command::Compare {
+            workload,
+            platform,
+            objective,
+            model,
+        }) => cmd_compare(&workload, platform, objective, model),
+        Err(message) => {
+            eprintln!("{message}");
+            std::process::exit(2);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(tokens: &[&str]) -> Result<Command, String> {
+        let owned: Vec<String> = tokens.iter().map(|s| s.to_string()).collect();
+        parse_args(&owned)
+    }
+
+    #[test]
+    fn parses_list() {
+        assert_eq!(parse(&["list"]).unwrap(), Command::List);
+    }
+
+    #[test]
+    fn parses_characterize_with_flags() {
+        let c = parse(&["characterize", "--platform", "tablet", "--save", "m.txt"]).unwrap();
+        assert_eq!(
+            c,
+            Command::Characterize {
+                platform: PlatformArg::Tablet,
+                save: Some("m.txt".into())
+            }
+        );
+    }
+
+    #[test]
+    fn parses_run_defaults() {
+        let c = parse(&["run", "--workload", "MB"]).unwrap();
+        assert_eq!(
+            c,
+            Command::Run {
+                workload: "MB".into(),
+                platform: PlatformArg::Desktop,
+                objective: ObjectiveArg::Edp,
+                model: None,
+                decisions: None,
+            }
+        );
+    }
+
+    #[test]
+    fn parses_compare_all_with_objective() {
+        let c = parse(&["compare", "--workload", "all", "--objective", "energy"]).unwrap();
+        match c {
+            Command::Compare { workload, objective, .. } => {
+                assert_eq!(workload, "all");
+                assert_eq!(objective, ObjectiveArg::Energy);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn run_requires_workload() {
+        assert!(parse(&["run"]).unwrap_err().contains("--workload"));
+    }
+
+    #[test]
+    fn rejects_unknowns() {
+        assert!(parse(&["bogus"]).is_err());
+        assert!(parse(&["run", "--workload", "MB", "--objective", "joules"]).is_err());
+        assert!(parse(&["run", "--workload", "MB", "--platform", "phone"]).is_err());
+        assert!(parse(&["list", "--what"]).is_err());
+        assert!(parse(&[]).is_err());
+    }
+
+    #[test]
+    fn flag_missing_value_reported() {
+        let err = parse(&["characterize", "--save"]).unwrap_err();
+        assert!(err.contains("requires a value"));
+    }
+
+    #[test]
+    fn objective_args_map_to_objectives() {
+        assert_eq!(ObjectiveArg::Edp.build().name(), "EDP");
+        assert_eq!(ObjectiveArg::Energy.build().name(), "energy");
+        assert_eq!(ObjectiveArg::Ed2.build().name(), "ED2P");
+        assert_eq!(ObjectiveArg::Time.build().name(), "time");
+    }
+}

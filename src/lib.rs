@@ -1,0 +1,40 @@
+//! # easched — black-box energy-aware scheduling for integrated CPU-GPU systems
+//!
+//! Facade crate re-exporting the whole `easched` workspace: a reproduction of
+//! *"A Black-Box Approach to Energy-Aware Scheduling on Integrated CPU-GPU
+//! Systems"* (CGO 2016).
+//!
+//! See the individual crates for detail:
+//!
+//! * [`num`] — polynomial fitting and optimization substrate
+//! * [`sim`] — deterministic integrated CPU-GPU platform simulator
+//! * [`graph`] — CSR graphs and data-parallel graph algorithms
+//! * [`kernels`] — the 12 evaluation benchmarks + 8 characterization
+//!   micro-benchmarks
+//! * [`runtime`] — Concord-style work-stealing heterogeneous runtime
+//! * [`core`] — the energy-aware scheduler (EAS) itself
+//!
+//! # Quickstart
+//!
+//! ```
+//! use easched::core::{CharacterizationConfig, EasConfig, EasRuntime, Objective};
+//! use easched::kernels::suite;
+//! use easched::sim::Platform;
+//!
+//! // One-time black-box power characterization of the platform.
+//! let platform = Platform::haswell_desktop();
+//! let model = easched::core::characterize(&platform, &CharacterizationConfig::default());
+//!
+//! // Run a workload under the energy-aware scheduler, optimizing EDP.
+//! let mut runtime = EasRuntime::new(platform, model, EasConfig::new(Objective::EnergyDelay));
+//! let workload = suite::mandelbrot_small();
+//! let outcome = runtime.run(workload.as_ref());
+//! assert!(outcome.energy_joules > 0.0);
+//! ```
+
+pub use easched_core as core;
+pub use easched_graph as graph;
+pub use easched_kernels as kernels;
+pub use easched_num as num;
+pub use easched_runtime as runtime;
+pub use easched_sim as sim;
