@@ -1,0 +1,23 @@
+#!/usr/bin/env sh
+# Minimal CI gate for the easched workspace. Run from the repo root.
+#
+# Mirrors the tier-1 acceptance commands (build + root-package tests) and
+# adds the full workspace test suite, formatting, and lints.
+set -eu
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q (tier-1: root package)"
+cargo test -q
+
+echo "==> cargo test --workspace -q"
+cargo test --workspace -q
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "CI green."

@@ -12,7 +12,9 @@ use std::time::Duration;
 fn bench_characterize(c: &mut Criterion) {
     let platform = Platform::haswell_desktop();
     let mut group = c.benchmark_group("characterize");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
 
     let long = MicroBenchmark::for_platform(&platform, true, false, false);
     group.bench_function("measure_point_long_memory", |b| {

@@ -1,9 +1,14 @@
 //! The paper's §5 overhead claim: one EAS scheduling decision costs
 //! 1–2 µs. This bench times the decision path (classification + power-curve
-//! lookup + α grid minimization) in isolation.
+//! lookup + α grid minimization) in isolation, plus the *reuse path*
+//! (a table hit for an already-learned kernel) under reader contention —
+//! the case the sharded [`KernelTable`] exists for.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use easched_core::{characterize, CharacterizationConfig, EasConfig, EasScheduler, Objective};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use easched_core::{
+    characterize, Accumulation, CharacterizationConfig, EasConfig, EasScheduler, KernelTable,
+    Objective,
+};
 use easched_runtime::Observation;
 use easched_sim::{CounterSnapshot, Platform};
 use std::hint::black_box;
@@ -31,7 +36,9 @@ fn bench_decision(c: &mut Criterion) {
     let obs = observation();
 
     let mut group = c.benchmark_group("decision");
-    group.sample_size(30).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(30)
+        .measurement_time(Duration::from_secs(2));
 
     for (name, objective) in [
         ("edp", Objective::EnergyDelay),
@@ -61,5 +68,60 @@ fn bench_decision(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_decision);
+/// The reuse path under contention: N threads probing learned kernels in
+/// one shared table. `same_kernel` is the worst case — every probe hits
+/// one shard (read lock + one atomic increment); `spread` distributes
+/// probes over 64 kernels as a multi-programmed mix would. Throughput
+/// should scale near-linearly with readers, since the path never takes a
+/// write lock.
+fn bench_reuse_contention(c: &mut Criterion) {
+    const PROBES_PER_ITER: u64 = 100_000;
+    const KERNELS: u64 = 64;
+
+    let table = KernelTable::new();
+    for k in 0..KERNELS {
+        table.accumulate(k, 0.5, 1_000.0, Accumulation::SampleWeighted);
+    }
+    let table = &table;
+
+    let mut group = c.benchmark_group("reuse_contention");
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2));
+    group.throughput(Throughput::Elements(PROBES_PER_ITER));
+
+    for threads in [1u64, 2, 4, 8] {
+        let per_thread = PROBES_PER_ITER / threads;
+        group.bench_function(format!("same_kernel_{threads}thr"), |b| {
+            b.iter(|| {
+                std::thread::scope(|s| {
+                    for _ in 0..threads {
+                        s.spawn(|| {
+                            for _ in 0..per_thread {
+                                black_box(table.note_reuse(black_box(7)));
+                            }
+                        });
+                    }
+                });
+            })
+        });
+        group.bench_function(format!("spread_{threads}thr"), |b| {
+            b.iter(|| {
+                std::thread::scope(|s| {
+                    for t in 0..threads {
+                        s.spawn(move || {
+                            for i in 0..per_thread {
+                                let k = (t * per_thread + i) % KERNELS;
+                                black_box(table.note_reuse(black_box(k)));
+                            }
+                        });
+                    }
+                });
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_decision, bench_reuse_contention);
 criterion_main!(benches);

@@ -11,7 +11,9 @@ use std::time::Duration;
 
 fn bench_kernels(c: &mut Criterion) {
     let mut group = c.benchmark_group("kernels");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
 
     let bs = BlackScholes::new(16_384, 1, 1, BlackScholes::default_profile());
     group.throughput(Throughput::Elements(16_384));
@@ -21,7 +23,9 @@ fn bench_kernels(c: &mut Criterion) {
 
     let mb = Mandelbrot::new(256, 192, 128, Mandelbrot::default_profile());
     group.throughput(Throughput::Elements(256 * 192));
-    group.bench_function("mandelbrot_256x192", |b| b.iter(|| mb.drive(&mut SerialInvoker)));
+    group.bench_function("mandelbrot_256x192", |b| {
+        b.iter(|| mb.drive(&mut SerialInvoker))
+    });
 
     let mm = MatMul::new(96, 1, MatMul::default_profile());
     group.throughput(Throughput::Elements(96 * 96));
@@ -29,13 +33,22 @@ fn bench_kernels(c: &mut Criterion) {
 
     let sl = SkipList::new(50_000, 50_000, 1, SkipList::default_profile());
     group.throughput(Throughput::Elements(50_000));
-    group.bench_function("skiplist_50k_lookups", |b| b.iter(|| sl.drive(&mut SerialInvoker)));
+    group.bench_function("skiplist_50k_lookups", |b| {
+        b.iter(|| sl.drive(&mut SerialInvoker))
+    });
 
     let sm = Seismic::new(129, 97, 10, Seismic::default_profile());
     group.throughput(Throughput::Elements(129 * 97 * 10));
-    group.bench_function("seismic_129x97x10", |b| b.iter(|| sm.drive(&mut SerialInvoker)));
+    group.bench_function("seismic_129x97x10", |b| {
+        b.iter(|| sm.drive(&mut SerialInvoker))
+    });
 
-    let bfs = easched_kernels::graphs::Bfs::new(64, 64, 1, easched_kernels::graphs::Bfs::default_profile());
+    let bfs = easched_kernels::graphs::Bfs::new(
+        64,
+        64,
+        1,
+        easched_kernels::graphs::Bfs::default_profile(),
+    );
     group.bench_function("bfs_64x64_road_trace", |b| b.iter(|| record_trace(&bfs)));
 
     group.finish();

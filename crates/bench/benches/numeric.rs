@@ -8,7 +8,9 @@ use std::time::Duration;
 
 fn bench_numeric(c: &mut Criterion) {
     let mut group = c.benchmark_group("numeric");
-    group.sample_size(50).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(50)
+        .measurement_time(Duration::from_secs(2));
 
     // A realistic desktop power curve.
     let curve = Polynomial::new(vec![45.2, -37.9, 293.3, -849.5, 1129.7, -708.5, 170.0]);

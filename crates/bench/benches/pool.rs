@@ -9,7 +9,9 @@ use std::time::Duration;
 fn busy_item(i: usize) {
     let mut acc = i as u64;
     for k in 0..64u64 {
-        acc = acc.wrapping_mul(0x9E3779B97F4A7C15).rotate_left((k % 31) as u32);
+        acc = acc
+            .wrapping_mul(0x9E3779B97F4A7C15)
+            .rotate_left((k % 31) as u32);
     }
     black_box(acc);
 }
@@ -17,7 +19,9 @@ fn busy_item(i: usize) {
 fn bench_pool(c: &mut Criterion) {
     let n = 200_000u64;
     let mut group = c.benchmark_group("pool");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     group.throughput(Throughput::Elements(n));
     for workers in [1usize, 2, 4] {
         group.bench_function(format!("parallel_for_{workers}w"), |b| {

@@ -14,7 +14,9 @@ fn bench_simulator(c: &mut Criterion) {
         .build();
 
     let mut group = c.benchmark_group("simulator");
-    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2));
 
     for n in [10_000u64, 1_000_000, 10_000_000] {
         group.throughput(Throughput::Elements(n));

@@ -65,7 +65,11 @@ impl Ctx {
                 let mut machine = Machine::new(platform.clone());
                 let m = replay_trace(&mut machine, traits, 1, trace, &mut eas);
                 let score = objective.of_totals(m.energy_joules, m.time);
-                out.push(if score > 0.0 { oracle_score / score } else { 0.0 });
+                out.push(if score > 0.0 {
+                    oracle_score / score
+                } else {
+                    0.0
+                });
             }
         }
         (mean(&edp_effs).unwrap_or(0.0), mean(&e_effs).unwrap_or(0.0))
@@ -86,10 +90,17 @@ fn study_report(
         .collect();
     report.attach_csv(
         id.to_string(),
-        csv(&[knob, "mean_edp_efficiency", "mean_energy_efficiency"], &table),
+        csv(
+            &[knob, "mean_edp_efficiency", "mean_energy_efficiency"],
+            &table,
+        ),
     );
     report.line(md_table(
-        &[knob, "mean EDP eff. vs Oracle", "mean energy eff. vs Oracle"],
+        &[
+            knob,
+            "mean EDP eff. vs Oracle",
+            "mean energy eff. vs Oracle",
+        ],
         &table,
     ));
     report.line(format!("- {note}"));
@@ -115,7 +126,11 @@ pub fn poly_order(lab: &mut Lab) -> Report {
             .collect();
         let mean_rmse = mean(&curves.iter().map(|c| c.rmse()).collect::<Vec<_>>()).unwrap();
         let model = PowerModel::new(lab.desktop.name, curves);
-        let eff = ctx.eas_efficiency(&lab.desktop, &model, &EasConfig::new(Objective::EnergyDelay));
+        let eff = ctx.eas_efficiency(
+            &lab.desktop,
+            &model,
+            &EasConfig::new(Objective::EnergyDelay),
+        );
         fit_rows.push(vec![order.to_string(), format!("{mean_rmse:.3}")]);
         rows.push((order.to_string(), eff));
     }
@@ -321,10 +336,7 @@ pub fn drift(lab: &mut Lab) -> Report {
         let mut machine = Machine::new(platform.clone());
         let a = replay_trace(&mut machine, &traits_a, 1, &half, &mut sched);
         let b = replay_trace(&mut machine, &traits_b, 1, &half, &mut sched);
-        Objective::EnergyDelay.of_totals(
-            a.energy_joules + b.energy_joules,
-            a.time + b.time,
-        )
+        Objective::EnergyDelay.of_totals(a.energy_joules + b.energy_joules, a.time + b.time)
     };
 
     // Drift-aware fixed-α oracle over the whole run.
@@ -354,7 +366,10 @@ pub fn drift(lab: &mut Lab) -> Report {
         "ablation-drift",
         csv(&["strategy", "edp_efficiency_vs_drift_oracle"], &rows),
     );
-    report.line(md_table(&["strategy", "EDP efficiency vs drift-aware fixed Oracle"], &rows));
+    report.line(md_table(
+        &["strategy", "EDP efficiency vs drift-aware fixed Oracle"],
+        &rows,
+    ));
     report.line(
         "- without re-profiling, the α learned in the GPU-friendly phase is reused          after the kernel turns CPU-friendly; periodic re-profiling recovers most of          the loss, at near-zero overhead (§3.1).",
     );

@@ -51,9 +51,30 @@ fn run_one(lab: &mut Lab, name: &str) -> Option<Vec<Report>> {
 }
 
 const EXPERIMENTS: &[&str] = &[
-    "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "table1", "fig9", "fig10", "fig11", "fig12",
-    "ed2", "tdp", "model-error", "trace-eas", "overhead", "ablation-poly", "ablation-grid", "ablation-categories",
-    "ablation-profile", "ablation-accum", "ablation-thresholds", "ablation-drift", "all",
+    "fig1",
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "table1",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "ed2",
+    "tdp",
+    "model-error",
+    "trace-eas",
+    "overhead",
+    "ablation-poly",
+    "ablation-grid",
+    "ablation-categories",
+    "ablation-profile",
+    "ablation-accum",
+    "ablation-thresholds",
+    "ablation-drift",
+    "all",
     "ablations",
 ];
 
@@ -81,7 +102,10 @@ fn main() {
                         .unwrap_or_else(|e| panic!("writing {}: {e}", report.id));
                     println!("\n## {} — {}\n", report.id, report.title);
                     println!("{}", report.markdown);
-                    summary.push_str(&format!("## {} — {}\n\n{}\n", report.id, report.title, report.markdown));
+                    summary.push_str(&format!(
+                        "## {} — {}\n\n{}\n",
+                        report.id, report.title, report.markdown
+                    ));
                 }
                 println!("[{name} done in {:.1?}]", started.elapsed());
             }

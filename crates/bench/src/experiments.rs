@@ -10,8 +10,8 @@ use easched_core::{
     Evaluator, Objective, PowerModel, WorkloadComparison,
 };
 use easched_kernels::microbench::MicroBenchmark;
-use easched_kernels::workload::{record_trace, InvocationTrace, Workload};
 use easched_kernels::suite;
+use easched_kernels::workload::{record_trace, InvocationTrace, Workload};
 use easched_num::stats::mean;
 use easched_runtime::scheduler::FixedAlpha;
 use easched_runtime::{replay_trace, Backend, RunMetrics, SimBackend};
@@ -93,7 +93,13 @@ pub fn fig1(lab: &mut Lab) -> Report {
     for i in 0..=10 {
         let alpha = i as f64 / 10.0;
         let mut machine = Machine::new(lab.desktop.clone());
-        let m = replay_trace(&mut machine, &traits, 1, &trace, &mut FixedAlpha::new(alpha));
+        let m = replay_trace(
+            &mut machine,
+            &traits,
+            1,
+            &trace,
+            &mut FixedAlpha::new(alpha),
+        );
         if m.time < best_time.1 {
             best_time = (alpha, m.time);
         }
@@ -107,7 +113,10 @@ pub fn fig1(lab: &mut Lab) -> Report {
             format!("{:.1}", m.edp()),
         ]);
     }
-    report.attach_csv("fig1_cc_sweep", csv(&["alpha", "time_s", "energy_j", "edp"], &rows));
+    report.attach_csv(
+        "fig1_cc_sweep",
+        csv(&["alpha", "time_s", "energy_j", "edp"], &rows),
+    );
     report.line(md_table(&["α", "time (s)", "energy (J)", "EDP"], &rows));
     report.line(compare_line(
         "best-performance offload",
@@ -192,7 +201,9 @@ pub fn fig3(lab: &mut Lab) -> Report {
         let steady = mean(&window).unwrap_or(0.0);
         combined.push(steady);
         report.attach_csv(format!("fig3_{name}"), trace.resample(0.010).to_csv());
-        report.line(format!("- {name}-bound combined-phase power: {steady:.1} W"));
+        report.line(format!(
+            "- {name}-bound combined-phase power: {steady:.1} W"
+        ));
     }
     report.line(compare_line(
         "combined power, compute-bound",
@@ -245,7 +256,11 @@ pub fn fig4(lab: &mut Lab) -> Report {
         }
     }
     let plateau_mean = mean(&plateau).unwrap_or(0.0);
-    report.line(compare_line("CPU-phase package power", "≈60 W", &format!("{plateau_mean:.1} W")));
+    report.line(compare_line(
+        "CPU-phase package power",
+        "≈60 W",
+        &format!("{plateau_mean:.1} W"),
+    ));
     report.line(compare_line(
         "package power during GPU bursts",
         "< ~40 W",
@@ -263,10 +278,12 @@ pub fn fig4(lab: &mut Lab) -> Report {
 fn characterization_figure(id: &str, platform: &Platform) -> Report {
     let mut report = Report::new(
         id,
-        format!("Power characterization, eight categories ({})", platform.name),
+        format!(
+            "Power characterization, eight categories ({})",
+            platform.name
+        ),
     );
-    let (model, sweeps) =
-        characterize_with_sweeps(platform, &CharacterizationConfig::default());
+    let (model, sweeps) = characterize_with_sweeps(platform, &CharacterizationConfig::default());
     let mut rows = Vec::new();
     for sweep in &sweeps {
         let curve = model.curve(sweep.class);
@@ -281,7 +298,11 @@ fn characterization_figure(id: &str, platform: &Platform) -> Report {
         let stem = format!(
             "{id}_cat{}_{}",
             sweep.class.index(),
-            sweep.label.to_lowercase().replace([',', ' '], "_").replace("__", "_")
+            sweep
+                .label
+                .to_lowercase()
+                .replace([',', ' '], "_")
+                .replace("__", "_")
         );
         report.attach_csv(stem, csv(&["alpha", "measured_w", "fitted_w"], &data_rows));
         let (_, r2) = easched_core::fit_curve_with_r2(sweep, 6);
@@ -292,10 +313,17 @@ fn characterization_figure(id: &str, platform: &Platform) -> Report {
             format!("{r2:.4}"),
         ]);
     }
-    report.line(md_table(&["category", "sixth-order fit", "RMSE (W)", "R²"], &rows));
+    report.line(md_table(
+        &["category", "sixth-order fit", "RMSE (W)", "R²"],
+        &rows,
+    ));
     report.line(format!(
         "- paper: sixth-order polynomials fit the sweeps well; measured max RMSE {:.2} W",
-        model.curves().iter().map(|c| c.rmse()).fold(0.0f64, f64::max)
+        model
+            .curves()
+            .iter()
+            .map(|c| c.rmse())
+            .fold(0.0f64, f64::max)
     ));
     report
 }
@@ -362,13 +390,33 @@ pub fn table1(lab: &mut Lab) -> Report {
         report.attach_csv(
             format!("table1_{tag}"),
             csv(
-                &["abbrev", "input", "invocations", "items", "reg", "mem", "cpu", "gpu", "matches_paper"],
+                &[
+                    "abbrev",
+                    "input",
+                    "invocations",
+                    "items",
+                    "reg",
+                    "mem",
+                    "cpu",
+                    "gpu",
+                    "matches_paper",
+                ],
                 &rows,
             ),
         );
         report.line(format!("### {tag}\n"));
         report.line(md_table(
-            &["Abbrev", "Input", "Invocations", "Items", "R/IR", "C/M", "CPU S/L", "GPU S/L", "= paper"],
+            &[
+                "Abbrev",
+                "Input",
+                "Invocations",
+                "Items",
+                "R/IR",
+                "C/M",
+                "CPU S/L",
+                "GPU S/L",
+                "= paper",
+            ],
             &rows,
         ));
     }
@@ -508,12 +556,28 @@ fn efficiency_figure(
     report.attach_csv(
         id.to_string(),
         csv(
-            &["abbrev", "cpu", "gpu", "perf", "eas", "oracle_alpha", "eas_alpha"],
+            &[
+                "abbrev",
+                "cpu",
+                "gpu",
+                "perf",
+                "eas",
+                "oracle_alpha",
+                "eas_alpha",
+            ],
             &rows,
         ),
     );
     report.line(md_table(
-        &["Benchmark", "CPU", "GPU", "PERF", "EAS", "Oracle α", "EAS α"],
+        &[
+            "Benchmark",
+            "CPU",
+            "GPU",
+            "PERF",
+            "EAS",
+            "Oracle α",
+            "EAS α",
+        ],
         &rows,
     ));
     for (i, (name, p)) in [
@@ -677,7 +741,10 @@ pub fn tdp(lab: &mut Lab) -> Report {
     ]);
     report.attach_csv(
         "tdp",
-        csv(&["abbrev", "cpu", "gpu", "perf", "eas", "oracle_alpha"], &rows),
+        csv(
+            &["abbrev", "cpu", "gpu", "perf", "eas", "oracle_alpha"],
+            &rows,
+        ),
     );
     report.line(md_table(
         &["Benchmark", "CPU", "GPU", "PERF", "EAS", "Oracle α"],
@@ -906,7 +973,10 @@ mod tests {
     }
 
     fn extract_watts(md: &str, label: &str) -> f64 {
-        let line = md.lines().find(|l| l.contains(label)).expect("label present");
+        let line = md
+            .lines()
+            .find(|l| l.contains(label))
+            .expect("label present");
         line.split(':')
             .nth(1)
             .and_then(|v| v.trim().trim_end_matches(" W").parse().ok())

@@ -93,7 +93,11 @@ pub fn csv(header: &[&str], rows: &[Vec<String>]) -> String {
 pub fn md_table(header: &[&str], rows: &[Vec<String>]) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "| {} |", header.join(" | "));
-    let _ = writeln!(out, "|{}|", header.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+    let _ = writeln!(
+        out,
+        "|{}|",
+        header.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+    );
     for row in rows {
         let _ = writeln!(out, "| {} |", row.join(" | "));
     }
@@ -116,7 +120,10 @@ mod tests {
 
     #[test]
     fn csv_shapes() {
-        let s = csv(&["h1", "h2"], &[vec!["a".into(), "b".into()], vec!["c".into(), "d".into()]]);
+        let s = csv(
+            &["h1", "h2"],
+            &[vec!["a".into(), "b".into()], vec!["c".into(), "d".into()]],
+        );
         assert_eq!(s.lines().count(), 3);
         assert!(s.starts_with("h1,h2\n"));
     }

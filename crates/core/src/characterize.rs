@@ -63,11 +63,19 @@ pub struct CategorySweep {
 
 /// Runs one micro-benchmark at one offload ratio on a fresh machine and
 /// measures average package power through the energy register.
-pub fn measure_point(platform: &Platform, micro: &MicroBenchmark, alpha: f64, seed: u64) -> SweepPoint {
+pub fn measure_point(
+    platform: &Platform,
+    micro: &MicroBenchmark,
+    alpha: f64,
+    seed: u64,
+) -> SweepPoint {
     let mut machine = Machine::with_seed(platform.clone(), seed);
     let t0 = machine.now();
     let e0 = machine.read_energy_raw();
-    machine.run_phase(micro.traits(), &PhasePlan::split(micro.items, alpha).with_seed(seed));
+    machine.run_phase(
+        micro.traits(),
+        &PhasePlan::split(micro.items, alpha).with_seed(seed),
+    );
     let seconds = machine.now() - t0;
     let joules = EnergyCounter::delta_joules(e0, machine.read_energy_raw());
     SweepPoint {
@@ -198,8 +206,16 @@ mod tests {
         let micro = MicroBenchmark::new(false, false, false);
         let cpu_alone = measure_point(&p, &micro, 0.0, 1);
         let gpu_alone = measure_point(&p, &micro, 1.0, 1);
-        assert!((cpu_alone.watts - 45.0).abs() < 2.0, "CPU alone: {}", cpu_alone.watts);
-        assert!((gpu_alone.watts - 30.0).abs() < 2.0, "GPU alone: {}", gpu_alone.watts);
+        assert!(
+            (cpu_alone.watts - 45.0).abs() < 2.0,
+            "CPU alone: {}",
+            cpu_alone.watts
+        );
+        assert!(
+            (gpu_alone.watts - 30.0).abs() < 2.0,
+            "GPU alone: {}",
+            gpu_alone.watts
+        );
     }
 
     #[test]
@@ -208,7 +224,11 @@ mod tests {
         let micro = MicroBenchmark::new(true, false, false);
         // Mid-sweep: both devices busy for a long stretch.
         let mid = measure_point(&p, &micro, 0.5, 1);
-        assert!(mid.watts > 55.0 && mid.watts < 65.0, "combined memory: {}", mid.watts);
+        assert!(
+            mid.watts > 55.0 && mid.watts < 65.0,
+            "combined memory: {}",
+            mid.watts
+        );
     }
 
     #[test]

@@ -61,7 +61,11 @@ impl WorkloadClass {
     pub fn label(&self) -> String {
         format!(
             "{}, CPU {}, GPU {}",
-            if self.memory_bound { "Memory" } else { "Compute" },
+            if self.memory_bound {
+                "Memory"
+            } else {
+                "Compute"
+            },
             if self.cpu_short { "Short" } else { "Long" },
             if self.gpu_short { "Short" } else { "Long" },
         )

@@ -18,14 +18,22 @@
 //!
 //! The policy observes nothing but times, the energy register, and two
 //! hardware counters — black-box end to end.
+//!
+//! Since the layering refactor this module is a thin *composition*: the
+//! pure per-observation policy lives in [`DecisionEngine`], the global
+//! table G in [`KernelTable`](crate::KernelTable), and the Figure 7
+//! control flow in `profile_loop`. [`EasScheduler`] wires them behind the
+//! classic exclusive `&mut self` [`Scheduler`] API;
+//! [`SharedEas`](crate::SharedEas) wires the same layers behind an
+//! `Arc`-shared concurrent API.
 
 use crate::classify::{Classifier, WorkloadClass};
+use crate::engine::DecisionEngine;
+use crate::kernel_table::KernelTable;
 use crate::objective::Objective;
 use crate::power_model::PowerModel;
-use crate::time_model::TimeModel;
-use easched_num::{golden_section_min, grid_min};
+use crate::profile_loop;
 use easched_runtime::{Backend, KernelId, Scheduler};
-use std::collections::HashMap;
 
 /// How the objective is minimized over the offload ratio.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -116,21 +124,35 @@ pub struct Decision {
     pub alpha: f64,
 }
 
-/// An entry of the global table G: the learned ratio and its sample weight.
-#[derive(Debug, Clone, Copy, PartialEq)]
-struct AlphaEntry {
-    alpha: f64,
-    weight: f64,
-    invocations_seen: u64,
+/// Serializes a decision log as CSV (shared by the exclusive and
+/// concurrent frontends).
+pub(crate) fn decision_log_csv(log: &[Decision]) -> String {
+    let mut out = String::from("kernel,r_c,r_g,class,n_remaining,alpha\n");
+    for d in log {
+        out.push_str(&format!(
+            "{},{:.3},{:.3},{},{},{:.3}\n",
+            d.kernel,
+            d.r_c,
+            d.r_g,
+            d.class.index(),
+            d.n_remaining,
+            d.alpha
+        ));
+    }
+    out
 }
 
 /// The energy-aware scheduler. One instance per platform; carries the
 /// kernel table G across invocations and workloads.
+///
+/// This is the exclusive (`&mut self`) frontend over the layered engine:
+/// a [`DecisionEngine`] (policy) plus a [`KernelTable`] (memory) plus a
+/// local decision log. For N concurrent workload streams sharing one
+/// learned table, use [`SharedEas`](crate::SharedEas) instead.
 #[derive(Debug, Clone)]
 pub struct EasScheduler {
-    config: EasConfig,
-    model: PowerModel,
-    table: HashMap<KernelId, AlphaEntry>,
+    engine: DecisionEngine,
+    table: KernelTable,
     name: String,
     /// Total decision-making invocations, for diagnostics.
     decisions: u64,
@@ -147,15 +169,10 @@ impl EasScheduler {
     /// fraction would silently disable profiling and degenerate every
     /// first-seen kernel to CPU-only execution.
     pub fn new(model: PowerModel, config: EasConfig) -> EasScheduler {
-        assert!(
-            config.profile_fraction > 0.0 && config.profile_fraction <= 1.0,
-            "profile_fraction must be in (0, 1]"
-        );
         let name = format!("EAS({})", config.objective.name());
         EasScheduler {
-            config,
-            model,
-            table: HashMap::new(),
+            engine: DecisionEngine::new(model, config),
+            table: KernelTable::new(),
             name,
             decisions: 0,
             log: Vec::new(),
@@ -177,7 +194,7 @@ impl EasScheduler {
 
     /// The learned offload ratio for a kernel, if any.
     pub fn learned_alpha(&self, kernel: KernelId) -> Option<f64> {
-        self.table.get(&kernel).map(|e| e.alpha)
+        self.table.lookup(kernel)
     }
 
     /// Number of α decisions made so far (profiling rounds across all
@@ -189,6 +206,22 @@ impl EasScheduler {
     /// Every α decision made so far, in order.
     pub fn decision_log(&self) -> &[Decision] {
         &self.log
+    }
+
+    /// The underlying decision engine (policy layer).
+    pub fn engine(&self) -> &DecisionEngine {
+        &self.engine
+    }
+
+    /// The kernel table G (memory layer).
+    pub fn table(&self) -> &KernelTable {
+        &self.table
+    }
+
+    /// Decomposes the scheduler into its policy and memory layers
+    /// (consumed by [`into_shared`](EasScheduler::into_shared)).
+    pub(crate) fn into_parts(self) -> (DecisionEngine, KernelTable) {
+        (self.engine, self.table)
     }
 
     /// Serializes the decision log as CSV (for the harness and post-hoc
@@ -204,104 +237,26 @@ impl EasScheduler {
     /// assert!(eas.decision_log_csv().starts_with("kernel,r_c,r_g,"));
     /// ```
     pub fn decision_log_csv(&self) -> String {
-        let mut out = String::from("kernel,r_c,r_g,class,n_remaining,alpha
-");
-        for d in &self.log {
-            out.push_str(&format!(
-                "{},{:.3},{:.3},{},{},{:.3}
-",
-                d.kernel,
-                d.r_c,
-                d.r_g,
-                d.class.index(),
-                d.n_remaining,
-                d.alpha
-            ));
-        }
-        out
+        decision_log_csv(&self.log)
     }
 
     /// Sample-weighted accumulation of a newly computed α (step 26; the
     /// technique from Kaleem et al.).
+    #[cfg(test)]
     fn accumulate(&mut self, kernel: KernelId, alpha: f64, weight: f64) {
-        let entry = self.table.entry(kernel).or_insert(AlphaEntry {
-            alpha,
-            weight: 0.0,
-            invocations_seen: 0,
-        });
-        match self.config.accumulation {
-            Accumulation::SampleWeighted => {
-                let total = entry.weight + weight;
-                if total > 0.0 {
-                    entry.alpha = (entry.alpha * entry.weight + alpha * weight) / total;
-                    entry.weight = total;
-                }
-            }
-            Accumulation::LastValue => {
-                entry.alpha = alpha;
-                entry.weight = weight;
-            }
-        }
+        self.table
+            .accumulate(kernel, alpha, weight, self.engine.config().accumulation);
     }
 
     /// One α decision from a profiling observation (Fig 7 steps 15–20):
     /// derive R_C/R_G, classify, pick the power curve, and grid-minimize the
     /// objective over the remaining iterations. Public so the overhead
     /// benchmark can time the paper's "1–2 µs" decision path directly.
-    pub fn decide_alpha(
-        &mut self,
-        obs: &easched_runtime::Observation,
-        n_remaining: u64,
-    ) -> f64 {
+    pub fn decide_alpha(&mut self, obs: &easched_runtime::Observation, n_remaining: u64) -> f64 {
         self.decisions += 1;
-        let r_c = obs.cpu_rate();
-        let r_g = obs.gpu_rate();
-        let class = self.config.classifier.classify(obs, n_remaining);
-        let record = |alpha: f64, log: &mut Vec<Decision>, kernel: KernelId| {
-            log.push(Decision {
-                kernel,
-                r_c,
-                r_g,
-                class,
-                n_remaining,
-                alpha,
-            });
-            alpha
-        };
-        // Degenerate devices: all work to the live one.
-        if r_g <= 0.0 {
-            return record(0.0, &mut self.log, self.current_kernel);
-        }
-        if r_c <= 0.0 {
-            return record(1.0, &mut self.log, self.current_kernel);
-        }
-        let curve = self.model.curve(class).clone();
-        let tm = TimeModel::new(r_c, r_g);
-        let objective = self.config.objective.clone();
-        let score = |alpha: f64| {
-            let t = tm.total_time(alpha, n_remaining);
-            if !t.is_finite() {
-                return f64::INFINITY;
-            }
-            objective.evaluate(curve.predict(alpha), t)
-        };
-        let chosen = match self.config.alpha_search {
-            AlphaSearch::Grid(steps) => grid_min(0.0, 1.0, steps.max(1), score).x,
-            AlphaSearch::GoldenSection { tol } => {
-                // Golden section finds interior optima; compare against the
-                // endpoints explicitly since boundary optima are common.
-                let (x, v) = golden_section_min(0.0, 1.0, tol.max(1e-6), score);
-                let mut best = (x, v);
-                for endpoint in [0.0, 1.0] {
-                    let v = score(endpoint);
-                    if v < best.1 {
-                        best = (endpoint, v);
-                    }
-                }
-                best.0
-            }
-        };
-        record(chosen, &mut self.log, self.current_kernel)
+        let decision = self.engine.decide(self.current_kernel, obs, n_remaining);
+        self.log.push(decision);
+        decision.alpha
     }
 }
 
@@ -312,74 +267,12 @@ impl Scheduler for EasScheduler {
 
     fn schedule(&mut self, kernel: KernelId, backend: &mut dyn Backend) {
         self.current_kernel = kernel;
-        let n = backend.remaining();
-        if n == 0 {
-            return;
-        }
-        let profile_size = backend.gpu_profile_size();
-
-        // Steps 2–4: reuse the learned ratio for known kernels (unless a
-        // periodic re-profile is due). The small-N guard of steps 6–8 still
-        // applies on this path: an invocation too small to fill the GPU runs
-        // on the CPU regardless of the learned ratio — offloading a
-        // sub-occupancy sliver would waste both time and energy (this is the
-        // reason the guard exists, and it matters for cascade-style kernels
-        // like FD whose invocation sizes swing by orders of magnitude).
-        if let Some(entry) = self.table.get_mut(&kernel) {
-            entry.invocations_seen += 1;
-            let due_reprofile = self
-                .config
-                .reprofile_every
-                .is_some_and(|k| entry.invocations_seen % k == 0)
-                && n >= profile_size;
-            if !due_reprofile {
-                let alpha = if n < profile_size { 0.0 } else { entry.alpha };
-                backend.run_split(alpha);
-                return;
-            }
-            // Fall through to a fresh profiling pass that re-accumulates.
-        }
-
-        // Steps 6–10: tiny invocations cannot fill the GPU — CPU alone.
-        if n < profile_size {
-            backend.run_split(0.0);
-            self.accumulate(kernel, 0.0, n as f64);
-            return;
-        }
-
-        // Steps 11–22: repeat profiling for `profile_fraction` of the
-        // iterations, re-deciding α each round.
-        let profile_until = ((n as f64) * (1.0 - self.config.profile_fraction)) as u64;
-        let mut alpha = 0.0;
-        let mut alpha_weight = 0.0;
-        let mut streak = 0usize;
-        while backend.remaining() > profile_until.max(profile_size) {
-            let before = backend.remaining();
-            let obs = backend.profile_step(profile_size);
-            let consumed = before - backend.remaining();
-            if consumed == 0 {
-                break; // safety: no progress (degenerate backend)
-            }
-            let decided = self.decide_alpha(&obs, backend.remaining());
-            streak = if (decided - alpha).abs() < 1e-9 && alpha_weight > 0.0 {
-                streak + 1
-            } else {
-                1
-            };
-            alpha = decided;
-            alpha_weight += consumed as f64;
-            if self.config.profile_stable_rounds > 0 && streak >= self.config.profile_stable_rounds
-            {
-                break; // converged: stop profiling early
-            }
-        }
-
-        // Steps 23–25: run the remainder at the decided ratio.
-        if backend.remaining() > 0 {
-            backend.run_split(alpha);
-        }
-        // Step 26: sample-weighted accumulation into G.
-        self.accumulate(kernel, alpha, alpha_weight.max(n as f64 * 0.5));
+        let (engine, table) = (&self.engine, &self.table);
+        let (decisions, log) = (&mut self.decisions, &mut self.log);
+        profile_loop::schedule_invocation(engine, table, kernel, backend, |d| {
+            *decisions += 1;
+            log.push(d);
+        });
     }
 }
 
@@ -397,9 +290,7 @@ mod tests {
     fn linear_model(watts: f64, slope: f64) -> PowerModel {
         let curves = WorkloadClass::all()
             .into_iter()
-            .map(|c| {
-                PowerCurve::new(c, Polynomial::new(vec![watts, -slope]), 0.0, 11)
-            })
+            .map(|c| PowerCurve::new(c, Polynomial::new(vec![watts, -slope]), 0.0, 11))
             .collect();
         PowerModel::new("fake", curves)
     }
@@ -420,7 +311,11 @@ mod tests {
         let mut b = FakeBackend::new(100_000, 1.0e6, 2.0e6);
         eas.schedule(7, &mut b);
         assert_eq!(b.remaining(), 0);
-        assert!(b.log.iter().any(|l| l.starts_with("profile")), "{:?}", b.log);
+        assert!(
+            b.log.iter().any(|l| l.starts_with("profile")),
+            "{:?}",
+            b.log
+        );
         assert!(b.log.last().unwrap().starts_with("split"), "{:?}", b.log);
         // Time objective on a 1:2 machine → α_PERF ≈ 0.667, grid → 0.7.
         let a = eas.learned_alpha(7).unwrap();
@@ -443,7 +338,8 @@ mod tests {
         // Power falls steeply with α (P(0)=80 W, P(1)=20 W) while rates are
         // equal: energy minimization should pick a GPU-heavy split even
         // though it is slower than the balanced one (E(1)=20·T < E(0.5)=25·T).
-        let mut eas = EasScheduler::new(linear_model(80.0, 60.0), EasConfig::new(Objective::Energy));
+        let mut eas =
+            EasScheduler::new(linear_model(80.0, 60.0), EasConfig::new(Objective::Energy));
         let mut b = FakeBackend::new(100_000, 1.0e6, 1.0e6);
         eas.schedule(3, &mut b);
         let a = eas.learned_alpha(3).unwrap();
@@ -454,7 +350,10 @@ mod tests {
         let mut b = FakeBackend::new(100_000, 1.0e6, 1.0e6);
         perf.schedule(3, &mut b);
         let a = perf.learned_alpha(3).unwrap();
-        assert!((a - 0.5).abs() < 0.01, "PERF balances equal devices, got {a}");
+        assert!(
+            (a - 0.5).abs() < 0.01,
+            "PERF balances equal devices, got {a}"
+        );
     }
 
     #[test]
@@ -517,5 +416,18 @@ mod tests {
         let mut b = FakeBackend::new(100_000, 1.0e6, 2.0e6);
         eas.schedule(1, &mut b);
         assert!(eas.decisions() > 0);
+    }
+
+    #[test]
+    fn cloned_scheduler_forks_the_table() {
+        let mut eas = EasScheduler::new(linear_model(50.0, 0.0), EasConfig::new(Objective::Time));
+        let mut b = FakeBackend::new(100_000, 1.0e6, 2.0e6);
+        eas.schedule(7, &mut b);
+        let fork = eas.clone();
+        let mut b2 = FakeBackend::new(100_000, 1.0e6, 2.0e6);
+        eas.schedule(8, &mut b2);
+        assert!(eas.learned_alpha(8).is_some());
+        assert_eq!(fork.learned_alpha(8), None, "clone must be independent");
+        assert_eq!(fork.learned_alpha(7), eas.learned_alpha(7));
     }
 }

@@ -1,0 +1,194 @@
+//! The stateless decision engine — the *policy* layer of the scheduling
+//! engine.
+//!
+//! [`DecisionEngine`] turns one profiling [`Observation`] into one
+//! [`Decision`](crate::Decision) (Fig 7 steps 15–20): derive the
+//! combined-mode throughputs R_C/R_G, classify the workload, pick the
+//! matching power curve P(α), build the analytical time model T(α)
+//! (Eqs. 1–4), and minimize OBJ(P(α), T(α)) over α. It holds only
+//! immutable configuration and the characterized power model — no kernel
+//! table, no log, no counters — so one engine is freely shared across
+//! threads (`Send + Sync`) and a decision never takes a lock.
+
+use crate::classify::WorkloadClass;
+use crate::eas::{AlphaSearch, Decision, EasConfig};
+use crate::power_model::PowerModel;
+use crate::time_model::TimeModel;
+use easched_num::{golden_section_min, grid_min};
+use easched_runtime::{KernelId, Observation};
+
+/// The pure per-observation decision procedure: configuration + power
+/// model, nothing mutable.
+///
+/// # Examples
+///
+/// ```
+/// use easched_core::{DecisionEngine, EasConfig, Objective, PowerCurve, PowerModel, WorkloadClass};
+/// use easched_num::Polynomial;
+/// use easched_runtime::Observation;
+///
+/// let curves = WorkloadClass::all().into_iter()
+///     .map(|c| PowerCurve::new(c, Polynomial::constant(50.0), 0.0, 11)).collect();
+/// let engine = DecisionEngine::new(
+///     PowerModel::new("flat", curves),
+///     EasConfig::new(Objective::Time),
+/// );
+/// let obs = Observation {
+///     elapsed: 0.001,
+///     cpu_items: 1_000,
+///     gpu_items: 2_000,
+///     cpu_time: 0.001,
+///     gpu_time: 0.001,
+///     energy_joules: 0.05,
+///     ..Default::default()
+/// };
+/// // Time objective on a 1:2 machine → α_PERF ≈ 0.667, grid → 0.7.
+/// let d = engine.decide(7, &obs, 500_000);
+/// assert!((d.alpha - 0.7).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DecisionEngine {
+    config: EasConfig,
+    model: PowerModel,
+}
+
+impl DecisionEngine {
+    /// Creates the engine from a platform's characterized power model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.profile_fraction` is outside (0, 1] — a zero
+    /// fraction would silently disable profiling and degenerate every
+    /// first-seen kernel to CPU-only execution.
+    pub fn new(model: PowerModel, config: EasConfig) -> DecisionEngine {
+        assert!(
+            config.profile_fraction > 0.0 && config.profile_fraction <= 1.0,
+            "profile_fraction must be in (0, 1]"
+        );
+        DecisionEngine { config, model }
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &EasConfig {
+        &self.config
+    }
+
+    /// The characterized power model the engine decides against.
+    pub fn model(&self) -> &PowerModel {
+        &self.model
+    }
+
+    /// One α decision from a profiling observation (Fig 7 steps 15–20).
+    /// Pure: same observation in, same decision out; no interior state.
+    pub fn decide(&self, kernel: KernelId, obs: &Observation, n_remaining: u64) -> Decision {
+        let r_c = obs.cpu_rate();
+        let r_g = obs.gpu_rate();
+        let class = self.config.classifier.classify(obs, n_remaining);
+        let decision = |alpha: f64| Decision {
+            kernel,
+            r_c,
+            r_g,
+            class,
+            n_remaining,
+            alpha,
+        };
+        // Degenerate devices: all work to the live one.
+        if r_g <= 0.0 {
+            return decision(0.0);
+        }
+        if r_c <= 0.0 {
+            return decision(1.0);
+        }
+        decision(self.minimize(class, r_c, r_g, n_remaining))
+    }
+
+    /// Grid- or golden-section-minimizes OBJ(P(α), T(α)) over α ∈ [0, 1].
+    fn minimize(&self, class: WorkloadClass, r_c: f64, r_g: f64, n_remaining: u64) -> f64 {
+        let curve = self.model.curve(class);
+        let tm = TimeModel::new(r_c, r_g);
+        let objective = &self.config.objective;
+        let score = |alpha: f64| {
+            let t = tm.total_time(alpha, n_remaining);
+            if !t.is_finite() {
+                return f64::INFINITY;
+            }
+            objective.evaluate(curve.predict(alpha), t)
+        };
+        match self.config.alpha_search {
+            AlphaSearch::Grid(steps) => grid_min(0.0, 1.0, steps.max(1), score).x,
+            AlphaSearch::GoldenSection { tol } => {
+                // Golden section finds interior optima; compare against the
+                // endpoints explicitly since boundary optima are common.
+                let (x, v) = golden_section_min(0.0, 1.0, tol.max(1e-6), score);
+                let mut best = (x, v);
+                for endpoint in [0.0, 1.0] {
+                    let v = score(endpoint);
+                    if v < best.1 {
+                        best = (endpoint, v);
+                    }
+                }
+                best.0
+            }
+        }
+    }
+}
+
+// The engine is shared across threads by design; fail the build if a field
+// ever loses thread safety.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<DecisionEngine>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::objective::Objective;
+    use crate::power_model::PowerCurve;
+    use easched_num::Polynomial;
+
+    fn flat_model(watts: f64) -> PowerModel {
+        let curves = WorkloadClass::all()
+            .into_iter()
+            .map(|c| PowerCurve::new(c, Polynomial::constant(watts), 0.0, 11))
+            .collect();
+        PowerModel::new("flat", curves)
+    }
+
+    fn obs(cpu_items: u64, gpu_items: u64) -> Observation {
+        Observation {
+            elapsed: 0.001,
+            cpu_items,
+            gpu_items,
+            cpu_time: 0.001,
+            gpu_time: 0.001,
+            energy_joules: 0.05,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn decide_is_pure() {
+        let engine = DecisionEngine::new(flat_model(50.0), EasConfig::new(Objective::EnergyDelay));
+        let o = obs(1_000, 2_000);
+        let a = engine.decide(1, &o, 100_000);
+        let b = engine.decide(1, &o, 100_000);
+        assert_eq!(a, b);
+        assert_eq!(a.kernel, 1);
+    }
+
+    #[test]
+    fn dead_devices_get_nothing() {
+        let engine = DecisionEngine::new(flat_model(50.0), EasConfig::new(Objective::Energy));
+        assert_eq!(engine.decide(1, &obs(1_000, 0), 1_000).alpha, 0.0);
+        assert_eq!(engine.decide(1, &obs(0, 1_000), 1_000).alpha, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "profile_fraction must be in (0, 1]")]
+    fn rejects_zero_profile_fraction() {
+        let mut cfg = EasConfig::new(Objective::Energy);
+        cfg.profile_fraction = 0.0;
+        DecisionEngine::new(flat_model(50.0), cfg);
+    }
+}

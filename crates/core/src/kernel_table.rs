@@ -1,0 +1,363 @@
+//! The global kernel table G (paper Fig 7, step 26) as a concurrently
+//! readable, sharded structure — the *memory* layer of the scheduling
+//! engine.
+//!
+//! The paper stores one learned offload ratio per kernel in a global table
+//! keyed by the kernel's CPU function pointer. A single `HashMap` behind a
+//! lock would serialize every scheduling decision once several workload
+//! streams share the table, so entries are distributed over a fixed set of
+//! shards, each behind its own `RwLock`:
+//!
+//! * **Reuse-path lookups** ([`lookup`](KernelTable::lookup),
+//!   [`note_reuse`](KernelTable::note_reuse)) take a *read* lock on one
+//!   shard only — concurrent readers of the same or different kernels
+//!   never contend on a global lock, and the per-invocation counter is an
+//!   atomic bumped under the read lock.
+//! * **Sample-weighted accumulation** ([`accumulate`](KernelTable::accumulate))
+//!   takes a *write* lock on the owning shard only, so learning about one
+//!   kernel never blocks lookups of kernels in other shards.
+//!
+//! Shard choice is a multiplicative hash of the kernel id; the shard count
+//! is fixed at construction so lookups are a mask, not a modulo.
+
+use crate::eas::Accumulation;
+use easched_runtime::KernelId;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::RwLock;
+
+/// Default shard count — comfortably above the core counts of the paper's
+/// platforms (4-core Haswell, 4-core Bay Trail) and cheap enough that a
+/// single-stream table wastes no measurable memory.
+const DEFAULT_SHARDS: usize = 16;
+
+/// An entry of G: the learned ratio, its sample weight, and how many times
+/// the kernel has been invoked since first seen.
+#[derive(Debug)]
+struct AlphaEntry {
+    alpha: f64,
+    weight: f64,
+    /// Bumped on the reuse path under a shard *read* lock, hence atomic.
+    invocations_seen: AtomicU64,
+}
+
+impl Clone for AlphaEntry {
+    fn clone(&self) -> AlphaEntry {
+        AlphaEntry {
+            alpha: self.alpha,
+            weight: self.weight,
+            invocations_seen: AtomicU64::new(self.invocations_seen.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+/// A point-in-time copy of one kernel's learned state.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AlphaStat {
+    /// The learned offload ratio.
+    pub alpha: f64,
+    /// Total sample weight folded into `alpha`.
+    pub weight: f64,
+    /// Invocations observed since the kernel was first seen.
+    pub invocations_seen: u64,
+}
+
+/// Outcome of a reuse-path probe ([`KernelTable::note_reuse`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReuseProbe {
+    /// The learned offload ratio.
+    pub alpha: f64,
+    /// The kernel's invocation count *after* this probe's increment.
+    pub invocations_seen: u64,
+}
+
+/// The global table G: kernel id → learned offload ratio, sharded for
+/// concurrent access.
+///
+/// # Examples
+///
+/// ```
+/// use easched_core::{Accumulation, KernelTable};
+///
+/// let table = KernelTable::new();
+/// table.accumulate(7, 1.0, 100.0, Accumulation::SampleWeighted);
+/// table.accumulate(7, 0.0, 100.0, Accumulation::SampleWeighted);
+/// assert_eq!(table.lookup(7), Some(0.5));
+/// assert_eq!(table.lookup(8), None);
+/// ```
+#[derive(Debug)]
+pub struct KernelTable {
+    shards: Box<[RwLock<HashMap<KernelId, AlphaEntry>>]>,
+    /// `shard_count - 1`; the count is a power of two so selection is a
+    /// single mask.
+    mask: u64,
+}
+
+impl Default for KernelTable {
+    fn default() -> KernelTable {
+        KernelTable::new()
+    }
+}
+
+impl Clone for KernelTable {
+    fn clone(&self) -> KernelTable {
+        let shards: Vec<RwLock<HashMap<KernelId, AlphaEntry>>> = self
+            .shards
+            .iter()
+            .map(|s| RwLock::new(s.read().expect("kernel table poisoned").clone()))
+            .collect();
+        KernelTable {
+            shards: shards.into_boxed_slice(),
+            mask: self.mask,
+        }
+    }
+}
+
+impl PartialEq for KernelTable {
+    fn eq(&self, other: &KernelTable) -> bool {
+        self.snapshot() == other.snapshot()
+    }
+}
+
+impl KernelTable {
+    /// An empty table with the default shard count.
+    pub fn new() -> KernelTable {
+        KernelTable::with_shards(DEFAULT_SHARDS)
+    }
+
+    /// An empty table with at least `shards` shards (rounded up to a power
+    /// of two).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    pub fn with_shards(shards: usize) -> KernelTable {
+        assert!(shards > 0, "need at least one shard");
+        let n = shards.next_power_of_two();
+        let shards: Vec<RwLock<HashMap<KernelId, AlphaEntry>>> =
+            (0..n).map(|_| RwLock::new(HashMap::new())).collect();
+        KernelTable {
+            shards: shards.into_boxed_slice(),
+            mask: (n - 1) as u64,
+        }
+    }
+
+    /// Number of shards (always a power of two).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard(&self, kernel: KernelId) -> &RwLock<HashMap<KernelId, AlphaEntry>> {
+        // Fibonacci hashing spreads consecutive kernel ids across shards.
+        let h = kernel.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32;
+        &self.shards[(h & self.mask) as usize]
+    }
+
+    /// The learned offload ratio for a kernel, if any. Takes one shard
+    /// read lock; never blocks operations on other shards.
+    pub fn lookup(&self, kernel: KernelId) -> Option<f64> {
+        self.shard(kernel)
+            .read()
+            .expect("kernel table poisoned")
+            .get(&kernel)
+            .map(|e| e.alpha)
+    }
+
+    /// Full learned state for a kernel, if any.
+    pub fn stat(&self, kernel: KernelId) -> Option<AlphaStat> {
+        self.shard(kernel)
+            .read()
+            .expect("kernel table poisoned")
+            .get(&kernel)
+            .map(|e| AlphaStat {
+                alpha: e.alpha,
+                weight: e.weight,
+                invocations_seen: e.invocations_seen.load(Ordering::Relaxed),
+            })
+    }
+
+    /// The reuse-path probe (Fig 7 steps 2–4): if the kernel is known,
+    /// count this invocation and return the learned ratio. Read-locks one
+    /// shard; the invocation counter is atomic, so concurrent streams
+    /// reusing the same kernel proceed in parallel.
+    pub fn note_reuse(&self, kernel: KernelId) -> Option<ReuseProbe> {
+        self.shard(kernel)
+            .read()
+            .expect("kernel table poisoned")
+            .get(&kernel)
+            .map(|e| ReuseProbe {
+                alpha: e.alpha,
+                invocations_seen: e.invocations_seen.fetch_add(1, Ordering::Relaxed) + 1,
+            })
+    }
+
+    /// Folds a newly computed α into the table (Fig 7 step 26).
+    /// Write-locks the owning shard only.
+    pub fn accumulate(&self, kernel: KernelId, alpha: f64, weight: f64, mode: Accumulation) {
+        let mut shard = self.shard(kernel).write().expect("kernel table poisoned");
+        let entry = shard.entry(kernel).or_insert(AlphaEntry {
+            alpha,
+            weight: 0.0,
+            invocations_seen: AtomicU64::new(0),
+        });
+        match mode {
+            Accumulation::SampleWeighted => {
+                let total = entry.weight + weight;
+                if total > 0.0 {
+                    entry.alpha = (entry.alpha * entry.weight + alpha * weight) / total;
+                    entry.weight = total;
+                }
+            }
+            Accumulation::LastValue => {
+                entry.alpha = alpha;
+                entry.weight = weight;
+            }
+        }
+    }
+
+    /// Installs a kernel's learned state verbatim (used when loading a
+    /// persisted table).
+    pub fn insert(&self, kernel: KernelId, stat: AlphaStat) {
+        let mut shard = self.shard(kernel).write().expect("kernel table poisoned");
+        shard.insert(
+            kernel,
+            AlphaEntry {
+                alpha: stat.alpha,
+                weight: stat.weight,
+                invocations_seen: AtomicU64::new(stat.invocations_seen),
+            },
+        );
+    }
+
+    /// Number of kernels with learned state.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.read().expect("kernel table poisoned").len())
+            .sum()
+    }
+
+    /// Whether no kernel has learned state yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Removes all learned state.
+    pub fn clear(&self) {
+        for shard in self.shards.iter() {
+            shard.write().expect("kernel table poisoned").clear();
+        }
+    }
+
+    /// A consistent-per-shard copy of the whole table, sorted by kernel id
+    /// (deterministic — used by persistence and diagnostics).
+    pub fn snapshot(&self) -> Vec<(KernelId, AlphaStat)> {
+        let mut out: Vec<(KernelId, AlphaStat)> = Vec::with_capacity(self.len());
+        for shard in self.shards.iter() {
+            let shard = shard.read().expect("kernel table poisoned");
+            out.extend(shard.iter().map(|(&k, e)| {
+                (
+                    k,
+                    AlphaStat {
+                        alpha: e.alpha,
+                        weight: e.weight,
+                        invocations_seen: e.invocations_seen.load(Ordering::Relaxed),
+                    },
+                )
+            }));
+        }
+        out.sort_unstable_by_key(|&(k, _)| k);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_table_has_no_entries() {
+        let t = KernelTable::new();
+        assert!(t.is_empty());
+        assert_eq!(t.lookup(1), None);
+        assert_eq!(t.note_reuse(1), None);
+        assert_eq!(t.stat(1), None);
+    }
+
+    #[test]
+    fn sample_weighted_accumulation_matches_paper() {
+        let t = KernelTable::new();
+        t.accumulate(5, 1.0, 100.0, Accumulation::SampleWeighted);
+        t.accumulate(5, 0.0, 100.0, Accumulation::SampleWeighted);
+        assert!((t.lookup(5).unwrap() - 0.5).abs() < 1e-9);
+        let s = t.stat(5).unwrap();
+        assert_eq!(s.weight, 200.0);
+    }
+
+    #[test]
+    fn last_value_mode_overwrites() {
+        let t = KernelTable::new();
+        t.accumulate(5, 0.2, 10.0, Accumulation::LastValue);
+        t.accumulate(5, 0.9, 1.0, Accumulation::LastValue);
+        assert_eq!(t.lookup(5), Some(0.9));
+        assert_eq!(t.stat(5).unwrap().weight, 1.0);
+    }
+
+    #[test]
+    fn note_reuse_counts_invocations() {
+        let t = KernelTable::new();
+        t.accumulate(3, 0.4, 50.0, Accumulation::SampleWeighted);
+        assert_eq!(t.note_reuse(3).unwrap().invocations_seen, 1);
+        assert_eq!(t.note_reuse(3).unwrap().invocations_seen, 2);
+        assert_eq!(t.stat(3).unwrap().invocations_seen, 2);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_complete() {
+        let t = KernelTable::with_shards(4);
+        for k in [9u64, 2, 700, 44] {
+            t.accumulate(k, 0.5, 1.0, Accumulation::SampleWeighted);
+        }
+        let snap = t.snapshot();
+        let keys: Vec<u64> = snap.iter().map(|&(k, _)| k).collect();
+        assert_eq!(keys, vec![2, 9, 44, 700]);
+        assert_eq!(t.len(), 4);
+    }
+
+    #[test]
+    fn clone_is_deep() {
+        let t = KernelTable::new();
+        t.accumulate(1, 0.5, 10.0, Accumulation::SampleWeighted);
+        let c = t.clone();
+        t.accumulate(1, 1.0, 1e6, Accumulation::SampleWeighted);
+        assert_eq!(c.lookup(1), Some(0.5));
+        assert_eq!(c, c.clone());
+        assert_ne!(c.snapshot(), t.snapshot());
+    }
+
+    #[test]
+    fn shard_count_rounds_to_power_of_two() {
+        assert_eq!(KernelTable::with_shards(5).shard_count(), 8);
+        assert_eq!(KernelTable::with_shards(16).shard_count(), 16);
+        assert_eq!(KernelTable::with_shards(1).shard_count(), 1);
+    }
+
+    #[test]
+    fn concurrent_accumulation_loses_no_weight() {
+        let t = KernelTable::new();
+        let threads = 8;
+        let per_thread = 1000;
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                s.spawn(|| {
+                    for _ in 0..per_thread {
+                        t.accumulate(42, 0.5, 1.0, Accumulation::SampleWeighted);
+                    }
+                });
+            }
+        });
+        let stat = t.stat(42).unwrap();
+        assert_eq!(stat.weight, (threads * per_thread) as f64);
+        assert!((stat.alpha - 0.5).abs() < 1e-12);
+    }
+}

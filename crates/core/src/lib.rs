@@ -43,10 +43,14 @@ pub mod characterize;
 pub mod classify;
 pub mod eas;
 pub mod easruntime;
+pub mod engine;
+pub mod kernel_table;
 pub mod objective;
 pub mod persist;
 pub mod power_model;
+mod profile_loop;
 pub mod schemes;
+pub mod shared;
 pub mod time_model;
 
 pub use characterize::{
@@ -56,8 +60,14 @@ pub use characterize::{
 pub use classify::{Classifier, WorkloadClass};
 pub use eas::{Accumulation, AlphaSearch, Decision, EasConfig, EasScheduler};
 pub use easruntime::{EasRuntime, RunOutcome};
+pub use engine::DecisionEngine;
+pub use kernel_table::{AlphaStat, KernelTable, ReuseProbe};
 pub use objective::Objective;
-pub use persist::{load_model, model_from_text, model_to_text, save_model, ModelParseError};
+pub use persist::{
+    load_model, load_table, model_from_text, model_to_text, save_model, save_table,
+    table_from_text, table_to_text, ModelParseError,
+};
 pub use power_model::{PowerCurve, PowerModel};
 pub use schemes::{Evaluator, SchemeResult, WorkloadComparison};
+pub use shared::{SharedEas, SharedEasExt};
 pub use time_model::TimeModel;

@@ -62,7 +62,11 @@ impl Objective {
     /// assert_eq!(Objective::EnergyDelay.of_totals(20.0, 2.0), 40.0);
     /// ```
     pub fn of_totals(&self, energy_joules: f64, seconds: f64) -> f64 {
-        let watts = if seconds > 0.0 { energy_joules / seconds } else { 0.0 };
+        let watts = if seconds > 0.0 {
+            energy_joules / seconds
+        } else {
+            0.0
+        };
         self.evaluate(watts, seconds)
     }
 

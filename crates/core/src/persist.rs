@@ -1,4 +1,4 @@
-//! Power-model persistence.
+//! Power-model and kernel-table persistence.
 //!
 //! The characterization step is "computed once for each processor"
 //! (abstract): on a real deployment the fitted model is saved and reloaded
@@ -11,8 +11,20 @@
 //! curve 0 rmse 0.169 samples 21 coeffs 32.55 -0.95 ...
 //! ... (8 curve lines, class-index order)
 //! ```
+//!
+//! The learned kernel table G persists the same way
+//! ([`table_to_text`]/[`table_from_text`]), so a long-running deployment
+//! can warm-start its offload ratios instead of re-profiling every kernel
+//! after a restart:
+//!
+//! ```text
+//! easched-kernel-table v1
+//! kernel 7 alpha 6.5e-1 weight 5e4 seen 12
+//! ... (one line per kernel, id order)
+//! ```
 
 use crate::classify::WorkloadClass;
+use crate::kernel_table::{AlphaStat, KernelTable};
 use crate::power_model::{PowerCurve, PowerModel};
 use easched_num::Polynomial;
 use std::error::Error;
@@ -240,6 +252,128 @@ pub fn load_model(path: impl AsRef<Path>) -> Result<PowerModel, ModelParseError>
     model_from_text(&fs::read_to_string(path)?)
 }
 
+/// Format header of the kernel-table format, version 1.
+const TABLE_HEADER_V1: &str = "easched-kernel-table v1";
+
+/// Serializes a learned kernel table to the v1 text format. Lines are in
+/// kernel-id order, so equal tables serialize identically.
+///
+/// # Examples
+///
+/// ```
+/// use easched_core::persist::{table_from_text, table_to_text};
+/// use easched_core::{Accumulation, KernelTable};
+///
+/// let table = KernelTable::new();
+/// table.accumulate(7, 0.7, 50_000.0, Accumulation::SampleWeighted);
+/// let back = table_from_text(&table_to_text(&table))?;
+/// assert_eq!(back.lookup(7), Some(0.7));
+/// # Ok::<(), easched_core::persist::ModelParseError>(())
+/// ```
+pub fn table_to_text(table: &KernelTable) -> String {
+    let mut out = String::new();
+    out.push_str(TABLE_HEADER_V1);
+    out.push('\n');
+    for (kernel, stat) in table.snapshot() {
+        // Full round-trip precision on the floats.
+        out.push_str(&format!(
+            "kernel {} alpha {:e} weight {:e} seen {}\n",
+            kernel, stat.alpha, stat.weight, stat.invocations_seen
+        ));
+    }
+    out
+}
+
+/// Parses the kernel-table v1 text format.
+///
+/// # Errors
+///
+/// [`ModelParseError`] on malformed input (including a duplicated kernel
+/// id, which would silently drop learned weight).
+pub fn table_from_text(text: &str) -> Result<KernelTable, ModelParseError> {
+    let mut lines = text.lines().enumerate();
+    let (_, header) = lines.next().unwrap_or((0, ""));
+    if header.trim() != TABLE_HEADER_V1 {
+        return Err(ModelParseError::BadHeader(header.to_string()));
+    }
+    let table = KernelTable::new();
+    for (idx, raw) in lines {
+        let line_no = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let bad = |message: String| ModelParseError::BadLine {
+            line: line_no,
+            message,
+        };
+        let mut tokens = line.split_whitespace();
+        match tokens.next() {
+            Some("kernel") => {
+                let kernel: u64 = tokens
+                    .next()
+                    .ok_or_else(|| bad("missing kernel id".into()))?
+                    .parse()
+                    .map_err(|e| bad(format!("kernel id: {e}")))?;
+                expect_keyword(line_no, &mut tokens, "alpha")?;
+                let alpha: f64 = tokens
+                    .next()
+                    .ok_or_else(|| bad("missing alpha".into()))?
+                    .parse()
+                    .map_err(|e| bad(format!("alpha: {e}")))?;
+                if !(0.0..=1.0).contains(&alpha) {
+                    return Err(bad(format!("alpha {alpha} out of [0, 1]")));
+                }
+                expect_keyword(line_no, &mut tokens, "weight")?;
+                let weight: f64 = tokens
+                    .next()
+                    .ok_or_else(|| bad("missing weight".into()))?
+                    .parse()
+                    .map_err(|e| bad(format!("weight: {e}")))?;
+                expect_keyword(line_no, &mut tokens, "seen")?;
+                let invocations_seen: u64 = tokens
+                    .next()
+                    .ok_or_else(|| bad("missing seen count".into()))?
+                    .parse()
+                    .map_err(|e| bad(format!("seen count: {e}")))?;
+                if table.stat(kernel).is_some() {
+                    return Err(bad(format!("kernel {kernel} listed twice")));
+                }
+                table.insert(
+                    kernel,
+                    AlphaStat {
+                        alpha,
+                        weight,
+                        invocations_seen,
+                    },
+                );
+            }
+            other => {
+                return Err(bad(format!("unknown record {other:?}")));
+            }
+        }
+    }
+    Ok(table)
+}
+
+/// Saves a kernel table to a file.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn save_table(table: &KernelTable, path: impl AsRef<Path>) -> io::Result<()> {
+    fs::write(path, table_to_text(table))
+}
+
+/// Loads a kernel table from a file.
+///
+/// # Errors
+///
+/// [`ModelParseError`] on I/O or format problems.
+pub fn load_table(path: impl AsRef<Path>) -> Result<KernelTable, ModelParseError> {
+    table_from_text(&fs::read_to_string(path)?)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -266,7 +400,11 @@ mod tests {
         for class in WorkloadClass::all() {
             for i in 0..=20 {
                 let a = i as f64 / 20.0;
-                assert_eq!(back.predict(class, a), model.predict(class, a), "{class:?} α={a}");
+                assert_eq!(
+                    back.predict(class, a),
+                    model.predict(class, a),
+                    "{class:?} α={a}"
+                );
             }
             assert_eq!(back.curve(class).rmse(), model.curve(class).rmse());
             assert_eq!(back.curve(class).samples(), model.curve(class).samples());
@@ -320,7 +458,10 @@ mod tests {
             let text = format!("{HEADER_V1}\nplatform x\n{bad}\n");
             let err = model_from_text(&text).unwrap_err();
             assert!(
-                matches!(err, ModelParseError::BadLine { .. } | ModelParseError::WrongCurveCount(_)),
+                matches!(
+                    err,
+                    ModelParseError::BadLine { .. } | ModelParseError::WrongCurveCount(_)
+                ),
                 "{bad}: {err}"
             );
             assert!(!err.to_string().is_empty());
@@ -341,5 +482,89 @@ mod tests {
         assert!(matches!(err, ModelParseError::Io(_)));
         use std::error::Error as _;
         assert!(err.source().is_some());
+    }
+
+    use crate::eas::Accumulation;
+    use crate::kernel_table::{AlphaStat, KernelTable};
+
+    fn learned_table() -> KernelTable {
+        let t = KernelTable::new();
+        // Awkward floats on purpose: accumulation quotients that don't
+        // round-trip through short decimal forms.
+        t.accumulate(7, 2.0 / 3.0, 50_000.0, Accumulation::SampleWeighted);
+        t.accumulate(7, 0.1, 12_345.0, Accumulation::SampleWeighted);
+        t.accumulate(1, 0.0, 17.0, Accumulation::SampleWeighted);
+        t.accumulate(900, 1.0, 1e9, Accumulation::SampleWeighted);
+        t.note_reuse(7);
+        t.note_reuse(7);
+        t.note_reuse(900);
+        t
+    }
+
+    #[test]
+    fn table_roundtrip_is_lossless() {
+        let table = learned_table();
+        let back = table_from_text(&table_to_text(&table)).unwrap();
+        // Bit-identical α, weight, and invocation counts for every kernel.
+        assert_eq!(back.snapshot(), table.snapshot());
+        assert_eq!(back, table);
+    }
+
+    #[test]
+    fn table_file_roundtrip() {
+        let table = learned_table();
+        let path = std::env::temp_dir().join(format!("easched_table_{}.txt", std::process::id()));
+        save_table(&table, &path).unwrap();
+        let back = load_table(&path).unwrap();
+        assert_eq!(back.snapshot(), table.snapshot());
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn empty_table_roundtrips() {
+        let back = table_from_text(&table_to_text(&KernelTable::new())).unwrap();
+        assert!(back.is_empty());
+    }
+
+    #[test]
+    fn table_rejects_bad_input() {
+        assert!(matches!(
+            table_from_text("easched-kernel-table v99\n").unwrap_err(),
+            ModelParseError::BadHeader(_)
+        ));
+        for bad in [
+            "kernel x alpha 0.5 weight 1 seen 0",
+            "kernel 1 alpha 1.5 weight 1 seen 0",
+            "kernel 1 alpha 0.5 weight abc seen 0",
+            "kernel 1 alpha 0.5 weight 1 seen -3",
+            "kernel 1 alpha 0.5 weight 1",
+            "kernel 1 weight 1 alpha 0.5 seen 0",
+            "mystery 1 2 3",
+            "kernel 1 alpha 0.5 weight 1 seen 0\nkernel 1 alpha 0.5 weight 1 seen 0",
+        ] {
+            let text = format!("{TABLE_HEADER_V1}\n{bad}\n");
+            let err = table_from_text(&text).unwrap_err();
+            assert!(
+                matches!(err, ModelParseError::BadLine { .. }),
+                "{bad}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn table_comments_and_blank_lines_ignored() {
+        let text = format!(
+            "{TABLE_HEADER_V1}\n# warm-start state\n\nkernel 4 alpha 0.25 weight 10 seen 2\n"
+        );
+        let back = table_from_text(&text).unwrap();
+        assert_eq!(back.lookup(4), Some(0.25));
+        assert_eq!(
+            back.stat(4).unwrap(),
+            AlphaStat {
+                alpha: 0.25,
+                weight: 10.0,
+                invocations_seen: 2
+            }
+        );
     }
 }

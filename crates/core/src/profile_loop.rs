@@ -1,0 +1,103 @@
+//! The per-invocation Figure 7 control flow, shared by the exclusive
+//! ([`EasScheduler`](crate::EasScheduler)) and concurrent
+//! ([`SharedEas`](crate::SharedEas)) frontends.
+//!
+//! This is the *observation-driven* loop: reuse a learned ratio from the
+//! kernel table when one exists (steps 2–4), run tiny invocations CPU-only
+//! (steps 6–10), otherwise repeat online profiling and re-decide α each
+//! round (steps 11–22), then run the remainder at the decided ratio and
+//! fold it into G with sample weighting (steps 23–26). The loop itself
+//! owns no state — it reads the engine (policy), reads/writes the table
+//! (memory), drives the backend (observation), and reports every decision
+//! through a callback so each frontend can keep its own log.
+
+use crate::eas::Decision;
+use crate::engine::DecisionEngine;
+use crate::kernel_table::KernelTable;
+use easched_runtime::{Backend, KernelId};
+
+/// Executes one kernel invocation under the EAS policy.
+///
+/// `on_decision` fires once per profiling-round α decision, in order —
+/// frontends use it to maintain their decision logs and counters.
+pub(crate) fn schedule_invocation(
+    engine: &DecisionEngine,
+    table: &KernelTable,
+    kernel: KernelId,
+    backend: &mut dyn Backend,
+    mut on_decision: impl FnMut(Decision),
+) {
+    let n = backend.remaining();
+    if n == 0 {
+        return;
+    }
+    let profile_size = backend.gpu_profile_size();
+    let config = engine.config();
+
+    // Steps 2–4: reuse the learned ratio for known kernels (unless a
+    // periodic re-profile is due). The small-N guard of steps 6–8 still
+    // applies on this path: an invocation too small to fill the GPU runs
+    // on the CPU regardless of the learned ratio — offloading a
+    // sub-occupancy sliver would waste both time and energy (this is the
+    // reason the guard exists, and it matters for cascade-style kernels
+    // like FD whose invocation sizes swing by orders of magnitude).
+    if let Some(probe) = table.note_reuse(kernel) {
+        let due_reprofile = config
+            .reprofile_every
+            .is_some_and(|k| probe.invocations_seen % k == 0)
+            && n >= profile_size;
+        if !due_reprofile {
+            let alpha = if n < profile_size { 0.0 } else { probe.alpha };
+            backend.run_split(alpha);
+            return;
+        }
+        // Fall through to a fresh profiling pass that re-accumulates.
+    }
+
+    // Steps 6–10: tiny invocations cannot fill the GPU — CPU alone.
+    if n < profile_size {
+        backend.run_split(0.0);
+        table.accumulate(kernel, 0.0, n as f64, config.accumulation);
+        return;
+    }
+
+    // Steps 11–22: repeat profiling for `profile_fraction` of the
+    // iterations, re-deciding α each round.
+    let profile_until = ((n as f64) * (1.0 - config.profile_fraction)) as u64;
+    let mut alpha = 0.0;
+    let mut alpha_weight = 0.0;
+    let mut streak = 0usize;
+    while backend.remaining() > profile_until.max(profile_size) {
+        let before = backend.remaining();
+        let obs = backend.profile_step(profile_size);
+        let consumed = before - backend.remaining();
+        if consumed == 0 {
+            break; // safety: no progress (degenerate backend)
+        }
+        let decision = engine.decide(kernel, &obs, backend.remaining());
+        let decided = decision.alpha;
+        on_decision(decision);
+        streak = if (decided - alpha).abs() < 1e-9 && alpha_weight > 0.0 {
+            streak + 1
+        } else {
+            1
+        };
+        alpha = decided;
+        alpha_weight += consumed as f64;
+        if config.profile_stable_rounds > 0 && streak >= config.profile_stable_rounds {
+            break; // converged: stop profiling early
+        }
+    }
+
+    // Steps 23–25: run the remainder at the decided ratio.
+    if backend.remaining() > 0 {
+        backend.run_split(alpha);
+    }
+    // Step 26: sample-weighted accumulation into G.
+    table.accumulate(
+        kernel,
+        alpha,
+        alpha_weight.max(n as f64 * 0.5),
+        config.accumulation,
+    );
+}

@@ -130,7 +130,8 @@ impl Evaluator {
         trace: &InvocationTrace,
         objective: &Objective,
     ) -> (f64, SchemeResult) {
-        let (alpha, _) = self.best_fixed(traits, trace, &Objective::Time, 1..=self.oracle_steps - 1);
+        let (alpha, _) =
+            self.best_fixed(traits, trace, &Objective::Time, 1..=self.oracle_steps - 1);
         let result = self.score_trace(traits, trace, &mut FixedAlpha::new(alpha), objective);
         (alpha, result)
     }
@@ -145,8 +146,7 @@ impl Evaluator {
         let mut best: Option<(f64, SchemeResult)> = None;
         for i in grid {
             let alpha = i as f64 / self.oracle_steps as f64;
-            let result =
-                self.score_trace(traits, trace, &mut FixedAlpha::new(alpha), objective);
+            let result = self.score_trace(traits, trace, &mut FixedAlpha::new(alpha), objective);
             if best.as_ref().is_none_or(|(_, b)| result.score < b.score) {
                 best = Some((alpha, result));
             }
@@ -235,7 +235,12 @@ mod tests {
         let w = suite::blackscholes_small();
         for objective in [Objective::Energy, Objective::EnergyDelay] {
             let c = ev.compare(w.as_ref(), &objective);
-            for (name, s) in [("cpu", c.cpu), ("gpu", c.gpu), ("perf", c.perf), ("eas", c.eas)] {
+            for (name, s) in [
+                ("cpu", c.cpu),
+                ("gpu", c.gpu),
+                ("perf", c.perf),
+                ("eas", c.eas),
+            ] {
                 assert!(
                     c.oracle.score <= s.score * 1.0001,
                     "{objective:?}: oracle {} vs {name} {}",

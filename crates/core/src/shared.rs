@@ -1,0 +1,238 @@
+//! The concurrent EAS frontend: one learned kernel table shared by N
+//! workload streams.
+//!
+//! [`EasScheduler`](crate::EasScheduler) is exclusive — its `&mut self`
+//! [`Scheduler`](easched_runtime::Scheduler) API means one workload stream
+//! per scheduler, so two runtimes each learn their own table G from
+//! scratch. [`SharedEas`] wires the *same* layers (pure
+//! [`DecisionEngine`] policy, sharded [`KernelTable`] memory) behind the
+//! `&self` [`ConcurrentScheduler`] API: wrap it in an `Arc`, hand a
+//! [`handle()`](SharedEasExt::handle) to each stream, and every stream
+//! both benefits from and contributes to one global table — the paper's
+//! "global table G" made literal for multi-programmed workloads.
+//!
+//! The reuse path (a known kernel arriving again) takes only a shard read
+//! lock plus one atomic increment, so concurrent streams re-invoking
+//! learned kernels scale with reader parallelism; see
+//! `crates/bench/benches/decision.rs` for the contended-lookup numbers.
+
+use crate::eas::{decision_log_csv, Decision, EasConfig, EasScheduler};
+use crate::engine::DecisionEngine;
+use crate::kernel_table::KernelTable;
+use crate::power_model::PowerModel;
+use crate::profile_loop;
+use easched_runtime::{Backend, ConcurrentScheduler, KernelId, Shared};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// The energy-aware scheduler with interior synchronization: the same
+/// Figure 7 policy as [`EasScheduler`], drivable through `&self` from any
+/// number of threads sharing one `Arc`.
+///
+/// # Examples
+///
+/// ```
+/// use easched_core::{characterize, CharacterizationConfig, EasConfig, EasRuntime,
+///                    Objective, SharedEas};
+/// use easched_kernels::suite;
+/// use easched_sim::Platform;
+/// use std::sync::Arc;
+///
+/// let platform = Platform::haswell_desktop();
+/// let model = characterize(&platform, &CharacterizationConfig::default());
+/// let eas = SharedEas::new(model, EasConfig::new(Objective::EnergyDelay));
+///
+/// // Each stream gets its own runtime; all learn into one table.
+/// std::thread::scope(|s| {
+///     for _ in 0..4 {
+///         let eas = Arc::clone(&eas);
+///         s.spawn(move || {
+///             let mut rt = EasRuntime::with_shared(Platform::haswell_desktop(), eas);
+///             assert!(rt.run(suite::blackscholes_small().as_ref()).verification.is_passed());
+///         });
+///     }
+/// });
+/// assert!(!eas.table().is_empty());
+/// ```
+#[derive(Debug)]
+pub struct SharedEas {
+    engine: DecisionEngine,
+    table: KernelTable,
+    name: String,
+    decisions: AtomicU64,
+    log: Mutex<Vec<Decision>>,
+}
+
+impl SharedEas {
+    /// Creates a shareable scheduler from a platform's characterized power
+    /// model, ready to wrap in an `Arc`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.profile_fraction` is outside (0, 1], exactly as
+    /// [`EasScheduler::new`] does.
+    pub fn new(model: PowerModel, config: EasConfig) -> Arc<SharedEas> {
+        let name = format!("EAS-shared({})", config.objective.name());
+        Arc::new(SharedEas {
+            engine: DecisionEngine::new(model, config),
+            table: KernelTable::new(),
+            name,
+            decisions: AtomicU64::new(0),
+            log: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// The learned offload ratio for a kernel, if any.
+    pub fn learned_alpha(&self, kernel: KernelId) -> Option<f64> {
+        self.table.lookup(kernel)
+    }
+
+    /// Number of α decisions made so far across all streams.
+    pub fn decisions(&self) -> u64 {
+        self.decisions.load(Ordering::Relaxed)
+    }
+
+    /// A copy of every α decision made so far. Decisions from one stream
+    /// stay in that stream's order; interleaving across streams follows
+    /// lock-acquisition order.
+    pub fn decision_log(&self) -> Vec<Decision> {
+        self.log.lock().expect("decision log poisoned").clone()
+    }
+
+    /// Serializes the decision log as CSV (same format as
+    /// [`EasScheduler::decision_log_csv`]).
+    pub fn decision_log_csv(&self) -> String {
+        decision_log_csv(&self.decision_log())
+    }
+
+    /// The underlying decision engine (policy layer).
+    pub fn engine(&self) -> &DecisionEngine {
+        &self.engine
+    }
+
+    /// The shared kernel table G (memory layer).
+    pub fn table(&self) -> &KernelTable {
+        &self.table
+    }
+}
+
+impl ConcurrentScheduler for SharedEas {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn schedule_shared(&self, kernel: KernelId, backend: &mut dyn Backend) {
+        profile_loop::schedule_invocation(&self.engine, &self.table, kernel, backend, |d| {
+            self.decisions.fetch_add(1, Ordering::Relaxed);
+            self.log.lock().expect("decision log poisoned").push(d);
+        });
+    }
+}
+
+/// `Arc<SharedEas>` conveniences.
+pub trait SharedEasExt {
+    /// A cheap per-stream handle implementing the exclusive
+    /// [`Scheduler`](easched_runtime::Scheduler) trait, so existing
+    /// drivers ([`EasRuntime`](crate::EasRuntime), harnesses, traces) can
+    /// run against the shared table unchanged.
+    fn handle(&self) -> Shared<SharedEas>;
+}
+
+impl SharedEasExt for Arc<SharedEas> {
+    fn handle(&self) -> Shared<SharedEas> {
+        Shared::new(Arc::clone(self))
+    }
+}
+
+impl EasScheduler {
+    /// Converts an exclusive scheduler into a shareable one, carrying the
+    /// already-learned table (and decision history) across. Useful for
+    /// warming a table single-threaded, then serving it to N streams.
+    pub fn into_shared(self) -> Arc<SharedEas> {
+        let name = format!("EAS-shared({})", self.engine().config().objective.name());
+        let decisions = self.decisions();
+        let log = self.decision_log().to_vec();
+        let (engine, table) = self.into_parts();
+        Arc::new(SharedEas {
+            engine,
+            table,
+            name,
+            decisions: AtomicU64::new(decisions),
+            log: Mutex::new(log),
+        })
+    }
+}
+
+// Whole point of the type; fail the build if a field ever loses it.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<SharedEas>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classify::WorkloadClass;
+    use crate::objective::Objective;
+    use crate::power_model::PowerCurve;
+    use easched_num::Polynomial;
+    use easched_runtime::backend::test_support::FakeBackend;
+    use easched_runtime::Scheduler;
+
+    fn flat_model(watts: f64) -> PowerModel {
+        let curves = WorkloadClass::all()
+            .into_iter()
+            .map(|c| PowerCurve::new(c, Polynomial::constant(watts), 0.0, 11))
+            .collect();
+        PowerModel::new("flat", curves)
+    }
+
+    #[test]
+    fn shared_matches_exclusive_single_stream() {
+        let cfg = EasConfig::new(Objective::Time);
+        let mut exclusive = EasScheduler::new(flat_model(50.0), cfg.clone());
+        let shared = SharedEas::new(flat_model(50.0), cfg);
+
+        let mut b1 = FakeBackend::new(100_000, 1.0e6, 2.0e6);
+        exclusive.schedule(7, &mut b1);
+        let mut b2 = FakeBackend::new(100_000, 1.0e6, 2.0e6);
+        shared.handle().schedule(7, &mut b2);
+
+        assert_eq!(b1.log, b2.log, "identical backend traffic");
+        assert_eq!(exclusive.learned_alpha(7), shared.learned_alpha(7));
+        assert_eq!(exclusive.decisions(), shared.decisions());
+        assert_eq!(exclusive.decision_log(), &shared.decision_log()[..]);
+        assert_eq!(exclusive.decision_log_csv(), shared.decision_log_csv());
+    }
+
+    #[test]
+    fn into_shared_carries_learned_state() {
+        let mut eas = EasScheduler::new(flat_model(50.0), EasConfig::new(Objective::Time));
+        let mut b = FakeBackend::new(100_000, 1.0e6, 2.0e6);
+        eas.schedule(7, &mut b);
+        let alpha = eas.learned_alpha(7);
+        let decisions = eas.decisions();
+
+        let shared = eas.into_shared();
+        assert_eq!(shared.learned_alpha(7), alpha);
+        assert_eq!(shared.decisions(), decisions);
+        assert_eq!(
+            easched_runtime::ConcurrentScheduler::name(&*shared),
+            "EAS-shared(time)"
+        );
+
+        // The carried table is reused, not re-profiled.
+        let mut b2 = FakeBackend::new(100_000, 1.0e6, 2.0e6);
+        shared.handle().schedule(7, &mut b2);
+        assert_eq!(b2.log.len(), 1, "{:?}", b2.log);
+    }
+
+    #[test]
+    fn handle_is_cheap_and_named() {
+        let shared = SharedEas::new(flat_model(50.0), EasConfig::new(Objective::Energy));
+        let h = shared.handle();
+        assert_eq!(Scheduler::name(&h), "EAS-shared(energy)");
+        let h2 = h.clone();
+        assert_eq!(Scheduler::name(&h2), "EAS-shared(energy)");
+    }
+}

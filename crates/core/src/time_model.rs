@@ -98,10 +98,18 @@ impl TimeModel {
             return f64::INFINITY;
         }
         if self.r_c == 0.0 {
-            return if alpha < 1.0 { f64::INFINITY } else { nf / self.r_g };
+            return if alpha < 1.0 {
+                f64::INFINITY
+            } else {
+                nf / self.r_g
+            };
         }
         if self.r_g == 0.0 {
-            return if alpha > 0.0 { f64::INFINITY } else { nf / self.r_c };
+            return if alpha > 0.0 {
+                f64::INFINITY
+            } else {
+                nf / self.r_c
+            };
         }
 
         let t_cg = self.combined_time(alpha, n);

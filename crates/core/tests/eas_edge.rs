@@ -104,9 +104,7 @@ fn single_item_invocations_all_cpu() {
     let (platform, model) = model();
     let mut eas = EasScheduler::new(model, EasConfig::new(Objective::EnergyDelay));
     let mut machine = Machine::new(platform);
-    let trace = InvocationTrace {
-        sizes: vec![1; 50],
-    };
+    let trace = InvocationTrace { sizes: vec![1; 50] };
     let m = replay_trace(&mut machine, &traits(), 1, &trace, &mut eas);
     assert_eq!(m.items, 50);
     // All below GPU_PROFILE_SIZE → learned ratio stays 0.

@@ -42,7 +42,10 @@ fn eas_schedules_real_threads_end_to_end() {
         "every item exactly once across CPU workers and GPU proxy"
     );
     assert!(eas.learned_alpha(7).is_some());
-    assert!(!eas.decision_log().is_empty(), "profiling rounds were recorded");
+    assert!(
+        !eas.decision_log().is_empty(),
+        "profiling rounds were recorded"
+    );
 
     // Second invocation reuses the learned ratio (no new decisions).
     let decisions = eas.decisions();

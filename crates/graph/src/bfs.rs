@@ -121,7 +121,10 @@ impl<'g> BfsEngine<'g> {
     /// [`is_done`](Self::is_done) returns true (calling earlier yields the
     /// partial state).
     pub fn distances(&self) -> Vec<u32> {
-        self.dist.iter().map(|a| a.load(Ordering::Relaxed)).collect()
+        self.dist
+            .iter()
+            .map(|a| a.load(Ordering::Relaxed))
+            .collect()
     }
 }
 

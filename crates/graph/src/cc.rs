@@ -122,7 +122,10 @@ impl<'g> CcEngine<'g> {
 
     /// Current labels (converged once [`is_done`](Self::is_done)).
     pub fn labels(&self) -> Vec<u32> {
-        self.labels.iter().map(|a| a.load(Ordering::Relaxed)).collect()
+        self.labels
+            .iter()
+            .map(|a| a.load(Ordering::Relaxed))
+            .collect()
     }
 }
 

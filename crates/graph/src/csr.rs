@@ -26,7 +26,10 @@ impl fmt::Display for CsrError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CsrError::VertexOutOfRange { vertex, count } => {
-                write!(f, "edge endpoint {vertex} out of range for {count} vertices")
+                write!(
+                    f,
+                    "edge endpoint {vertex} out of range for {count} vertices"
+                )
             }
             CsrError::WeightLengthMismatch { edges, weights } => {
                 write!(f, "{edges} edges but {weights} weights")
@@ -192,7 +195,10 @@ impl Csr {
 
     /// Maximum out-degree (0 for an empty graph).
     pub fn max_degree(&self) -> usize {
-        (0..self.vertex_count()).map(|v| self.degree(v)).max().unwrap_or(0)
+        (0..self.vertex_count())
+            .map(|v| self.degree(v))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Mean out-degree (0 for an empty graph).
@@ -260,11 +266,17 @@ mod tests {
     fn out_of_range_source_and_target_rejected() {
         assert_eq!(
             Csr::from_edges(2, &[(2, 0)]),
-            Err(CsrError::VertexOutOfRange { vertex: 2, count: 2 })
+            Err(CsrError::VertexOutOfRange {
+                vertex: 2,
+                count: 2
+            })
         );
         assert_eq!(
             Csr::from_edges(2, &[(0, 5)]),
-            Err(CsrError::VertexOutOfRange { vertex: 5, count: 2 })
+            Err(CsrError::VertexOutOfRange {
+                vertex: 5,
+                count: 2
+            })
         );
     }
 
@@ -273,7 +285,10 @@ mod tests {
         let err = Csr::from_weighted_edges(2, &[(0, 1)], &[1, 2]).unwrap_err();
         assert_eq!(
             err,
-            CsrError::WeightLengthMismatch { edges: 1, weights: 2 }
+            CsrError::WeightLengthMismatch {
+                edges: 1,
+                weights: 2
+            }
         );
         assert!(err.to_string().contains("1 edges"));
     }

@@ -51,10 +51,22 @@ pub fn road_network(width: u32, height: u32, seed: u64) -> Csr {
         for x in 0..width {
             let v = idx(x, y);
             if x + 1 < width && rng.gen_bool(0.93) {
-                add(v, idx(x + 1, y), rng.gen_range(1..=100), &mut edges, &mut weights);
+                add(
+                    v,
+                    idx(x + 1, y),
+                    rng.gen_range(1..=100),
+                    &mut edges,
+                    &mut weights,
+                );
             }
             if y + 1 < height && rng.gen_bool(0.93) {
-                add(v, idx(x, y + 1), rng.gen_range(1..=100), &mut edges, &mut weights);
+                add(
+                    v,
+                    idx(x, y + 1),
+                    rng.gen_range(1..=100),
+                    &mut edges,
+                    &mut weights,
+                );
             }
         }
     }
@@ -243,7 +255,11 @@ mod tests {
 
     #[test]
     fn generated_graphs_are_symmetric() {
-        for g in [road_network(15, 15, 4), rmat(7, 8, 4), erdos_renyi(64, 100, 4)] {
+        for g in [
+            road_network(15, 15, 4),
+            rmat(7, 8, 4),
+            erdos_renyi(64, 100, 4),
+        ] {
             for v in 0..g.vertex_count() {
                 for (u, w) in g.weighted_neighbors(v) {
                     assert!(

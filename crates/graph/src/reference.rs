@@ -155,8 +155,7 @@ mod tests {
     #[test]
     fn dijkstra_prefers_cheap_path() {
         // 0 -> 1 -> 2 total 2, direct 0 -> 2 costs 10.
-        let g =
-            Csr::from_weighted_edges(3, &[(0, 1), (1, 2), (0, 2)], &[1, 1, 10]).unwrap();
+        let g = Csr::from_weighted_edges(3, &[(0, 1), (1, 2), (0, 2)], &[1, 1, 10]).unwrap();
         assert_eq!(dijkstra(&g, 0), vec![0, 1, 2]);
     }
 

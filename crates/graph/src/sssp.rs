@@ -96,10 +96,10 @@ impl<'g> SsspEngine<'g> {
                 && self.in_next[u as usize]
                     .compare_exchange(0, 1, Ordering::Relaxed, Ordering::Relaxed)
                     .is_ok()
-                {
-                    let slot = self.next_len.fetch_add(1, Ordering::Relaxed);
-                    self.next[slot].store(u64::from(u), Ordering::Relaxed);
-                }
+            {
+                let slot = self.next_len.fetch_add(1, Ordering::Relaxed);
+                self.next[slot].store(u64::from(u), Ordering::Relaxed);
+            }
         }
     }
 
@@ -107,8 +107,11 @@ impl<'g> SsspEngine<'g> {
     pub fn advance(&mut self) {
         let len = self.next_len.swap(0, Ordering::Relaxed);
         self.frontier.clear();
-        self.frontier
-            .extend(self.next[..len].iter().map(|a| a.load(Ordering::Relaxed) as u32));
+        self.frontier.extend(
+            self.next[..len]
+                .iter()
+                .map(|a| a.load(Ordering::Relaxed) as u32),
+        );
         for &v in &self.frontier {
             self.in_next[v as usize].store(0, Ordering::Relaxed);
         }
@@ -119,7 +122,10 @@ impl<'g> SsspEngine<'g> {
     /// Tentative distances (exact shortest paths once done); `u64::MAX`
     /// marks unreachable vertices.
     pub fn distances(&self) -> Vec<u64> {
-        self.dist.iter().map(|a| a.load(Ordering::Relaxed)).collect()
+        self.dist
+            .iter()
+            .map(|a| a.load(Ordering::Relaxed))
+            .collect()
     }
 }
 
@@ -159,8 +165,7 @@ mod tests {
     fn revisits_vertices_unlike_bfs() {
         // A graph where the cheap path has more hops: 0->1->2 (1+1) beats
         // 0->2 (10), so vertex 2 is relaxed twice.
-        let g =
-            Csr::from_weighted_edges(3, &[(0, 2), (0, 1), (1, 2)], &[10, 1, 1]).unwrap();
+        let g = Csr::from_weighted_edges(3, &[(0, 2), (0, 1), (1, 2)], &[10, 1, 1]).unwrap();
         let mut e = SsspEngine::new(&g, 0);
         let mut total_items = 0;
         while !e.is_done() {

@@ -58,7 +58,11 @@ pub fn graph_stats(g: &Csr) -> GraphStats {
         let d1 = reference::bfs_levels(g, giant_label);
         let far = farthest(&d1);
         let d2 = reference::bfs_levels(g, far);
-        d2.iter().filter(|&&d| d != u32::MAX).max().copied().unwrap_or(0)
+        d2.iter()
+            .filter(|&&d| d != u32::MAX)
+            .max()
+            .copied()
+            .unwrap_or(0)
     } else {
         0
     };

@@ -6,8 +6,11 @@ use proptest::prelude::*;
 
 /// Arbitrary small undirected weighted graph.
 fn graphs() -> impl Strategy<Value = Csr> {
-    (2u32..60, prop::collection::vec((0u32..60, 0u32..60, 1u32..100), 0..150)).prop_map(
-        |(n, raw)| {
+    (
+        2u32..60,
+        prop::collection::vec((0u32..60, 0u32..60, 1u32..100), 0..150),
+    )
+        .prop_map(|(n, raw)| {
             let mut edges = Vec::new();
             let mut weights = Vec::new();
             for (a, b, w) in raw {
@@ -18,8 +21,7 @@ fn graphs() -> impl Strategy<Value = Csr> {
                 weights.push(w);
             }
             Csr::from_weighted_edges(n, &edges, &weights).expect("valid edges")
-        },
-    )
+        })
 }
 
 proptest! {

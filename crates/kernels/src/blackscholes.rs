@@ -29,7 +29,8 @@ fn norm_cdf(x: f64) -> f64 {
     let x = x.abs();
     let k = 1.0 / (1.0 + 0.2316419 * x);
     let poly = k
-        * (0.319381530 + k * (-0.356563782 + k * (1.781477937 + k * (-1.821255978 + k * 1.330274429))));
+        * (0.319381530
+            + k * (-0.356563782 + k * (1.781477937 + k * (-1.821255978 + k * 1.330274429))));
     let pdf = (-x * x / 2.0).exp() / (2.0 * std::f64::consts::PI).sqrt();
     let cdf = 1.0 - pdf * poly;
     if neg {
@@ -117,7 +118,11 @@ impl BlackScholes {
 
 impl Workload for BlackScholes {
     fn input_description(&self) -> String {
-        format!("{} options, {} passes", self.options.len(), self.invocations)
+        format!(
+            "{} options, {} passes",
+            self.options.len(),
+            self.invocations
+        )
     }
 
     fn spec(&self) -> WorkloadSpec {

@@ -74,10 +74,15 @@ impl FaceDetect {
             width >= 2 * BASE_WINDOW && height >= 2 * BASE_WINDOW,
             "image must fit at least 2x the base window"
         );
-        assert!(stages > 0 && n_faces > 0, "stages and faces must be positive");
+        assert!(
+            stages > 0 && n_faces > 0,
+            "stages and faces must be positive"
+        );
         let mut rng = StdRng::seed_from_u64(seed);
         // Background: mid-gray noise.
-        let mut image: Vec<u32> = (0..width * height).map(|_| rng.gen_range(100..160)).collect();
+        let mut image: Vec<u32> = (0..width * height)
+            .map(|_| rng.gen_range(100..160))
+            .collect();
         // Plant faces aligned to the detection grid: left half bright,
         // right half dark (a crude but real Haar-detectable pattern).
         let mut planted = Vec::new();
@@ -169,7 +174,13 @@ impl FaceDetect {
 
 impl Workload for FaceDetect {
     fn input_description(&self) -> String {
-        format!("{}x{} synthetic photo, {} faces, {} stages", self.width, self.height, self.planted.len(), self.stages)
+        format!(
+            "{}x{} synthetic photo, {} faces, {} stages",
+            self.width,
+            self.height,
+            self.planted.len(),
+            self.stages
+        )
     }
 
     fn spec(&self) -> WorkloadSpec {
@@ -226,14 +237,20 @@ impl Workload for FaceDetect {
         // Every planted face must be detected exactly at base scale, and the
         // detector must not light up the whole image.
         for &(px, py) in &self.planted {
-            if !detections.iter().any(|&(x, y, w)| x == px && y == py && w == BASE_WINDOW) {
+            if !detections
+                .iter()
+                .any(|&(x, y, w)| x == px && y == py && w == BASE_WINDOW)
+            {
                 return Verification::Failed(format!("planted face at ({px},{py}) missed"));
             }
         }
         let windows_base =
             ((self.width - BASE_WINDOW) / STRIDE + 1) * ((self.height - BASE_WINDOW) / STRIDE + 1);
         if detections.len() > windows_base / 10 {
-            return Verification::Failed(format!("{} detections is implausibly many", detections.len()));
+            return Verification::Failed(format!(
+                "{} detections is implausibly many",
+                detections.len()
+            ));
         }
         Verification::Passed
     }
@@ -275,7 +292,11 @@ mod tests {
         let (trace, _) = record_trace(&w);
         // The first two invocations are stage 0 and stage 1 of the largest
         // window population: stage 1 must see far fewer windows.
-        assert!(trace.sizes[1] < trace.sizes[0] / 4, "{:?}", &trace.sizes[..2]);
+        assert!(
+            trace.sizes[1] < trace.sizes[0] / 4,
+            "{:?}",
+            &trace.sizes[..2]
+        );
     }
 
     #[test]

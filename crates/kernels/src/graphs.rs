@@ -373,15 +373,21 @@ mod tests {
 
     #[test]
     fn none_run_on_tablet() {
-        assert!(!Bfs::new(4, 4, 0, Bfs::default_profile()).spec().runs_on_tablet);
+        assert!(
+            !Bfs::new(4, 4, 0, Bfs::default_profile())
+                .spec()
+                .runs_on_tablet
+        );
         assert!(
             !ConnectedComponents::new(4, 4, 0, ConnectedComponents::default_profile())
                 .spec()
                 .runs_on_tablet
         );
-        assert!(!ShortestPath::new(4, 4, 0, ShortestPath::default_profile())
-            .spec()
-            .runs_on_tablet);
+        assert!(
+            !ShortestPath::new(4, 4, 0, ShortestPath::default_profile())
+                .spec()
+                .runs_on_tablet
+        );
     }
 
     #[test]

@@ -92,7 +92,10 @@ impl Mandelbrot {
 
 impl Workload for Mandelbrot {
     fn input_description(&self) -> String {
-        format!("image {}x{}, {} iterations", self.width, self.height, self.max_iter)
+        format!(
+            "image {}x{}, {} iterations",
+            self.width, self.height, self.max_iter
+        )
     }
 
     fn spec(&self) -> WorkloadSpec {

@@ -81,7 +81,12 @@ impl MicroBenchmark {
         )
     }
 
-    fn with_tilt(tilt: f64, memory_bound: bool, cpu_short: bool, gpu_short: bool) -> MicroBenchmark {
+    fn with_tilt(
+        tilt: f64,
+        memory_bound: bool,
+        cpu_short: bool,
+        gpu_short: bool,
+    ) -> MicroBenchmark {
         let name = format!(
             "micro-{}-cpu{}-gpu{}",
             if memory_bound { "mem" } else { "comp" },
@@ -89,8 +94,17 @@ impl MicroBenchmark {
             if gpu_short { "S" } else { "L" },
         );
         let calib = Calib {
-            cpu_rate: if cpu_short { CPU_SHORT_RATE } else { CPU_LONG_RATE },
-            gpu_rate: tilt * if gpu_short { CPU_SHORT_RATE } else { CPU_LONG_RATE },
+            cpu_rate: if cpu_short {
+                CPU_SHORT_RATE
+            } else {
+                CPU_LONG_RATE
+            },
+            gpu_rate: tilt
+                * if gpu_short {
+                    CPU_SHORT_RATE
+                } else {
+                    CPU_LONG_RATE
+                },
             mem_intensity: if memory_bound { 1.0 } else { 0.0 },
             access: if memory_bound {
                 AccessPattern::Random
@@ -126,7 +140,11 @@ impl MicroBenchmark {
     pub fn label(&self) -> String {
         format!(
             "{}, CPU {}, GPU {}",
-            if self.memory_bound { "Memory" } else { "Compute" },
+            if self.memory_bound {
+                "Memory"
+            } else {
+                "Compute"
+            },
             if self.cpu_short { "Short" } else { "Long" },
             if self.gpu_short { "Short" } else { "Long" },
         )
@@ -313,12 +331,11 @@ mod tests {
 
     #[test]
     fn labels_unique() {
-        let labels: std::collections::HashSet<String> = characterization_suite(
-            &Platform::baytrail_tablet(),
-        )
-        .iter()
-        .map(|m| m.label())
-        .collect();
+        let labels: std::collections::HashSet<String> =
+            characterization_suite(&Platform::baytrail_tablet())
+                .iter()
+                .map(|m| m.label())
+                .collect();
         assert_eq!(labels.len(), 8);
     }
 

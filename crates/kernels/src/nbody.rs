@@ -32,10 +32,22 @@ impl Bodies {
         let mut rng = StdRng::seed_from_u64(seed);
         Bodies {
             pos: (0..n)
-                .map(|_| [rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)])
+                .map(|_| {
+                    [
+                        rng.gen_range(-1.0..1.0),
+                        rng.gen_range(-1.0..1.0),
+                        rng.gen_range(-1.0..1.0),
+                    ]
+                })
                 .collect(),
             vel: (0..n)
-                .map(|_| [rng.gen_range(-0.1..0.1), rng.gen_range(-0.1..0.1), rng.gen_range(-0.1..0.1)])
+                .map(|_| {
+                    [
+                        rng.gen_range(-0.1..0.1),
+                        rng.gen_range(-0.1..0.1),
+                        rng.gen_range(-0.1..0.1),
+                    ]
+                })
                 .collect(),
             mass: (0..n).map(|_| rng.gen_range(0.5..2.0)).collect(),
         }

@@ -124,7 +124,10 @@ impl Profile {
     /// reduced-scale test variants so per-invocation *times* stay in the
     /// same classification regime.
     pub fn scale_rates(mut self, factor: f64) -> Profile {
-        assert!(factor.is_finite() && factor > 0.0, "factor must be positive");
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "factor must be positive"
+        );
         self.desktop.cpu_rate *= factor;
         self.desktop.gpu_rate *= factor;
         self.tablet.cpu_rate *= factor;

@@ -116,14 +116,22 @@ impl RayTracer {
                     rng.gen_range(3.0..12.0),
                 ],
                 radius: rng.gen_range(0.2..0.8),
-                color: [rng.gen_range(0.1..1.0), rng.gen_range(0.1..1.0), rng.gen_range(0.1..1.0)],
+                color: [
+                    rng.gen_range(0.1..1.0),
+                    rng.gen_range(0.1..1.0),
+                    rng.gen_range(0.1..1.0),
+                ],
                 specular: rng.gen_range(8.0..64.0),
                 reflect: rng.gen_range(0.0..0.4),
             })
             .collect();
         let lights = (0..n_lights)
             .map(|_| Light {
-                pos: [rng.gen_range(-6.0..6.0), rng.gen_range(2.0..6.0), rng.gen_range(-2.0..4.0)],
+                pos: [
+                    rng.gen_range(-6.0..6.0),
+                    rng.gen_range(2.0..6.0),
+                    rng.gen_range(-2.0..4.0),
+                ],
                 intensity: rng.gen_range(0.4..1.0),
             })
             .collect();
@@ -196,14 +204,19 @@ impl RayTracer {
             let diffuse = dot(normal, to_light).max(0.0) * light.intensity;
             color = add(color, scale(sphere.color, diffuse));
             let reflect_dir = sub(scale(normal, 2.0 * dot(normal, to_light)), to_light);
-            let spec = dot(reflect_dir, scale(dir, -1.0)).max(0.0).powf(sphere.specular)
+            let spec = dot(reflect_dir, scale(dir, -1.0))
+                .max(0.0)
+                .powf(sphere.specular)
                 * light.intensity;
             color = add(color, [spec, spec, spec]);
         }
         if depth > 0 && sphere.reflect > 0.0 {
             let rdir = normalize(sub(dir, scale(normal, 2.0 * dot(dir, normal))));
             let reflected = self.shade(point, rdir, depth - 1);
-            color = add(scale(color, 1.0 - sphere.reflect), scale(reflected, sphere.reflect));
+            color = add(
+                scale(color, 1.0 - sphere.reflect),
+                scale(reflected, sphere.reflect),
+            );
         }
         color
     }
@@ -221,7 +234,13 @@ impl RayTracer {
 
 impl Workload for RayTracer {
     fn input_description(&self) -> String {
-        format!("{}x{}, {} spheres, {} lights", self.width, self.height, self.spheres.len(), self.lights.len())
+        format!(
+            "{}x{}, {} spheres, {} lights",
+            self.width,
+            self.height,
+            self.spheres.len(),
+            self.lights.len()
+        )
     }
 
     fn spec(&self) -> WorkloadSpec {
@@ -252,7 +271,10 @@ impl Workload for RayTracer {
             for k in 0..3 {
                 let got = f32::from_bits(px[k].load(Ordering::Relaxed));
                 if got != want[k] {
-                    return Verification::Failed(format!("pixel {i} channel {k}: {got} vs {}", want[k]));
+                    return Verification::Failed(format!(
+                        "pixel {i} channel {k}: {got} vs {}",
+                        want[k]
+                    ));
                 }
             }
         }
@@ -313,7 +335,10 @@ mod tests {
             let c = rt.render_pixel(i);
             max_lum = max_lum.max(c[0] + c[1] + c[2]);
         }
-        assert!(max_lum > BACKGROUND.iter().sum::<f32>() * 2.0, "scene all dark");
+        assert!(
+            max_lum > BACKGROUND.iter().sum::<f32>() * 2.0,
+            "scene all dark"
+        );
     }
 
     #[test]

@@ -140,7 +140,9 @@ impl Workload for Seismic {
             }
             prev = std::mem::replace(
                 &mut cur,
-                next.iter().map(|a| f32::from_bits(a.load(Ordering::Relaxed))).collect(),
+                next.iter()
+                    .map(|a| f32::from_bits(a.load(Ordering::Relaxed)))
+                    .collect(),
             );
         }
         let reference = self.serial_run();

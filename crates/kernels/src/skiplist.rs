@@ -188,8 +188,9 @@ impl Workload for SkipList {
 
     fn drive(&self, invoker: &mut dyn Invoker) -> Verification {
         let list = SkipListIndex::build(&self.keys);
-        let found: Vec<AtomicBool> =
-            (0..self.queries.len()).map(|_| AtomicBool::new(false)).collect();
+        let found: Vec<AtomicBool> = (0..self.queries.len())
+            .map(|_| AtomicBool::new(false))
+            .collect();
         {
             let l = &list;
             let q = &self.queries;

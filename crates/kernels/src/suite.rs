@@ -42,27 +42,54 @@ pub fn cc_desktop() -> Box<dyn Workload> {
 
 /// Face Detect at desktop evaluation scale (1280×960 synthetic group photo).
 pub fn face_detect_desktop() -> Box<dyn Workload> {
-    Box::new(FaceDetect::new(1280, 960, 12, 12, 0xFD, FaceDetect::default_profile()))
+    Box::new(FaceDetect::new(
+        1280,
+        960,
+        12,
+        12,
+        0xFD,
+        FaceDetect::default_profile(),
+    ))
 }
 
 /// Mandelbrot at desktop evaluation scale (1024×768, 256 iterations).
 pub fn mandelbrot_desktop() -> Box<dyn Workload> {
-    Box::new(Mandelbrot::new(1024, 768, 256, Mandelbrot::default_profile()))
+    Box::new(Mandelbrot::new(
+        1024,
+        768,
+        256,
+        Mandelbrot::default_profile(),
+    ))
 }
 
 /// SkipList at desktop evaluation scale (500 k keys, 1 M lookups).
 pub fn skiplist_desktop() -> Box<dyn Workload> {
-    Box::new(SkipList::new(500_000, 1_000_000, 0x51, SkipList::default_profile()))
+    Box::new(SkipList::new(
+        500_000,
+        1_000_000,
+        0x51,
+        SkipList::default_profile(),
+    ))
 }
 
 /// Shortest Path at desktop evaluation scale.
 pub fn shortest_path_desktop() -> Box<dyn Workload> {
-    Box::new(ShortestPath::new(512, 512, 0x59, ShortestPath::default_profile()))
+    Box::new(ShortestPath::new(
+        512,
+        512,
+        0x59,
+        ShortestPath::default_profile(),
+    ))
 }
 
 /// Blackscholes at desktop evaluation scale (64 Ki options × 500 passes).
 pub fn blackscholes_desktop() -> Box<dyn Workload> {
-    Box::new(BlackScholes::new(65_536, 500, 0xB5, BlackScholes::default_profile()))
+    Box::new(BlackScholes::new(
+        65_536,
+        500,
+        0xB5,
+        BlackScholes::default_profile(),
+    ))
 }
 
 /// Matrix Multiply at desktop evaluation scale (512×512).
@@ -77,7 +104,14 @@ pub fn nbody_desktop() -> Box<dyn Workload> {
 
 /// Ray Tracer at desktop evaluation scale (512×384, 256 spheres, 5 lights).
 pub fn raytracer_desktop() -> Box<dyn Workload> {
-    Box::new(RayTracer::new(512, 384, 256, 5, 0x47, RayTracer::default_profile()))
+    Box::new(RayTracer::new(
+        512,
+        384,
+        256,
+        5,
+        0x47,
+        RayTracer::default_profile(),
+    ))
 }
 
 /// Seismic at desktop evaluation scale (975×663, 100 frames).
@@ -105,18 +139,33 @@ pub fn desktop_suite() -> Vec<Box<dyn Workload>> {
 
 /// Mandelbrot at tablet scale (same image as the desktop, per Table 1).
 pub fn mandelbrot_tablet() -> Box<dyn Workload> {
-    Box::new(Mandelbrot::new(1024, 768, 256, Mandelbrot::default_profile()))
+    Box::new(Mandelbrot::new(
+        1024,
+        768,
+        256,
+        Mandelbrot::default_profile(),
+    ))
 }
 
 /// SkipList at tablet scale (100 k keys, 200 k lookups).
 pub fn skiplist_tablet() -> Box<dyn Workload> {
-    Box::new(SkipList::new(100_000, 200_000, 0x52, SkipList::default_profile()))
+    Box::new(SkipList::new(
+        100_000,
+        200_000,
+        0x52,
+        SkipList::default_profile(),
+    ))
 }
 
 /// Blackscholes at tablet scale (256 Ki options × 100 passes — the paper's
 /// tablet input is *larger* per pass than the desktop's).
 pub fn blackscholes_tablet() -> Box<dyn Workload> {
-    Box::new(BlackScholes::new(262_144, 100, 0xB6, BlackScholes::default_profile()))
+    Box::new(BlackScholes::new(
+        262_144,
+        100,
+        0xB6,
+        BlackScholes::default_profile(),
+    ))
 }
 
 /// Matrix Multiply at tablet scale (256×256).
@@ -131,7 +180,14 @@ pub fn nbody_tablet() -> Box<dyn Workload> {
 
 /// Ray Tracer at tablet scale (320×240, 225 spheres).
 pub fn raytracer_tablet() -> Box<dyn Workload> {
-    Box::new(RayTracer::new(320, 240, 225, 5, 0x48, RayTracer::default_profile()))
+    Box::new(RayTracer::new(
+        320,
+        240,
+        225,
+        5,
+        0x48,
+        RayTracer::default_profile(),
+    ))
 }
 
 /// Seismic at tablet scale (same grid as the desktop, per Table 1).
@@ -160,7 +216,12 @@ pub fn mandelbrot_small() -> Box<dyn Workload> {
 
 /// Reduced-scale Blackscholes for tests and examples.
 pub fn blackscholes_small() -> Box<dyn Workload> {
-    Box::new(BlackScholes::new(512, 4, 0xB7, BlackScholes::default_profile()))
+    Box::new(BlackScholes::new(
+        512,
+        4,
+        0xB7,
+        BlackScholes::default_profile(),
+    ))
 }
 
 /// Reduced-scale BFS for tests and examples.
@@ -180,14 +241,33 @@ pub fn small_suite() -> Vec<Box<dyn Workload>> {
             2,
             ConnectedComponents::default_profile(),
         )),
-        Box::new(FaceDetect::new(200, 150, 3, 8, 3, FaceDetect::default_profile())),
+        Box::new(FaceDetect::new(
+            200,
+            150,
+            3,
+            8,
+            3,
+            FaceDetect::default_profile(),
+        )),
         mandelbrot_small(),
         Box::new(SkipList::new(4_000, 8_000, 4, SkipList::default_profile())),
-        Box::new(ShortestPath::new(32, 32, 5, ShortestPath::default_profile())),
+        Box::new(ShortestPath::new(
+            32,
+            32,
+            5,
+            ShortestPath::default_profile(),
+        )),
         blackscholes_small(),
         Box::new(MatMul::new(40, 6, MatMul::default_profile())),
         Box::new(NBody::new(64, 6, 7, NBody::default_profile())),
-        Box::new(RayTracer::new(48, 36, 12, 2, 8, RayTracer::default_profile())),
+        Box::new(RayTracer::new(
+            48,
+            36,
+            12,
+            2,
+            8,
+            RayTracer::default_profile(),
+        )),
         Box::new(Seismic::new(33, 29, 8, Seismic::default_profile())),
     ]
 }

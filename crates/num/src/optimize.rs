@@ -75,7 +75,11 @@ pub fn grid_min<F: FnMut(f64) -> f64>(lo: f64, hi: f64, steps: usize, mut f: F) 
         let x = lo + (hi - lo) * (i as f64 / steps as f64);
         let v = f(x);
         if v.is_finite() && v < best.value {
-            best = GridMin { x, value: v, index: i };
+            best = GridMin {
+                x,
+                value: v,
+                index: i,
+            };
         }
     }
     best

@@ -40,7 +40,9 @@ impl fmt::Display for FitError {
                 write!(f, "need at least {needed} samples, got {samples}")
             }
             FitError::LengthMismatch => write!(f, "sample vectors have different lengths"),
-            FitError::InvalidSample => write!(f, "sample contains NaN, infinity, or negative weight"),
+            FitError::InvalidSample => {
+                write!(f, "sample contains NaN, infinity, or negative weight")
+            }
             FitError::Degenerate(e) => write!(f, "normal equations degenerate: {e}"),
         }
     }
@@ -251,7 +253,11 @@ pub fn polyfit_weighted(
         wy_sum += w * y;
         max_abs = max_abs.max(r.abs());
     }
-    let rmse = if wsum > 0.0 { (sum_sq / wsum).sqrt() } else { 0.0 };
+    let rmse = if wsum > 0.0 {
+        (sum_sq / wsum).sqrt()
+    } else {
+        0.0
+    };
     // R² against the weighted mean of y.
     let y_mean = if wsum > 0.0 { wy_sum / wsum } else { 0.0 };
     let mut total_sq = 0.0;
@@ -310,13 +316,13 @@ mod tests {
     #[test]
     fn overdetermined_noisy_fit_reduces_residual_with_degree() {
         let xs: Vec<f64> = (0..=40).map(|i| i as f64 / 40.0).collect();
-        let ys: Vec<f64> = xs
-            .iter()
-            .map(|&x| 50.0 + 10.0 * (x * 3.0).sin())
-            .collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| 50.0 + 10.0 * (x * 3.0).sin()).collect();
         let r2 = polyfit(&xs, &ys, 2).unwrap().rmse();
         let r6 = polyfit(&xs, &ys, 6).unwrap().rmse();
-        assert!(r6 < r2, "rmse should not increase with degree: {r6} vs {r2}");
+        assert!(
+            r6 < r2,
+            "rmse should not increase with degree: {r6} vs {r2}"
+        );
     }
 
     #[test]
@@ -367,8 +373,8 @@ mod tests {
 
     #[test]
     fn constant_fit_is_weighted_mean() {
-        let fit = polyfit_weighted(&[0.0, 1.0, 2.0], &[10.0, 20.0, 30.0], &[1.0, 1.0, 2.0], 0)
-            .unwrap();
+        let fit =
+            polyfit_weighted(&[0.0, 1.0, 2.0], &[10.0, 20.0, 30.0], &[1.0, 1.0, 2.0], 0).unwrap();
         let mean = (10.0 + 20.0 + 60.0) / 4.0;
         assert!((fit.eval(5.0) - mean).abs() < 1e-9);
     }

@@ -258,7 +258,8 @@ impl Add for &Polynomial {
         let n = self.coeffs.len().max(rhs.coeffs.len());
         let coeffs = (0..n)
             .map(|k| {
-                self.coeffs.get(k).copied().unwrap_or(0.0) + rhs.coeffs.get(k).copied().unwrap_or(0.0)
+                self.coeffs.get(k).copied().unwrap_or(0.0)
+                    + rhs.coeffs.get(k).copied().unwrap_or(0.0)
             })
             .collect();
         Polynomial::new(coeffs)
@@ -433,7 +434,11 @@ mod tests {
     #[test]
     fn display_never_empty() {
         // C-DEBUG-NONEMPTY analogue for Display.
-        for p in [Polynomial::zero(), Polynomial::constant(0.0), poly(&[0.0, 1.0])] {
+        for p in [
+            Polynomial::zero(),
+            Polynomial::constant(0.0),
+            poly(&[0.0, 1.0]),
+        ] {
             assert!(!format!("{p}").is_empty());
         }
     }

@@ -158,7 +158,8 @@ impl Summary {
         }
         let total = self.count + other.count;
         let delta = other.mean - self.mean;
-        self.m2 += other.m2 + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
+        self.m2 +=
+            other.m2 + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
         self.mean += delta * other.count as f64 / total as f64;
         self.count = total;
         self.sum += other.sum;
@@ -255,7 +256,9 @@ mod tests {
 
     #[test]
     fn welford_matches_two_pass() {
-        let xs: Vec<f64> = (0..100).map(|i| (i as f64 * 0.37).sin() * 10.0 + 5.0).collect();
+        let xs: Vec<f64> = (0..100)
+            .map(|i| (i as f64 * 0.37).sin() * 10.0 + 5.0)
+            .collect();
         let s: Summary = xs.iter().copied().collect();
         let mean = xs.iter().sum::<f64>() / xs.len() as f64;
         let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / xs.len() as f64;
@@ -272,7 +275,10 @@ mod tests {
 
     #[test]
     fn ignores_non_finite() {
-        let s: Summary = [1.0, f64::INFINITY, 2.0, f64::NAN, 3.0].iter().copied().collect();
+        let s: Summary = [1.0, f64::INFINITY, 2.0, f64::NAN, 3.0]
+            .iter()
+            .copied()
+            .collect();
         assert_eq!(s.count(), 3);
         assert_eq!(s.mean(), 2.0);
     }

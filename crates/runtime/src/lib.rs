@@ -22,8 +22,10 @@
 //!   to a [`Scheduler`].
 //!
 //! Scheduling policies themselves (EAS, PERF, fixed-α) live in
-//! `easched-core`; this crate only defines the [`Scheduler`] interface they
-//! implement.
+//! `easched-core`; this crate only defines the interfaces they implement:
+//! [`Scheduler`] for exclusive (`&mut self`) policies, and
+//! [`ConcurrentScheduler`] + the [`Shared`] adapter for policies that many
+//! workload streams drive concurrently through one `Arc`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -42,6 +44,6 @@ pub use energy_probe::{EnergyProbe, MachineProbe, RaplProbe};
 pub use observation::{Observation, RunMetrics};
 pub use parallel_invoker::ParallelInvoker;
 pub use pool::{parallel_for, PoolReport};
-pub use scheduler::{KernelId, Scheduler};
-pub use sim_backend::{replay_trace, run_workload, SchedulerInvoker, SimBackend};
+pub use scheduler::{ConcurrentScheduler, KernelId, Scheduler, Shared};
+pub use sim_backend::{kernel_id_of, replay_trace, run_workload, SchedulerInvoker, SimBackend};
 pub use thread_backend::{ThreadBackend, ThreadBackendConfig};

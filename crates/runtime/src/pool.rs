@@ -202,33 +202,34 @@ mod tests {
 
     #[test]
     fn work_distributes_across_workers() {
-        let r = parallel_for(100_000, 4, &|i| {
-            // Enough per-item work that the call cannot finish before the
-            // other workers have started.
-            for k in 0..50u64 {
-                std::hint::black_box(i as u64 ^ k);
+        // Per-item cost is time-bound (not op-bound) so the call spans many
+        // scheduler timeslices even in release mode on a single-core box —
+        // otherwise the first worker thread can drain every deque before
+        // the other threads have been scheduled at all.
+        let r = parallel_for(20_000, 4, &|_| {
+            let t = Instant::now();
+            while t.elapsed() < std::time::Duration::from_micros(2) {
+                std::hint::spin_loop();
             }
         });
         let active = r.items_per_worker.iter().filter(|&&c| c > 0).count();
-        assert!(active >= 2, "expected multiple active workers: {:?}", r.items_per_worker);
+        assert!(
+            active >= 2,
+            "expected multiple active workers: {:?}",
+            r.items_per_worker
+        );
     }
 
     #[test]
     fn stealing_rebalances_skewed_work() {
         // Make the chunks in worker 0's deque extremely slow; others must
         // steal to finish.
-        let r = parallel_for_until(
-            1_000,
-            4,
-            10,
-            None,
-            &|i| {
-                if i < 250 {
-                    // Worker 0's initial share is slow.
-                    std::thread::sleep(std::time::Duration::from_micros(50));
-                }
-            },
-        );
+        let r = parallel_for_until(1_000, 4, 10, None, &|i| {
+            if i < 250 {
+                // Worker 0's initial share is slow.
+                std::thread::sleep(std::time::Duration::from_micros(50));
+            }
+        });
         assert_eq!(r.total_items(), 1_000);
         assert!(r.steals > 0, "expected steals, got {:?}", r);
     }

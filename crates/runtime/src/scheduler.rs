@@ -1,6 +1,18 @@
 //! The scheduling-policy interface.
+//!
+//! Two flavors exist:
+//!
+//! * [`Scheduler`] — the exclusive, `&mut self` policy the runtime has
+//!   always driven; one workload stream per policy instance.
+//! * [`ConcurrentScheduler`] — a shared, `&self` policy that many workload
+//!   streams can drive at once from separate threads (e.g. EAS with a
+//!   sharded kernel table). [`Shared`] adapts an `Arc` of one into a
+//!   regular [`Scheduler`], so every existing entry point
+//!   (`run_workload`, `replay_trace`, evaluators) works unchanged with a
+//!   shared policy.
 
 use crate::backend::Backend;
+use std::sync::Arc;
 
 /// Identifies a kernel across invocations — the paper's global table G maps
 /// "CPU function pointer" to the learned offload ratio; we use a stable
@@ -29,6 +41,77 @@ impl<S: Scheduler + ?Sized> Scheduler for &mut S {
 
     fn schedule(&mut self, kernel: KernelId, backend: &mut dyn Backend) {
         (**self).schedule(kernel, backend)
+    }
+}
+
+/// A work-partitioning policy that can serve many workload streams
+/// concurrently.
+///
+/// Unlike [`Scheduler`], `schedule_shared` takes `&self`: all
+/// cross-invocation state (e.g. a learned kernel table) must be interior
+/// and thread-safe. One policy instance behind an `Arc` can then be driven
+/// from N threads at once, each with its own [`Backend`].
+pub trait ConcurrentScheduler: Send + Sync {
+    /// Human-readable policy name used in reports.
+    fn name(&self) -> &str;
+
+    /// Executes one kernel invocation; may be called concurrently from
+    /// many threads (with distinct backends).
+    fn schedule_shared(&self, kernel: KernelId, backend: &mut dyn Backend);
+}
+
+/// Adapter presenting an `Arc<ConcurrentScheduler>` as a [`Scheduler`].
+///
+/// Clone one `Shared` per thread; every clone drives the same underlying
+/// policy and shares its learned state.
+///
+/// # Examples
+///
+/// ```
+/// use easched_runtime::scheduler::{ConcurrentScheduler, Shared};
+/// use easched_runtime::{Backend, KernelId, Scheduler};
+/// use std::sync::Arc;
+///
+/// struct AlwaysCpu;
+/// impl ConcurrentScheduler for AlwaysCpu {
+///     fn name(&self) -> &str { "cpu" }
+///     fn schedule_shared(&self, _k: KernelId, b: &mut dyn Backend) {
+///         if b.remaining() > 0 { b.run_split(0.0); }
+///     }
+/// }
+///
+/// let shared = Shared::new(Arc::new(AlwaysCpu));
+/// let mut per_thread = shared.clone(); // one clone per workload stream
+/// assert_eq!(per_thread.name(), "cpu");
+/// ```
+#[derive(Debug)]
+pub struct Shared<S: ?Sized>(Arc<S>);
+
+impl<S: ?Sized> Clone for Shared<S> {
+    fn clone(&self) -> Self {
+        Shared(Arc::clone(&self.0))
+    }
+}
+
+impl<S: ConcurrentScheduler + ?Sized> Shared<S> {
+    /// Wraps a shared policy.
+    pub fn new(policy: Arc<S>) -> Shared<S> {
+        Shared(policy)
+    }
+
+    /// The underlying shared policy.
+    pub fn policy(&self) -> &Arc<S> {
+        &self.0
+    }
+}
+
+impl<S: ConcurrentScheduler + ?Sized> Scheduler for Shared<S> {
+    fn name(&self) -> &str {
+        self.0.name()
+    }
+
+    fn schedule(&mut self, kernel: KernelId, backend: &mut dyn Backend) {
+        self.0.schedule_shared(kernel, backend)
     }
 }
 

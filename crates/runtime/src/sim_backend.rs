@@ -284,8 +284,9 @@ pub fn replay_trace<S: Scheduler>(
 }
 
 /// Stable kernel id for a workload (hash of its abbreviation — the analogue
-/// of the paper's function-pointer key).
-fn kernel_id_of(workload: &dyn easched_kernels::Workload) -> KernelId {
+/// of the paper's function-pointer key). Public so callers can look up the
+/// table entry a workload's kernel learned into.
+pub fn kernel_id_of(workload: &dyn easched_kernels::Workload) -> KernelId {
     workload
         .spec()
         .abbrev
@@ -390,7 +391,12 @@ mod tests {
 
         assert_eq!(run.invocations, rep.invocations);
         assert_eq!(run.items, rep.items);
-        assert!((run.time - rep.time).abs() < 1e-9, "{} vs {}", run.time, rep.time);
+        assert!(
+            (run.time - rep.time).abs() < 1e-9,
+            "{} vs {}",
+            run.time,
+            rep.time
+        );
         assert!((run.energy_joules - rep.energy_joules).abs() < 1e-3);
     }
 

@@ -41,7 +41,10 @@ impl ThreadBackendConfig {
     /// Panics if `workers` is zero or `gpu_rate` is not positive.
     pub fn new(workers: usize, gpu_rate: f64) -> ThreadBackendConfig {
         assert!(workers > 0, "need at least one CPU worker");
-        assert!(gpu_rate.is_finite() && gpu_rate > 0.0, "gpu_rate must be positive");
+        assert!(
+            gpu_rate.is_finite() && gpu_rate > 0.0,
+            "gpu_rate must be positive"
+        );
         ThreadBackendConfig {
             cpu_workers: workers,
             gpu_rate,

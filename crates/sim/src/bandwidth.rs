@@ -121,10 +121,7 @@ mod tests {
 
     #[test]
     fn zero_demand_passthrough() {
-        let z = BwDemand {
-            rate: 0.0,
-            ..D
-        };
+        let z = BwDemand { rate: 0.0, ..D };
         let rates = contended_rates(1.0, &[z, D]);
         assert_eq!(rates[0], 0.0);
         assert!(rates[1] > 0.0);

@@ -35,7 +35,10 @@ pub struct EnergyCounter {
 impl EnergyCounter {
     /// Creates a counter starting at zero.
     pub fn new() -> Self {
-        EnergyCounter { raw: 0, fraction: 0.0 }
+        EnergyCounter {
+            raw: 0,
+            fraction: 0.0,
+        }
     }
 
     /// Creates a counter with an arbitrary starting register value, as on

@@ -321,7 +321,10 @@ impl Machine {
                 break;
             }
             steps += 1;
-            assert!(steps < MAX_STEPS, "run_phase exceeded step budget (simulator bug)");
+            assert!(
+                steps < MAX_STEPS,
+                "run_phase exceeded step budget (simulator bug)"
+            );
 
             let input = PcuInput {
                 cpu_util: if cpu_active { plan.cpu_util } else { 0.0 },
@@ -581,7 +584,11 @@ mod tests {
         let mut m = Machine::new(quiet_haswell());
         m.idle(2.0);
         assert!((m.now() - 2.0).abs() < 1e-9);
-        assert!((m.total_joules() - 10.0).abs() < 0.2, "{}", m.total_joules());
+        assert!(
+            (m.total_joules() - 10.0).abs() < 0.2,
+            "{}",
+            m.total_joules()
+        );
     }
 
     #[test]

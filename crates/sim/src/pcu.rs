@@ -182,8 +182,7 @@ impl PcuState {
         // it back. Devices starting together from idle, or offload chunks
         // separated by sub-millisecond gaps, do not dip.
         if gpu_active && !self.gpu_was_active {
-            if self.cpu_was_active && now - self.last_gpu_deactivation > platform.pcu.dip_rearm
-            {
+            if self.cpu_was_active && now - self.last_gpu_deactivation > platform.pcu.dip_rearm {
                 self.last_gpu_activation = now;
             }
         } else if !gpu_active && self.gpu_was_active {
@@ -298,7 +297,10 @@ mod tests {
             },
             1.0,
         );
-        assert!((power - 63.0).abs() < 0.5, "steady combined memory: {power}");
+        assert!(
+            (power - 63.0).abs() < 0.5,
+            "steady combined memory: {power}"
+        );
     }
 
     #[test]
@@ -381,7 +383,11 @@ mod tests {
             pcu.step(&p, &both, t, p.pcu.tick);
             t += p.pcu.tick;
         }
-        assert!((pcu.power() - 63.0).abs() < 0.5, "post-dip: {}", pcu.power());
+        assert!(
+            (pcu.power() - 63.0).abs() < 0.5,
+            "post-dip: {}",
+            pcu.power()
+        );
     }
 
     #[test]
@@ -452,7 +458,10 @@ mod tests {
             },
             2.0,
         );
-        assert!((power - 1.7).abs() < 0.05, "baytrail combined memory: {power}");
+        assert!(
+            (power - 1.7).abs() < 0.05,
+            "baytrail combined memory: {power}"
+        );
     }
 }
 

@@ -258,7 +258,10 @@ mod tests {
         assert!(t.gpu_compute < t.cpu_compute);
         assert!(t.both_compute > t.cpu_compute);
         assert!(t.both_compute < t.cpu_compute + t.gpu_compute);
-        assert!(t.both_memory > t.both_compute, "memory-bound combined draws more");
+        assert!(
+            t.both_memory > t.both_compute,
+            "memory-bound combined draws more"
+        );
     }
 
     #[test]

@@ -94,8 +94,7 @@ impl PowerTable {
         // point instead of the additive sum. It is attenuated by the smaller
         // frequency factor: during a transient the budget interplay has not
         // settled yet.
-        let interaction = (self.both_point(m) - self.cpu_point(m) - self.gpu_point(m)
-            + self.idle)
+        let interaction = (self.both_point(m) - self.cpu_point(m) - self.gpu_point(m) + self.idle)
             * uc
             * ug
             * fc.min(fg);

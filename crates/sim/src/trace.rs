@@ -83,10 +83,9 @@ impl PowerTrace {
     /// assert!((t.mean_power() - 25.0).abs() < 1e-12);
     /// ```
     pub fn mean_power(&self) -> f64 {
-        let (e, t) = self
-            .points
-            .iter()
-            .fold((0.0, 0.0), |(e, t), p| (e + p.watts * p.duration, t + p.duration));
+        let (e, t) = self.points.iter().fold((0.0, 0.0), |(e, t), p| {
+            (e + p.watts * p.duration, t + p.duration)
+        });
         if t > 0.0 {
             e / t
         } else {

@@ -271,7 +271,10 @@ impl KernelTraitsBuilder {
     ///
     /// Panics if `n` is negative or non-finite.
     pub fn loads_per_item(mut self, n: f64) -> Self {
-        assert!(n.is_finite() && n >= 0.0, "loads_per_item must be non-negative");
+        assert!(
+            n.is_finite() && n >= 0.0,
+            "loads_per_item must be non-negative"
+        );
         self.traits.loads_per_item = n;
         self
     }
@@ -282,7 +285,10 @@ impl KernelTraitsBuilder {
     ///
     /// Panics if `n` is negative or non-finite.
     pub fn bw_bytes_per_item(mut self, n: f64) -> Self {
-        assert!(n.is_finite() && n >= 0.0, "bw_bytes_per_item must be non-negative");
+        assert!(
+            n.is_finite() && n >= 0.0,
+            "bw_bytes_per_item must be non-negative"
+        );
         self.traits.bw_bytes_per_item = n;
         self
     }
@@ -377,7 +383,9 @@ mod tests {
 
     #[test]
     fn zero_llc_uses_base_miss() {
-        let t = KernelTraits::builder("k").access(AccessPattern::Random).build();
+        let t = KernelTraits::builder("k")
+            .access(AccessPattern::Random)
+            .build();
         assert_eq!(t.l3_miss_ratio(0), AccessPattern::Random.base_miss());
     }
 

@@ -66,7 +66,10 @@ fn back_to_back_invocations_keep_steady_power() {
     m.run_phase(&k, &PhasePlan::split(2_000_000, 0.6)); // warm up
     let r = m.run_phase(&k, &PhasePlan::split(2_000_000, 0.6));
     let avg = r.energy_joules / r.elapsed;
-    assert!(avg > 58.0, "steady back-to-back power {avg} (dip re-triggered?)");
+    assert!(
+        avg > 58.0,
+        "steady back-to-back power {avg} (dip re-triggered?)"
+    );
 }
 
 #[test]
@@ -86,7 +89,10 @@ fn idle_gap_rearms_the_dip() {
         .filter(|pt| pt.time > r.elapsed.mul_add(-1.0, m.now()))
         .map(|pt| pt.watts)
         .fold(f64::INFINITY, f64::min);
-    assert!(min_during_split < 45.0, "expected dip, min {min_during_split}");
+    assert!(
+        min_during_split < 45.0,
+        "expected dip, min {min_during_split}"
+    );
 }
 
 #[test]

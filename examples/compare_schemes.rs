@@ -25,7 +25,10 @@ fn main() {
         ("EAS", c.eas),
         ("Oracle", c.oracle),
     ];
-    println!("{:<10} {:>10} {:>12} {:>12} {:>12}", "scheme", "time (s)", "energy (J)", "EDP", "vs Oracle");
+    println!(
+        "{:<10} {:>10} {:>12} {:>12} {:>12}",
+        "scheme", "time (s)", "energy (J)", "EDP", "vs Oracle"
+    );
     for (name, r) in rows {
         println!(
             "{:<10} {:>10.3} {:>12.2} {:>12.1} {:>11.1}%",

@@ -33,11 +33,8 @@ fn main() {
         thermal,
     ] {
         let name = objective.name();
-        let mut runtime = EasRuntime::new(
-            platform.clone(),
-            model.clone(),
-            EasConfig::new(objective),
-        );
+        let mut runtime =
+            EasRuntime::new(platform.clone(), model.clone(), EasConfig::new(objective));
         let workload = suite::seismic_desktop();
         let outcome = runtime.run(workload.as_ref());
         assert!(outcome.verification.is_passed());
@@ -58,7 +55,7 @@ fn main() {
 /// The runtime keys kernels by an FNV hash of the abbreviation (see
 /// `easched_runtime::sim_backend`).
 fn kernel_id(abbrev: &str) -> u64 {
-    abbrev
-        .bytes()
-        .fold(0xcbf29ce484222325u64, |h, b| (h ^ u64::from(b)).wrapping_mul(0x100000001b3))
+    abbrev.bytes().fold(0xcbf29ce484222325u64, |h, b| {
+        (h ^ u64::from(b)).wrapping_mul(0x100000001b3)
+    })
 }

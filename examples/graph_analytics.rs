@@ -6,7 +6,9 @@
 //! cargo run --release --example graph_analytics
 //! ```
 
-use easched::graph::{delta_stepping::delta_stepping, gen, graph_stats, reference, BfsEngine, SsspEngine};
+use easched::graph::{
+    delta_stepping::delta_stepping, gen, graph_stats, reference, BfsEngine, SsspEngine,
+};
 use easched::runtime::parallel_for;
 use std::time::Instant;
 

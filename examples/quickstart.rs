@@ -31,7 +31,11 @@ fn main() {
             outcome.time,
             outcome.energy_joules,
             outcome.edp,
-            if outcome.verification.is_passed() { "verified" } else { "WRONG" },
+            if outcome.verification.is_passed() {
+                "verified"
+            } else {
+                "WRONG"
+            },
         );
         assert!(outcome.verification.is_passed());
     }

@@ -1,0 +1,74 @@
+//! Shared scheduler: N concurrent workload streams learning into — and
+//! reusing from — one global kernel table through an `Arc<SharedEas>`.
+//!
+//! Each thread gets its own `EasRuntime` (its own simulated machine), but
+//! all of them drive the same scheduler: the first stream to profile a
+//! kernel pays the profiling cost, every later stream on *any* thread
+//! reuses the learned ratio through a lock-light table probe.
+//!
+//! ```text
+//! cargo run --release --example shared_runtime
+//! ```
+
+use easched::core::{
+    characterize, table_to_text, CharacterizationConfig, EasConfig, EasRuntime, Objective,
+    SharedEas,
+};
+use easched::kernels::suite;
+use easched::runtime::kernel_id_of;
+use easched::sim::Platform;
+use std::sync::Arc;
+
+const STREAMS: usize = 8;
+
+fn main() {
+    let platform = Platform::haswell_desktop();
+    println!("characterizing {} ...", platform.name);
+    let model = characterize(&platform, &CharacterizationConfig::default());
+
+    // One scheduler, shared by every stream.
+    let eas = SharedEas::new(model, EasConfig::new(Objective::EnergyDelay));
+
+    std::thread::scope(|s| {
+        for stream in 0..STREAMS {
+            let eas = Arc::clone(&eas);
+            let platform = platform.clone();
+            s.spawn(move || {
+                let mut rt = EasRuntime::with_shared(platform, eas);
+                for workload in [suite::blackscholes_small(), suite::mandelbrot_small()] {
+                    let spec = workload.spec();
+                    let outcome = rt.run(workload.as_ref());
+                    assert!(outcome.verification.is_passed());
+                    println!(
+                        "stream {stream}: {:>4}  {:>8.4} s  {:>8.3} J  EDP {:>9.4}",
+                        spec.abbrev, outcome.time, outcome.energy_joules, outcome.edp,
+                    );
+                }
+            });
+        }
+    });
+
+    // The table holds one learned ratio per kernel, no matter how many
+    // streams ran it; profiling decisions were made once per kernel, not
+    // once per stream.
+    println!();
+    for workload in [suite::blackscholes_small(), suite::mandelbrot_small()] {
+        let kernel = kernel_id_of(workload.as_ref());
+        let stat = eas.table().stat(kernel).unwrap();
+        println!(
+            "{:>4}: learned α = {:.2}  (weight {:.0}, {} reuse invocations)",
+            workload.spec().abbrev,
+            stat.alpha,
+            stat.weight,
+            stat.invocations_seen,
+        );
+    }
+    println!(
+        "total α decisions across {STREAMS} streams: {} (reuse is decision-free)",
+        eas.decisions()
+    );
+
+    // The learned table persists like the power model does, so the next
+    // process warm-starts instead of re-profiling.
+    println!("\npersisted table:\n{}", table_to_text(eas.table()));
+}

@@ -52,15 +52,17 @@ fn main() {
         .memory_intensity(0.85)
         .build();
 
-    println!(
-        "rendering {width}×{height} Mandelbrot on {workers} CPU workers + GPU proxy thread"
-    );
+    println!("rendering {width}×{height} Mandelbrot on {workers} CPU workers + GPU proxy thread");
     let t0 = Instant::now();
-    let mut backend = ThreadBackend::new(config, &platform, &traits, (width * height) as u64, &render);
+    let mut backend =
+        ThreadBackend::new(config, &platform, &traits, (width * height) as u64, &render);
     eas.schedule(1, &mut backend);
     let elapsed = t0.elapsed();
 
-    let interior = pixels.iter().filter(|p| p.load(Ordering::Relaxed) == max_iter).count();
+    let interior = pixels
+        .iter()
+        .filter(|p| p.load(Ordering::Relaxed) == max_iter)
+        .count();
     println!(
         "done in {elapsed:.2?}: {} pixels, {interior} interior points, learned α = {:?}",
         width * height,

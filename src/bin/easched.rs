@@ -9,8 +9,8 @@
 //! ```
 
 use easched::core::{
-    characterize, load_model, save_model, CharacterizationConfig, EasConfig, EasRuntime,
-    Evaluator, Objective, PowerModel,
+    characterize, load_model, save_model, CharacterizationConfig, EasConfig, EasRuntime, Evaluator,
+    Objective, PowerModel,
 };
 use easched::kernels::{suite, Workload};
 use easched::sim::Platform;
@@ -166,7 +166,10 @@ fn obtain_model(platform: &Platform, path: Option<&str>) -> PowerModel {
             model
         }
         None => {
-            eprintln!("characterizing {} (pass --model FILE to reuse a saved model)...", platform.name);
+            eprintln!(
+                "characterizing {} (pass --model FILE to reuse a saved model)...",
+                platform.name
+            );
             characterize(platform, &CharacterizationConfig::default())
         }
     }
@@ -178,13 +181,19 @@ fn find_workload(suite: Vec<Box<dyn Workload>>, abbrev: &str) -> Box<dyn Workloa
         .into_iter()
         .find(|w| w.spec().abbrev.eq_ignore_ascii_case(abbrev))
         .unwrap_or_else(|| {
-            eprintln!("unknown workload {abbrev:?}; available: {}", available.join(", "));
+            eprintln!(
+                "unknown workload {abbrev:?}; available: {}",
+                available.join(", ")
+            );
             std::process::exit(1);
         })
 }
 
 fn cmd_list() {
-    println!("{:<5} {:<22} {:<5} {:<7} desktop input", "abbr", "name", "kind", "tablet");
+    println!(
+        "{:<5} {:<22} {:<5} {:<7} desktop input",
+        "abbr", "name", "kind", "tablet"
+    );
     for w in suite::desktop_suite() {
         let s = w.spec();
         println!(
@@ -233,7 +242,11 @@ fn cmd_run(
         outcome.energy_joules,
         outcome.edp,
         outcome.metrics.mean_power(),
-        if outcome.verification.is_passed() { "verified" } else { "WRONG" },
+        if outcome.verification.is_passed() {
+            "verified"
+        } else {
+            "WRONG"
+        },
     );
     if let Some(path) = decisions {
         std::fs::write(&path, runtime.scheduler().decision_log_csv()).unwrap_or_else(|e| {
@@ -247,7 +260,12 @@ fn cmd_run(
     }
 }
 
-fn cmd_compare(workload: &str, platform: PlatformArg, objective: ObjectiveArg, model: Option<String>) {
+fn cmd_compare(
+    workload: &str,
+    platform: PlatformArg,
+    objective: ObjectiveArg,
+    model: Option<String>,
+) {
     let p = platform.build();
     let model = obtain_model(&p, model.as_deref());
     let ev = Evaluator::new(p, model);
@@ -259,7 +277,13 @@ fn cmd_compare(workload: &str, platform: PlatformArg, objective: ObjectiveArg, m
     };
     println!(
         "{:<5} {:>8} {:>8} {:>8} {:>8} {:>9} (efficiency vs Oracle, {})",
-        "abbr", "CPU", "GPU", "PERF", "EAS", "Oracle α", objective.name()
+        "abbr",
+        "CPU",
+        "GPU",
+        "PERF",
+        "EAS",
+        "Oracle α",
+        objective.name()
     );
     for w in workloads {
         let c = ev.compare(w.as_ref(), &objective);
@@ -345,7 +369,11 @@ mod tests {
     fn parses_compare_all_with_objective() {
         let c = parse(&["compare", "--workload", "all", "--objective", "energy"]).unwrap();
         match c {
-            Command::Compare { workload, objective, .. } => {
+            Command::Compare {
+                workload,
+                objective,
+                ..
+            } => {
                 assert_eq!(workload, "all");
                 assert_eq!(objective, ObjectiveArg::Energy);
             }

@@ -31,6 +31,11 @@
 //! let outcome = runtime.run(workload.as_ref());
 //! assert!(outcome.energy_joules > 0.0);
 //! ```
+//!
+//! To serve several concurrent workload streams from one learned kernel
+//! table, build the scheduler as [`core::SharedEas`] and give each stream
+//! an [`core::EasRuntime::with_shared`] runtime (see the `shared_runtime`
+//! example and DESIGN.md §8 for the layer diagram).
 
 pub use easched_core as core;
 pub use easched_graph as graph;

@@ -6,8 +6,8 @@ use easched::core::{
     characterize, CharacterizationConfig, EasConfig, EasScheduler, Evaluator, Objective,
 };
 use easched::kernels::{InvocationTrace, Profile};
-use easched::runtime::scheduler::FixedAlpha;
 use easched::runtime::replay_trace;
+use easched::runtime::scheduler::FixedAlpha;
 use easched::sim::{KernelTraits, Machine, PhasePlan, Platform};
 
 fn desktop_model() -> (Platform, easched::core::PowerModel) {
@@ -28,7 +28,11 @@ fn cc_like_trace() -> InvocationTrace {
     }
 }
 
-fn sweep(platform: &Platform, traits: &KernelTraits, trace: &InvocationTrace) -> Vec<(f64, f64, f64)> {
+fn sweep(
+    platform: &Platform,
+    traits: &KernelTraits,
+    trace: &InvocationTrace,
+) -> Vec<(f64, f64, f64)> {
     (0..=10)
         .map(|i| {
             let alpha = i as f64 / 10.0;
@@ -47,16 +51,8 @@ fn fig1_shape_energy_optimum_beyond_perf_optimum() {
     let traits = graph_like_traits();
     let trace = cc_like_trace();
     let points = sweep(&platform, &traits, &trace);
-    let perf_alpha = points
-        .iter()
-        .min_by(|a, b| a.1.total_cmp(&b.1))
-        .unwrap()
-        .0;
-    let energy_alpha = points
-        .iter()
-        .min_by(|a, b| a.2.total_cmp(&b.2))
-        .unwrap()
-        .0;
+    let perf_alpha = points.iter().min_by(|a, b| a.1.total_cmp(&b.1)).unwrap().0;
+    let energy_alpha = points.iter().min_by(|a, b| a.2.total_cmp(&b.2)).unwrap().0;
     assert!(
         (0.4..=0.7).contains(&perf_alpha),
         "paper: best performance near α=0.6, got {perf_alpha}"
@@ -84,7 +80,10 @@ fn fig3_shape_memory_draws_more_than_compute() {
     };
     let compute = measure(0.0);
     let memory = measure(1.0);
-    assert!((52.0..58.0).contains(&compute), "compute combined {compute} W");
+    assert!(
+        (52.0..58.0).contains(&compute),
+        "compute combined {compute} W"
+    );
     assert!((59.0..65.0).contains(&memory), "memory combined {memory} W");
 }
 
@@ -151,7 +150,14 @@ fn fig9_fig10_shape_on_compute_kernel() {
     // GPU-alone (the PERF pathology of Figure 10).
     let energy_at = |alpha: f64| {
         let mut machine = Machine::new(platform.clone());
-        replay_trace(&mut machine, &traits, 1, &trace, &mut FixedAlpha::new(alpha)).energy_joules
+        replay_trace(
+            &mut machine,
+            &traits,
+            1,
+            &trace,
+            &mut FixedAlpha::new(alpha),
+        )
+        .energy_joules
     };
     assert!(
         energy_at(0.8) > energy_at(1.0) * 1.1,
@@ -190,7 +196,10 @@ fn fig11_shape_tablet_gpu_less_attractive() {
         desktop_ratio < tablet_ratio,
         "GPU-alone is relatively cheaper on the desktop: {desktop_ratio:.3} vs {tablet_ratio:.3}"
     );
-    assert!(desktop_ratio < 0.5, "desktop GPU is a big energy win, got {desktop_ratio:.3}");
+    assert!(
+        desktop_ratio < 0.5,
+        "desktop GPU is a big energy win, got {desktop_ratio:.3}"
+    );
 }
 
 /// EAS's small-N guard (the FD behaviour): invocations too small to fill
@@ -233,8 +242,24 @@ fn table1_shape_classification_sides() {
         let ratio = traits.l3_miss_ratio(platform.memory.llc_bytes);
         assert_eq!(ratio > 0.33, expect_memory, "{name}: miss/load {ratio}");
     };
-    check(easched::kernels::graphs::Bfs::default_profile(), "BFS", true);
-    check(easched::kernels::matmul::MatMul::default_profile(), "MM", false);
-    check(easched::kernels::mandelbrot::Mandelbrot::default_profile(), "MB", true);
-    check(easched::kernels::blackscholes::BlackScholes::default_profile(), "BS", false);
+    check(
+        easched::kernels::graphs::Bfs::default_profile(),
+        "BFS",
+        true,
+    );
+    check(
+        easched::kernels::matmul::MatMul::default_profile(),
+        "MM",
+        false,
+    );
+    check(
+        easched::kernels::mandelbrot::Mandelbrot::default_profile(),
+        "MB",
+        true,
+    );
+    check(
+        easched::kernels::blackscholes::BlackScholes::default_profile(),
+        "BS",
+        false,
+    );
 }

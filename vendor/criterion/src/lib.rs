@@ -1,0 +1,215 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment cannot reach crates.io, so the workspace patches
+//! `criterion` to this minimal timing harness. It supports the subset of
+//! the criterion API the benches use — `benchmark_group`, `sample_size`,
+//! `measurement_time`, `throughput`, `bench_function`, `iter` — and prints
+//! one line per benchmark: median ns/iteration over the collected samples
+//! (plus element throughput when configured). There is no statistical
+//! regression analysis or HTML report; the numbers are honest wall-clock
+//! medians, good enough for the EXPERIMENTS.md tables.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Items processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Top-level harness handle, passed to every bench target.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+            throughput: None,
+        }
+    }
+
+    /// Benchmarks a function outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: impl Into<String>, f: F) {
+        self.benchmark_group("").bench_function(name, f);
+    }
+}
+
+/// A group of benchmarks sharing sampling configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of samples to collect per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Total time budget for measurement of each benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Annotates subsequent benchmarks with a throughput denominator.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark and prints its median time per iteration.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: impl Into<String>, mut f: F) {
+        let name = name.into();
+        let label = if self.name.is_empty() {
+            name
+        } else {
+            format!("{}/{}", self.name, name)
+        };
+
+        // Calibrate: how many iterations fit one sample's time slice?
+        let mut bencher = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut bencher);
+        let per_iter = bencher.elapsed.max(Duration::from_nanos(1));
+        let slice = self.measurement_time / self.sample_size as u32;
+        let iters_per_sample = (slice.as_nanos() / per_iter.as_nanos()).clamp(1, 1 << 24) as u64;
+
+        let mut samples: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let mut b = Bencher {
+                iters: iters_per_sample,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            samples.push(b.elapsed.as_nanos() as f64 / b.iters as f64);
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        let median = samples[samples.len() / 2];
+        let lo = samples[0];
+        let hi = samples[samples.len() - 1];
+
+        let thrpt = match self.throughput {
+            Some(Throughput::Elements(n)) if median > 0.0 => {
+                format!("  thrpt: {:.3} Melem/s", n as f64 * 1e3 / median)
+            }
+            Some(Throughput::Bytes(n)) if median > 0.0 => {
+                format!(
+                    "  thrpt: {:.3} MiB/s",
+                    n as f64 * 1e9 / median / (1 << 20) as f64
+                )
+            }
+            _ => String::new(),
+        };
+        println!(
+            "{label:<44} time: [{} {} {}]{thrpt}",
+            fmt_ns(lo),
+            fmt_ns(median),
+            fmt_ns(hi)
+        );
+    }
+
+    /// Ends the group (printing is incremental; this is a no-op kept for
+    /// API compatibility).
+    pub fn finish(self) {}
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.2} ns")
+    } else if ns < 1e6 {
+        format!("{:.3} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.3} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// Times the closure passed to [`Bencher::iter`].
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs the routine `iters` times and records the elapsed wall time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Declares a group-runner function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("t");
+        group
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(30));
+        let mut runs = 0u64;
+        group.bench_function("noop", |b| b.iter(|| runs += 1));
+        group.finish();
+        assert!(runs > 0);
+    }
+
+    #[test]
+    fn group_macros_compile() {
+        fn target(c: &mut Criterion) {
+            c.benchmark_group("m")
+                .measurement_time(Duration::from_millis(10))
+                .sample_size(2)
+                .bench_function("x", |b| b.iter(|| 1 + 1));
+        }
+        criterion_group!(g, target);
+        g();
+    }
+}

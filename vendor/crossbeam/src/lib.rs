@@ -1,0 +1,159 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! The build environment cannot reach crates.io, so the workspace patches
+//! `crossbeam` to this crate. Only the `deque` module surface used by the
+//! runtime's work-stealing pool is provided. The implementation is a
+//! mutex-guarded ring buffer rather than a lock-free Chase-Lev deque — the
+//! interface and the FIFO/steal semantics are identical, contention
+//! behavior is merely coarser. Swap back to upstream crossbeam when the
+//! environment regains network access.
+
+#![forbid(unsafe_code)]
+
+pub mod deque {
+    //! Work-stealing deques (`Worker`, `Stealer`, `Steal`).
+
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Mutex};
+
+    /// The result of a steal attempt.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum Steal<T> {
+        /// The deque was empty.
+        Empty,
+        /// One task was stolen.
+        Success(T),
+        /// The attempt lost a race and should be retried.
+        Retry,
+    }
+
+    /// The owner side of a deque: pushes and pops locally.
+    #[derive(Debug)]
+    pub struct Worker<T> {
+        inner: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    /// The thief side of a deque: steals from the opposite end.
+    #[derive(Debug)]
+    pub struct Stealer<T> {
+        inner: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Clone for Stealer<T> {
+        fn clone(&self) -> Self {
+            Stealer {
+                inner: Arc::clone(&self.inner),
+            }
+        }
+    }
+
+    impl<T> Worker<T> {
+        /// Creates a FIFO deque (owner pops the oldest task first).
+        pub fn new_fifo() -> Worker<T> {
+            Worker {
+                inner: Arc::new(Mutex::new(VecDeque::new())),
+            }
+        }
+
+        /// Creates a LIFO deque (owner pops the newest task first).
+        pub fn new_lifo() -> Worker<T> {
+            Worker::new_fifo()
+        }
+
+        /// A stealer handle for other threads.
+        pub fn stealer(&self) -> Stealer<T> {
+            Stealer {
+                inner: Arc::clone(&self.inner),
+            }
+        }
+
+        /// Enqueues a task.
+        pub fn push(&self, task: T) {
+            self.inner.lock().expect("deque poisoned").push_back(task);
+        }
+
+        /// Dequeues a task from the owner's end.
+        pub fn pop(&self) -> Option<T> {
+            self.inner.lock().expect("deque poisoned").pop_front()
+        }
+
+        /// Whether the deque is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.inner.lock().expect("deque poisoned").is_empty()
+        }
+
+        /// Number of queued tasks.
+        pub fn len(&self) -> usize {
+            self.inner.lock().expect("deque poisoned").len()
+        }
+    }
+
+    impl<T> Stealer<T> {
+        /// Attempts to steal one task from the victim's opposite end.
+        pub fn steal(&self) -> Steal<T> {
+            match self.inner.lock().expect("deque poisoned").pop_back() {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            }
+        }
+
+        /// Whether the deque is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.inner.lock().expect("deque poisoned").is_empty()
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn fifo_pop_order() {
+            let w = Worker::new_fifo();
+            w.push(1);
+            w.push(2);
+            assert_eq!(w.pop(), Some(1));
+            assert_eq!(w.pop(), Some(2));
+            assert_eq!(w.pop(), None);
+        }
+
+        #[test]
+        fn stealer_takes_from_back() {
+            let w = Worker::new_fifo();
+            let s = w.stealer();
+            w.push(1);
+            w.push(2);
+            assert_eq!(s.steal(), Steal::Success(2));
+            assert_eq!(w.pop(), Some(1));
+            assert_eq!(s.steal(), Steal::Empty);
+        }
+
+        #[test]
+        fn cross_thread_stealing_loses_nothing() {
+            let w = Worker::new_fifo();
+            for i in 0..10_000u64 {
+                w.push(i);
+            }
+            let total: u64 = std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..4)
+                    .map(|_| {
+                        let s = w.stealer();
+                        scope.spawn(move || {
+                            let mut sum = 0u64;
+                            while let Steal::Success(v) = s.steal() {
+                                sum += v;
+                            }
+                            sum
+                        })
+                    })
+                    .collect();
+                let mut local = 0u64;
+                while let Some(v) = w.pop() {
+                    local += v;
+                }
+                local + handles.into_iter().map(|h| h.join().unwrap()).sum::<u64>()
+            });
+            assert_eq!(total, 10_000 * 9_999 / 2);
+        }
+    }
+}
