@@ -14,6 +14,15 @@ cargo test -q
 echo "==> cargo test --workspace -q"
 cargo test --workspace -q
 
+echo "==> chaos matrix: release, full desktop suite"
+cargo test -q --release --test chaos
+
+echo "==> chaos matrix: debug seed sweep"
+for seed in 7 23 1009; do
+    echo "    EASCHED_CHAOS_SEED=$seed"
+    EASCHED_CHAOS_SEED=$seed cargo test -q --test chaos
+done
+
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
 

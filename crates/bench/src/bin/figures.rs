@@ -8,6 +8,7 @@
 //!                               # ablation-poly ablation-grid
 //!                               # ablation-categories ablation-profile
 //!                               # ablation-accum ablation-thresholds
+//! figures chaos                 # fault-injection robustness study
 //! figures all                   # every paper experiment
 //! figures ablations             # every ablation study
 //! ```
@@ -15,7 +16,7 @@
 //! Artifacts are written to `results/` (CSV + per-experiment markdown) and a
 //! combined `results/SUMMARY.md`.
 
-use easched_bench::{ablations, experiments, Lab, Report};
+use easched_bench::{ablations, chaos, experiments, Lab, Report};
 use std::path::Path;
 
 fn run_one(lab: &mut Lab, name: &str) -> Option<Vec<Report>> {
@@ -43,6 +44,7 @@ fn run_one(lab: &mut Lab, name: &str) -> Option<Vec<Report>> {
         "ablation-accum" => ablations::accumulation(lab),
         "ablation-thresholds" => ablations::thresholds(lab),
         "ablation-drift" => ablations::drift(lab),
+        "chaos" => chaos::chaos(lab),
         "all" => return Some(experiments::all(lab)),
         "ablations" => return Some(ablations::all(lab)),
         _ => return None,
@@ -74,6 +76,7 @@ const EXPERIMENTS: &[&str] = &[
     "ablation-accum",
     "ablation-thresholds",
     "ablation-drift",
+    "chaos",
     "all",
     "ablations",
 ];

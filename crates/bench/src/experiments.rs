@@ -305,12 +305,17 @@ fn characterization_figure(id: &str, platform: &Platform) -> Report {
                 .replace("__", "_")
         );
         report.attach_csv(stem, csv(&["alpha", "measured_w", "fitted_w"], &data_rows));
-        let (_, r2) = easched_core::fit_curve_with_r2(sweep, 6);
+        // A degenerate sweep shows up as a quality note in the table
+        // rather than aborting the whole figure run.
+        let r2_cell = match easched_core::try_fit_curve_with_r2(sweep, 6) {
+            Ok((_, r2)) => format!("{r2:.4}"),
+            Err(e) => format!("n/a ({e})"),
+        };
         rows.push(vec![
             sweep.label.clone(),
             format!("y = {}", curve.poly()),
             format!("{:.3}", curve.rmse()),
-            format!("{r2:.4}"),
+            r2_cell,
         ]);
     }
     report.line(md_table(

@@ -16,6 +16,7 @@
 #![warn(missing_docs)]
 
 pub mod ablations;
+pub mod chaos;
 pub mod experiments;
 pub mod report;
 

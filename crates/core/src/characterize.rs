@@ -15,6 +15,33 @@ use crate::power_model::{PowerCurve, PowerModel};
 use easched_kernels::microbench::{characterization_suite, MicroBenchmark};
 use easched_num::polyfit;
 use easched_sim::{EnergyCounter, Machine, PhasePlan, Platform};
+use std::error::Error;
+use std::fmt;
+
+/// Error from a characterization attempt that cannot produce a model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CharacterizeError {
+    /// A category sweep could not be fit — too few points for the
+    /// polynomial order, or degenerate measurements.
+    DegenerateSweep {
+        /// Label of the micro-benchmark whose sweep failed.
+        label: String,
+        /// What the fitting routine objected to.
+        reason: String,
+    },
+}
+
+impl fmt::Display for CharacterizeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CharacterizeError::DegenerateSweep { label, reason } => {
+                write!(f, "sweep {label:?} is unfittable: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for CharacterizeError {}
 
 /// Parameters of the characterization sweep.
 #[derive(Debug, Clone, PartialEq)]
@@ -125,7 +152,7 @@ pub fn sweep_category(
 /// # Panics
 ///
 /// Panics if the sweep has fewer points than the fit needs (configuration
-/// error).
+/// error); use [`try_fit_curve_with_r2`] for a recoverable path.
 pub fn fit_curve(sweep: &CategorySweep, poly_order: usize) -> PowerCurve {
     let (curve, _) = fit_curve_with_r2(sweep, poly_order);
     curve
@@ -133,17 +160,39 @@ pub fn fit_curve(sweep: &CategorySweep, poly_order: usize) -> PowerCurve {
 
 /// Like [`fit_curve`], also returning the fit's R² (for the figure
 /// harness's quality report).
+///
+/// # Panics
+///
+/// Panics on an unfittable sweep; use [`try_fit_curve_with_r2`] for a
+/// recoverable path.
 pub fn fit_curve_with_r2(sweep: &CategorySweep, poly_order: usize) -> (PowerCurve, f64) {
+    try_fit_curve_with_r2(sweep, poly_order).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible core of [`fit_curve_with_r2`]: fits the sweep's power curve,
+/// reporting a degenerate sweep as an error instead of panicking.
+///
+/// # Errors
+///
+/// [`CharacterizeError::DegenerateSweep`] when the sweep has fewer points
+/// than `poly_order + 1` or the measurements cannot be fit.
+pub fn try_fit_curve_with_r2(
+    sweep: &CategorySweep,
+    poly_order: usize,
+) -> Result<(PowerCurve, f64), CharacterizeError> {
     let xs: Vec<f64> = sweep.points.iter().map(|p| p.alpha).collect();
     let ys: Vec<f64> = sweep.points.iter().map(|p| p.watts).collect();
-    let fit = polyfit(&xs, &ys, poly_order).expect("characterization sweep must be fittable");
+    let fit = polyfit(&xs, &ys, poly_order).map_err(|e| CharacterizeError::DegenerateSweep {
+        label: sweep.label.clone(),
+        reason: e.to_string(),
+    })?;
     let rmse = fit.rmse();
     let samples = fit.samples();
     let r2 = fit.r_squared();
-    (
+    Ok((
         PowerCurve::new(sweep.class, fit.into_poly(), rmse, samples),
         r2,
-    )
+    ))
 }
 
 /// Full black-box characterization: sweeps all eight micro-benchmarks and
@@ -164,29 +213,63 @@ pub fn fit_curve_with_r2(sweep: &CategorySweep, poly_order: usize) -> (PowerCurv
 /// });
 /// assert_eq!(model.curves().len(), 8);
 /// ```
+///
+/// # Panics
+///
+/// Panics on an unfittable sweep (a configuration with fewer than
+/// `poly_order + 1` sweep points); use [`try_characterize`] for a
+/// recoverable path.
 pub fn characterize(platform: &Platform, config: &CharacterizationConfig) -> PowerModel {
-    let curves = characterization_suite(platform)
-        .iter()
-        .map(|micro| fit_curve(&sweep_category(platform, micro, config), config.poly_order))
-        .collect();
-    PowerModel::new(platform.name, curves)
+    try_characterize(platform, config).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible core of [`characterize`]: reports a degenerate sweep as an
+/// error instead of panicking.
+///
+/// # Errors
+///
+/// [`CharacterizeError::DegenerateSweep`] for the first category whose
+/// sweep cannot be fit.
+pub fn try_characterize(
+    platform: &Platform,
+    config: &CharacterizationConfig,
+) -> Result<PowerModel, CharacterizeError> {
+    Ok(try_characterize_with_sweeps(platform, config)?.0)
 }
 
 /// Characterization including the raw sweeps (for regenerating Figures
 /// 5–6).
+///
+/// # Panics
+///
+/// Panics on an unfittable sweep; use [`try_characterize_with_sweeps`]
+/// for a recoverable path.
 pub fn characterize_with_sweeps(
     platform: &Platform,
     config: &CharacterizationConfig,
 ) -> (PowerModel, Vec<CategorySweep>) {
+    try_characterize_with_sweeps(platform, config).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible core of [`characterize_with_sweeps`].
+///
+/// # Errors
+///
+/// [`CharacterizeError::DegenerateSweep`] for the first category whose
+/// sweep cannot be fit.
+pub fn try_characterize_with_sweeps(
+    platform: &Platform,
+    config: &CharacterizationConfig,
+) -> Result<(PowerModel, Vec<CategorySweep>), CharacterizeError> {
     let sweeps: Vec<CategorySweep> = characterization_suite(platform)
         .iter()
         .map(|micro| sweep_category(platform, micro, config))
         .collect();
     let curves = sweeps
         .iter()
-        .map(|s| fit_curve(s, config.poly_order))
-        .collect();
-    (PowerModel::new(platform.name, curves), sweeps)
+        .map(|s| Ok(try_fit_curve_with_r2(s, config.poly_order)?.0))
+        .collect::<Result<Vec<_>, CharacterizeError>>()?;
+    Ok((PowerModel::new(platform.name, curves), sweeps))
 }
 
 #[cfg(test)]
@@ -318,6 +401,48 @@ mod tests {
             gpu_short: false,
         };
         assert!(model.predict(long(true), 0.5) < model.predict(long(false), 0.5));
+    }
+
+    #[test]
+    fn degenerate_sweep_is_an_error_not_a_panic() {
+        let p = quiet(Platform::haswell_desktop());
+        // 3 sweep points cannot support a sixth-order fit (needs 7).
+        let cfg = CharacterizationConfig {
+            alpha_steps: 2,
+            ..Default::default()
+        };
+        let micro = MicroBenchmark::new(false, false, false);
+        let sweep = sweep_category(&p, &micro, &cfg);
+        let err = try_fit_curve_with_r2(&sweep, cfg.poly_order).unwrap_err();
+        let CharacterizeError::DegenerateSweep { label, reason } = &err;
+        assert_eq!(*label, micro.label());
+        assert!(!reason.is_empty());
+        assert!(err.to_string().contains("unfittable"), "{err}");
+        assert!(try_characterize(&p, &cfg).is_err());
+        assert!(try_characterize_with_sweeps(&p, &cfg).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "unfittable")]
+    fn infallible_wrapper_panics_with_the_error_message() {
+        let p = quiet(Platform::haswell_desktop());
+        characterize(
+            &p,
+            &CharacterizationConfig {
+                alpha_steps: 2,
+                ..Default::default()
+            },
+        );
+    }
+
+    #[test]
+    fn try_characterize_matches_characterize() {
+        let p = quiet(Platform::haswell_desktop());
+        let cfg = CharacterizationConfig {
+            alpha_steps: 8,
+            ..Default::default()
+        };
+        assert_eq!(try_characterize(&p, &cfg).unwrap(), characterize(&p, &cfg));
     }
 
     #[test]

@@ -29,6 +29,7 @@
 
 use crate::classify::{Classifier, WorkloadClass};
 use crate::engine::DecisionEngine;
+use crate::health::{FaultPolicy, Health, HealthReport};
 use crate::kernel_table::KernelTable;
 use crate::objective::Objective;
 use crate::power_model::PowerModel;
@@ -78,6 +79,10 @@ pub struct EasConfig {
     /// with sample weighting, averaging out per-invocation noise on
     /// irregular kernels. `None` disables (pure Figure 7 reuse).
     pub reprofile_every: Option<u64>,
+    /// Fault-handling policy: retry budget for rejected profiling rounds
+    /// and the GPU circuit breaker's trip/quarantine parameters (see
+    /// [`FaultPolicy`]).
+    pub fault: FaultPolicy,
 }
 
 impl EasConfig {
@@ -91,6 +96,7 @@ impl EasConfig {
             accumulation: Accumulation::SampleWeighted,
             profile_stable_rounds: 3,
             reprofile_every: Some(32),
+            fault: FaultPolicy::default(),
         }
     }
 }
@@ -153,6 +159,7 @@ pub(crate) fn decision_log_csv(log: &[Decision]) -> String {
 pub struct EasScheduler {
     engine: DecisionEngine,
     table: KernelTable,
+    health: Health,
     name: String,
     /// Total decision-making invocations, for diagnostics.
     decisions: u64,
@@ -170,9 +177,11 @@ impl EasScheduler {
     /// first-seen kernel to CPU-only execution.
     pub fn new(model: PowerModel, config: EasConfig) -> EasScheduler {
         let name = format!("EAS({})", config.objective.name());
+        let health = Health::new(&config.fault);
         EasScheduler {
             engine: DecisionEngine::new(model, config),
             table: KernelTable::new(),
+            health,
             name,
             decisions: 0,
             log: Vec::new(),
@@ -218,10 +227,22 @@ impl EasScheduler {
         &self.table
     }
 
-    /// Decomposes the scheduler into its policy and memory layers
-    /// (consumed by [`into_shared`](EasScheduler::into_shared)).
-    pub(crate) fn into_parts(self) -> (DecisionEngine, KernelTable) {
-        (self.engine, self.table)
+    /// Fault-pipeline telemetry: guard rejections, retries, degraded
+    /// invocations, circuit-breaker activity (see
+    /// [`HealthReport`]). All zeros on a healthy platform.
+    pub fn health(&self) -> HealthReport {
+        self.health.report()
+    }
+
+    /// The fault-handling state (breaker inspection for diagnostics).
+    pub fn health_state(&self) -> &Health {
+        &self.health
+    }
+
+    /// Decomposes the scheduler into its policy, memory, and health
+    /// layers (consumed by [`into_shared`](EasScheduler::into_shared)).
+    pub(crate) fn into_parts(self) -> (DecisionEngine, KernelTable, Health) {
+        (self.engine, self.table, self.health)
     }
 
     /// Serializes the decision log as CSV (for the harness and post-hoc
@@ -267,9 +288,9 @@ impl Scheduler for EasScheduler {
 
     fn schedule(&mut self, kernel: KernelId, backend: &mut dyn Backend) {
         self.current_kernel = kernel;
-        let (engine, table) = (&self.engine, &self.table);
+        let (engine, table, health) = (&self.engine, &self.table, &self.health);
         let (decisions, log) = (&mut self.decisions, &mut self.log);
-        profile_loop::schedule_invocation(engine, table, kernel, backend, |d| {
+        profile_loop::schedule_invocation(engine, table, health, kernel, backend, |d| {
             *decisions += 1;
             log.push(d);
         });

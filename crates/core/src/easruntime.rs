@@ -157,6 +157,16 @@ impl EasRuntime {
         }
     }
 
+    /// Fault-pipeline telemetry from the underlying scheduler —
+    /// mode-agnostic (for a shared runtime the report aggregates every
+    /// stream driving the same `Arc<SharedEas>`).
+    pub fn health(&self) -> crate::health::HealthReport {
+        match &self.driver {
+            Driver::Exclusive(s) => s.health(),
+            Driver::Shared(s) => s.policy().health(),
+        }
+    }
+
     /// The machine's current virtual time, seconds.
     pub fn now(&self) -> f64 {
         self.machine.now()

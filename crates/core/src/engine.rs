@@ -12,6 +12,7 @@
 
 use crate::classify::WorkloadClass;
 use crate::eas::{AlphaSearch, Decision, EasConfig};
+use crate::guard::{FaultKind, ObservationGuard};
 use crate::power_model::PowerModel;
 use crate::time_model::TimeModel;
 use easched_num::{golden_section_min, grid_min};
@@ -50,6 +51,7 @@ use easched_runtime::{KernelId, Observation};
 pub struct DecisionEngine {
     config: EasConfig,
     model: PowerModel,
+    guard: ObservationGuard,
 }
 
 impl DecisionEngine {
@@ -65,7 +67,12 @@ impl DecisionEngine {
             config.profile_fraction > 0.0 && config.profile_fraction <= 1.0,
             "profile_fraction must be in (0, 1]"
         );
-        DecisionEngine { config, model }
+        let guard = ObservationGuard::from_model(&model);
+        DecisionEngine {
+            config,
+            model,
+            guard,
+        }
     }
 
     /// The engine's configuration.
@@ -76,6 +83,18 @@ impl DecisionEngine {
     /// The characterized power model the engine decides against.
     pub fn model(&self) -> &PowerModel {
         &self.model
+    }
+
+    /// The observation guard (plausibility bounds derived from the model).
+    pub fn guard(&self) -> &ObservationGuard {
+        &self.guard
+    }
+
+    /// Validates an observation before it may influence a decision:
+    /// `Ok(())` if plausible, or the [`FaultKind`] no healthy platform
+    /// could have produced.
+    pub fn vet(&self, obs: &Observation) -> Result<(), FaultKind> {
+        self.guard.vet(obs)
     }
 
     /// One α decision from a profiling observation (Fig 7 steps 15–20).

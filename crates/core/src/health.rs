@@ -1,0 +1,410 @@
+//! Fault-handling state and telemetry: retry policy, the GPU circuit
+//! breaker, and health counters.
+//!
+//! The profile loop consults one [`Health`] per scheduling frontend. Its
+//! [`CircuitBreaker`] implements the degradation state machine (DESIGN.md
+//! §9): **Closed** (normal scheduling) → after `breaker_threshold`
+//! consecutive GPU-implicating faults → **Open** (the GPU is quarantined:
+//! invocations run CPU-only, α = 0) → after `quarantine` invocations →
+//! **HalfOpen** (one probe invocation re-profiles through the GPU) → a
+//! clean probe closes the breaker (recovery), a faulty one re-opens it for
+//! another quarantine period. [`HealthStats`] counts every event with
+//! relaxed atomics so both the exclusive and the shared frontend can
+//! report telemetry without locks.
+
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicU8, Ordering};
+
+/// Tunable fault-handling policy, carried by
+/// [`EasConfig`](crate::EasConfig).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPolicy {
+    /// Consecutive rejected profiling rounds tolerated per invocation
+    /// before the invocation degrades (runs its remainder without further
+    /// profiling).
+    pub max_retries: u32,
+    /// Consecutive GPU-implicating faults that trip the circuit breaker.
+    pub breaker_threshold: u32,
+    /// Invocations the GPU stays quarantined (CPU-only) after a trip; the
+    /// K-th invocation after the trip is the recovery probe.
+    pub quarantine: u64,
+}
+
+impl Default for FaultPolicy {
+    fn default() -> FaultPolicy {
+        FaultPolicy {
+            max_retries: 3,
+            breaker_threshold: 3,
+            quarantine: 8,
+        }
+    }
+}
+
+/// Lock-free event counters for the fault pipeline.
+#[derive(Debug, Default)]
+pub struct HealthStats {
+    accepted: AtomicU64,
+    rejected: AtomicU64,
+    retries: AtomicU64,
+    degraded: AtomicU64,
+    trips: AtomicU64,
+    probes: AtomicU64,
+    recoveries: AtomicU64,
+    taints: AtomicU64,
+    quarantined: AtomicU64,
+}
+
+macro_rules! note {
+    ($($method:ident => $field:ident),* $(,)?) => {
+        $(pub(crate) fn $method(&self) {
+            self.$field.fetch_add(1, Ordering::Relaxed);
+        })*
+    };
+}
+
+impl HealthStats {
+    note! {
+        note_accepted => accepted,
+        note_rejected => rejected,
+        note_retry => retries,
+        note_degraded => degraded,
+        note_trip => trips,
+        note_probe => probes,
+        note_recovery => recoveries,
+        note_taint => taints,
+        note_quarantined => quarantined,
+    }
+
+    /// A consistent-enough snapshot of all counters.
+    pub fn report(&self) -> HealthReport {
+        HealthReport {
+            observations_accepted: self.accepted.load(Ordering::Relaxed),
+            observations_rejected: self.rejected.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            degraded_invocations: self.degraded.load(Ordering::Relaxed),
+            breaker_trips: self.trips.load(Ordering::Relaxed),
+            probes: self.probes.load(Ordering::Relaxed),
+            recoveries: self.recoveries.load(Ordering::Relaxed),
+            taints: self.taints.load(Ordering::Relaxed),
+            quarantined_invocations: self.quarantined.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Clone for HealthStats {
+    fn clone(&self) -> HealthStats {
+        let r = self.report();
+        let stats = HealthStats::default();
+        stats
+            .accepted
+            .store(r.observations_accepted, Ordering::Relaxed);
+        stats
+            .rejected
+            .store(r.observations_rejected, Ordering::Relaxed);
+        stats.retries.store(r.retries, Ordering::Relaxed);
+        stats
+            .degraded
+            .store(r.degraded_invocations, Ordering::Relaxed);
+        stats.trips.store(r.breaker_trips, Ordering::Relaxed);
+        stats.probes.store(r.probes, Ordering::Relaxed);
+        stats.recoveries.store(r.recoveries, Ordering::Relaxed);
+        stats.taints.store(r.taints, Ordering::Relaxed);
+        stats
+            .quarantined
+            .store(r.quarantined_invocations, Ordering::Relaxed);
+        stats
+    }
+}
+
+/// Snapshot of [`HealthStats`] — the telemetry surfaced by
+/// [`EasScheduler::health`](crate::EasScheduler::health) and
+/// [`SharedEas::health`](crate::SharedEas::health).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HealthReport {
+    /// Profiling observations that passed the guard.
+    pub observations_accepted: u64,
+    /// Profiling observations rejected as faults.
+    pub observations_rejected: u64,
+    /// Rejected rounds that were retried (with a backed-off chunk).
+    pub retries: u64,
+    /// Invocations that gave up profiling and ran degraded.
+    pub degraded_invocations: u64,
+    /// Times the GPU circuit breaker tripped open.
+    pub breaker_trips: u64,
+    /// Recovery probes attempted while half-open.
+    pub probes: u64,
+    /// Probes that found the GPU healthy again (breaker re-closed).
+    pub recoveries: u64,
+    /// Kernel-table entries marked suspect after a faulty invocation.
+    pub taints: u64,
+    /// Invocations forced to CPU-only by an open breaker.
+    pub quarantined_invocations: u64,
+}
+
+impl HealthReport {
+    /// True when no fault was ever observed (the clean-path invariant).
+    pub fn fault_free(&self) -> bool {
+        self.observations_rejected == 0
+            && self.retries == 0
+            && self.degraded_invocations == 0
+            && self.breaker_trips == 0
+            && self.probes == 0
+            && self.taints == 0
+            && self.quarantined_invocations == 0
+    }
+}
+
+const CLOSED: u8 = 0;
+const OPEN: u8 = 1;
+const HALF_OPEN: u8 = 2;
+
+/// Current position in the breaker state machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Normal operation; faults are being counted.
+    Closed,
+    /// GPU quarantined: invocations run CPU-only.
+    Open,
+    /// Quarantine served: the next invocation probes the GPU.
+    HalfOpen,
+}
+
+/// What the breaker allows the current invocation to do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerGate {
+    /// Schedule normally.
+    Normal,
+    /// GPU quarantined: run everything at α = 0, touch nothing else.
+    CpuOnly,
+    /// Probe: profile through the GPU (skipping table reuse) so a clean
+    /// observation can close the breaker.
+    Probe,
+}
+
+/// The GPU circuit breaker (state machine in the [module docs](self)).
+///
+/// All state is atomic: many streams of an `Arc<SharedEas>` consult one
+/// breaker concurrently. Races are benign — at worst two streams both run
+/// the recovery probe.
+#[derive(Debug)]
+pub struct CircuitBreaker {
+    threshold: u32,
+    quarantine: u64,
+    state: AtomicU8,
+    consecutive: AtomicU32,
+    quarantine_left: AtomicU64,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker with the given policy.
+    pub fn new(policy: &FaultPolicy) -> CircuitBreaker {
+        CircuitBreaker {
+            threshold: policy.breaker_threshold.max(1),
+            quarantine: policy.quarantine.max(1),
+            state: AtomicU8::new(CLOSED),
+            consecutive: AtomicU32::new(0),
+            quarantine_left: AtomicU64::new(0),
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> BreakerState {
+        match self.state.load(Ordering::Acquire) {
+            OPEN => BreakerState::Open,
+            HALF_OPEN => BreakerState::HalfOpen,
+            _ => BreakerState::Closed,
+        }
+    }
+
+    /// Whether the breaker is open (GPU quarantined).
+    pub fn is_open(&self) -> bool {
+        self.state.load(Ordering::Acquire) == OPEN
+    }
+
+    /// Consulted once per invocation, before any scheduling work.
+    pub(crate) fn gate(&self) -> BreakerGate {
+        match self.state.load(Ordering::Acquire) {
+            CLOSED => BreakerGate::Normal,
+            HALF_OPEN => BreakerGate::Probe,
+            _ => {
+                let before = self
+                    .quarantine_left
+                    .fetch_update(Ordering::AcqRel, Ordering::Acquire, |v| {
+                        Some(v.saturating_sub(1))
+                    })
+                    .unwrap_or(0);
+                if before <= 1 {
+                    self.state.store(HALF_OPEN, Ordering::Release);
+                    BreakerGate::Probe
+                } else {
+                    BreakerGate::CpuOnly
+                }
+            }
+        }
+    }
+
+    /// Records a GPU-implicating fault; returns `true` if this fault
+    /// tripped the breaker open (from closed or from a failed probe).
+    pub(crate) fn record_gpu_fault(&self) -> bool {
+        match self.state.load(Ordering::Acquire) {
+            OPEN => false,
+            HALF_OPEN => {
+                self.trip();
+                true
+            }
+            _ => {
+                let seen = self.consecutive.fetch_add(1, Ordering::AcqRel) + 1;
+                if seen >= self.threshold {
+                    self.trip();
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Records a clean GPU observation; returns `true` if it closed a
+    /// half-open breaker (a recovery).
+    pub(crate) fn record_clean_gpu(&self) -> bool {
+        self.consecutive.store(0, Ordering::Release);
+        let was_half_open = self.state.load(Ordering::Acquire) == HALF_OPEN;
+        if was_half_open {
+            self.state.store(CLOSED, Ordering::Release);
+        }
+        was_half_open
+    }
+
+    fn trip(&self) {
+        self.consecutive.store(0, Ordering::Release);
+        self.quarantine_left
+            .store(self.quarantine, Ordering::Release);
+        self.state.store(OPEN, Ordering::Release);
+    }
+}
+
+impl Clone for CircuitBreaker {
+    fn clone(&self) -> CircuitBreaker {
+        CircuitBreaker {
+            threshold: self.threshold,
+            quarantine: self.quarantine,
+            state: AtomicU8::new(self.state.load(Ordering::Acquire)),
+            consecutive: AtomicU32::new(self.consecutive.load(Ordering::Acquire)),
+            quarantine_left: AtomicU64::new(self.quarantine_left.load(Ordering::Acquire)),
+        }
+    }
+}
+
+/// Per-frontend fault-handling state: counters plus the GPU breaker.
+#[derive(Debug, Clone)]
+pub struct Health {
+    pub(crate) stats: HealthStats,
+    pub(crate) breaker: CircuitBreaker,
+}
+
+impl Health {
+    /// Fresh healthy state under `policy`.
+    pub(crate) fn new(policy: &FaultPolicy) -> Health {
+        Health {
+            stats: HealthStats::default(),
+            breaker: CircuitBreaker::new(policy),
+        }
+    }
+
+    /// Snapshot of the counters.
+    pub fn report(&self) -> HealthReport {
+        self.stats.report()
+    }
+
+    /// The GPU circuit breaker.
+    pub fn breaker(&self) -> &CircuitBreaker {
+        &self.breaker
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn policy() -> FaultPolicy {
+        FaultPolicy {
+            max_retries: 3,
+            breaker_threshold: 3,
+            quarantine: 4,
+        }
+    }
+
+    #[test]
+    fn breaker_trips_after_threshold_consecutive_faults() {
+        let b = CircuitBreaker::new(&policy());
+        assert!(!b.record_gpu_fault());
+        assert!(!b.record_gpu_fault());
+        // A clean observation resets the streak.
+        assert!(!b.record_clean_gpu());
+        assert!(!b.record_gpu_fault());
+        assert!(!b.record_gpu_fault());
+        assert!(b.record_gpu_fault());
+        assert_eq!(b.state(), BreakerState::Open);
+    }
+
+    #[test]
+    fn open_breaker_quarantines_then_probes() {
+        let b = CircuitBreaker::new(&policy());
+        for _ in 0..3 {
+            b.record_gpu_fault();
+        }
+        // quarantine = 4: three CPU-only invocations, the fourth probes.
+        assert_eq!(b.gate(), BreakerGate::CpuOnly);
+        assert_eq!(b.gate(), BreakerGate::CpuOnly);
+        assert_eq!(b.gate(), BreakerGate::CpuOnly);
+        assert_eq!(b.gate(), BreakerGate::Probe);
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+    }
+
+    #[test]
+    fn clean_probe_closes_failed_probe_reopens() {
+        let b = CircuitBreaker::new(&policy());
+        for _ in 0..3 {
+            b.record_gpu_fault();
+        }
+        for _ in 0..4 {
+            b.gate();
+        }
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        // Failed probe: straight back to open for a full quarantine.
+        assert!(b.record_gpu_fault());
+        assert_eq!(b.state(), BreakerState::Open);
+        for _ in 0..4 {
+            b.gate();
+        }
+        // Clean probe: recovery.
+        assert!(b.record_clean_gpu());
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.gate(), BreakerGate::Normal);
+    }
+
+    #[test]
+    fn closed_breaker_gates_normal_without_side_effects() {
+        let b = CircuitBreaker::new(&policy());
+        for _ in 0..100 {
+            assert_eq!(b.gate(), BreakerGate::Normal);
+        }
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn health_report_roundtrips_counters() {
+        let h = Health::new(&policy());
+        h.stats.note_accepted();
+        h.stats.note_rejected();
+        h.stats.note_rejected();
+        h.stats.note_degraded();
+        let r = h.report();
+        assert_eq!(r.observations_accepted, 1);
+        assert_eq!(r.observations_rejected, 2);
+        assert_eq!(r.degraded_invocations, 1);
+        assert!(!r.fault_free());
+        assert!(HealthReport::default().fault_free());
+        // Clone carries the counts.
+        assert_eq!(h.clone().report(), r);
+    }
+}

@@ -23,8 +23,21 @@
 use crate::eas::Accumulation;
 use easched_runtime::KernelId;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::RwLock;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+/// Read-locks a shard, recovering from poisoning: a tenant that panicked
+/// mid-operation must not take the shared table down for every other
+/// stream of an `Arc<SharedEas>`. Entries are plain values (no invariants
+/// spanning statements), so a poisoned shard's data is still coherent.
+fn read_lock<T>(lock: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    lock.read().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Write-locks a shard, recovering from poisoning (see [`read_lock`]).
+fn write_lock<T>(lock: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    lock.write().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Default shard count — comfortably above the core counts of the paper's
 /// platforms (4-core Haswell, 4-core Bay Trail) and cheap enough that a
@@ -39,6 +52,10 @@ struct AlphaEntry {
     weight: f64,
     /// Bumped on the reuse path under a shard *read* lock, hence atomic.
     invocations_seen: AtomicU64,
+    /// Set when the entry was learned during a faulty invocation (see
+    /// [`KernelTable::taint`]); flipped under a shard *read* lock, hence
+    /// atomic. Cleared by the next clean accumulation.
+    tainted: AtomicBool,
 }
 
 impl Clone for AlphaEntry {
@@ -47,6 +64,7 @@ impl Clone for AlphaEntry {
             alpha: self.alpha,
             weight: self.weight,
             invocations_seen: AtomicU64::new(self.invocations_seen.load(Ordering::Relaxed)),
+            tainted: AtomicBool::new(self.tainted.load(Ordering::Relaxed)),
         }
     }
 }
@@ -69,6 +87,9 @@ pub struct ReuseProbe {
     pub alpha: f64,
     /// The kernel's invocation count *after* this probe's increment.
     pub invocations_seen: u64,
+    /// Whether the entry was learned from suspect observations and should
+    /// be re-profiled rather than reused.
+    pub tainted: bool,
 }
 
 /// The global table G: kernel id → learned offload ratio, sharded for
@@ -104,7 +125,7 @@ impl Clone for KernelTable {
         let shards: Vec<RwLock<HashMap<KernelId, AlphaEntry>>> = self
             .shards
             .iter()
-            .map(|s| RwLock::new(s.read().expect("kernel table poisoned").clone()))
+            .map(|s| RwLock::new(read_lock(s).clone()))
             .collect();
         KernelTable {
             shards: shards.into_boxed_slice(),
@@ -156,18 +177,12 @@ impl KernelTable {
     /// The learned offload ratio for a kernel, if any. Takes one shard
     /// read lock; never blocks operations on other shards.
     pub fn lookup(&self, kernel: KernelId) -> Option<f64> {
-        self.shard(kernel)
-            .read()
-            .expect("kernel table poisoned")
-            .get(&kernel)
-            .map(|e| e.alpha)
+        read_lock(self.shard(kernel)).get(&kernel).map(|e| e.alpha)
     }
 
     /// Full learned state for a kernel, if any.
     pub fn stat(&self, kernel: KernelId) -> Option<AlphaStat> {
-        self.shard(kernel)
-            .read()
-            .expect("kernel table poisoned")
+        read_lock(self.shard(kernel))
             .get(&kernel)
             .map(|e| AlphaStat {
                 alpha: e.alpha,
@@ -181,25 +196,46 @@ impl KernelTable {
     /// shard; the invocation counter is atomic, so concurrent streams
     /// reusing the same kernel proceed in parallel.
     pub fn note_reuse(&self, kernel: KernelId) -> Option<ReuseProbe> {
-        self.shard(kernel)
-            .read()
-            .expect("kernel table poisoned")
+        read_lock(self.shard(kernel))
             .get(&kernel)
             .map(|e| ReuseProbe {
                 alpha: e.alpha,
                 invocations_seen: e.invocations_seen.fetch_add(1, Ordering::Relaxed) + 1,
+                tainted: e.tainted.load(Ordering::Relaxed),
             })
+    }
+
+    /// Marks a kernel's entry as learned from suspect observations: the
+    /// next reuse probe reports it tainted and the profile loop
+    /// re-profiles instead of trusting the stored ratio. The next clean
+    /// [`accumulate`](KernelTable::accumulate) clears the mark. No-op for
+    /// unknown kernels. Takes only a shard *read* lock (the flag is
+    /// atomic).
+    pub fn taint(&self, kernel: KernelId) {
+        if let Some(e) = read_lock(self.shard(kernel)).get(&kernel) {
+            e.tainted.store(true, Ordering::Relaxed);
+        }
+    }
+
+    /// Whether a kernel's entry is currently marked suspect.
+    pub fn is_tainted(&self, kernel: KernelId) -> bool {
+        read_lock(self.shard(kernel))
+            .get(&kernel)
+            .is_some_and(|e| e.tainted.load(Ordering::Relaxed))
     }
 
     /// Folds a newly computed α into the table (Fig 7 step 26).
     /// Write-locks the owning shard only.
     pub fn accumulate(&self, kernel: KernelId, alpha: f64, weight: f64, mode: Accumulation) {
-        let mut shard = self.shard(kernel).write().expect("kernel table poisoned");
+        let mut shard = write_lock(self.shard(kernel));
         let entry = shard.entry(kernel).or_insert(AlphaEntry {
             alpha,
             weight: 0.0,
             invocations_seen: AtomicU64::new(0),
+            tainted: AtomicBool::new(false),
         });
+        // Fresh learning supersedes suspicion from earlier faulty rounds.
+        entry.tainted.store(false, Ordering::Relaxed);
         match mode {
             Accumulation::SampleWeighted => {
                 let total = entry.weight + weight;
@@ -218,23 +254,21 @@ impl KernelTable {
     /// Installs a kernel's learned state verbatim (used when loading a
     /// persisted table).
     pub fn insert(&self, kernel: KernelId, stat: AlphaStat) {
-        let mut shard = self.shard(kernel).write().expect("kernel table poisoned");
+        let mut shard = write_lock(self.shard(kernel));
         shard.insert(
             kernel,
             AlphaEntry {
                 alpha: stat.alpha,
                 weight: stat.weight,
                 invocations_seen: AtomicU64::new(stat.invocations_seen),
+                tainted: AtomicBool::new(false),
             },
         );
     }
 
     /// Number of kernels with learned state.
     pub fn len(&self) -> usize {
-        self.shards
-            .iter()
-            .map(|s| s.read().expect("kernel table poisoned").len())
-            .sum()
+        self.shards.iter().map(|s| read_lock(s).len()).sum()
     }
 
     /// Whether no kernel has learned state yet.
@@ -245,7 +279,7 @@ impl KernelTable {
     /// Removes all learned state.
     pub fn clear(&self) {
         for shard in self.shards.iter() {
-            shard.write().expect("kernel table poisoned").clear();
+            write_lock(shard).clear();
         }
     }
 
@@ -254,7 +288,7 @@ impl KernelTable {
     pub fn snapshot(&self) -> Vec<(KernelId, AlphaStat)> {
         let mut out: Vec<(KernelId, AlphaStat)> = Vec::with_capacity(self.len());
         for shard in self.shards.iter() {
-            let shard = shard.read().expect("kernel table poisoned");
+            let shard = read_lock(shard);
             out.extend(shard.iter().map(|(&k, e)| {
                 (
                     k,
@@ -340,6 +374,79 @@ mod tests {
         assert_eq!(KernelTable::with_shards(5).shard_count(), 8);
         assert_eq!(KernelTable::with_shards(16).shard_count(), 16);
         assert_eq!(KernelTable::with_shards(1).shard_count(), 1);
+    }
+
+    #[test]
+    fn taint_flags_entries_until_next_accumulation() {
+        let t = KernelTable::new();
+        // Tainting an unknown kernel is a no-op.
+        t.taint(9);
+        assert!(!t.is_tainted(9));
+
+        t.accumulate(9, 0.5, 10.0, Accumulation::SampleWeighted);
+        assert!(!t.is_tainted(9));
+        t.taint(9);
+        assert!(t.is_tainted(9));
+        assert!(t.note_reuse(9).unwrap().tainted);
+
+        // A fresh (clean) accumulation rehabilitates the entry.
+        t.accumulate(9, 0.6, 10.0, Accumulation::SampleWeighted);
+        assert!(!t.is_tainted(9));
+        assert!(!t.note_reuse(9).unwrap().tainted);
+    }
+
+    #[test]
+    fn taint_survives_clone_but_not_snapshot_roundtrip() {
+        let t = KernelTable::new();
+        t.accumulate(2, 0.3, 5.0, Accumulation::SampleWeighted);
+        t.taint(2);
+        assert!(t.clone().is_tainted(2));
+        // insert() (the persistence load path) starts entries untainted:
+        // suspicion is runtime state, not learned state.
+        let loaded = KernelTable::new();
+        for (k, stat) in t.snapshot() {
+            loaded.insert(k, stat);
+        }
+        assert!(!loaded.is_tainted(2));
+    }
+
+    #[test]
+    fn thread_panicking_mid_write_leaves_table_usable() {
+        let t = KernelTable::with_shards(1);
+        t.accumulate(1, 0.5, 10.0, Accumulation::SampleWeighted);
+
+        // A tenant dies while holding the single shard's write lock,
+        // poisoning it.
+        let result = std::thread::scope(|s| {
+            s.spawn(|| {
+                let _guard = t.shards[0].write().unwrap();
+                panic!("tenant dies mid-write");
+            })
+            .join()
+        });
+        assert!(result.is_err(), "the tenant must have panicked");
+        assert!(t.shards[0].is_poisoned(), "the shard must be poisoned");
+
+        // Every operation still works for the surviving streams.
+        assert_eq!(t.lookup(1), Some(0.5));
+        assert_eq!(t.note_reuse(1).unwrap().alpha, 0.5);
+        t.accumulate(1, 0.5, 10.0, Accumulation::SampleWeighted);
+        assert_eq!(t.stat(1).unwrap().weight, 20.0);
+        t.taint(1);
+        assert!(t.is_tainted(1));
+        t.insert(
+            7,
+            AlphaStat {
+                alpha: 0.25,
+                weight: 1.0,
+                invocations_seen: 0,
+            },
+        );
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.clone().lookup(7), Some(0.25));
+        assert_eq!(t.snapshot().len(), 2);
+        t.clear();
+        assert!(t.is_empty());
     }
 
     #[test]

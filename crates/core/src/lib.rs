@@ -44,6 +44,8 @@ pub mod classify;
 pub mod eas;
 pub mod easruntime;
 pub mod engine;
+pub mod guard;
+pub mod health;
 pub mod kernel_table;
 pub mod objective;
 pub mod persist;
@@ -54,13 +56,16 @@ pub mod shared;
 pub mod time_model;
 
 pub use characterize::{
-    characterize, characterize_with_sweeps, fit_curve_with_r2, CategorySweep,
-    CharacterizationConfig, SweepPoint,
+    characterize, characterize_with_sweeps, fit_curve_with_r2, try_characterize,
+    try_characterize_with_sweeps, try_fit_curve_with_r2, CategorySweep, CharacterizationConfig,
+    CharacterizeError, SweepPoint,
 };
 pub use classify::{Classifier, WorkloadClass};
 pub use eas::{Accumulation, AlphaSearch, Decision, EasConfig, EasScheduler};
 pub use easruntime::{EasRuntime, RunOutcome};
 pub use engine::DecisionEngine;
+pub use guard::{FaultKind, ObservationGuard};
+pub use health::{BreakerGate, BreakerState, CircuitBreaker, FaultPolicy, Health, HealthReport};
 pub use kernel_table::{AlphaStat, KernelTable, ReuseProbe};
 pub use objective::Objective;
 pub use persist::{

@@ -6,10 +6,11 @@
 //! stable, diffable, and dependency-free:
 //!
 //! ```text
-//! easched-power-model v1
+//! easched-power-model v2
 //! platform haswell-desktop
 //! curve 0 rmse 0.169 samples 21 coeffs 32.55 -0.95 ...
 //! ... (8 curve lines, class-index order)
+//! checksum 8d3f2a915c04be71
 //! ```
 //!
 //! The learned kernel table G persists the same way
@@ -18,10 +19,21 @@
 //! after a restart:
 //!
 //! ```text
-//! easched-kernel-table v1
+//! easched-kernel-table v2
 //! kernel 7 alpha 6.5e-1 weight 5e4 seen 12
 //! ... (one line per kernel, id order)
+//! checksum 41c09f22e6b7d530
 //! ```
+//!
+//! # Integrity (DESIGN.md §9)
+//!
+//! Version 2 appends a trailing `checksum` line: an FNV-1a 64-bit digest
+//! over every byte that precedes it. A model or table file truncated by a
+//! crashed writer or corrupted at rest fails
+//! [`ModelParseError::MissingChecksum`] /
+//! [`ModelParseError::ChecksumMismatch`] instead of silently warm-starting
+//! the scheduler with damaged ratios — loading never panics. Version-1
+//! files (no checksum) are still accepted for migration.
 
 use crate::classify::WorkloadClass;
 use crate::kernel_table::{AlphaStat, KernelTable};
@@ -33,8 +45,10 @@ use std::fs;
 use std::io;
 use std::path::Path;
 
-/// Format header of version 1.
+/// Format header of the legacy (checksum-less) version 1.
 const HEADER_V1: &str = "easched-power-model v1";
+/// Format header of version 2 (trailing FNV-1a checksum line).
+const HEADER_V2: &str = "easched-power-model v2";
 
 /// Error parsing a persisted power model.
 #[derive(Debug)]
@@ -51,6 +65,17 @@ pub enum ModelParseError {
     },
     /// The file did not contain exactly one curve per class.
     WrongCurveCount(usize),
+    /// A version-2 file whose trailing `checksum` line is absent or
+    /// unreadable — typically a write truncated by a crash.
+    MissingChecksum,
+    /// A version-2 file whose bytes do not hash to the recorded checksum —
+    /// corruption at rest, or a hand edit without updating the digest.
+    ChecksumMismatch {
+        /// Digest computed over the file contents.
+        computed: u64,
+        /// Digest the file claims.
+        stored: u64,
+    },
     /// Underlying I/O failure.
     Io(io::Error),
 }
@@ -65,6 +90,13 @@ impl fmt::Display for ModelParseError {
             ModelParseError::WrongCurveCount(n) => {
                 write!(f, "expected 8 curves, found {n}")
             }
+            ModelParseError::MissingChecksum => {
+                write!(f, "v2 file has no trailing checksum line (truncated?)")
+            }
+            ModelParseError::ChecksumMismatch { computed, stored } => write!(
+                f,
+                "checksum mismatch: contents hash to {computed:016x}, file says {stored:016x}"
+            ),
             ModelParseError::Io(e) => write!(f, "io error: {e}"),
         }
     }
@@ -85,7 +117,72 @@ impl From<io::Error> for ModelParseError {
     }
 }
 
-/// Serializes a model to the v1 text format.
+/// FNV-1a, 64-bit. Not cryptographic — it guards against truncation and
+/// bit rot, not adversaries — but the per-byte xor-then-multiply step is
+/// injective, so any single corrupted byte changes the digest.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Appends the v2 trailing checksum line over everything written so far.
+fn seal(mut body: String) -> String {
+    let digest = fnv1a64(body.as_bytes());
+    body.push_str(&format!("checksum {digest:016x}\n"));
+    body
+}
+
+/// Validates the envelope of a persisted file and returns the body the
+/// record parser should read (header line included, checksum line
+/// stripped).
+///
+/// A v1 header passes through unchecked (legacy files carry no digest); a
+/// v2 header requires a well-formed trailing `checksum` line whose digest
+/// matches every preceding byte; anything else is [`BadHeader`].
+///
+/// [`BadHeader`]: ModelParseError::BadHeader
+fn verify_envelope<'a>(
+    text: &'a str,
+    header_v1: &str,
+    header_v2: &str,
+) -> Result<&'a str, ModelParseError> {
+    let header = text.lines().next().unwrap_or("").trim();
+    if header == header_v1 {
+        return Ok(text);
+    }
+    if header != header_v2 {
+        return Err(ModelParseError::BadHeader(header.to_string()));
+    }
+    // The digest covers everything up to and including the newline that
+    // precedes the checksum line, so take the *last* occurrence: any
+    // spoofed earlier "checksum" text is just covered bytes.
+    let at = text
+        .rfind("\nchecksum ")
+        .ok_or(ModelParseError::MissingChecksum)?;
+    let covered = &text[..=at];
+    let mut tokens = text[at + 1..].split_whitespace();
+    tokens.next(); // the "checksum" keyword rfind just matched
+    let stored = tokens
+        .next()
+        .and_then(|hex| u64::from_str_radix(hex, 16).ok())
+        .ok_or(ModelParseError::MissingChecksum)?;
+    if tokens.next().is_some() {
+        // Records after the checksum line are not covered by the digest;
+        // refuse rather than trust them.
+        return Err(ModelParseError::MissingChecksum);
+    }
+    let computed = fnv1a64(covered.as_bytes());
+    if computed != stored {
+        return Err(ModelParseError::ChecksumMismatch { computed, stored });
+    }
+    Ok(covered)
+}
+
+/// Serializes a model to the v2 text format (trailing checksum line).
 ///
 /// # Examples
 ///
@@ -105,7 +202,7 @@ impl From<io::Error> for ModelParseError {
 /// ```
 pub fn model_to_text(model: &PowerModel) -> String {
     let mut out = String::new();
-    out.push_str(HEADER_V1);
+    out.push_str(HEADER_V2);
     out.push('\n');
     out.push_str(&format!("platform {}\n", model.platform_name()));
     for curve in model.curves() {
@@ -121,20 +218,19 @@ pub fn model_to_text(model: &PowerModel) -> String {
         }
         out.push('\n');
     }
-    out
+    seal(out)
 }
 
-/// Parses the v1 text format.
+/// Parses the text format: v2 (checksum verified) or legacy v1.
 ///
 /// # Errors
 ///
-/// [`ModelParseError`] on malformed input.
+/// [`ModelParseError`] on malformed, truncated, or corrupted input.
+/// Never panics, whatever the bytes.
 pub fn model_from_text(text: &str) -> Result<PowerModel, ModelParseError> {
-    let mut lines = text.lines().enumerate();
-    let (_, header) = lines.next().unwrap_or((0, ""));
-    if header.trim() != HEADER_V1 {
-        return Err(ModelParseError::BadHeader(header.to_string()));
-    }
+    let body = verify_envelope(text, HEADER_V1, HEADER_V2)?;
+    let mut lines = body.lines().enumerate();
+    lines.next(); // header, already validated by the envelope check
     let mut platform = String::new();
     let mut curves: Vec<PowerCurve> = Vec::new();
     for (idx, raw) in lines {
@@ -252,10 +348,12 @@ pub fn load_model(path: impl AsRef<Path>) -> Result<PowerModel, ModelParseError>
     model_from_text(&fs::read_to_string(path)?)
 }
 
-/// Format header of the kernel-table format, version 1.
+/// Format header of the legacy kernel-table format, version 1.
 const TABLE_HEADER_V1: &str = "easched-kernel-table v1";
+/// Format header of the kernel-table format, version 2 (checksummed).
+const TABLE_HEADER_V2: &str = "easched-kernel-table v2";
 
-/// Serializes a learned kernel table to the v1 text format. Lines are in
+/// Serializes a learned kernel table to the v2 text format. Lines are in
 /// kernel-id order, so equal tables serialize identically.
 ///
 /// # Examples
@@ -272,7 +370,7 @@ const TABLE_HEADER_V1: &str = "easched-kernel-table v1";
 /// ```
 pub fn table_to_text(table: &KernelTable) -> String {
     let mut out = String::new();
-    out.push_str(TABLE_HEADER_V1);
+    out.push_str(TABLE_HEADER_V2);
     out.push('\n');
     for (kernel, stat) in table.snapshot() {
         // Full round-trip precision on the floats.
@@ -281,21 +379,21 @@ pub fn table_to_text(table: &KernelTable) -> String {
             kernel, stat.alpha, stat.weight, stat.invocations_seen
         ));
     }
-    out
+    seal(out)
 }
 
-/// Parses the kernel-table v1 text format.
+/// Parses the kernel-table text format: v2 (checksum verified) or legacy
+/// v1.
 ///
 /// # Errors
 ///
-/// [`ModelParseError`] on malformed input (including a duplicated kernel
-/// id, which would silently drop learned weight).
+/// [`ModelParseError`] on malformed, truncated, or corrupted input
+/// (including a duplicated kernel id, which would silently drop learned
+/// weight). Never panics, whatever the bytes.
 pub fn table_from_text(text: &str) -> Result<KernelTable, ModelParseError> {
-    let mut lines = text.lines().enumerate();
-    let (_, header) = lines.next().unwrap_or((0, ""));
-    if header.trim() != TABLE_HEADER_V1 {
-        return Err(ModelParseError::BadHeader(header.to_string()));
-    }
+    let body = verify_envelope(text, TABLE_HEADER_V1, TABLE_HEADER_V2)?;
+    let mut lines = body.lines().enumerate();
+    lines.next(); // header, already validated by the envelope check
     let table = KernelTable::new();
     for (idx, raw) in lines {
         let line_no = idx + 1;
@@ -472,8 +570,79 @@ mod tests {
     fn comments_and_blank_lines_ignored() {
         let model = sample_model();
         let mut text = model_to_text(&model);
+        // Editing the body invalidates the digest, so re-seal afterwards —
+        // the well-behaved way to hand-annotate a v2 file.
+        text.truncate(text.rfind("checksum").unwrap());
         text = text.replace("platform", "# leading comment\n\nplatform");
-        assert!(model_from_text(&text).is_ok());
+        assert!(model_from_text(&seal(text)).is_ok());
+    }
+
+    #[test]
+    fn tampered_body_fails_checksum() {
+        let text = model_to_text(&sample_model());
+        // Flip one digit somewhere inside a coefficient.
+        let pos = text.find("coeffs").unwrap() + 8;
+        let mut bytes = text.into_bytes();
+        bytes[pos] = if bytes[pos] == b'5' { b'6' } else { b'5' };
+        let err = model_from_text(std::str::from_utf8(&bytes).unwrap()).unwrap_err();
+        assert!(
+            matches!(err, ModelParseError::ChecksumMismatch { .. }),
+            "{err}"
+        );
+        assert!(err.to_string().contains("checksum mismatch"));
+    }
+
+    #[test]
+    fn truncated_file_is_rejected() {
+        let text = model_to_text(&sample_model());
+        // A crashed writer loses the tail: the checksum line goes first.
+        let cut = text.rfind("checksum").unwrap();
+        let err = model_from_text(&text[..cut]).unwrap_err();
+        assert!(matches!(err, ModelParseError::MissingChecksum), "{err}");
+        // Mid-file truncation keeps a stale digest → mismatch.
+        let mid = text.len() / 2;
+        let cut_mid = format!("{}checksum 0123456789abcdef\n", &text[..mid]);
+        assert!(model_from_text(&cut_mid).is_err());
+    }
+
+    #[test]
+    fn records_after_checksum_are_rejected() {
+        let mut text = table_to_text(&learned_table());
+        text.push_str("kernel 2 alpha 0.5 weight 1 seen 0\n");
+        let err = table_from_text(&text).unwrap_err();
+        assert!(matches!(err, ModelParseError::MissingChecksum), "{err}");
+    }
+
+    #[test]
+    fn legacy_v1_files_still_load() {
+        // A v1 file is exactly the v2 body with the old header and no
+        // checksum line.
+        let v2 = model_to_text(&sample_model());
+        let body_end = v2.rfind("checksum").unwrap();
+        let v1 = v2[..body_end].replace(HEADER_V2, HEADER_V1);
+        let back = model_from_text(&v1).unwrap();
+        assert_eq!(back, model_from_text(&v2).unwrap());
+
+        let t2 = table_to_text(&learned_table());
+        let t1 = t2[..t2.rfind("checksum").unwrap()].replace(TABLE_HEADER_V2, TABLE_HEADER_V1);
+        assert_eq!(
+            table_from_text(&t1).unwrap().snapshot(),
+            learned_table().snapshot()
+        );
+    }
+
+    #[test]
+    fn checksum_line_is_well_formed() {
+        for text in [
+            model_to_text(&sample_model()),
+            table_to_text(&learned_table()),
+            table_to_text(&KernelTable::new()),
+        ] {
+            let last = text.lines().last().unwrap();
+            let hex = last.strip_prefix("checksum ").unwrap();
+            assert_eq!(hex.len(), 16, "{last}");
+            u64::from_str_radix(hex, 16).unwrap();
+        }
     }
 
     #[test]

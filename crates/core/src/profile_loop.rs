@@ -10,9 +10,26 @@
 //! owns no state — it reads the engine (policy), reads/writes the table
 //! (memory), drives the backend (observation), and reports every decision
 //! through a callback so each frontend can keep its own log.
+//!
+//! # Fault handling (DESIGN.md §9)
+//!
+//! Every profiling observation is vetted by the engine's
+//! [`ObservationGuard`](crate::ObservationGuard) before it can influence a
+//! decision. A rejected round is retried with a *backed-off* GPU chunk
+//! (halved per consecutive rejection) up to
+//! [`FaultPolicy::max_retries`](crate::FaultPolicy); past the budget the
+//! invocation *degrades*: it runs its remainder at the last trusted α (or
+//! CPU-only if none) and learns nothing. GPU-implicating faults also feed
+//! the [`CircuitBreaker`](crate::CircuitBreaker): once it trips, whole
+//! invocations are gated to CPU-only until the quarantine is served and a
+//! probe invocation finds the GPU healthy again. Any invocation that saw a
+//! fault taints the kernel's table entry, forcing a re-profile on the next
+//! reuse. On a healthy platform none of these paths activate and the loop
+//! is behavior-identical to the unguarded original.
 
 use crate::eas::Decision;
 use crate::engine::DecisionEngine;
+use crate::health::{BreakerGate, Health};
 use crate::kernel_table::KernelTable;
 use easched_runtime::{Backend, KernelId};
 
@@ -23,6 +40,7 @@ use easched_runtime::{Backend, KernelId};
 pub(crate) fn schedule_invocation(
     engine: &DecisionEngine,
     table: &KernelTable,
+    health: &Health,
     kernel: KernelId,
     backend: &mut dyn Backend,
     mut on_decision: impl FnMut(Decision),
@@ -34,24 +52,46 @@ pub(crate) fn schedule_invocation(
     let profile_size = backend.gpu_profile_size();
     let config = engine.config();
 
-    // Steps 2–4: reuse the learned ratio for known kernels (unless a
-    // periodic re-profile is due). The small-N guard of steps 6–8 still
-    // applies on this path: an invocation too small to fill the GPU runs
-    // on the CPU regardless of the learned ratio — offloading a
-    // sub-occupancy sliver would waste both time and energy (this is the
-    // reason the guard exists, and it matters for cascade-style kernels
-    // like FD whose invocation sizes swing by orders of magnitude).
-    if let Some(probe) = table.note_reuse(kernel) {
-        let due_reprofile = config
-            .reprofile_every
-            .is_some_and(|k| probe.invocations_seen % k == 0)
-            && n >= profile_size;
-        if !due_reprofile {
-            let alpha = if n < profile_size { 0.0 } else { probe.alpha };
-            backend.run_split(alpha);
+    // §9 gate: with the breaker open the GPU is quarantined — run the
+    // whole invocation CPU-only and learn nothing (a ratio learned during
+    // an outage would poison the table for the healthy future). A `Probe`
+    // gate falls through to profiling but skips table reuse, so the GPU is
+    // actually exercised and a clean observation can close the breaker.
+    let probing = match health.breaker.gate() {
+        BreakerGate::Normal => false,
+        BreakerGate::Probe => {
+            health.stats.note_probe();
+            true
+        }
+        BreakerGate::CpuOnly => {
+            health.stats.note_quarantined();
+            backend.run_split(0.0);
             return;
         }
-        // Fall through to a fresh profiling pass that re-accumulates.
+    };
+
+    // Steps 2–4: reuse the learned ratio for known kernels (unless a
+    // periodic re-profile is due, or the entry is tainted by an earlier
+    // faulty invocation). The small-N guard of steps 6–8 still applies on
+    // this path: an invocation too small to fill the GPU runs on the CPU
+    // regardless of the learned ratio — offloading a sub-occupancy sliver
+    // would waste both time and energy (this is the reason the guard
+    // exists, and it matters for cascade-style kernels like FD whose
+    // invocation sizes swing by orders of magnitude).
+    if !probing {
+        if let Some(probe) = table.note_reuse(kernel) {
+            let due_reprofile = (probe.tainted
+                || config
+                    .reprofile_every
+                    .is_some_and(|k| probe.invocations_seen % k == 0))
+                && n >= profile_size;
+            if !due_reprofile {
+                let alpha = if n < profile_size { 0.0 } else { probe.alpha };
+                backend.run_split(alpha);
+                return;
+            }
+            // Fall through to a fresh profiling pass that re-accumulates.
+        }
     }
 
     // Steps 6–10: tiny invocations cannot fill the GPU — CPU alone.
@@ -62,18 +102,45 @@ pub(crate) fn schedule_invocation(
     }
 
     // Steps 11–22: repeat profiling for `profile_fraction` of the
-    // iterations, re-deciding α each round.
+    // iterations, re-deciding α each round. Rejected rounds are retried
+    // with a backed-off chunk; sustained rejection degrades the
+    // invocation.
     let profile_until = ((n as f64) * (1.0 - config.profile_fraction)) as u64;
     let mut alpha = 0.0;
     let mut alpha_weight = 0.0;
     let mut streak = 0usize;
+    let mut rejected_streak: u32 = 0;
+    let mut faulty_rounds: u64 = 0;
+    let mut gave_up = false;
     while backend.remaining() > profile_until.max(profile_size) {
         let before = backend.remaining();
-        let obs = backend.profile_step(profile_size);
+        // Bounded backoff: each consecutive rejection halves the chunk so
+        // a misbehaving device wastes geometrically less work per retry.
+        let chunk = (profile_size >> rejected_streak.min(16)).max(1);
+        let obs = backend.profile_step(chunk);
         let consumed = before - backend.remaining();
         if consumed == 0 {
             break; // safety: no progress (degenerate backend)
         }
+        if let Err(fault) = engine.vet(&obs) {
+            health.stats.note_rejected();
+            faulty_rounds += 1;
+            if fault.implicates_gpu() && health.breaker.record_gpu_fault() {
+                health.stats.note_trip();
+            }
+            if health.breaker.is_open() || rejected_streak >= config.fault.max_retries {
+                gave_up = true;
+                break;
+            }
+            rejected_streak += 1;
+            health.stats.note_retry();
+            continue;
+        }
+        health.stats.note_accepted();
+        if obs.gpu_items > 0 && health.breaker.record_clean_gpu() {
+            health.stats.note_recovery();
+        }
+        rejected_streak = 0;
         let decision = engine.decide(kernel, &obs, backend.remaining());
         let decided = decision.alpha;
         on_decision(decision);
@@ -89,6 +156,28 @@ pub(crate) fn schedule_invocation(
         }
     }
 
+    if gave_up {
+        // Degraded finish: trust the last clean decision if there was one
+        // and the GPU is not implicated; otherwise fall back to CPU-only.
+        health.stats.note_degraded();
+        let fallback = if health.breaker.is_open() || alpha_weight <= 0.0 {
+            0.0
+        } else {
+            alpha
+        };
+        if backend.remaining() > 0 {
+            backend.run_split(fallback);
+        }
+        // Learn only what clean rounds support — and mark it suspect so
+        // the next invocation re-profiles instead of reusing it.
+        if alpha_weight > 0.0 && !health.breaker.is_open() {
+            table.accumulate(kernel, fallback, alpha_weight, config.accumulation);
+            table.taint(kernel);
+            health.stats.note_taint();
+        }
+        return;
+    }
+
     // Steps 23–25: run the remainder at the decided ratio.
     if backend.remaining() > 0 {
         backend.run_split(alpha);
@@ -100,4 +189,11 @@ pub(crate) fn schedule_invocation(
         alpha_weight.max(n as f64 * 0.5),
         config.accumulation,
     );
+    if faulty_rounds > 0 {
+        // Some rounds were rejected even though profiling finished: the
+        // learned ratio rests on a suspect invocation — re-profile next
+        // time rather than reuse it.
+        table.taint(kernel);
+        health.stats.note_taint();
+    }
 }

@@ -18,12 +18,13 @@
 
 use crate::eas::{decision_log_csv, Decision, EasConfig, EasScheduler};
 use crate::engine::DecisionEngine;
+use crate::health::{Health, HealthReport};
 use crate::kernel_table::KernelTable;
 use crate::power_model::PowerModel;
 use crate::profile_loop;
 use easched_runtime::{Backend, ConcurrentScheduler, KernelId, Shared};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 
 /// The energy-aware scheduler with interior synchronization: the same
 /// Figure 7 policy as [`EasScheduler`], drivable through `&self` from any
@@ -58,6 +59,7 @@ use std::sync::{Arc, Mutex};
 pub struct SharedEas {
     engine: DecisionEngine,
     table: KernelTable,
+    health: Health,
     name: String,
     decisions: AtomicU64,
     log: Mutex<Vec<Decision>>,
@@ -73,9 +75,11 @@ impl SharedEas {
     /// [`EasScheduler::new`] does.
     pub fn new(model: PowerModel, config: EasConfig) -> Arc<SharedEas> {
         let name = format!("EAS-shared({})", config.objective.name());
+        let health = Health::new(&config.fault);
         Arc::new(SharedEas {
             engine: DecisionEngine::new(model, config),
             table: KernelTable::new(),
+            health,
             name,
             decisions: AtomicU64::new(0),
             log: Mutex::new(Vec::new()),
@@ -96,7 +100,13 @@ impl SharedEas {
     /// stay in that stream's order; interleaving across streams follows
     /// lock-acquisition order.
     pub fn decision_log(&self) -> Vec<Decision> {
-        self.log.lock().expect("decision log poisoned").clone()
+        // Recover from poisoning: a stream that panicked mid-push leaves a
+        // fully written Vec (push is not observable half-done here), and
+        // one dead tenant must not take down the other streams.
+        self.log
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
     }
 
     /// Serializes the decision log as CSV (same format as
@@ -114,6 +124,18 @@ impl SharedEas {
     pub fn table(&self) -> &KernelTable {
         &self.table
     }
+
+    /// Fault-pipeline telemetry aggregated across all streams (see
+    /// [`HealthReport`]). All zeros on a healthy platform.
+    pub fn health(&self) -> HealthReport {
+        self.health.report()
+    }
+
+    /// The fault-handling state shared by all streams (breaker inspection
+    /// for diagnostics).
+    pub fn health_state(&self) -> &Health {
+        &self.health
+    }
 }
 
 impl ConcurrentScheduler for SharedEas {
@@ -122,10 +144,20 @@ impl ConcurrentScheduler for SharedEas {
     }
 
     fn schedule_shared(&self, kernel: KernelId, backend: &mut dyn Backend) {
-        profile_loop::schedule_invocation(&self.engine, &self.table, kernel, backend, |d| {
-            self.decisions.fetch_add(1, Ordering::Relaxed);
-            self.log.lock().expect("decision log poisoned").push(d);
-        });
+        profile_loop::schedule_invocation(
+            &self.engine,
+            &self.table,
+            &self.health,
+            kernel,
+            backend,
+            |d| {
+                self.decisions.fetch_add(1, Ordering::Relaxed);
+                self.log
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .push(d);
+            },
+        );
     }
 }
 
@@ -152,10 +184,11 @@ impl EasScheduler {
         let name = format!("EAS-shared({})", self.engine().config().objective.name());
         let decisions = self.decisions();
         let log = self.decision_log().to_vec();
-        let (engine, table) = self.into_parts();
+        let (engine, table, health) = self.into_parts();
         Arc::new(SharedEas {
             engine,
             table,
+            health,
             name,
             decisions: AtomicU64::new(decisions),
             log: Mutex::new(log),

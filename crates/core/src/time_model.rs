@@ -45,14 +45,29 @@ impl TimeModel {
         }
     }
 
+    /// Sanitizes a caller-supplied ratio: out-of-range values clamp to
+    /// [0, 1] and NaN becomes 0 (all-CPU, the conservative split). A bad
+    /// α here means a bug upstream, so debug builds still assert — but a
+    /// release deployment mid-fault-storm degrades instead of dying
+    /// (DESIGN.md §9).
+    fn clamp_alpha(alpha: f64) -> f64 {
+        debug_assert!((0.0..=1.0).contains(&alpha), "alpha must be in [0, 1]");
+        if alpha.is_nan() {
+            0.0
+        } else {
+            alpha.clamp(0.0, 1.0)
+        }
+    }
+
     /// Equation 1: time both devices spend in combined mode at ratio
     /// `alpha` over `n` iterations.
     ///
     /// # Panics
     ///
-    /// Panics if `alpha` is outside [0, 1].
+    /// Debug builds panic if `alpha` is outside [0, 1]; release builds
+    /// clamp it.
     pub fn combined_time(&self, alpha: f64, n: u64) -> f64 {
-        assert!((0.0..=1.0).contains(&alpha), "alpha must be in [0, 1]");
+        let alpha = Self::clamp_alpha(alpha);
         let n = n as f64;
         let t_cpu = if self.r_c > 0.0 {
             (1.0 - alpha) * n / self.r_c
@@ -86,9 +101,10 @@ impl TimeModel {
     ///
     /// # Panics
     ///
-    /// Panics if `alpha` is outside [0, 1].
+    /// Debug builds panic if `alpha` is outside [0, 1]; release builds
+    /// clamp it.
     pub fn total_time(&self, alpha: f64, n: u64) -> f64 {
-        assert!((0.0..=1.0).contains(&alpha), "alpha must be in [0, 1]");
+        let alpha = Self::clamp_alpha(alpha);
         let nf = n as f64;
         if nf == 0.0 {
             return 0.0;
@@ -196,8 +212,19 @@ mod tests {
     }
 
     #[test]
+    #[cfg(debug_assertions)]
     #[should_panic(expected = "alpha must be in [0, 1]")]
-    fn rejects_bad_alpha() {
+    fn rejects_bad_alpha_in_debug() {
         TimeModel::new(1.0, 1.0).total_time(-0.1, 10);
+    }
+
+    #[test]
+    #[cfg(not(debug_assertions))]
+    fn clamps_bad_alpha_in_release() {
+        let m = TimeModel::new(1000.0, 1000.0);
+        assert_eq!(m.total_time(-0.1, 10_000), m.total_time(0.0, 10_000));
+        assert_eq!(m.total_time(1.7, 10_000), m.total_time(1.0, 10_000));
+        assert_eq!(m.total_time(f64::NAN, 10_000), m.total_time(0.0, 10_000));
+        assert_eq!(m.combined_time(2.0, 10_000), m.combined_time(1.0, 10_000));
     }
 }

@@ -99,10 +99,43 @@ proptest! {
 }
 
 mod persist_props {
-    use easched_core::persist::{model_from_text, model_to_text};
-    use easched_core::{PowerCurve, PowerModel, WorkloadClass};
+    use easched_core::persist::{
+        model_from_text, model_to_text, table_from_text, table_to_text, ModelParseError,
+    };
+    use easched_core::{Accumulation, KernelTable, PowerCurve, PowerModel, WorkloadClass};
     use easched_num::Polynomial;
     use proptest::prelude::*;
+
+    fn sample_model() -> PowerModel {
+        let curves: Vec<PowerCurve> = WorkloadClass::all()
+            .into_iter()
+            .enumerate()
+            .map(|(i, c)| {
+                PowerCurve::new(
+                    c,
+                    Polynomial::new(vec![30.0 + i as f64, -0.5, 2.25]),
+                    0.1 * i as f64,
+                    21,
+                )
+            })
+            .collect();
+        PowerModel::new("prop-platform", curves)
+    }
+
+    fn sample_table() -> KernelTable {
+        let t = KernelTable::new();
+        t.accumulate(3, 0.25, 1_000.0, Accumulation::SampleWeighted);
+        t.accumulate(7, 2.0 / 3.0, 50_000.0, Accumulation::SampleWeighted);
+        t.accumulate(900, 1.0, 1e9, Accumulation::SampleWeighted);
+        t.note_reuse(7);
+        t
+    }
+
+    /// Byte offset where the trailing checksum line starts (exclusive end
+    /// of the digest-covered region).
+    fn covered_len(text: &str) -> usize {
+        text.rfind("\nchecksum ").unwrap() + 1
+    }
 
     proptest! {
         /// Any well-formed model round-trips through the text format with
@@ -155,6 +188,96 @@ mod persist_props {
             // Dropping a whole curve line must always fail.
             let missing_line: String = text.lines().take(9).collect::<Vec<_>>().join("\n");
             prop_assert!(model_from_text(&missing_line).is_err());
+        }
+
+        /// Flipping any low bit of any byte never panics the model parser,
+        /// and a flip inside the digest-covered body is always rejected
+        /// (the FNV-1a per-byte step is injective). A flip that still
+        /// parses (e.g. whitespace churn on the checksum line itself) must
+        /// yield the identical model.
+        #[test]
+        fn model_bit_flips_detected_or_harmless(pos in 0usize..4096, bit in 0u32..7) {
+            let model = sample_model();
+            let text = model_to_text(&model);
+            prop_assume!(text.is_ascii());
+            let pos = pos % text.len();
+            let mut bytes = text.clone().into_bytes();
+            bytes[pos] ^= 1 << bit; // low 7 bits: stays ASCII, stays UTF-8
+            let mutated = String::from_utf8(bytes).unwrap();
+            match model_from_text(&mutated) {
+                Ok(back) => prop_assert_eq!(back, model),
+                Err(e) => prop_assert!(!e.to_string().is_empty()),
+            }
+            if pos < covered_len(&text) {
+                prop_assert!(model_from_text(&mutated).is_err(), "body flip at {} accepted", pos);
+            }
+        }
+
+        /// Same guarantee for the kernel table: arbitrary single-bit
+        /// corruption is either rejected or provably harmless.
+        #[test]
+        fn table_bit_flips_detected_or_harmless(pos in 0usize..4096, bit in 0u32..7) {
+            let table = sample_table();
+            let text = table_to_text(&table);
+            prop_assume!(text.is_ascii());
+            let pos = pos % text.len();
+            let mut bytes = text.clone().into_bytes();
+            bytes[pos] ^= 1 << bit;
+            let mutated = String::from_utf8(bytes).unwrap();
+            match table_from_text(&mutated) {
+                Ok(back) => prop_assert_eq!(back.snapshot(), table.snapshot()),
+                Err(e) => prop_assert!(!e.to_string().is_empty()),
+            }
+            if pos < covered_len(&text) {
+                prop_assert!(table_from_text(&mutated).is_err(), "body flip at {} accepted", pos);
+            }
+        }
+
+        /// Truncating a table file at any byte never panics; anything short
+        /// of the full file either fails (usually [`ModelParseError::MissingChecksum`])
+        /// or — only when the cut merely drops trailing whitespace — parses
+        /// to the identical table.
+        #[test]
+        fn table_truncation_detected_or_harmless(cut in 0usize..4096) {
+            let table = sample_table();
+            let text = table_to_text(&table);
+            let cut = cut % (text.len() + 1);
+            match table_from_text(&text[..cut]) {
+                Ok(back) => prop_assert_eq!(back.snapshot(), table.snapshot()),
+                Err(e) => prop_assert!(!e.to_string().is_empty()),
+            }
+            // Cutting into the digest-covered body can never parse.
+            if cut < covered_len(&text) {
+                prop_assert!(table_from_text(&text[..cut]).is_err());
+            }
+        }
+
+        /// Reordering records without resealing is detected by the v2
+        /// checksum; the same reorder in a legacy v1 file parses to the
+        /// same table (records are order-independent).
+        #[test]
+        fn reordered_records_detected_in_v2_tolerated_in_v1(i in 0usize..3, j in 0usize..3) {
+            let table = sample_table();
+            let text = table_to_text(&table);
+            let mut lines: Vec<&str> = text.lines().collect();
+            // lines[0] is the header, last is the checksum; swap records.
+            lines.swap(1 + i, 1 + j);
+            let swapped = format!("{}\n", lines.join("\n"));
+            if i == j {
+                prop_assert!(table_from_text(&swapped).is_ok());
+            } else {
+                let mismatch = matches!(
+                    table_from_text(&swapped),
+                    Err(ModelParseError::ChecksumMismatch { .. })
+                );
+                prop_assert!(mismatch, "swap {} <-> {} not flagged", i, j);
+            }
+            // Legacy v1: no digest, so order legitimately does not matter.
+            let mut v1_lines = lines.clone();
+            v1_lines[0] = "easched-kernel-table v1";
+            v1_lines.pop();
+            let v1 = format!("{}\n", v1_lines.join("\n"));
+            prop_assert_eq!(table_from_text(&v1).unwrap().snapshot(), table.snapshot());
         }
     }
 }

@@ -31,6 +31,7 @@
 #![warn(missing_docs)]
 
 pub mod backend;
+pub mod chaos;
 pub mod energy_probe;
 pub mod observation;
 pub mod parallel_invoker;
@@ -40,6 +41,9 @@ pub mod sim_backend;
 pub mod thread_backend;
 
 pub use backend::Backend;
+pub use chaos::{
+    replay_trace_chaos, run_workload_chaos, ChaosBackend, ChaosInjector, Fault, FaultPlan,
+};
 pub use energy_probe::{EnergyProbe, MachineProbe, RaplProbe};
 pub use observation::{Observation, RunMetrics};
 pub use parallel_invoker::ParallelInvoker;

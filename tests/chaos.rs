@@ -1,0 +1,314 @@
+//! Chaos-mode integration: the observation→decision pipeline under
+//! injected faults (DESIGN.md §9).
+//!
+//! Every test drives real workloads (or the deterministic `FakeBackend`)
+//! through [`ChaosInjector`] fault plans and asserts the three §9
+//! guarantees: functional output is never corrupted, the scheduler never
+//! panics, and degradation/recovery follow the circuit-breaker contract.
+//!
+//! Debug builds cover the reduced suite; release builds (the ci.sh chaos
+//! matrix runs `--release`) cover all 12 desktop benchmarks. The random
+//! plans honor `EASCHED_CHAOS_SEED` so CI can sweep seeds.
+
+use easched::core::{
+    characterize, BreakerState, CharacterizationConfig, EasConfig, EasRuntime, EasScheduler,
+    Objective, PowerModel, SharedEas, SharedEasExt,
+};
+use easched::kernels::suite;
+use easched::runtime::backend::test_support::FakeBackend;
+use easched::runtime::chaos::{run_workload_chaos, ChaosInjector, Fault, FaultPlan};
+use easched::runtime::{run_workload, Backend, Scheduler};
+use easched::sim::{EnergyFault, Machine, Platform};
+
+fn chaos_seed() -> u64 {
+    std::env::var("EASCHED_CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42)
+}
+
+fn quiet_desktop() -> Platform {
+    let mut p = Platform::haswell_desktop();
+    p.pcu.measurement_noise = 0.0;
+    p
+}
+
+fn desktop_model() -> PowerModel {
+    characterize(
+        &quiet_desktop(),
+        &CharacterizationConfig {
+            alpha_steps: 10,
+            ..Default::default()
+        },
+    )
+}
+
+/// A FakeBackend-driven invocation: 100k items on a 1:2 machine, where
+/// the Time objective's grid decision is exactly α = 0.7.
+fn fake() -> FakeBackend {
+    FakeBackend::new(100_000, 1.0e6, 2.0e6)
+}
+
+#[test]
+fn every_fault_plan_preserves_functional_correctness() {
+    let seed = chaos_seed();
+    let model = desktop_model();
+    let mut plans: Vec<(String, FaultPlan)> = Fault::ALL
+        .iter()
+        .map(|&f| {
+            (
+                format!("{f:?}"),
+                FaultPlan::Random {
+                    seed,
+                    rate: 0.3,
+                    kinds: vec![f],
+                },
+            )
+        })
+        .collect();
+    plans.push((
+        "mixed".into(),
+        FaultPlan::Random {
+            seed,
+            rate: 0.4,
+            kinds: Fault::ALL.to_vec(),
+        },
+    ));
+    plans.push(("outage".into(), FaultPlan::GpuOutage { from: 0, until: 6 }));
+
+    // Debug builds are ~50x slower on the big inputs; the ci.sh chaos
+    // matrix runs this test --release to cover all 12 desktop benchmarks.
+    let workloads = if cfg!(debug_assertions) {
+        suite::small_suite()
+    } else {
+        suite::desktop_suite()
+    };
+    for (label, plan) in &plans {
+        for workload in &workloads {
+            let abbrev = workload.spec().abbrev;
+            let mut machine = Machine::new(quiet_desktop());
+            let mut eas = EasScheduler::new(model.clone(), EasConfig::new(Objective::EnergyDelay));
+            let mut injector = ChaosInjector::new(plan.clone());
+            let (metrics, v) =
+                run_workload_chaos(&mut machine, workload.as_ref(), &mut eas, &mut injector);
+            assert!(v.is_passed(), "{abbrev} corrupted under {label}: {v:?}");
+            assert!(metrics.items > 0, "{abbrev} under {label}");
+            assert!(
+                metrics.time > 0.0 && metrics.time.is_finite(),
+                "{abbrev} under {label}: time {}",
+                metrics.time
+            );
+            assert!(
+                metrics.energy_joules.is_finite(),
+                "{abbrev} under {label}: energy {}",
+                metrics.energy_joules
+            );
+            let health = eas.health();
+            if injector.injected() == 0 {
+                assert!(health.fault_free(), "{abbrev} under {label}: {health:?}");
+            }
+        }
+    }
+}
+
+#[test]
+fn persistent_gpu_outage_degrades_to_cpu_only_within_budget() {
+    // FaultPolicy defaults: max_retries 3, breaker_threshold 3,
+    // quarantine 8. A dead GPU driver means every profiling round reports
+    // GpuHang, so invocation 0 must trip the breaker after exactly 3
+    // consecutive rejections, invocations 1..=7 are gated CPU-only without
+    // touching the GPU, and invocation 8's probe re-trips.
+    let mut eas = EasScheduler::new(desktop_model(), EasConfig::new(Objective::Time));
+    let mut injector = ChaosInjector::new(FaultPlan::GpuOutage {
+        from: 0,
+        until: u64::MAX,
+    });
+
+    let mut logs = Vec::new();
+    for _ in 0..9 {
+        let mut b = fake();
+        let mut chaos = injector.wrap(&mut b);
+        eas.schedule(7, &mut chaos);
+        assert_eq!(b.remaining(), 0, "work must still complete");
+        logs.push(b.log);
+    }
+
+    // Invocation 0: three backed-off retries (2240, 1120, 560), then the
+    // degraded CPU-only remainder.
+    assert_eq!(
+        logs[0],
+        vec![
+            "profile(2240)",
+            "profile(1120)",
+            "profile(560)",
+            "split(0.00)"
+        ]
+    );
+    // Quarantine: seven whole invocations gated CPU-only, GPU untouched.
+    for log in &logs[1..8] {
+        assert_eq!(log, &vec!["split(0.00)"]);
+    }
+    // Invocation 8: the recovery probe exercises the GPU, finds it still
+    // dead, and degrades again.
+    assert_eq!(logs[8][0], "profile(2240)");
+    assert_eq!(logs[8].last().unwrap(), "split(0.00)");
+
+    let h = eas.health();
+    assert_eq!(h.breaker_trips, 2, "{h:?}");
+    assert_eq!(h.degraded_invocations, 2, "{h:?}");
+    assert_eq!(h.quarantined_invocations, 7, "{h:?}");
+    assert_eq!(h.probes, 1, "{h:?}");
+    assert_eq!(h.retries, 2, "{h:?}");
+    assert_eq!(h.observations_rejected, 4, "{h:?}");
+    assert_eq!(h.recoveries, 0, "{h:?}");
+    assert_eq!(eas.health_state().breaker().state(), BreakerState::Open);
+    // Nothing learned during the outage: a table entry would poison the
+    // healthy future.
+    assert_eq!(eas.learned_alpha(7), None);
+}
+
+#[test]
+fn scheduler_recovers_to_near_oracle_after_faults_clear() {
+    // The outage covers invocation 0's four observation steps; by the
+    // time the quarantine is served and the probe runs, the GPU is
+    // healthy again. The probe must close the breaker and the scheduler
+    // must land on the oracle ratio for a 1:2 machine under the Time
+    // objective: α = R_G/(R_C+R_G) ≈ 0.667, grid → 0.7.
+    let mut eas = EasScheduler::new(desktop_model(), EasConfig::new(Objective::Time));
+    let mut injector = ChaosInjector::new(FaultPlan::GpuOutage { from: 0, until: 4 });
+
+    for _ in 0..9 {
+        let mut b = fake();
+        let mut chaos = injector.wrap(&mut b);
+        eas.schedule(7, &mut chaos);
+        assert_eq!(b.remaining(), 0);
+    }
+
+    let h = eas.health();
+    assert_eq!(h.recoveries, 1, "{h:?}");
+    assert_eq!(h.breaker_trips, 1, "{h:?}");
+    assert_eq!(h.probes, 1, "{h:?}");
+    assert_eq!(eas.health_state().breaker().state(), BreakerState::Closed);
+    let alpha = eas.learned_alpha(7).expect("probe must relearn the kernel");
+    assert!(
+        (alpha - 0.7).abs() < 1e-9,
+        "recovered alpha {alpha} should match the clean-path decision"
+    );
+
+    // Once closed, the next invocation reuses the learned ratio directly.
+    let mut b = fake();
+    let mut chaos = injector.wrap(&mut b);
+    eas.schedule(7, &mut chaos);
+    assert_eq!(b.log, vec!["split(0.70)"]);
+}
+
+#[test]
+fn clean_runs_report_fault_free_health() {
+    let platform = quiet_desktop();
+    let mut runtime = EasRuntime::new(
+        platform,
+        desktop_model(),
+        EasConfig::new(Objective::EnergyDelay),
+    );
+    for workload in suite::small_suite() {
+        let outcome = runtime.run(workload.as_ref());
+        assert!(outcome.verification.is_passed());
+    }
+    let h = runtime.health();
+    assert!(
+        h.fault_free(),
+        "clean run tripped the fault pipeline: {h:?}"
+    );
+    assert!(h.observations_accepted > 0, "{h:?}");
+}
+
+#[test]
+fn shared_scheduler_aggregates_health_across_streams() {
+    let shared = SharedEas::new(desktop_model(), EasConfig::new(Objective::Time));
+
+    // Stream 1 sees a transient sensor fault; stream 2 is clean.
+    let mut injector = ChaosInjector::new(FaultPlan::Scripted(vec![(0, Fault::EnergyDropout)]));
+    let mut b1 = fake();
+    let mut chaos = injector.wrap(&mut b1);
+    shared.handle().schedule(7, &mut chaos);
+    let mut b2 = fake();
+    shared.handle().schedule(8, &mut b2);
+
+    let h = shared.health();
+    assert_eq!(h.observations_rejected, 1, "{h:?}");
+    assert_eq!(h.retries, 1, "{h:?}");
+    assert_eq!(h.taints, 1, "{h:?}");
+    assert_eq!(h.breaker_trips, 0, "sensor faults never quarantine: {h:?}");
+    assert!(h.observations_accepted > 0, "{h:?}");
+    // Both kernels still learned ratios despite the fault.
+    assert!(shared.learned_alpha(7).is_some());
+    assert!(shared.learned_alpha(8).is_some());
+}
+
+#[test]
+fn stuck_energy_register_is_detected_and_survived() {
+    // Fault injected at the simulator's register-read boundary, not the
+    // backend wrapper: the guard must flag the zero-joule windows, the
+    // run must verify, and measurements recover when the sensor does.
+    let mut machine = Machine::new(quiet_desktop());
+    machine.inject_energy_fault(EnergyFault::Stuck { reads: 10_000 });
+    let mut eas = EasScheduler::new(desktop_model(), EasConfig::new(Objective::EnergyDelay));
+    // bfs_small actually reaches the profiling loop (its mid frontiers
+    // exceed the GPU profile size), so the dead register is observed.
+    let (metrics, v) = run_workload(&mut machine, suite::bfs_small().as_ref(), &mut eas);
+    assert!(v.is_passed(), "{v:?}");
+    assert!(metrics.items > 0);
+    let h = eas.health();
+    assert!(
+        h.observations_rejected > 0,
+        "stuck register unnoticed: {h:?}"
+    );
+    assert_eq!(
+        h.breaker_trips, 0,
+        "energy faults must not quarantine the GPU: {h:?}"
+    );
+
+    // Once the sensor recovers, a fresh run on the same machine measures
+    // sane energy again (reads: 0 clears the injected fault).
+    machine.inject_energy_fault(EnergyFault::Stuck { reads: 0 });
+    let (metrics2, v2) = run_workload(&mut machine, suite::bfs_small().as_ref(), &mut eas);
+    assert!(v2.is_passed());
+    assert!(metrics2.energy_joules > 0.0);
+}
+
+#[test]
+fn faulty_rounds_taint_the_entry_and_force_a_reprofile() {
+    let mut eas = EasScheduler::new(desktop_model(), EasConfig::new(Objective::Time));
+    let mut injector = ChaosInjector::new(FaultPlan::Scripted(vec![(0, Fault::EnergyDropout)]));
+
+    // Invocation 0: one rejected round, retried, profiling completes —
+    // the learned entry is tainted.
+    let mut b0 = fake();
+    let mut chaos = injector.wrap(&mut b0);
+    eas.schedule(7, &mut chaos);
+    assert_eq!(b0.log[0], "profile(2240)", "clean-size first chunk");
+    assert_eq!(b0.log[1], "profile(1120)", "retry backs the chunk off");
+    let decisions_after_first = eas.decisions();
+    let h = eas.health();
+    assert_eq!(h.taints, 1, "{h:?}");
+    assert_eq!(h.retries, 1, "{h:?}");
+    assert!(eas.table().is_tainted(7));
+
+    // Invocation 1 (no faults left): the taint forces a re-profile
+    // instead of reuse, and fresh learning clears it.
+    let mut b1 = fake();
+    let mut chaos = injector.wrap(&mut b1);
+    eas.schedule(7, &mut chaos);
+    assert!(
+        eas.decisions() > decisions_after_first,
+        "tainted entry must be re-profiled, not reused"
+    );
+    assert!(!eas.table().is_tainted(7));
+
+    // Invocation 2: the clean entry is reused outright.
+    let decisions_after_second = eas.decisions();
+    let mut b2 = fake();
+    eas.schedule(7, &mut b2);
+    assert_eq!(eas.decisions(), decisions_after_second);
+    assert_eq!(b2.log, vec!["split(0.70)"]);
+}
