@@ -23,10 +23,23 @@ for seed in 7 23 1009; do
     EASCHED_CHAOS_SEED=$seed cargo test -q --test chaos
 done
 
+echo "==> telemetry smoke: traced example round-trips, drift study emits CSV"
+cargo run --release --example chaos_runtime -- --trace target/ci-chaos.trace.json > /dev/null
+test -s target/ci-chaos.trace.json
+cargo run --release -p easched-bench --bin figures -- --out target/ci-results telemetry > /dev/null
+test -s target/ci-results/telemetry.csv
+
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
 
 echo "==> cargo clippy -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> clippy: no print!/eprintln! in library crates"
+for p in easched-num easched-sim easched-graph easched-kernels \
+         easched-runtime easched-core easched-telemetry easched-bench easched; do
+    cargo clippy -q -p "$p" --lib -- -D warnings \
+        -D clippy::print_stdout -D clippy::print_stderr
+done
 
 echo "CI green."

@@ -1,0 +1,86 @@
+//! Telemetry overhead: the full scheduling path with tracing off must be
+//! cost-identical to the pre-telemetry code (the acceptance bar is <2%
+//! on the decision path), and with tracing on the per-invocation record
+//! cost must stay far below the paper's 1–2 µs decision budget.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use easched_core::{
+    characterize, CharacterizationConfig, DecisionRecord, EasConfig, EasScheduler, InvocationPath,
+    Objective, RingSink, TelemetrySink,
+};
+use easched_runtime::backend::test_support::FakeBackend;
+use easched_runtime::{Backend, Scheduler};
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// The dominant steady-state case: a learned kernel arriving again (one
+/// table probe + one split), with and without a sink attached.
+fn bench_table_hit_path(c: &mut Criterion) {
+    let platform = easched_sim::Platform::haswell_desktop();
+    let model = characterize(&platform, &CharacterizationConfig::default());
+
+    let mut group = c.benchmark_group("telemetry_invocation");
+    group
+        .sample_size(30)
+        .measurement_time(Duration::from_secs(2));
+
+    for (name, sink) in [
+        ("table_hit_untraced", None),
+        (
+            "table_hit_traced",
+            Some(Arc::new(RingSink::with_capacity(1 << 15)) as Arc<dyn TelemetrySink>),
+        ),
+    ] {
+        let mut eas = EasScheduler::new(model.clone(), EasConfig::new(Objective::EnergyDelay));
+        // Learn kernel 7 once so the timed loop is pure reuse.
+        let mut warmup = FakeBackend::new(100_000, 1.0e6, 2.0e6);
+        eas.schedule(7, &mut warmup);
+        eas.set_telemetry(sink);
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut backend = FakeBackend::new(100_000, 1.0e6, 2.0e6);
+                eas.schedule(black_box(7), &mut backend);
+                black_box(backend.remaining())
+            })
+        });
+    }
+    group.finish();
+}
+
+/// The raw sink cost: metrics update + lock-free ring publication of one
+/// encoded record.
+fn bench_sink_record(c: &mut Criterion) {
+    let sink = RingSink::with_capacity(1 << 15);
+    let record = DecisionRecord {
+        seq: 0,
+        kernel: 7,
+        path: InvocationPath::Profiled,
+        class: Some(3),
+        rounds: 4,
+        r_c: 1.0e6,
+        r_g: 2.0e6,
+        alpha: 0.7,
+        predicted_power: 45.0,
+        predicted_time: 0.05,
+        predicted_objective: 0.11,
+        profile_time: 0.002,
+        profile_energy: 0.1,
+        split_time: 0.05,
+        split_energy: 2.2,
+        items: 100_000,
+        decide_nanos: 900,
+        ..Default::default()
+    };
+
+    let mut group = c.benchmark_group("telemetry_sink");
+    group
+        .sample_size(50)
+        .measurement_time(Duration::from_secs(2));
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("record", |b| b.iter(|| sink.record(black_box(&record))));
+    group.finish();
+}
+
+criterion_group!(benches, bench_table_hit_path, bench_sink_record);
+criterion_main!(benches);

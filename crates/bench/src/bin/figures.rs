@@ -16,8 +16,8 @@
 //! Artifacts are written to `results/` (CSV + per-experiment markdown) and a
 //! combined `results/SUMMARY.md`.
 
-use easched_bench::{ablations, chaos, experiments, Lab, Report};
-use std::path::Path;
+use easched_bench::{ablations, chaos, experiments, telemetry, Lab, Report};
+use std::path::{Path, PathBuf};
 
 fn run_one(lab: &mut Lab, name: &str) -> Option<Vec<Report>> {
     let report = match name {
@@ -45,6 +45,7 @@ fn run_one(lab: &mut Lab, name: &str) -> Option<Vec<Report>> {
         "ablation-thresholds" => ablations::thresholds(lab),
         "ablation-drift" => ablations::drift(lab),
         "chaos" => chaos::chaos(lab),
+        "telemetry" => telemetry::telemetry(lab),
         "all" => return Some(experiments::all(lab)),
         "ablations" => return Some(ablations::all(lab)),
         _ => return None,
@@ -77,21 +78,40 @@ const EXPERIMENTS: &[&str] = &[
     "ablation-thresholds",
     "ablation-drift",
     "chaos",
+    "telemetry",
     "all",
     "ablations",
 ];
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    // `--out DIR` redirects artifacts (default: results/), so smoke runs
+    // can regenerate experiments without clobbering the committed set.
+    let mut out_dir = PathBuf::from("results");
+    let mut args = Vec::new();
+    let mut it = raw.into_iter();
+    while let Some(a) = it.next() {
+        if a == "--out" {
+            match it.next() {
+                Some(dir) => out_dir = PathBuf::from(dir),
+                None => {
+                    eprintln!("--out requires a directory");
+                    std::process::exit(2);
+                }
+            }
+        } else {
+            args.push(a);
+        }
+    }
     if args.is_empty() || args.iter().any(|a| a == "list" || a == "--help") {
-        eprintln!("usage: figures <experiment>... | all | ablations");
+        eprintln!("usage: figures [--out DIR] <experiment>... | all | ablations");
         eprintln!("experiments: {}", EXPERIMENTS.join(" "));
         std::process::exit(if args.is_empty() { 2 } else { 0 });
     }
 
     println!("characterizing platforms (one-time step)...");
     let mut lab = Lab::new();
-    let results_dir = Path::new("results");
+    let results_dir: &Path = &out_dir;
     let mut summary = String::from("# easched — measured results\n\n");
     let mut failed = false;
 

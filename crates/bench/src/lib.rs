@@ -19,6 +19,7 @@ pub mod ablations;
 pub mod chaos;
 pub mod experiments;
 pub mod report;
+pub mod telemetry;
 
 pub use experiments::Lab;
 pub use report::Report;

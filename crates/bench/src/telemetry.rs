@@ -1,0 +1,153 @@
+//! Post-hoc telemetry analysis: run the desktop suite with a
+//! [`RingSink`] attached, then compute per-kernel model drift — how far
+//! the engine's predicted P(α)/T(α)/EDP landed from what the platform
+//! realized (DESIGN.md §10).
+//!
+//! On a fault-free run the drift is pure model error (the combined-mode
+//! rates the profiler observed vs. the partly-uncontended tail it
+//! predicts for), so a regression here means the time model, the power
+//! curves, or the telemetry plumbing broke — which is exactly what the
+//! ci.sh smoke step pins.
+
+use crate::experiments::Lab;
+use crate::report::{csv, md_table, pct, Report};
+use easched_core::telemetry::{model_drift, parse_trace, to_trace};
+use easched_core::{EasConfig, EasRuntime, EasScheduler, Objective, RingSink, TelemetrySink};
+use easched_kernels::suite;
+use easched_runtime::kernel_id_of;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Fault-free mean EDP drift ceiling per kernel. The time model is exact
+/// in the combined regime and pessimistic for GPU-heavy tails (see the
+/// `model-error` experiment), so healthy drift on the desktop suite peaks
+/// near 0.56 (NB); a breach means the model or the telemetry plumbing
+/// regressed.
+pub const MAX_MEAN_EDP_DRIFT: f64 = 0.75;
+
+/// The `figures telemetry` experiment: desktop suite under EAS with
+/// tracing on, per-kernel drift table, and a trace-format round-trip
+/// self-check.
+pub fn telemetry(lab: &mut Lab) -> Report {
+    let mut report = Report::new(
+        "telemetry",
+        "Decision telemetry and model drift (desktop suite, EnergyDelay)",
+    );
+
+    let sink = Arc::new(RingSink::with_capacity(1 << 15));
+    let mut eas = EasScheduler::new(
+        lab.desktop_model.clone(),
+        EasConfig::new(Objective::EnergyDelay),
+    );
+    eas.set_telemetry(Some(sink.clone() as Arc<dyn TelemetrySink>));
+    let mut rt = EasRuntime::with_scheduler(lab.desktop.clone(), eas);
+
+    let mut abbrevs: HashMap<u64, String> = HashMap::new();
+    for workload in suite::desktop_suite() {
+        abbrevs.insert(
+            kernel_id_of(workload.as_ref()),
+            workload.spec().abbrev.to_string(),
+        );
+        let out = rt.run(workload.as_ref());
+        assert!(
+            out.verification.is_passed(),
+            "{} failed under telemetry",
+            workload.spec().abbrev
+        );
+    }
+    let health = rt.health();
+    assert!(
+        health.fault_free(),
+        "clean run must stay fault-free: {health:?}"
+    );
+
+    let records = sink.snapshot();
+    assert_eq!(
+        records.len() as u64,
+        sink.recorded(),
+        "ring must hold every record (raise the capacity if the suite grew)"
+    );
+    assert_eq!(sink.dropped(), 0);
+
+    // Acceptance self-check: the exported trace round-trips bit-for-bit
+    // through the analyzer's parser.
+    let trace = to_trace(&records);
+    let reparsed = parse_trace(&trace).expect("exported trace must parse");
+    assert_eq!(reparsed, records, "trace round-trip must be lossless");
+
+    let drift = model_drift(&records);
+    let mut rows = Vec::new();
+    let mut worst: (String, f64) = (String::new(), 0.0);
+    for k in &drift {
+        let name = abbrevs
+            .get(&k.kernel)
+            .cloned()
+            .unwrap_or_else(|| format!("{:#x}", k.kernel));
+        if k.predicted > 0 && k.mean_edp_drift > worst.1 {
+            worst = (name.clone(), k.mean_edp_drift);
+        }
+        rows.push(vec![
+            name,
+            k.invocations.to_string(),
+            k.table_hits.to_string(),
+            k.predicted.to_string(),
+            format!("{:.4}", k.mean_time_error),
+            format!("{:.4}", k.mean_power_error),
+            format!("{:.4}", k.mean_edp_drift),
+            format!("{:.4}", k.max_edp_drift),
+        ]);
+    }
+    report.attach_csv(
+        "telemetry",
+        csv(
+            &[
+                "kernel",
+                "invocations",
+                "table_hits",
+                "predicted",
+                "mean_time_error",
+                "mean_power_error",
+                "mean_edp_drift",
+                "max_edp_drift",
+            ],
+            &rows,
+        ),
+    );
+    report.line(md_table(
+        &[
+            "kernel",
+            "inv",
+            "hits",
+            "pred",
+            "mean |ΔT|/T",
+            "mean |ΔP|/P",
+            "mean EDP drift",
+            "max EDP drift",
+        ],
+        &rows,
+    ));
+
+    let m = sink.metrics();
+    report.line(format!(
+        "- {} invocations recorded ({} dropped), table hit rate {}, \
+         profiling overhead {} of invocation time, mean decide latency {:.2} µs",
+        sink.recorded(),
+        sink.dropped(),
+        pct(m.hit_rate()),
+        pct(m.overhead_fraction()),
+        m.decide_latency_ns.mean() / 1e3,
+    ));
+    report.line(format!(
+        "- worst fault-free mean EDP drift: {} at {:.3} (ceiling {MAX_MEAN_EDP_DRIFT})",
+        worst.0, worst.1
+    ));
+    for k in &drift {
+        assert!(
+            k.predicted == 0 || k.mean_edp_drift <= MAX_MEAN_EDP_DRIFT,
+            "kernel {:#x}: fault-free mean EDP drift {:.3} above ceiling",
+            k.kernel,
+            k.mean_edp_drift
+        );
+    }
+    report
+}

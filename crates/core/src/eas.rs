@@ -35,6 +35,8 @@ use crate::objective::Objective;
 use crate::power_model::PowerModel;
 use crate::profile_loop;
 use easched_runtime::{Backend, KernelId, Scheduler};
+use easched_telemetry::TelemetrySink;
+use std::sync::Arc;
 
 /// How the objective is minimized over the offload ratio.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -165,6 +167,7 @@ pub struct EasScheduler {
     decisions: u64,
     log: Vec<Decision>,
     current_kernel: KernelId,
+    telemetry: Option<Arc<dyn TelemetrySink>>,
 }
 
 impl EasScheduler {
@@ -186,7 +189,22 @@ impl EasScheduler {
             decisions: 0,
             log: Vec::new(),
             current_kernel: 0,
+            telemetry: None,
         }
+    }
+
+    /// Attaches a telemetry sink: every subsequent invocation emits one
+    /// [`DecisionRecord`](easched_telemetry::DecisionRecord) describing
+    /// which Figure 7 path ran, what the model predicted, and what the
+    /// platform realized (DESIGN.md §10). Pass `None` to detach; with no
+    /// sink the scheduling path is identical to the untelemetered one.
+    pub fn set_telemetry(&mut self, sink: Option<Arc<dyn TelemetrySink>>) {
+        self.telemetry = sink;
+    }
+
+    /// The attached telemetry sink, if any.
+    pub fn telemetry(&self) -> Option<&Arc<dyn TelemetrySink>> {
+        self.telemetry.as_ref()
     }
 
     /// An *online* performance-oriented variant: the same profiling
@@ -239,10 +257,18 @@ impl EasScheduler {
         &self.health
     }
 
-    /// Decomposes the scheduler into its policy, memory, and health
-    /// layers (consumed by [`into_shared`](EasScheduler::into_shared)).
-    pub(crate) fn into_parts(self) -> (DecisionEngine, KernelTable, Health) {
-        (self.engine, self.table, self.health)
+    /// Decomposes the scheduler into its policy, memory, health, and
+    /// telemetry layers (consumed by
+    /// [`into_shared`](EasScheduler::into_shared)).
+    pub(crate) fn into_parts(
+        self,
+    ) -> (
+        DecisionEngine,
+        KernelTable,
+        Health,
+        Option<Arc<dyn TelemetrySink>>,
+    ) {
+        (self.engine, self.table, self.health, self.telemetry)
     }
 
     /// Serializes the decision log as CSV (for the harness and post-hoc
@@ -290,10 +316,18 @@ impl Scheduler for EasScheduler {
         self.current_kernel = kernel;
         let (engine, table, health) = (&self.engine, &self.table, &self.health);
         let (decisions, log) = (&mut self.decisions, &mut self.log);
-        profile_loop::schedule_invocation(engine, table, health, kernel, backend, |d| {
-            *decisions += 1;
-            log.push(d);
-        });
+        profile_loop::schedule_invocation(
+            engine,
+            table,
+            health,
+            kernel,
+            backend,
+            |d| {
+                *decisions += 1;
+                log.push(d);
+            },
+            self.telemetry.as_deref(),
+        );
     }
 }
 

@@ -119,6 +119,17 @@ impl EasRuntime {
         }
     }
 
+    /// Creates a runtime around an already-built exclusive scheduler —
+    /// for callers that configured the scheduler first (e.g. attached a
+    /// telemetry sink with [`EasScheduler::set_telemetry`], or warmed its
+    /// table) before handing it to a runtime.
+    pub fn with_scheduler(platform: Platform, scheduler: EasScheduler) -> EasRuntime {
+        EasRuntime {
+            machine: Machine::new(platform),
+            driver: Driver::Exclusive(Box::new(scheduler)),
+        }
+    }
+
     /// Runs a workload to completion (functional execution + verification),
     /// partitioning every kernel invocation with EAS.
     pub fn run(&mut self, workload: &dyn Workload) -> RunOutcome {

@@ -121,6 +121,22 @@ impl DecisionEngine {
         decision(self.minimize(class, r_c, r_g, n_remaining))
     }
 
+    /// The model outputs backing a decision: re-evaluates P(α), T(α), and
+    /// OBJ at the decision's chosen α — the numbers the minimizer compared
+    /// when it picked that α. Telemetry pins these against realized time
+    /// and energy for model-drift detection; the scheduling path itself
+    /// never calls this.
+    pub fn predict(&self, decision: &Decision) -> Prediction {
+        let power = self.model.curve(decision.class).predict(decision.alpha);
+        let time = TimeModel::new(decision.r_c, decision.r_g)
+            .total_time(decision.alpha, decision.n_remaining);
+        Prediction {
+            power,
+            time,
+            objective: self.config.objective.evaluate(power, time),
+        }
+    }
+
     /// Grid- or golden-section-minimizes OBJ(P(α), T(α)) over α ∈ [0, 1].
     fn minimize(&self, class: WorkloadClass, r_c: f64, r_g: f64, n_remaining: u64) -> f64 {
         let curve = self.model.curve(class);
@@ -150,6 +166,18 @@ impl DecisionEngine {
             }
         }
     }
+}
+
+/// What the model expected of a decision: the predicted package power
+/// P(α), remainder time T(α), and objective value at the chosen α.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Prediction {
+    /// Predicted package power at the chosen α, watts.
+    pub power: f64,
+    /// Predicted remainder execution time at the chosen α, seconds.
+    pub time: f64,
+    /// OBJ(P(α), T(α)) — the value the minimizer selected.
+    pub objective: f64,
 }
 
 // The engine is shared across threads by design; fail the build if a field
@@ -201,6 +229,25 @@ mod tests {
         let engine = DecisionEngine::new(flat_model(50.0), EasConfig::new(Objective::Energy));
         assert_eq!(engine.decide(1, &obs(1_000, 0), 1_000).alpha, 0.0);
         assert_eq!(engine.decide(1, &obs(0, 1_000), 1_000).alpha, 1.0);
+    }
+
+    #[test]
+    fn predict_reevaluates_the_decided_point() {
+        let engine = DecisionEngine::new(flat_model(50.0), EasConfig::new(Objective::EnergyDelay));
+        let d = engine.decide(1, &obs(1_000, 2_000), 100_000);
+        let p = engine.predict(&d);
+        assert_eq!(p.power, 50.0);
+        assert!(p.time > 0.0 && p.time.is_finite());
+        let expected = engine.config().objective.evaluate(p.power, p.time);
+        assert!((p.objective - expected).abs() < 1e-12);
+        // The minimizer chose d.alpha: no grid point predicts lower.
+        for k in 0..=10u32 {
+            let alt = Decision {
+                alpha: f64::from(k) / 10.0,
+                ..d
+            };
+            assert!(engine.predict(&alt).objective >= p.objective - 1e-12);
+        }
     }
 
     #[test]

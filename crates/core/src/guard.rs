@@ -71,6 +71,33 @@ impl FaultKind {
     pub fn implicates_gpu(self) -> bool {
         matches!(self, FaultKind::GpuSilent | FaultKind::ImplausibleGpuRate)
     }
+
+    /// Stable numeric code used in telemetry records and trace exports.
+    pub fn code(self) -> u8 {
+        match self {
+            FaultKind::NonFinite => 0,
+            FaultKind::GpuSilent => 1,
+            FaultKind::ImplausibleCpuRate => 2,
+            FaultKind::ImplausibleGpuRate => 3,
+            FaultKind::EnergyDropout => 4,
+            FaultKind::EnergyImplausible => 5,
+            FaultKind::CounterCorrupt => 6,
+        }
+    }
+
+    /// Decodes a telemetry fault code; unknown codes map to `None`.
+    pub fn from_code(code: u8) -> Option<FaultKind> {
+        Some(match code {
+            0 => FaultKind::NonFinite,
+            1 => FaultKind::GpuSilent,
+            2 => FaultKind::ImplausibleCpuRate,
+            3 => FaultKind::ImplausibleGpuRate,
+            4 => FaultKind::EnergyDropout,
+            5 => FaultKind::EnergyImplausible,
+            6 => FaultKind::CounterCorrupt,
+            _ => return None,
+        })
+    }
 }
 
 impl fmt::Display for FaultKind {

@@ -74,43 +74,90 @@ impl HealthStats {
         note_quarantined => quarantined,
     }
 
-    /// A consistent-enough snapshot of all counters.
-    pub fn report(&self) -> HealthReport {
-        HealthReport {
-            observations_accepted: self.accepted.load(Ordering::Relaxed),
-            observations_rejected: self.rejected.load(Ordering::Relaxed),
+    /// One plain-value read of every counter — the single point where
+    /// relaxed atomics become ordinary integers. `report()`, `Clone`, and
+    /// the frontends' `health()` all route through this.
+    pub fn snapshot(&self) -> HealthSnapshot {
+        HealthSnapshot {
+            accepted: self.accepted.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
             retries: self.retries.load(Ordering::Relaxed),
-            degraded_invocations: self.degraded.load(Ordering::Relaxed),
-            breaker_trips: self.trips.load(Ordering::Relaxed),
+            degraded: self.degraded.load(Ordering::Relaxed),
+            trips: self.trips.load(Ordering::Relaxed),
             probes: self.probes.load(Ordering::Relaxed),
             recoveries: self.recoveries.load(Ordering::Relaxed),
             taints: self.taints.load(Ordering::Relaxed),
-            quarantined_invocations: self.quarantined.load(Ordering::Relaxed),
+            quarantined: self.quarantined.load(Ordering::Relaxed),
         }
+    }
+
+    /// A consistent-enough snapshot of all counters, in the public
+    /// reporting shape.
+    pub fn report(&self) -> HealthReport {
+        self.snapshot().into()
     }
 }
 
 impl Clone for HealthStats {
     fn clone(&self) -> HealthStats {
-        let r = self.report();
+        HealthStats::from(self.snapshot())
+    }
+}
+
+/// A single consistent read of every [`HealthStats`] counter, as plain
+/// integers. Field names mirror the counters themselves;
+/// [`HealthReport`] is the equivalent user-facing shape with
+/// descriptive names.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HealthSnapshot {
+    /// Profiling observations that passed the guard.
+    pub accepted: u64,
+    /// Profiling observations rejected as faults.
+    pub rejected: u64,
+    /// Rejected rounds retried with a backed-off chunk.
+    pub retries: u64,
+    /// Invocations that gave up profiling and ran degraded.
+    pub degraded: u64,
+    /// Breaker trips.
+    pub trips: u64,
+    /// Recovery probes attempted.
+    pub probes: u64,
+    /// Probes that re-closed the breaker.
+    pub recoveries: u64,
+    /// Table entries tainted after faulty invocations.
+    pub taints: u64,
+    /// Invocations quarantined CPU-only.
+    pub quarantined: u64,
+}
+
+impl From<HealthSnapshot> for HealthReport {
+    fn from(s: HealthSnapshot) -> HealthReport {
+        HealthReport {
+            observations_accepted: s.accepted,
+            observations_rejected: s.rejected,
+            retries: s.retries,
+            degraded_invocations: s.degraded,
+            breaker_trips: s.trips,
+            probes: s.probes,
+            recoveries: s.recoveries,
+            taints: s.taints,
+            quarantined_invocations: s.quarantined,
+        }
+    }
+}
+
+impl From<HealthSnapshot> for HealthStats {
+    fn from(s: HealthSnapshot) -> HealthStats {
         let stats = HealthStats::default();
-        stats
-            .accepted
-            .store(r.observations_accepted, Ordering::Relaxed);
-        stats
-            .rejected
-            .store(r.observations_rejected, Ordering::Relaxed);
-        stats.retries.store(r.retries, Ordering::Relaxed);
-        stats
-            .degraded
-            .store(r.degraded_invocations, Ordering::Relaxed);
-        stats.trips.store(r.breaker_trips, Ordering::Relaxed);
-        stats.probes.store(r.probes, Ordering::Relaxed);
-        stats.recoveries.store(r.recoveries, Ordering::Relaxed);
-        stats.taints.store(r.taints, Ordering::Relaxed);
-        stats
-            .quarantined
-            .store(r.quarantined_invocations, Ordering::Relaxed);
+        stats.accepted.store(s.accepted, Ordering::Relaxed);
+        stats.rejected.store(s.rejected, Ordering::Relaxed);
+        stats.retries.store(s.retries, Ordering::Relaxed);
+        stats.degraded.store(s.degraded, Ordering::Relaxed);
+        stats.trips.store(s.trips, Ordering::Relaxed);
+        stats.probes.store(s.probes, Ordering::Relaxed);
+        stats.recoveries.store(s.recoveries, Ordering::Relaxed);
+        stats.taints.store(s.taints, Ordering::Relaxed);
+        stats.quarantined.store(s.quarantined, Ordering::Relaxed);
         stats
     }
 }
@@ -166,6 +213,18 @@ pub enum BreakerState {
     Open,
     /// Quarantine served: the next invocation probes the GPU.
     HalfOpen,
+}
+
+impl BreakerState {
+    /// Stable numeric code used in telemetry records (0 closed, 1 open,
+    /// 2 half-open — the internal encoding, made public for exports).
+    pub fn code(self) -> u8 {
+        match self {
+            BreakerState::Closed => CLOSED,
+            BreakerState::Open => OPEN,
+            BreakerState::HalfOpen => HALF_OPEN,
+        }
+    }
 }
 
 /// What the breaker allows the current invocation to do.
@@ -310,9 +369,14 @@ impl Health {
         }
     }
 
-    /// Snapshot of the counters.
+    /// Snapshot of the counters, in the user-facing reporting shape.
     pub fn report(&self) -> HealthReport {
         self.stats.report()
+    }
+
+    /// Raw counter snapshot (plain integers, counter-named fields).
+    pub fn snapshot(&self) -> HealthSnapshot {
+        self.stats.snapshot()
     }
 
     /// The GPU circuit breaker.
@@ -406,5 +470,28 @@ mod tests {
         assert!(HealthReport::default().fault_free());
         // Clone carries the counts.
         assert_eq!(h.clone().report(), r);
+    }
+
+    #[test]
+    fn snapshot_and_report_agree() {
+        let h = Health::new(&policy());
+        h.stats.note_accepted();
+        h.stats.note_retry();
+        h.stats.note_taint();
+        let s = h.snapshot();
+        assert_eq!(s.accepted, 1);
+        assert_eq!(s.retries, 1);
+        assert_eq!(s.taints, 1);
+        assert_eq!(s.rejected, 0);
+        assert_eq!(HealthReport::from(s), h.report());
+        // Stats rebuilt from a snapshot read back identically.
+        assert_eq!(HealthStats::from(s).snapshot(), s);
+    }
+
+    #[test]
+    fn breaker_state_codes_are_stable() {
+        assert_eq!(BreakerState::Closed.code(), 0);
+        assert_eq!(BreakerState::Open.code(), 1);
+        assert_eq!(BreakerState::HalfOpen.code(), 2);
     }
 }

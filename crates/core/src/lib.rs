@@ -63,9 +63,11 @@ pub use characterize::{
 pub use classify::{Classifier, WorkloadClass};
 pub use eas::{Accumulation, AlphaSearch, Decision, EasConfig, EasScheduler};
 pub use easruntime::{EasRuntime, RunOutcome};
-pub use engine::DecisionEngine;
+pub use engine::{DecisionEngine, Prediction};
 pub use guard::{FaultKind, ObservationGuard};
-pub use health::{BreakerGate, BreakerState, CircuitBreaker, FaultPolicy, Health, HealthReport};
+pub use health::{
+    BreakerGate, BreakerState, CircuitBreaker, FaultPolicy, Health, HealthReport, HealthSnapshot,
+};
 pub use kernel_table::{AlphaStat, KernelTable, ReuseProbe};
 pub use objective::Objective;
 pub use persist::{
@@ -76,3 +78,11 @@ pub use power_model::{PowerCurve, PowerModel};
 pub use schemes::{Evaluator, SchemeResult, WorkloadComparison};
 pub use shared::{SharedEas, SharedEasExt};
 pub use time_model::TimeModel;
+
+/// The telemetry subsystem (re-exported `easched-telemetry` crate):
+/// decision records, the lock-free ring sink, the metrics registry, trace
+/// export, and model-drift analysis. See DESIGN.md §10.
+pub use easched_telemetry as telemetry;
+pub use easched_telemetry::{
+    DecisionRecord, InvocationPath, MetricsRegistry, NullSink, RingSink, TelemetrySink,
+};

@@ -26,17 +26,60 @@
 //! fault taints the kernel's table entry, forcing a re-profile on the next
 //! reuse. On a healthy platform none of these paths activate and the loop
 //! is behavior-identical to the unguarded original.
+//!
+//! # Telemetry (DESIGN.md §10)
+//!
+//! With a [`TelemetrySink`] attached, the loop emits one
+//! [`DecisionRecord`] per invocation: the backend is wrapped in an
+//! [`InstrumentedBackend`] that totals what each phase observed, the
+//! vet+decide path is wall-clock timed, and the exit path tags which
+//! Figure 7 branch ran. With no sink (the default) none of that exists —
+//! the backend is driven directly and the only residue is a handful of
+//! dead local stores, keeping the disabled path behavior-identical
+//! *and* cost-identical to the pre-telemetry loop.
 
 use crate::eas::Decision;
 use crate::engine::DecisionEngine;
+use crate::guard::FaultKind;
 use crate::health::{BreakerGate, Health};
 use crate::kernel_table::KernelTable;
+use easched_runtime::telemetry::InstrumentedBackend;
 use easched_runtime::{Backend, KernelId};
+use easched_telemetry::{DecisionRecord, InvocationPath, TelemetrySink};
+use std::time::Instant;
+
+/// What `drive` learned about the invocation, for record construction.
+struct InvocationSummary {
+    path: InvocationPath,
+    last: Option<Decision>,
+    rounds: u32,
+    fault_rounds: u32,
+    last_fault: Option<FaultKind>,
+    /// The α the remainder actually executed at.
+    alpha: f64,
+    decide_nanos: u64,
+}
+
+impl InvocationSummary {
+    fn new(path: InvocationPath, alpha: f64) -> InvocationSummary {
+        InvocationSummary {
+            path,
+            last: None,
+            rounds: 0,
+            fault_rounds: 0,
+            last_fault: None,
+            alpha,
+            decide_nanos: 0,
+        }
+    }
+}
 
 /// Executes one kernel invocation under the EAS policy.
 ///
 /// `on_decision` fires once per profiling-round α decision, in order —
-/// frontends use it to maintain their decision logs and counters.
+/// frontends use it to maintain their decision logs and counters. With a
+/// `sink`, one [`DecisionRecord`] is emitted after the invocation
+/// completes; with `None` the loop runs the exact untelemetered path.
 pub(crate) fn schedule_invocation(
     engine: &DecisionEngine,
     table: &KernelTable,
@@ -44,10 +87,57 @@ pub(crate) fn schedule_invocation(
     kernel: KernelId,
     backend: &mut dyn Backend,
     mut on_decision: impl FnMut(Decision),
+    sink: Option<&dyn TelemetrySink>,
 ) {
+    let Some(sink) = sink else {
+        drive(
+            engine,
+            table,
+            health,
+            kernel,
+            backend,
+            &mut on_decision,
+            false,
+        );
+        return;
+    };
+    let items = backend.remaining();
+    let mut instrumented = InstrumentedBackend::new(backend);
+    if let Some(summary) = drive(
+        engine,
+        table,
+        health,
+        kernel,
+        &mut instrumented,
+        &mut on_decision,
+        true,
+    ) {
+        sink.record(&build_record(
+            engine,
+            health,
+            kernel,
+            items,
+            &instrumented,
+            summary,
+        ));
+    }
+}
+
+/// The Figure 7 control flow proper. Returns `None` for empty
+/// invocations (nothing ran, nothing to record); `timed` enables the
+/// wall-clock decide timer, which only the telemetry path pays for.
+fn drive(
+    engine: &DecisionEngine,
+    table: &KernelTable,
+    health: &Health,
+    kernel: KernelId,
+    backend: &mut dyn Backend,
+    on_decision: &mut dyn FnMut(Decision),
+    timed: bool,
+) -> Option<InvocationSummary> {
     let n = backend.remaining();
     if n == 0 {
-        return;
+        return None;
     }
     let profile_size = backend.gpu_profile_size();
     let config = engine.config();
@@ -66,7 +156,7 @@ pub(crate) fn schedule_invocation(
         BreakerGate::CpuOnly => {
             health.stats.note_quarantined();
             backend.run_split(0.0);
-            return;
+            return Some(InvocationSummary::new(InvocationPath::Quarantined, 0.0));
         }
     };
 
@@ -78,6 +168,7 @@ pub(crate) fn schedule_invocation(
     // would waste both time and energy (this is the reason the guard
     // exists, and it matters for cascade-style kernels like FD whose
     // invocation sizes swing by orders of magnitude).
+    let mut reprofiling = false;
     if !probing {
         if let Some(probe) = table.note_reuse(kernel) {
             let due_reprofile = (probe.tainted
@@ -88,9 +179,10 @@ pub(crate) fn schedule_invocation(
             if !due_reprofile {
                 let alpha = if n < profile_size { 0.0 } else { probe.alpha };
                 backend.run_split(alpha);
-                return;
+                return Some(InvocationSummary::new(InvocationPath::TableHit, alpha));
             }
             // Fall through to a fresh profiling pass that re-accumulates.
+            reprofiling = true;
         }
     }
 
@@ -98,7 +190,7 @@ pub(crate) fn schedule_invocation(
     if n < profile_size {
         backend.run_split(0.0);
         table.accumulate(kernel, 0.0, n as f64, config.accumulation);
-        return;
+        return Some(InvocationSummary::new(InvocationPath::SmallN, 0.0));
     }
 
     // Steps 11–22: repeat profiling for `profile_fraction` of the
@@ -112,6 +204,10 @@ pub(crate) fn schedule_invocation(
     let mut rejected_streak: u32 = 0;
     let mut faulty_rounds: u64 = 0;
     let mut gave_up = false;
+    let mut rounds: u32 = 0;
+    let mut last = None;
+    let mut last_fault = None;
+    let mut decide_nanos: u64 = 0;
     while backend.remaining() > profile_until.max(profile_size) {
         let before = backend.remaining();
         // Bounded backoff: each consecutive rejection halves the chunk so
@@ -122,7 +218,13 @@ pub(crate) fn schedule_invocation(
         if consumed == 0 {
             break; // safety: no progress (degenerate backend)
         }
-        if let Err(fault) = engine.vet(&obs) {
+        let started = timed.then(Instant::now);
+        let vetted = engine.vet(&obs);
+        if let Err(fault) = vetted {
+            if let Some(t) = started {
+                decide_nanos += t.elapsed().as_nanos() as u64;
+            }
+            last_fault = Some(fault);
             health.stats.note_rejected();
             faulty_rounds += 1;
             if fault.implicates_gpu() && health.breaker.record_gpu_fault() {
@@ -142,6 +244,11 @@ pub(crate) fn schedule_invocation(
         }
         rejected_streak = 0;
         let decision = engine.decide(kernel, &obs, backend.remaining());
+        if let Some(t) = started {
+            decide_nanos += t.elapsed().as_nanos() as u64;
+        }
+        rounds += 1;
+        last = Some(decision);
         let decided = decision.alpha;
         on_decision(decision);
         streak = if (decided - alpha).abs() < 1e-9 && alpha_weight > 0.0 {
@@ -175,7 +282,15 @@ pub(crate) fn schedule_invocation(
             table.taint(kernel);
             health.stats.note_taint();
         }
-        return;
+        return Some(InvocationSummary {
+            path: InvocationPath::Degraded,
+            last,
+            rounds,
+            fault_rounds: faulty_rounds as u32,
+            last_fault,
+            alpha: fallback,
+            decide_nanos,
+        });
     }
 
     // Steps 23–25: run the remainder at the decided ratio.
@@ -195,5 +310,67 @@ pub(crate) fn schedule_invocation(
         // time rather than reuse it.
         table.taint(kernel);
         health.stats.note_taint();
+    }
+    let path = if probing {
+        InvocationPath::Probe
+    } else if reprofiling {
+        InvocationPath::Reprofiled
+    } else {
+        InvocationPath::Profiled
+    };
+    Some(InvocationSummary {
+        path,
+        last,
+        rounds,
+        fault_rounds: faulty_rounds as u32,
+        last_fault,
+        alpha,
+        decide_nanos,
+    })
+}
+
+/// Assembles the per-invocation telemetry record: the summary's control
+/// flow and decision context, the instrumented backend's per-phase
+/// realized totals, the engine's model prediction at the executed α, and
+/// the breaker's state after the invocation.
+fn build_record(
+    engine: &DecisionEngine,
+    health: &Health,
+    kernel: KernelId,
+    items: u64,
+    backend: &InstrumentedBackend<'_>,
+    summary: InvocationSummary,
+) -> DecisionRecord {
+    // Predictions are only meaningful on paths whose final split executed
+    // at the last decision's α (on a degraded path the fallback may
+    // differ, so the comparison would be apples to oranges).
+    let prediction = summary
+        .last
+        .filter(|_| summary.path.has_prediction())
+        .map(|d| engine.predict(&d))
+        .unwrap_or_default();
+    let profile = backend.profile_totals();
+    let split = backend.split_totals();
+    DecisionRecord {
+        seq: 0, // assigned by the sink
+        kernel,
+        path: summary.path,
+        class: summary.last.map(|d| d.class.index() as u8),
+        breaker: health.breaker().state().code(),
+        last_fault: summary.last_fault.map(FaultKind::code),
+        rounds: summary.rounds,
+        fault_rounds: summary.fault_rounds,
+        r_c: summary.last.map_or(0.0, |d| d.r_c),
+        r_g: summary.last.map_or(0.0, |d| d.r_g),
+        alpha: summary.alpha,
+        predicted_power: prediction.power,
+        predicted_time: prediction.time,
+        predicted_objective: prediction.objective,
+        profile_time: profile.elapsed,
+        profile_energy: profile.energy_joules,
+        split_time: split.elapsed,
+        split_energy: split.energy_joules,
+        items,
+        decide_nanos: summary.decide_nanos,
     }
 }

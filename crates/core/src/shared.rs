@@ -23,6 +23,7 @@ use crate::kernel_table::KernelTable;
 use crate::power_model::PowerModel;
 use crate::profile_loop;
 use easched_runtime::{Backend, ConcurrentScheduler, KernelId, Shared};
+use easched_telemetry::TelemetrySink;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
 
@@ -63,6 +64,7 @@ pub struct SharedEas {
     name: String,
     decisions: AtomicU64,
     log: Mutex<Vec<Decision>>,
+    telemetry: Option<Arc<dyn TelemetrySink>>,
 }
 
 impl SharedEas {
@@ -74,6 +76,26 @@ impl SharedEas {
     /// Panics if `config.profile_fraction` is outside (0, 1], exactly as
     /// [`EasScheduler::new`] does.
     pub fn new(model: PowerModel, config: EasConfig) -> Arc<SharedEas> {
+        SharedEas::build(model, config, None)
+    }
+
+    /// Like [`SharedEas::new`] but with a telemetry sink attached from the
+    /// start: every stream's invocations emit
+    /// [`DecisionRecord`](easched_telemetry::DecisionRecord)s into the one
+    /// sink, interleaved in completion order (DESIGN.md §10).
+    pub fn with_telemetry(
+        model: PowerModel,
+        config: EasConfig,
+        sink: Arc<dyn TelemetrySink>,
+    ) -> Arc<SharedEas> {
+        SharedEas::build(model, config, Some(sink))
+    }
+
+    fn build(
+        model: PowerModel,
+        config: EasConfig,
+        telemetry: Option<Arc<dyn TelemetrySink>>,
+    ) -> Arc<SharedEas> {
         let name = format!("EAS-shared({})", config.objective.name());
         let health = Health::new(&config.fault);
         Arc::new(SharedEas {
@@ -83,7 +105,13 @@ impl SharedEas {
             name,
             decisions: AtomicU64::new(0),
             log: Mutex::new(Vec::new()),
+            telemetry,
         })
+    }
+
+    /// The attached telemetry sink, if any.
+    pub fn telemetry(&self) -> Option<&Arc<dyn TelemetrySink>> {
+        self.telemetry.as_ref()
     }
 
     /// The learned offload ratio for a kernel, if any.
@@ -157,6 +185,7 @@ impl ConcurrentScheduler for SharedEas {
                     .unwrap_or_else(PoisonError::into_inner)
                     .push(d);
             },
+            self.telemetry.as_deref(),
         );
     }
 }
@@ -184,7 +213,7 @@ impl EasScheduler {
         let name = format!("EAS-shared({})", self.engine().config().objective.name());
         let decisions = self.decisions();
         let log = self.decision_log().to_vec();
-        let (engine, table, health) = self.into_parts();
+        let (engine, table, health, telemetry) = self.into_parts();
         Arc::new(SharedEas {
             engine,
             table,
@@ -192,6 +221,7 @@ impl EasScheduler {
             name,
             decisions: AtomicU64::new(decisions),
             log: Mutex::new(log),
+            telemetry,
         })
     }
 }

@@ -38,6 +38,7 @@ pub mod parallel_invoker;
 pub mod pool;
 pub mod scheduler;
 pub mod sim_backend;
+pub mod telemetry;
 pub mod thread_backend;
 
 pub use backend::Backend;
@@ -50,4 +51,5 @@ pub use parallel_invoker::ParallelInvoker;
 pub use pool::{parallel_for, PoolReport};
 pub use scheduler::{ConcurrentScheduler, KernelId, Scheduler, Shared};
 pub use sim_backend::{kernel_id_of, replay_trace, run_workload, SchedulerInvoker, SimBackend};
+pub use telemetry::InstrumentedBackend;
 pub use thread_backend::{ThreadBackend, ThreadBackendConfig};

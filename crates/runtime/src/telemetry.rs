@@ -1,0 +1,137 @@
+//! The runtime-side telemetry hook: a transparent [`Backend`] wrapper
+//! that totals what each phase of an invocation actually observed.
+//!
+//! The profile loop in `easched-core` wraps the real backend in an
+//! [`InstrumentedBackend`] *only when a telemetry sink is attached*, so
+//! the disabled path drives the backend directly with zero overhead. The
+//! wrapper forwards every call unchanged — same chunks, same splits, same
+//! returned observations — and merely accumulates the profiling-phase and
+//! split-phase totals separately, which is exactly what a
+//! `DecisionRecord`'s realized-time/energy fields and the post-hoc
+//! model-drift analysis need (predictions are made for the *split*, so
+//! profiling cost must not pollute the realized side of the comparison).
+
+use crate::backend::Backend;
+use crate::observation::Observation;
+
+/// A [`Backend`] wrapper totalling per-phase observations (see [module
+/// docs](self)).
+pub struct InstrumentedBackend<'a> {
+    inner: &'a mut dyn Backend,
+    profile: Observation,
+    split: Observation,
+    profile_steps: u32,
+    splits: u32,
+}
+
+impl std::fmt::Debug for InstrumentedBackend<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("InstrumentedBackend")
+            .field("profile", &self.profile)
+            .field("split", &self.split)
+            .field("profile_steps", &self.profile_steps)
+            .field("splits", &self.splits)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'a> InstrumentedBackend<'a> {
+    /// Wraps a backend; totals start at zero.
+    pub fn new(inner: &'a mut dyn Backend) -> InstrumentedBackend<'a> {
+        InstrumentedBackend {
+            inner,
+            profile: Observation::default(),
+            split: Observation::default(),
+            profile_steps: 0,
+            splits: 0,
+        }
+    }
+
+    /// Accumulated observations of every profiling step.
+    pub fn profile_totals(&self) -> &Observation {
+        &self.profile
+    }
+
+    /// Accumulated observations of every split run (normally one).
+    pub fn split_totals(&self) -> &Observation {
+        &self.split
+    }
+
+    /// Profiling steps forwarded.
+    pub fn profile_steps(&self) -> u32 {
+        self.profile_steps
+    }
+
+    /// Split runs forwarded.
+    pub fn splits(&self) -> u32 {
+        self.splits
+    }
+}
+
+impl Backend for InstrumentedBackend<'_> {
+    fn remaining(&self) -> u64 {
+        self.inner.remaining()
+    }
+
+    fn gpu_profile_size(&self) -> u64 {
+        self.inner.gpu_profile_size()
+    }
+
+    fn profile_step(&mut self, gpu_chunk: u64) -> Observation {
+        let obs = self.inner.profile_step(gpu_chunk);
+        self.profile.accumulate(&obs);
+        self.profile_steps += 1;
+        obs
+    }
+
+    fn run_split(&mut self, alpha: f64) -> Observation {
+        let obs = self.inner.run_split(alpha);
+        self.split.accumulate(&obs);
+        self.splits += 1;
+        obs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::test_support::FakeBackend;
+
+    #[test]
+    fn forwards_transparently_and_totals_per_phase() {
+        let mut plain = FakeBackend::new(100_000, 1.0e6, 2.0e6);
+        let mut wrapped = plain.clone();
+        let (o1, o2, remaining) = {
+            let mut ib = InstrumentedBackend::new(&mut wrapped);
+            let o1 = ib.profile_step(2240);
+            let o2 = ib.profile_step(2240);
+            let split = ib.run_split(0.5);
+            assert_eq!(ib.profile_steps(), 2);
+            assert_eq!(ib.splits(), 1);
+            let p = ib.profile_totals();
+            assert_eq!(p.gpu_items, o1.gpu_items + o2.gpu_items);
+            assert!((p.elapsed - (o1.elapsed + o2.elapsed)).abs() < 1e-12);
+            assert_eq!(ib.split_totals().elapsed, split.elapsed);
+            assert_eq!(ib.split_totals().energy_joules, split.energy_joules);
+            (o1, o2, ib.remaining())
+        };
+        assert_eq!(remaining, 0);
+        // The wrapped backend saw the identical call sequence.
+        assert_eq!(plain.profile_step(2240), o1);
+        assert_eq!(plain.profile_step(2240), o2);
+        plain.run_split(0.5);
+        assert_eq!(plain.log, wrapped.log);
+    }
+
+    #[test]
+    fn fresh_wrapper_reads_zero_totals() {
+        let mut b = FakeBackend::new(10, 1.0, 1.0);
+        let ib = InstrumentedBackend::new(&mut b);
+        assert_eq!(ib.profile_totals(), &Observation::default());
+        assert_eq!(ib.split_totals(), &Observation::default());
+        assert_eq!(ib.profile_steps(), 0);
+        assert_eq!(ib.splits(), 0);
+        assert_eq!(ib.remaining(), 10);
+        assert_eq!(ib.gpu_profile_size(), 2240);
+    }
+}

@@ -1,0 +1,47 @@
+//! Telemetry for the EAS pipeline: lock-free decision tracing, metrics
+//! exposition, and model-drift analysis.
+//!
+//! The paper's scheduler is a feedback loop — observe, classify, predict,
+//! split — but nothing in the original design lets you *watch* that loop:
+//! once an α lands in the kernel table there is no record of the
+//! observation it came from, the prediction it rested on, or how close
+//! that prediction came to reality. This crate is the observability layer
+//! over the whole pipeline:
+//!
+//! - [`DecisionRecord`] — one structured event per kernel invocation:
+//!   control path, profiling rounds, observed R_C/R_G, predicted
+//!   P(α)/T(α)/objective, realized time and energy, fault and breaker
+//!   context ([`record`]).
+//! - [`TelemetrySink`] — the trait the scheduling frontends report
+//!   through; `None` means the scheduler runs the exact pre-telemetry
+//!   code path ([`sink`]).
+//! - [`RingSink`] — the standard sink: a bounded, lock-free,
+//!   overwrite-on-wrap ring ([`ring`]) plus an always-on
+//!   [`MetricsRegistry`] with Prometheus-style exposition ([`metrics`]).
+//! - [`to_trace`] / [`parse_trace`] — Chrome-trace export (one event per
+//!   line, loadable in Perfetto / `chrome://tracing`) that round-trips
+//!   bit-for-bit ([`trace`]).
+//! - [`model_drift`] — per-kernel predicted-vs-realized error analysis
+//!   ([`drift`]).
+//!
+//! The crate is deliberately standalone — plain `std`, no dependency on
+//! the scheduler crates — so any layer (core, runtime, bench, a future
+//! serving daemon) can report through it without dependency cycles.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![deny(clippy::print_stdout, clippy::print_stderr)]
+
+pub mod drift;
+pub mod metrics;
+pub mod record;
+pub mod ring;
+pub mod sink;
+pub mod trace;
+
+pub use drift::{model_drift, KernelDrift};
+pub use metrics::{Counter, Gauge, LogHistogram, MetricsRegistry, ALPHA_BUCKETS};
+pub use record::{DecisionRecord, InvocationPath};
+pub use ring::AtomicRing;
+pub use sink::{NullSink, RingSink, TelemetrySink};
+pub use trace::{parse_trace, to_trace, TraceParseError};

@@ -1,0 +1,462 @@
+//! Metric primitives (counters, gauges, log-scale histograms) and the
+//! registry that derives scheduler metrics from [`DecisionRecord`]s.
+//!
+//! Everything here is relaxed atomics: the registry is updated on the
+//! scheduling hot path (once per invocation, when a sink is attached), so
+//! it must never lock or allocate. [`MetricsRegistry::expose`] renders a
+//! Prometheus-style text page for scraping or snapshot diffing.
+
+use crate::record::{DecisionRecord, InvocationPath};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-value-wins gauge.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// Sets the gauge, returning the previous value.
+    pub fn swap(&self, v: u64) -> u64 {
+        self.0.swap(v, Ordering::Relaxed)
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Histogram buckets: one per bit length, so bucket `i` (for `i ≥ 1`)
+/// holds values whose binary representation is `i` bits wide — i.e. the
+/// range `[2^(i-1), 2^i)` — and bucket 0 holds exactly the value 0.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// A log₂-scale histogram over `u64` values.
+///
+/// Bucketing by bit length makes `record` two instructions of math plus
+/// one relaxed `fetch_add`, while still resolving the distribution to a
+/// factor of two everywhere from 1 to `u64::MAX`.
+#[derive(Debug)]
+pub struct LogHistogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    sum: AtomicU64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> LogHistogram {
+        LogHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+impl LogHistogram {
+    /// The bucket index a value lands in: 0 for 0, otherwise the value's
+    /// bit length (1..=64).
+    pub fn bucket_index(v: u64) -> usize {
+        if v == 0 {
+            0
+        } else {
+            64 - v.leading_zeros() as usize
+        }
+    }
+
+    /// The largest value bucket `i` can hold (the inclusive upper bound
+    /// used as the Prometheus `le` label).
+    pub fn bucket_bound(i: usize) -> u64 {
+        if i >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << i) - 1
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&self, v: u64) {
+        self.buckets[Self::bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Per-bucket observation counts.
+    pub fn counts(&self) -> [u64; HISTOGRAM_BUCKETS] {
+        std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed))
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.counts().iter().sum()
+    }
+
+    /// Sum of all observed values (wrapping beyond `u64::MAX`).
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Mean observed value, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum() as f64 / n as f64
+        }
+    }
+}
+
+/// Number of α distribution buckets: the paper's grid {0, 0.1, …, 1}.
+pub const ALPHA_BUCKETS: usize = 11;
+
+/// Scheduler metrics derived from the decision stream: invocation-path
+/// counters, fault and breaker activity, decision latency, profiling
+/// overhead, and the α distribution. Updated once per invocation via
+/// [`update`](MetricsRegistry::update); rendered with
+/// [`expose`](MetricsRegistry::expose).
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    /// Invocations seen, in total.
+    pub invocations: Counter,
+    /// Invocations that reused a learned α from the table.
+    pub table_hits: Counter,
+    /// Invocations too small to fill the GPU (ran CPU-only).
+    pub small_n: Counter,
+    /// First-seen invocations that profiled online.
+    pub profiled: Counter,
+    /// Known kernels that re-profiled (periodic or tainted).
+    pub reprofiled: Counter,
+    /// Recovery-probe invocations (half-open breaker).
+    pub probes: Counter,
+    /// Invocations that degraded after sustained faults.
+    pub degraded: Counter,
+    /// Invocations quarantined CPU-only by an open breaker.
+    pub quarantined: Counter,
+    /// Accepted profiling rounds, summed over invocations.
+    pub profile_rounds: Counter,
+    /// Rejected (faulty) profiling rounds, summed over invocations.
+    pub fault_rounds: Counter,
+    /// Breaker state changes observed between consecutive records.
+    pub breaker_transitions: Counter,
+    /// Most recent breaker state (0 closed, 1 open, 2 half-open).
+    pub breaker_state: Gauge,
+    /// Realized profiling-phase time, microseconds, summed.
+    pub profile_time_us: Counter,
+    /// Realized total invocation time, microseconds, summed.
+    pub invocation_time_us: Counter,
+    /// Wall-clock vet+decide latency per invocation, nanoseconds.
+    pub decide_latency_ns: LogHistogram,
+    /// Profiling overhead per profiled invocation, basis points of the
+    /// invocation's realized time (profile / total × 10⁴).
+    pub overhead_bp: LogHistogram,
+    /// Executed α, bucketed on the paper's 0.1 grid.
+    pub alpha: [Counter; ALPHA_BUCKETS],
+}
+
+impl MetricsRegistry {
+    /// Folds one record into every derived metric.
+    pub fn update(&self, r: &DecisionRecord) {
+        self.invocations.inc();
+        match r.path {
+            InvocationPath::TableHit => self.table_hits.inc(),
+            InvocationPath::SmallN => self.small_n.inc(),
+            InvocationPath::Profiled => self.profiled.inc(),
+            InvocationPath::Reprofiled => self.reprofiled.inc(),
+            InvocationPath::Probe => self.probes.inc(),
+            InvocationPath::Degraded => self.degraded.inc(),
+            InvocationPath::Quarantined => self.quarantined.inc(),
+        }
+        self.profile_rounds.add(u64::from(r.rounds));
+        self.fault_rounds.add(u64::from(r.fault_rounds));
+        let previous = self.breaker_state.swap(u64::from(r.breaker));
+        if previous != u64::from(r.breaker) {
+            self.breaker_transitions.inc();
+        }
+        self.profile_time_us.add(seconds_to_us(r.profile_time));
+        self.invocation_time_us.add(seconds_to_us(r.total_time()));
+        self.decide_latency_ns.record(r.decide_nanos);
+        let total = r.total_time();
+        if r.path.has_prediction() && total > 0.0 {
+            self.overhead_bp
+                .record((r.profile_time / total * 1e4).round() as u64);
+        }
+        let bucket = (r.alpha.clamp(0.0, 1.0) * 10.0).round() as usize;
+        self.alpha[bucket.min(ALPHA_BUCKETS - 1)].inc();
+    }
+
+    /// Fraction of invocations served straight from the kernel table.
+    pub fn hit_rate(&self) -> f64 {
+        ratio(self.table_hits.get(), self.invocations.get())
+    }
+
+    /// Fraction of realized run time spent profiling.
+    pub fn overhead_fraction(&self) -> f64 {
+        ratio(self.profile_time_us.get(), self.invocation_time_us.get())
+    }
+
+    /// Renders the registry as a Prometheus-style text exposition page
+    /// (`# HELP`/`# TYPE` preambles, `easched_`-prefixed series).
+    pub fn expose(&self) -> String {
+        let mut out = String::with_capacity(4096);
+        let mut counter = |name: &str, help: &str, v: u64| {
+            push_meta(&mut out, name, help, "counter");
+            out.push_str(&format!("{name} {v}\n"));
+        };
+        counter(
+            "easched_invocations_total",
+            "Kernel invocations scheduled",
+            self.invocations.get(),
+        );
+        counter(
+            "easched_table_hits_total",
+            "Invocations that reused a learned alpha",
+            self.table_hits.get(),
+        );
+        counter(
+            "easched_small_n_total",
+            "Invocations too small for the GPU (CPU-only)",
+            self.small_n.get(),
+        );
+        counter(
+            "easched_profiled_total",
+            "First-seen invocations that profiled online",
+            self.profiled.get(),
+        );
+        counter(
+            "easched_reprofiled_total",
+            "Known kernels that re-profiled",
+            self.reprofiled.get(),
+        );
+        counter(
+            "easched_probe_total",
+            "Recovery-probe invocations",
+            self.probes.get(),
+        );
+        counter(
+            "easched_degraded_total",
+            "Invocations degraded after sustained faults",
+            self.degraded.get(),
+        );
+        counter(
+            "easched_quarantined_total",
+            "Invocations quarantined CPU-only by the breaker",
+            self.quarantined.get(),
+        );
+        counter(
+            "easched_profile_rounds_total",
+            "Accepted profiling rounds",
+            self.profile_rounds.get(),
+        );
+        counter(
+            "easched_fault_rounds_total",
+            "Rejected profiling rounds",
+            self.fault_rounds.get(),
+        );
+        counter(
+            "easched_breaker_transitions_total",
+            "Circuit-breaker state changes",
+            self.breaker_transitions.get(),
+        );
+        counter(
+            "easched_profile_time_microseconds_total",
+            "Realized profiling-phase time",
+            self.profile_time_us.get(),
+        );
+        counter(
+            "easched_invocation_time_microseconds_total",
+            "Realized total invocation time",
+            self.invocation_time_us.get(),
+        );
+        push_meta(
+            &mut out,
+            "easched_breaker_state",
+            "Breaker state (0 closed, 1 open, 2 half-open)",
+            "gauge",
+        );
+        out.push_str(&format!(
+            "easched_breaker_state {}\n",
+            self.breaker_state.get()
+        ));
+        push_histogram(
+            &mut out,
+            "easched_decide_latency_nanoseconds",
+            "Wall-clock vet+decide latency per invocation",
+            &self.decide_latency_ns,
+        );
+        push_histogram(
+            &mut out,
+            "easched_profile_overhead_basis_points",
+            "Profiling share of realized invocation time (1e4 = all)",
+            &self.overhead_bp,
+        );
+        push_meta(
+            &mut out,
+            "easched_alpha_decisions_total",
+            "Executed offload ratio on the paper's 0.1 grid",
+            "counter",
+        );
+        for (i, c) in self.alpha.iter().enumerate() {
+            out.push_str(&format!(
+                "easched_alpha_decisions_total{{alpha=\"{:.1}\"}} {}\n",
+                i as f64 / 10.0,
+                c.get()
+            ));
+        }
+        out
+    }
+}
+
+fn seconds_to_us(s: f64) -> u64 {
+    (s * 1e6).round().max(0.0) as u64
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+fn push_meta(out: &mut String, name: &str, help: &str, kind: &str) {
+    out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} {kind}\n"));
+}
+
+/// Renders a histogram in the Prometheus cumulative-bucket convention,
+/// truncated after the highest non-empty bucket (the `+Inf` bucket always
+/// closes the series).
+fn push_histogram(out: &mut String, name: &str, help: &str, h: &LogHistogram) {
+    push_meta(out, name, help, "histogram");
+    let counts = h.counts();
+    let last = counts.iter().rposition(|&c| c > 0).unwrap_or(0);
+    let mut cumulative = 0u64;
+    for (i, &c) in counts.iter().enumerate().take(last + 1) {
+        cumulative += c;
+        out.push_str(&format!(
+            "{name}_bucket{{le=\"{}\"}} {cumulative}\n",
+            LogHistogram::bucket_bound(i)
+        ));
+    }
+    out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {}\n", h.count()));
+    out.push_str(&format!("{name}_sum {}\n", h.sum()));
+    out.push_str(&format!("{name}_count {}\n", h.count()));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_bucket_math_at_the_edges() {
+        // Bucket 0 is exactly zero; bucket i is the bit-length-i range.
+        assert_eq!(LogHistogram::bucket_index(0), 0);
+        assert_eq!(LogHistogram::bucket_index(1), 1);
+        assert_eq!(LogHistogram::bucket_index(2), 2);
+        assert_eq!(LogHistogram::bucket_index(3), 2);
+        assert_eq!(LogHistogram::bucket_index(4), 3);
+        assert_eq!(LogHistogram::bucket_index((1 << 62) - 1), 62);
+        assert_eq!(LogHistogram::bucket_index(1 << 62), 63);
+        assert_eq!(LogHistogram::bucket_index(u64::MAX / 2), 63);
+        assert_eq!(LogHistogram::bucket_index(u64::MAX / 2 + 1), 64);
+        assert_eq!(LogHistogram::bucket_index(u64::MAX), 64);
+        // Bounds are inclusive upper edges; the top bucket caps at MAX.
+        assert_eq!(LogHistogram::bucket_bound(0), 0);
+        assert_eq!(LogHistogram::bucket_bound(1), 1);
+        assert_eq!(LogHistogram::bucket_bound(2), 3);
+        assert_eq!(LogHistogram::bucket_bound(64), u64::MAX);
+        // Boundary values land within their bound.
+        for i in 1..HISTOGRAM_BUCKETS {
+            assert_eq!(LogHistogram::bucket_index(LogHistogram::bucket_bound(i)), i);
+        }
+    }
+
+    #[test]
+    fn histogram_records_extremes_without_overflow() {
+        let h = LogHistogram::default();
+        h.record(0);
+        h.record(u64::MAX);
+        h.record(u64::MAX);
+        let counts = h.counts();
+        assert_eq!(counts[0], 1);
+        assert_eq!(counts[64], 2);
+        assert_eq!(h.count(), 3);
+        // The sum wraps (documented); the count stays exact.
+        assert_eq!(h.sum(), u64::MAX.wrapping_add(u64::MAX));
+    }
+
+    #[test]
+    fn registry_update_classifies_paths() {
+        let reg = MetricsRegistry::default();
+        let mut r = DecisionRecord {
+            path: InvocationPath::Profiled,
+            rounds: 3,
+            fault_rounds: 1,
+            alpha: 0.7,
+            profile_time: 0.5,
+            split_time: 0.5,
+            decide_nanos: 1200,
+            ..DecisionRecord::default()
+        };
+        reg.update(&r);
+        r.path = InvocationPath::TableHit;
+        r.breaker = 1;
+        reg.update(&r);
+        assert_eq!(reg.invocations.get(), 2);
+        assert_eq!(reg.profiled.get(), 1);
+        assert_eq!(reg.table_hits.get(), 1);
+        assert_eq!(reg.profile_rounds.get(), 6);
+        assert_eq!(reg.fault_rounds.get(), 2);
+        assert_eq!(reg.breaker_transitions.get(), 1);
+        assert_eq!(reg.breaker_state.get(), 1);
+        assert!((reg.hit_rate() - 0.5).abs() < 1e-12);
+        // Only the profiled record contributes an overhead sample: 50%.
+        assert_eq!(reg.overhead_bp.count(), 1);
+        assert_eq!(reg.overhead_bp.sum(), 5000);
+        assert_eq!(reg.alpha[7].get(), 2);
+    }
+
+    #[test]
+    fn exposition_is_prometheus_shaped() {
+        let reg = MetricsRegistry::default();
+        reg.update(&DecisionRecord {
+            path: InvocationPath::Profiled,
+            alpha: 1.0,
+            decide_nanos: 5,
+            profile_time: 0.25,
+            split_time: 0.75,
+            ..DecisionRecord::default()
+        });
+        let page = reg.expose();
+        assert!(page.contains("# TYPE easched_invocations_total counter"));
+        assert!(page.contains("easched_invocations_total 1"));
+        assert!(page.contains("# TYPE easched_decide_latency_nanoseconds histogram"));
+        assert!(page.contains("easched_decide_latency_nanoseconds_bucket{le=\"+Inf\"} 1"));
+        assert!(page.contains("easched_decide_latency_nanoseconds_count 1"));
+        assert!(page.contains("easched_alpha_decisions_total{alpha=\"1.0\"} 1"));
+        // Every line is either a comment or `name{labels} value`.
+        for line in page.lines() {
+            assert!(
+                line.starts_with("# ") || line.split_whitespace().count() == 2,
+                "malformed line: {line}"
+            );
+        }
+    }
+}

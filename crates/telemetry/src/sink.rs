@@ -1,0 +1,145 @@
+//! The sink abstraction the scheduler reports through, and the standard
+//! lock-free ring-backed implementation.
+//!
+//! Frontends hold an `Option<Arc<dyn TelemetrySink>>`. With `None`
+//! (the default) the scheduler takes the exact pre-telemetry code path —
+//! no wrapper backend, no timing, no record construction — which is what
+//! keeps telemetry zero-cost when disabled. With a sink attached, one
+//! [`DecisionRecord`] per invocation flows in on the scheduling thread,
+//! so implementations must be cheap, lock-free, and must never panic.
+
+use crate::metrics::MetricsRegistry;
+use crate::record::DecisionRecord;
+use crate::ring::AtomicRing;
+use std::fmt;
+
+/// Receives one structured event per kernel invocation.
+///
+/// Implementations must be thread-safe: the shared frontend calls
+/// [`record`](TelemetrySink::record) from every stream concurrently.
+pub trait TelemetrySink: Send + Sync + fmt::Debug {
+    /// Called once per invocation, after the remainder has executed.
+    fn record(&self, record: &DecisionRecord);
+}
+
+/// A sink that discards everything — for tests and for measuring the
+/// overhead of record construction itself.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl TelemetrySink for NullSink {
+    fn record(&self, _record: &DecisionRecord) {}
+}
+
+/// The standard sink: a bounded lock-free ring of the most recent
+/// records, plus a [`MetricsRegistry`] folded up front (so metrics cover
+/// *every* invocation even after the ring wraps).
+#[derive(Debug)]
+pub struct RingSink {
+    ring: AtomicRing<{ DecisionRecord::WORDS }>,
+    metrics: MetricsRegistry,
+}
+
+/// Default ring capacity: enough for every invocation of the benchmark
+/// suites with room to spare, ~3.4 MB resident.
+const DEFAULT_CAPACITY: usize = 1 << 15;
+
+impl Default for RingSink {
+    fn default() -> RingSink {
+        RingSink::with_capacity(DEFAULT_CAPACITY)
+    }
+}
+
+impl RingSink {
+    /// A sink retaining the last `capacity` records (rounded up to a
+    /// power of two).
+    pub fn with_capacity(capacity: usize) -> RingSink {
+        RingSink {
+            ring: AtomicRing::new(capacity),
+            metrics: MetricsRegistry::default(),
+        }
+    }
+
+    /// Records the ring can hold.
+    pub fn capacity(&self) -> usize {
+        self.ring.capacity()
+    }
+
+    /// Records ever recorded (including any the ring has since
+    /// overwritten).
+    pub fn recorded(&self) -> u64 {
+        self.ring.pushed()
+    }
+
+    /// Records dropped under same-slot wrap contention (zero unless
+    /// writers lap each other; see [`AtomicRing::dropped`]).
+    pub fn dropped(&self) -> u64 {
+        self.ring.dropped()
+    }
+
+    /// The metrics registry fed by this sink.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// A non-destructive snapshot of the retained records, in sequence
+    /// order, each stamped with its global sequence number.
+    pub fn snapshot(&self) -> Vec<DecisionRecord> {
+        self.ring
+            .snapshot()
+            .into_iter()
+            .map(|(seq, words)| DecisionRecord::decode(seq, &words))
+            .collect()
+    }
+}
+
+impl TelemetrySink for RingSink {
+    fn record(&self, record: &DecisionRecord) {
+        self.metrics.update(record);
+        self.ring.push(record.encode());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::InvocationPath;
+
+    #[test]
+    fn sink_roundtrips_records_with_sequence_numbers() {
+        let sink = RingSink::with_capacity(8);
+        for i in 0..3u64 {
+            sink.record(&DecisionRecord {
+                kernel: 100 + i,
+                path: InvocationPath::Profiled,
+                alpha: 0.1 * i as f64,
+                items: 1000 * (i + 1),
+                ..DecisionRecord::default()
+            });
+        }
+        let snap = sink.snapshot();
+        assert_eq!(snap.len(), 3);
+        for (i, r) in snap.iter().enumerate() {
+            assert_eq!(r.seq, i as u64);
+            assert_eq!(r.kernel, 100 + i as u64);
+            assert_eq!(r.items, 1000 * (i as u64 + 1));
+        }
+        assert_eq!(sink.recorded(), 3);
+        assert_eq!(sink.dropped(), 0);
+        assert_eq!(sink.metrics().invocations.get(), 3);
+    }
+
+    #[test]
+    fn metrics_survive_ring_wrap() {
+        let sink = RingSink::with_capacity(4);
+        for _ in 0..100 {
+            sink.record(&DecisionRecord::default());
+        }
+        assert_eq!(sink.snapshot().len(), 4, "ring retains only the newest");
+        assert_eq!(
+            sink.metrics().invocations.get(),
+            100,
+            "metrics cover every invocation regardless of wrap"
+        );
+    }
+}

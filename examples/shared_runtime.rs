@@ -8,26 +8,55 @@
 //!
 //! ```text
 //! cargo run --release --example shared_runtime
+//! cargo run --release --example shared_runtime -- --trace shared.trace.json
 //! ```
+//!
+//! With `--trace <path>`, all streams' `DecisionRecord`s land in one
+//! shared ring sink and are dumped as a Chrome Trace Event file — open it
+//! in Perfetto (ui.perfetto.dev) or chrome://tracing to see which stream
+//! paid the profiling cost and which got table hits (see README
+//! "Inspecting decision traces").
 
+use easched::core::telemetry::{parse_trace, to_trace};
 use easched::core::{
     characterize, table_to_text, CharacterizationConfig, EasConfig, EasRuntime, Objective,
-    SharedEas,
+    RingSink, SharedEas, TelemetrySink,
 };
 use easched::kernels::suite;
 use easched::runtime::kernel_id_of;
 use easched::sim::Platform;
+use std::path::PathBuf;
 use std::sync::Arc;
 
 const STREAMS: usize = 8;
+
+/// `--trace <path>` from argv, if given.
+fn trace_path() -> Option<PathBuf> {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--trace" {
+            return Some(PathBuf::from(
+                args.next().expect("--trace requires a file path"),
+            ));
+        }
+    }
+    None
+}
 
 fn main() {
     let platform = Platform::haswell_desktop();
     println!("characterizing {} ...", platform.name);
     let model = characterize(&platform, &CharacterizationConfig::default());
+    let tracing = trace_path().map(|p| (p, Arc::new(RingSink::with_capacity(1 << 14))));
 
     // One scheduler, shared by every stream.
-    let eas = SharedEas::new(model, EasConfig::new(Objective::EnergyDelay));
+    let config = EasConfig::new(Objective::EnergyDelay);
+    let eas = match &tracing {
+        Some((_, sink)) => {
+            SharedEas::with_telemetry(model, config, sink.clone() as Arc<dyn TelemetrySink>)
+        }
+        None => SharedEas::new(model, config),
+    };
 
     std::thread::scope(|s| {
         for stream in 0..STREAMS {
@@ -71,4 +100,24 @@ fn main() {
     // The learned table persists like the power model does, so the next
     // process warm-starts instead of re-profiling.
     println!("\npersisted table:\n{}", table_to_text(eas.table()));
+
+    if let Some((path, sink)) = &tracing {
+        let records = sink.snapshot();
+        let trace = to_trace(&records);
+        // Self-check: the exported trace must round-trip through the
+        // analyzer before we hand it to the user (bit-level, since
+        // PartialEq cannot see NaN == NaN).
+        let reparsed = parse_trace(&trace).expect("exported trace must parse");
+        assert!(
+            reparsed.len() == records.len()
+                && reparsed.iter().zip(&records).all(|(a, b)| a.bitwise_eq(b)),
+            "trace round-trip must be lossless"
+        );
+        std::fs::write(path, trace).expect("write trace file");
+        println!(
+            "wrote {} decision records to {} (open in Perfetto or chrome://tracing)",
+            records.len(),
+            path.display()
+        );
+    }
 }
