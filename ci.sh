@@ -29,6 +29,25 @@ test -s target/ci-chaos.trace.json
 cargo run --release -p easched-bench --bin figures -- --out target/ci-results telemetry > /dev/null
 test -s target/ci-results/telemetry.csv
 
+echo "==> self-healing smoke: drift injection -> auto-reprofile -> convergence"
+cargo run --release --example self_healing > /dev/null
+
+echo "==> crash-recovery smoke: SIGKILL mid-run, journal must restore the table"
+rm -rf target/ci-crash.d
+cargo build --release --example shared_runtime
+# One completed run guarantees the store has content, then a long run is
+# killed hard mid-flight; recovery must still produce a clean table.
+./target/release/examples/shared_runtime --store target/ci-crash.d > /dev/null
+./target/release/examples/shared_runtime --store target/ci-crash.d --repeat 5000 > /dev/null 2>&1 &
+CRASH_PID=$!
+sleep 2
+kill -9 "$CRASH_PID" 2>/dev/null || true
+wait "$CRASH_PID" 2>/dev/null || true
+./target/release/examples/shared_runtime --store target/ci-crash.d --verify-recovery
+
+echo "==> storm chaos: hang + power-surge storm, release"
+cargo test -q --release --test selfheal
+
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
 

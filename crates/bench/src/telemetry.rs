@@ -11,7 +11,7 @@
 
 use crate::experiments::Lab;
 use crate::report::{csv, md_table, pct, Report};
-use easched_core::telemetry::{model_drift, parse_trace, to_trace};
+use easched_core::telemetry::{model_drift, parse_trace, to_trace, DecisionRecord};
 use easched_core::{EasConfig, EasRuntime, EasScheduler, Objective, RingSink, TelemetrySink};
 use easched_kernels::suite;
 use easched_runtime::kernel_id_of;
@@ -24,6 +24,72 @@ use std::sync::Arc;
 /// near 0.56 (NB); a breach means the model or the telemetry plumbing
 /// regressed.
 pub const MAX_MEAN_EDP_DRIFT: f64 = 0.75;
+
+/// Structural defects that make a record unusable for analysis. A fresh
+/// in-process ring can only produce these through a plumbing bug, so the
+/// experiment refuses to publish numbers derived from them and exits
+/// non-zero instead.
+fn malformed(r: &DecisionRecord) -> Option<String> {
+    if !r.alpha.is_finite() || !(0.0..=1.0).contains(&r.alpha) {
+        return Some(format!("α {} outside [0, 1]", r.alpha));
+    }
+    if r.fault_rounds > r.rounds + 1 {
+        return Some(format!(
+            "{} fault rounds but only {} rounds",
+            r.fault_rounds, r.rounds
+        ));
+    }
+    if r.breaker > 2 {
+        return Some(format!("unknown breaker code {}", r.breaker));
+    }
+    if r.path.has_prediction() && r.rounds == 0 {
+        return Some("a profiled path with zero profiling rounds".into());
+    }
+    None
+}
+
+/// Whether any measured or predicted quantity is non-finite. Such records
+/// are structurally sound (faulty runs produce them legitimately — a NaN
+/// observation's phase totals stay NaN) but would poison drift means, so
+/// the analysis clamps them out and reports how many it flagged.
+fn non_finite(r: &DecisionRecord) -> bool {
+    [
+        r.predicted_power,
+        r.predicted_time,
+        r.predicted_objective,
+        r.profile_time,
+        r.profile_energy,
+        r.split_time,
+        r.split_energy,
+    ]
+    .iter()
+    .any(|v| !v.is_finite())
+}
+
+/// Exits the process with status 3 when any record is structurally
+/// malformed, naming each offender on stderr first. The stderr use is
+/// deliberate: this runs inside the `figures` CLI, and a corrupt record
+/// set must fail the pipeline, not decorate a report.
+#[allow(clippy::print_stderr)]
+fn audit_or_abort(records: &[DecisionRecord]) {
+    let mut bad = 0usize;
+    for r in records {
+        if let Some(why) = malformed(r) {
+            eprintln!(
+                "malformed record seq {} (kernel {:#x}): {why}",
+                r.seq, r.kernel
+            );
+            bad += 1;
+        }
+    }
+    if bad > 0 {
+        eprintln!(
+            "{bad}/{} records malformed — aborting telemetry analysis",
+            records.len()
+        );
+        std::process::exit(3);
+    }
+}
 
 /// The `figures telemetry` experiment: desktop suite under EAS with
 /// tracing on, per-kernel drift table, and a trace-format round-trip
@@ -75,7 +141,21 @@ pub fn telemetry(lab: &mut Lab) -> Report {
     let reparsed = parse_trace(&trace).expect("exported trace must parse");
     assert_eq!(reparsed, records, "trace round-trip must be lossless");
 
-    let drift = model_drift(&records);
+    // Audit before analysis: a structurally malformed record means the
+    // telemetry plumbing itself broke — refuse to publish and exit
+    // non-zero so CI fails loudly rather than charting garbage.
+    audit_or_abort(&records);
+    // Clamp, don't crash, on non-finite measurements: legitimate under
+    // fault injection, but they must not poison the drift means. On this
+    // fault-free run the flagged count must be zero.
+    let flagged = records.iter().filter(|r| non_finite(r)).count();
+    let clean: Vec<DecisionRecord> = records.iter().filter(|r| !non_finite(r)).cloned().collect();
+    assert_eq!(
+        flagged, 0,
+        "fault-free run must not record non-finite values"
+    );
+
+    let drift = model_drift(&clean);
     let mut rows = Vec::new();
     let mut worst: (String, f64) = (String::new(), 0.0);
     for k in &drift {
@@ -141,7 +221,23 @@ pub fn telemetry(lab: &mut Lab) -> Report {
         "- worst fault-free mean EDP drift: {} at {:.3} (ceiling {MAX_MEAN_EDP_DRIFT})",
         worst.0, worst.1
     ));
+    report.line(format!(
+        "- record audit: 0 malformed, {flagged} flagged non-finite (of {})",
+        records.len()
+    ));
+    report.line(format!(
+        "- control loop: {} drift reprofiles, {} suppressed, {} watchdog trips, {} split overruns",
+        health.drift_reprofiles,
+        health.reprofiles_suppressed,
+        health.watchdog_trips,
+        health.split_overruns,
+    ));
     for k in &drift {
+        assert!(
+            k.mean_edp_drift.is_finite() && k.max_edp_drift.is_finite(),
+            "kernel {:#x}: drift means must be finite after clamping",
+            k.kernel
+        );
         assert!(
             k.predicted == 0 || k.mean_edp_drift <= MAX_MEAN_EDP_DRIFT,
             "kernel {:#x}: fault-free mean EDP drift {:.3} above ceiling",

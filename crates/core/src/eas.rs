@@ -30,12 +30,15 @@
 use crate::classify::{Classifier, WorkloadClass};
 use crate::engine::DecisionEngine;
 use crate::health::{FaultPolicy, Health, HealthReport};
+use crate::journal::{Recovered, StoreError, TableStore};
 use crate::kernel_table::KernelTable;
 use crate::objective::Objective;
 use crate::power_model::PowerModel;
 use crate::profile_loop;
+use crate::selfheal::{DriftPolicy, WatchdogPolicy};
 use easched_runtime::{Backend, KernelId, Scheduler};
 use easched_telemetry::TelemetrySink;
+use std::path::Path;
 use std::sync::Arc;
 
 /// How the objective is minimized over the offload ratio.
@@ -85,6 +88,12 @@ pub struct EasConfig {
     /// and the GPU circuit breaker's trip/quarantine parameters (see
     /// [`FaultPolicy`]).
     pub fault: FaultPolicy,
+    /// Drift-response policy: when sustained predicted-vs-realized EDP
+    /// drift re-profiles a kernel (see [`DriftPolicy`]; DESIGN.md §11).
+    pub drift: DriftPolicy,
+    /// Watchdog deadlines on profiling rounds and chunk executions (see
+    /// [`WatchdogPolicy`]).
+    pub watchdog: WatchdogPolicy,
 }
 
 impl EasConfig {
@@ -99,6 +108,8 @@ impl EasConfig {
             profile_stable_rounds: 3,
             reprofile_every: Some(32),
             fault: FaultPolicy::default(),
+            drift: DriftPolicy::default(),
+            watchdog: WatchdogPolicy::default(),
         }
     }
 }
@@ -150,6 +161,17 @@ pub(crate) fn decision_log_csv(log: &[Decision]) -> String {
     out
 }
 
+/// The scheduler's layers, decomposed: policy, memory, health, telemetry,
+/// and persistence — what [`EasScheduler::into_parts`] hands to
+/// [`into_shared`](EasScheduler::into_shared).
+pub(crate) type SchedulerParts = (
+    DecisionEngine,
+    KernelTable,
+    Health,
+    Option<Arc<dyn TelemetrySink>>,
+    Option<Arc<TableStore>>,
+);
+
 /// The energy-aware scheduler. One instance per platform; carries the
 /// kernel table G across invocations and workloads.
 ///
@@ -168,6 +190,7 @@ pub struct EasScheduler {
     log: Vec<Decision>,
     current_kernel: KernelId,
     telemetry: Option<Arc<dyn TelemetrySink>>,
+    store: Option<Arc<TableStore>>,
 }
 
 impl EasScheduler {
@@ -180,7 +203,7 @@ impl EasScheduler {
     /// first-seen kernel to CPU-only execution.
     pub fn new(model: PowerModel, config: EasConfig) -> EasScheduler {
         let name = format!("EAS({})", config.objective.name());
-        let health = Health::new(&config.fault);
+        let health = Health::new(&config.fault, config.drift, config.watchdog);
         EasScheduler {
             engine: DecisionEngine::new(model, config),
             table: KernelTable::new(),
@@ -190,6 +213,42 @@ impl EasScheduler {
             log: Vec::new(),
             current_kernel: 0,
             telemetry: None,
+            store: None,
+        }
+    }
+
+    /// Like [`new`](EasScheduler::new), but with crash-safe persistence
+    /// rooted at `dir`: the kernel table — including taint and breaker
+    /// state — is recovered from the store's snapshot + journal, and every
+    /// subsequent table mutation is journaled so a `kill -9` at any point
+    /// loses at most the invocation in flight (DESIGN.md §11).
+    pub fn with_persistence(
+        model: PowerModel,
+        config: EasConfig,
+        dir: impl AsRef<Path>,
+    ) -> Result<EasScheduler, StoreError> {
+        let (store, recovered) = TableStore::open(dir)?;
+        let mut s = EasScheduler::new(model, config);
+        let Recovered { table, breaker, .. } = recovered;
+        s.table = table;
+        s.health.breaker.restore(breaker);
+        s.store = Some(Arc::new(store));
+        Ok(s)
+    }
+
+    /// The persistence store, if this scheduler was built with one.
+    pub fn store(&self) -> Option<&Arc<TableStore>> {
+        self.store.as_ref()
+    }
+
+    /// Forces a snapshot + journal compaction now (also happens
+    /// automatically every
+    /// [`compact_every`](TableStore::compact_every) journal appends).
+    /// No-op without a store.
+    pub fn checkpoint(&self) -> Result<(), StoreError> {
+        match &self.store {
+            Some(store) => store.checkpoint(&self.table, self.health.breaker.state()),
+            None => Ok(()),
         }
     }
 
@@ -260,15 +319,14 @@ impl EasScheduler {
     /// Decomposes the scheduler into its policy, memory, health, and
     /// telemetry layers (consumed by
     /// [`into_shared`](EasScheduler::into_shared)).
-    pub(crate) fn into_parts(
-        self,
-    ) -> (
-        DecisionEngine,
-        KernelTable,
-        Health,
-        Option<Arc<dyn TelemetrySink>>,
-    ) {
-        (self.engine, self.table, self.health, self.telemetry)
+    pub(crate) fn into_parts(self) -> SchedulerParts {
+        (
+            self.engine,
+            self.table,
+            self.health,
+            self.telemetry,
+            self.store,
+        )
     }
 
     /// Serializes the decision log as CSV (for the harness and post-hoc
@@ -327,6 +385,7 @@ impl Scheduler for EasScheduler {
                 log.push(d);
             },
             self.telemetry.as_deref(),
+            self.store.as_deref(),
         );
     }
 }

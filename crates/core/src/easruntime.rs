@@ -8,11 +8,13 @@
 //! one global kernel table G.
 
 use crate::eas::{EasConfig, EasScheduler};
+use crate::journal::StoreError;
 use crate::power_model::PowerModel;
 use crate::shared::{SharedEas, SharedEasExt};
 use easched_kernels::{Verification, Workload};
 use easched_runtime::{run_workload, Backend, KernelId, RunMetrics, Scheduler, Shared};
 use easched_sim::{Machine, Platform};
+use std::path::Path;
 use std::sync::Arc;
 
 /// Outcome of running one workload under the energy-aware runtime.
@@ -127,6 +129,34 @@ impl EasRuntime {
         EasRuntime {
             machine: Machine::new(platform),
             driver: Driver::Exclusive(Box::new(scheduler)),
+        }
+    }
+
+    /// Like [`EasRuntime::new`], but the scheduler's kernel table is
+    /// recovered from — and journaled to — the crash-safe store rooted at
+    /// `dir` (see [`EasScheduler::with_persistence`]): after a `kill -9`,
+    /// a new runtime opened on the same directory resumes with every
+    /// learned α, taint mark, and the breaker state (DESIGN.md §11).
+    pub fn with_persistence(
+        platform: Platform,
+        model: PowerModel,
+        config: EasConfig,
+        dir: impl AsRef<Path>,
+    ) -> Result<EasRuntime, StoreError> {
+        Ok(EasRuntime {
+            machine: Machine::new(platform),
+            driver: Driver::Exclusive(Box::new(EasScheduler::with_persistence(
+                model, config, dir,
+            )?)),
+        })
+    }
+
+    /// Forces a snapshot + journal compaction of the underlying store —
+    /// mode-agnostic; no-op when the scheduler has no persistence.
+    pub fn checkpoint(&self) -> Result<(), StoreError> {
+        match &self.driver {
+            Driver::Exclusive(s) => s.checkpoint(),
+            Driver::Shared(s) => s.policy().checkpoint(),
         }
     }
 

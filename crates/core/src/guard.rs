@@ -62,6 +62,12 @@ pub enum FaultKind {
     /// Hardware counters are internally inconsistent (more L3 misses than
     /// loads).
     CounterCorrupt,
+    /// The watchdog cancelled the round: it ran past the hard deadline on
+    /// a profiling observation (DESIGN.md §11). Never produced by
+    /// [`ObservationGuard::vet`] itself — the profile loop synthesizes it
+    /// when a round overruns — but it flows through the same rejection
+    /// path: retry with a backed-off chunk, degrade past the budget.
+    DeadlineExceeded,
 }
 
 impl FaultKind {
@@ -69,7 +75,10 @@ impl FaultKind {
     /// sensor): these drive the circuit breaker toward CPU-only
     /// degradation, while sensor faults only trigger retries.
     pub fn implicates_gpu(self) -> bool {
-        matches!(self, FaultKind::GpuSilent | FaultKind::ImplausibleGpuRate)
+        matches!(
+            self,
+            FaultKind::GpuSilent | FaultKind::ImplausibleGpuRate | FaultKind::DeadlineExceeded
+        )
     }
 
     /// Stable numeric code used in telemetry records and trace exports.
@@ -82,6 +91,7 @@ impl FaultKind {
             FaultKind::EnergyDropout => 4,
             FaultKind::EnergyImplausible => 5,
             FaultKind::CounterCorrupt => 6,
+            FaultKind::DeadlineExceeded => 7,
         }
     }
 
@@ -95,6 +105,7 @@ impl FaultKind {
             4 => FaultKind::EnergyDropout,
             5 => FaultKind::EnergyImplausible,
             6 => FaultKind::CounterCorrupt,
+            7 => FaultKind::DeadlineExceeded,
             _ => return None,
         })
     }
@@ -110,6 +121,7 @@ impl fmt::Display for FaultKind {
             FaultKind::EnergyDropout => "energy register dropout",
             FaultKind::EnergyImplausible => "implausible package power",
             FaultKind::CounterCorrupt => "inconsistent hardware counters",
+            FaultKind::DeadlineExceeded => "watchdog deadline exceeded",
         };
         f.write_str(s)
     }
@@ -336,6 +348,18 @@ mod tests {
         assert!(!FaultKind::EnergyImplausible.implicates_gpu());
         assert!(!FaultKind::CounterCorrupt.implicates_gpu());
         assert!(!FaultKind::NonFinite.implicates_gpu());
+        // A hung round is a GPU-side stall, not a sensor glitch.
+        assert!(FaultKind::DeadlineExceeded.implicates_gpu());
+    }
+
+    #[test]
+    fn fault_codes_roundtrip() {
+        for code in 0..=7u8 {
+            let kind = FaultKind::from_code(code).unwrap();
+            assert_eq!(kind.code(), code);
+            assert!(!kind.to_string().is_empty());
+        }
+        assert_eq!(FaultKind::from_code(8), None);
     }
 
     #[test]

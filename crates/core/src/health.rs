@@ -12,6 +12,7 @@
 //! relaxed atomics so both the exclusive and the shared frontend can
 //! report telemetry without locks.
 
+use crate::selfheal::{DriftMonitor, DriftPolicy, Watchdog, WatchdogPolicy};
 use std::sync::atomic::{AtomicU32, AtomicU64, AtomicU8, Ordering};
 
 /// Tunable fault-handling policy, carried by
@@ -51,6 +52,10 @@ pub struct HealthStats {
     recoveries: AtomicU64,
     taints: AtomicU64,
     quarantined: AtomicU64,
+    drift_reprofiles: AtomicU64,
+    reprofiles_suppressed: AtomicU64,
+    watchdog_trips: AtomicU64,
+    split_overruns: AtomicU64,
 }
 
 macro_rules! note {
@@ -72,6 +77,10 @@ impl HealthStats {
         note_recovery => recoveries,
         note_taint => taints,
         note_quarantined => quarantined,
+        note_drift_reprofile => drift_reprofiles,
+        note_reprofile_suppressed => reprofiles_suppressed,
+        note_watchdog_trip => watchdog_trips,
+        note_split_overrun => split_overruns,
     }
 
     /// One plain-value read of every counter — the single point where
@@ -88,6 +97,10 @@ impl HealthStats {
             recoveries: self.recoveries.load(Ordering::Relaxed),
             taints: self.taints.load(Ordering::Relaxed),
             quarantined: self.quarantined.load(Ordering::Relaxed),
+            drift_reprofiles: self.drift_reprofiles.load(Ordering::Relaxed),
+            reprofiles_suppressed: self.reprofiles_suppressed.load(Ordering::Relaxed),
+            watchdog_trips: self.watchdog_trips.load(Ordering::Relaxed),
+            split_overruns: self.split_overruns.load(Ordering::Relaxed),
         }
     }
 
@@ -128,6 +141,14 @@ pub struct HealthSnapshot {
     pub taints: u64,
     /// Invocations quarantined CPU-only.
     pub quarantined: u64,
+    /// Re-profiles scheduled by the drift monitor.
+    pub drift_reprofiles: u64,
+    /// Drift re-profiles deferred by an empty token bucket.
+    pub reprofiles_suppressed: u64,
+    /// Profiling rounds cancelled by the watchdog deadline.
+    pub watchdog_trips: u64,
+    /// Chunk executions that overran the split deadline.
+    pub split_overruns: u64,
 }
 
 impl From<HealthSnapshot> for HealthReport {
@@ -142,6 +163,10 @@ impl From<HealthSnapshot> for HealthReport {
             recoveries: s.recoveries,
             taints: s.taints,
             quarantined_invocations: s.quarantined,
+            drift_reprofiles: s.drift_reprofiles,
+            reprofiles_suppressed: s.reprofiles_suppressed,
+            watchdog_trips: s.watchdog_trips,
+            split_overruns: s.split_overruns,
         }
     }
 }
@@ -158,6 +183,18 @@ impl From<HealthSnapshot> for HealthStats {
         stats.recoveries.store(s.recoveries, Ordering::Relaxed);
         stats.taints.store(s.taints, Ordering::Relaxed);
         stats.quarantined.store(s.quarantined, Ordering::Relaxed);
+        stats
+            .drift_reprofiles
+            .store(s.drift_reprofiles, Ordering::Relaxed);
+        stats
+            .reprofiles_suppressed
+            .store(s.reprofiles_suppressed, Ordering::Relaxed);
+        stats
+            .watchdog_trips
+            .store(s.watchdog_trips, Ordering::Relaxed);
+        stats
+            .split_overruns
+            .store(s.split_overruns, Ordering::Relaxed);
         stats
     }
 }
@@ -185,6 +222,17 @@ pub struct HealthReport {
     pub taints: u64,
     /// Invocations forced to CPU-only by an open breaker.
     pub quarantined_invocations: u64,
+    /// Re-profiles scheduled by the drift monitor (DESIGN.md §11).
+    /// Adaptation, not a fault: it does not disturb
+    /// [`fault_free`](HealthReport::fault_free).
+    pub drift_reprofiles: u64,
+    /// Drift re-profiles deferred because the global token bucket was
+    /// empty.
+    pub reprofiles_suppressed: u64,
+    /// Profiling rounds cancelled by the watchdog deadline.
+    pub watchdog_trips: u64,
+    /// Chunk executions that overran the watchdog's split deadline.
+    pub split_overruns: u64,
 }
 
 impl HealthReport {
@@ -197,6 +245,8 @@ impl HealthReport {
             && self.probes == 0
             && self.taints == 0
             && self.quarantined_invocations == 0
+            && self.watchdog_trips == 0
+            && self.split_overruns == 0
     }
 }
 
@@ -223,6 +273,17 @@ impl BreakerState {
             BreakerState::Closed => CLOSED,
             BreakerState::Open => OPEN,
             BreakerState::HalfOpen => HALF_OPEN,
+        }
+    }
+
+    /// Inverse of [`code`](BreakerState::code); `None` for unknown codes
+    /// (used when recovering persisted state).
+    pub fn from_code(code: u8) -> Option<BreakerState> {
+        match code {
+            CLOSED => Some(BreakerState::Closed),
+            OPEN => Some(BreakerState::Open),
+            HALF_OPEN => Some(BreakerState::HalfOpen),
+            _ => None,
         }
     }
 }
@@ -339,6 +400,22 @@ impl CircuitBreaker {
             .store(self.quarantine, Ordering::Release);
         self.state.store(OPEN, Ordering::Release);
     }
+
+    /// Forces the breaker into a recovered state (crash recovery): an
+    /// `Open` restore starts a full quarantine period, exactly as if the
+    /// trip had just happened.
+    pub(crate) fn restore(&self, state: BreakerState) {
+        self.consecutive.store(0, Ordering::Release);
+        match state {
+            BreakerState::Open => {
+                self.quarantine_left
+                    .store(self.quarantine, Ordering::Release);
+                self.state.store(OPEN, Ordering::Release);
+            }
+            BreakerState::HalfOpen => self.state.store(HALF_OPEN, Ordering::Release),
+            BreakerState::Closed => self.state.store(CLOSED, Ordering::Release),
+        }
+    }
 }
 
 impl Clone for CircuitBreaker {
@@ -353,19 +430,29 @@ impl Clone for CircuitBreaker {
     }
 }
 
-/// Per-frontend fault-handling state: counters plus the GPU breaker.
+/// Per-frontend fault-handling state: counters, the GPU breaker, and the
+/// self-healing control loop's drift monitor and watchdog (DESIGN.md
+/// §11).
 #[derive(Debug, Clone)]
 pub struct Health {
     pub(crate) stats: HealthStats,
     pub(crate) breaker: CircuitBreaker,
+    pub(crate) drift: DriftMonitor,
+    pub(crate) watchdog: Watchdog,
 }
 
 impl Health {
-    /// Fresh healthy state under `policy`.
-    pub(crate) fn new(policy: &FaultPolicy) -> Health {
+    /// Fresh healthy state under the given policies.
+    pub(crate) fn new(
+        policy: &FaultPolicy,
+        drift: DriftPolicy,
+        watchdog: WatchdogPolicy,
+    ) -> Health {
         Health {
             stats: HealthStats::default(),
             breaker: CircuitBreaker::new(policy),
+            drift: DriftMonitor::new(drift),
+            watchdog: Watchdog::new(watchdog),
         }
     }
 
@@ -383,6 +470,16 @@ impl Health {
     pub fn breaker(&self) -> &CircuitBreaker {
         &self.breaker
     }
+
+    /// The drift monitor feeding the self-healing loop.
+    pub fn drift(&self) -> &DriftMonitor {
+        &self.drift
+    }
+
+    /// The watchdog bounding round/chunk durations.
+    pub fn watchdog(&self) -> &Watchdog {
+        &self.watchdog
+    }
 }
 
 #[cfg(test)]
@@ -395,6 +492,10 @@ mod tests {
             breaker_threshold: 3,
             quarantine: 4,
         }
+    }
+
+    fn health() -> Health {
+        Health::new(&policy(), DriftPolicy::default(), WatchdogPolicy::default())
     }
 
     #[test]
@@ -457,7 +558,7 @@ mod tests {
 
     #[test]
     fn health_report_roundtrips_counters() {
-        let h = Health::new(&policy());
+        let h = health();
         h.stats.note_accepted();
         h.stats.note_rejected();
         h.stats.note_rejected();
@@ -474,7 +575,7 @@ mod tests {
 
     #[test]
     fn snapshot_and_report_agree() {
-        let h = Health::new(&policy());
+        let h = health();
         h.stats.note_accepted();
         h.stats.note_retry();
         h.stats.note_taint();

@@ -1,0 +1,973 @@
+//! Crash-safe kernel-table persistence, version 3: an append-only
+//! write-ahead journal of table mutations plus periodic atomic
+//! snapshot+compaction (DESIGN.md §11).
+//!
+//! Versions 1 and 2 persisted the table as one whole-file write
+//! ([`persist`](crate::persist)) — fine for explicit save points, useless
+//! against a `kill -9`: everything learned since the last save dies with
+//! the process. Version 3 journals every mutation as it happens, so a
+//! restart recovers the table — including taint and circuit-breaker
+//! state — to within the single invocation that was in flight.
+//!
+//! # On-disk layout
+//!
+//! A store directory holds two files:
+//!
+//! ```text
+//! table.snap      — latest snapshot (atomic rename target)
+//! table.journal   — mutations since that snapshot (append-only)
+//! ```
+//!
+//! The snapshot is the v2 text format extended with generation, breaker,
+//! and taint state, under the same trailing-checksum envelope:
+//!
+//! ```text
+//! easched-kernel-table v3
+//! generation 4
+//! breaker 0
+//! kernel 7 alpha 6.5e-1 weight 5e4 seen 12 tainted 0
+//! checksum 41c09f22e6b7d530
+//! ```
+//!
+//! The journal is line-oriented; every line — header included — carries
+//! its own FNV-1a digest so each record validates independently:
+//!
+//! ```text
+//! easched-table-journal v1 gen 4 crc 9f0c21d55ab3e847
+//! put 7 alpha 6.5e-1 weight 5e4 seen 12 tainted 0 crc 1c22b06f9d4e7a35
+//! taint 7 crc e5b91f20c6a4d713
+//! breaker 1 crc 07d4f8a2c91b63e5
+//! ```
+//!
+//! `put` records carry the kernel's *absolute* state (not a delta), so
+//! replay is idempotent and a lost record costs only that one update.
+//!
+//! # Recovery
+//!
+//! [`TableStore::open`] loads the snapshot (v1/v2 files are accepted for
+//! migration: generation 0, breaker closed, untainted), then replays the
+//! journal **only if** its header generation matches the snapshot's — a
+//! stale journal (crash between snapshot rename and journal reset) is
+//! ignored, exactly right because the snapshot already contains its
+//! mutations. Replay stops at the first line that fails its digest or
+//! parse: a torn tail (the crash landed mid-`write`) or flipped bits
+//! forfeit the suffix from that point, never the whole table, and the
+//! file is truncated back to the valid prefix so appends resume cleanly.
+//! Recovery never panics, whatever the bytes.
+//!
+//! # Durability
+//!
+//! Appends are plain `write` syscalls — completed writes survive process
+//! death (`kill -9`), which is the failure mode this store defends
+//! against. `fsync` happens only at snapshot+compaction, so a *power
+//! loss* may cost the journal suffix since the last checkpoint; that
+//! trade keeps the per-invocation overhead to one small write. Append
+//! failures never panic the scheduling path — they increment
+//! [`write_errors`](TableStore::write_errors) and scheduling continues
+//! unpersisted.
+
+use crate::health::BreakerState;
+use crate::kernel_table::{AlphaStat, KernelTable};
+use crate::persist::{
+    self, fnv1a64, seal, verify_sealed, ModelParseError, TABLE_HEADER_V1, TABLE_HEADER_V2,
+};
+use easched_runtime::KernelId;
+use std::error::Error;
+use std::fmt;
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// Snapshot file name inside a store directory.
+const SNAPSHOT_FILE: &str = "table.snap";
+/// Journal file name inside a store directory.
+const JOURNAL_FILE: &str = "table.journal";
+/// Header of the v3 snapshot format.
+const TABLE_HEADER_V3: &str = "easched-kernel-table v3";
+/// Magic prefix of the journal header line.
+const JOURNAL_MAGIC: &str = "easched-table-journal v1";
+/// Default journal appends between automatic snapshot+compactions.
+const DEFAULT_COMPACT_EVERY: u64 = 256;
+
+/// Error opening or checkpointing a [`TableStore`].
+#[derive(Debug)]
+pub enum StoreError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The snapshot file exists but is malformed or corrupt. Unlike a
+    /// torn journal tail this is *not* recoverable silently: the snapshot
+    /// is written atomically, so damage means corruption at rest and the
+    /// caller must decide.
+    Snapshot(ModelParseError),
+    /// The journal's header generation is *ahead* of the snapshot's —
+    /// the snapshot was deleted or replaced with an older one. Replaying
+    /// would resurrect a table missing its base state.
+    GenerationAhead {
+        /// Generation the journal claims.
+        journal: u64,
+        /// Generation the snapshot holds.
+        snapshot: u64,
+    },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "io error: {e}"),
+            StoreError::Snapshot(e) => write!(f, "snapshot: {e}"),
+            StoreError::GenerationAhead { journal, snapshot } => write!(
+                f,
+                "journal generation {journal} is ahead of snapshot generation {snapshot}"
+            ),
+        }
+    }
+}
+
+impl Error for StoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            StoreError::Snapshot(e) => Some(e),
+            StoreError::GenerationAhead { .. } => None,
+        }
+    }
+}
+
+impl From<io::Error> for StoreError {
+    fn from(e: io::Error) -> StoreError {
+        StoreError::Io(e)
+    }
+}
+
+/// What [`TableStore::open`] recovered from disk.
+#[derive(Debug)]
+pub struct Recovered {
+    /// The kernel table, taint state included.
+    pub table: KernelTable,
+    /// The circuit-breaker state at the last recorded transition.
+    pub breaker: BreakerState,
+    /// Snapshot generation the store resumed from.
+    pub generation: u64,
+    /// Journal records replayed on top of the snapshot.
+    pub replayed: u64,
+    /// Journal lines discarded as torn or corrupt (suffix from the first
+    /// invalid line).
+    pub discarded: u64,
+}
+
+/// Journal-side representation of one mutation.
+enum JournalRecord {
+    Put {
+        kernel: KernelId,
+        stat: AlphaStat,
+        tainted: bool,
+    },
+    Taint(KernelId),
+    Breaker(BreakerState),
+}
+
+/// Mutable store state behind the mutex: the append handle plus the
+/// bookkeeping compaction needs.
+#[derive(Debug)]
+struct StoreInner {
+    file: Option<File>,
+    generation: u64,
+    appends: u64,
+    last_breaker: u8,
+}
+
+/// The crash-safe store: journal appends on the scheduling path, atomic
+/// snapshot+compaction at checkpoints (format and recovery rules in the
+/// [module docs](self)).
+///
+/// All recording methods take `&self` and never panic or return errors —
+/// persistence is best-effort on the hot path (failures are counted, see
+/// [`write_errors`](TableStore::write_errors)); only [`open`](TableStore::open)
+/// and [`checkpoint`](TableStore::checkpoint) surface [`StoreError`].
+#[derive(Debug)]
+pub struct TableStore {
+    dir: PathBuf,
+    inner: Mutex<StoreInner>,
+    compact_every: u64,
+    write_errors: AtomicU64,
+}
+
+/// Locks the inner state, recovering from poisoning: a panicked tenant
+/// must not end persistence for every other stream.
+fn lock(inner: &Mutex<StoreInner>) -> MutexGuard<'_, StoreInner> {
+    inner.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// One journal line: the record body followed by its own digest.
+fn sealed_line(body: &str) -> String {
+    format!("{body} crc {:016x}\n", fnv1a64(body.as_bytes()))
+}
+
+/// Splits a journal line into its body if (and only if) the trailing
+/// digest matches.
+fn verified_body(line: &str) -> Option<&str> {
+    let (body, hex) = line.rsplit_once(" crc ")?;
+    let stored = u64::from_str_radix(hex.trim(), 16).ok()?;
+    (hex.trim().len() == 16 && fnv1a64(body.as_bytes()) == stored).then_some(body)
+}
+
+impl TableStore {
+    /// Opens (creating if absent) the store rooted at `dir` and recovers
+    /// the persisted table: snapshot, then journal replay, per the
+    /// [module docs](self).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError`] on I/O failure, a corrupt snapshot, or a journal
+    /// generation ahead of the snapshot's. A torn or corrupt journal
+    /// *tail* is not an error — the suffix is discarded and counted in
+    /// [`Recovered::discarded`].
+    pub fn open(dir: impl AsRef<Path>) -> Result<(TableStore, Recovered), StoreError> {
+        let dir = dir.as_ref().to_path_buf();
+        fs::create_dir_all(&dir)?;
+        let snap_path = dir.join(SNAPSHOT_FILE);
+        let journal_path = dir.join(JOURNAL_FILE);
+
+        let (table, mut breaker, generation) = match fs::read(&snap_path) {
+            Ok(bytes) => parse_snapshot(&String::from_utf8_lossy(&bytes))?,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {
+                (KernelTable::new(), BreakerState::Closed, 0)
+            }
+            Err(e) => return Err(StoreError::Io(e)),
+        };
+
+        let mut replayed = 0u64;
+        let mut discarded = 0u64;
+        let mut resume_at: Option<u64> = None;
+        match fs::read(&journal_path) {
+            Ok(bytes) => {
+                let text = String::from_utf8_lossy(&bytes);
+                let scan = scan_journal(&text);
+                match scan.gen {
+                    Some(g) if g == generation => {
+                        for record in scan.records {
+                            match record {
+                                JournalRecord::Put {
+                                    kernel,
+                                    stat,
+                                    tainted,
+                                } => {
+                                    table.insert(kernel, stat);
+                                    if tainted {
+                                        table.taint(kernel);
+                                    }
+                                }
+                                JournalRecord::Taint(kernel) => table.taint(kernel),
+                                JournalRecord::Breaker(state) => breaker = state,
+                            }
+                            replayed += 1;
+                        }
+                        discarded = scan.discarded;
+                        resume_at = Some(scan.valid_len as u64);
+                    }
+                    Some(g) if g > generation => {
+                        return Err(StoreError::GenerationAhead {
+                            journal: g,
+                            snapshot: generation,
+                        });
+                    }
+                    // Stale (pre-snapshot) or unreadable header: the
+                    // snapshot supersedes it; start a fresh journal.
+                    _ => {}
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+            Err(e) => return Err(StoreError::Io(e)),
+        }
+
+        let file = match resume_at {
+            Some(len) => {
+                let file = OpenOptions::new().write(true).open(&journal_path)?;
+                // Drop the torn tail so appends extend a valid prefix.
+                file.set_len(len)?;
+                let mut file = file;
+                file.seek_to_end()?;
+                file
+            }
+            None => {
+                let mut file = File::create(&journal_path)?;
+                file.write_all(
+                    sealed_line(&format!("{JOURNAL_MAGIC} gen {generation}")).as_bytes(),
+                )?;
+                file
+            }
+        };
+
+        let store = TableStore {
+            dir,
+            inner: Mutex::new(StoreInner {
+                file: Some(file),
+                generation,
+                appends: 0,
+                last_breaker: breaker.code(),
+            }),
+            compact_every: DEFAULT_COMPACT_EVERY,
+            write_errors: AtomicU64::new(0),
+        };
+        let recovered = Recovered {
+            table,
+            breaker,
+            generation,
+            replayed,
+            discarded,
+        };
+        Ok((store, recovered))
+    }
+
+    /// The directory this store persists into.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Journal appends between automatic snapshot+compactions.
+    pub fn compact_every(&self) -> u64 {
+        self.compact_every
+    }
+
+    /// Adjusts the auto-compaction threshold (values below 1 are clamped
+    /// to 1). Call before sharing the store across threads.
+    pub fn set_compact_every(&mut self, every: u64) {
+        self.compact_every = every.max(1);
+    }
+
+    /// Append or checkpoint failures swallowed on the scheduling path
+    /// (persistence is best-effort; scheduling never blocks on disk).
+    pub fn write_errors(&self) -> u64 {
+        self.write_errors.load(Ordering::Relaxed)
+    }
+
+    /// Current journal generation.
+    pub fn generation(&self) -> u64 {
+        lock(&self.inner).generation
+    }
+
+    /// Journals the current state of one kernel's table entry (called
+    /// after every accumulation). Triggers an automatic
+    /// snapshot+compaction once
+    /// [`compact_every`](TableStore::compact_every) appends accumulate.
+    pub fn record_entry(&self, table: &KernelTable, kernel: KernelId) {
+        let Some(stat) = table.stat(kernel) else {
+            return;
+        };
+        let tainted = table.is_tainted(kernel);
+        let mut inner = lock(&self.inner);
+        self.append(
+            &mut inner,
+            &format!(
+                "put {kernel} alpha {:e} weight {:e} seen {} tainted {}",
+                stat.alpha,
+                stat.weight,
+                stat.invocations_seen,
+                u8::from(tainted)
+            ),
+        );
+        inner.appends += 1;
+        if inner.appends >= self.compact_every {
+            let breaker =
+                BreakerState::from_code(inner.last_breaker).unwrap_or(BreakerState::Closed);
+            if self.compact_locked(&mut inner, table, breaker).is_err() {
+                self.write_errors.fetch_add(1, Ordering::Relaxed);
+                // Avoid retrying compaction on every subsequent append.
+                inner.appends = 0;
+            }
+        }
+    }
+
+    /// Journals a taint mark for a kernel.
+    pub fn record_taint(&self, kernel: KernelId) {
+        let mut inner = lock(&self.inner);
+        self.append(&mut inner, &format!("taint {kernel}"));
+    }
+
+    /// Journals a circuit-breaker transition; no-op when the state
+    /// matches the last recorded one, so hot paths may call this
+    /// unconditionally.
+    pub fn record_breaker(&self, state: BreakerState) {
+        let mut inner = lock(&self.inner);
+        if inner.last_breaker == state.code() {
+            return;
+        }
+        inner.last_breaker = state.code();
+        self.append(&mut inner, &format!("breaker {}", state.code()));
+    }
+
+    /// Writes a fresh snapshot atomically (write-temp, `fsync`, rename)
+    /// and resets the journal to the new generation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures; the previous snapshot remains intact (the
+    /// rename is the commit point).
+    pub fn checkpoint(&self, table: &KernelTable, breaker: BreakerState) -> Result<(), StoreError> {
+        let mut inner = lock(&self.inner);
+        inner.last_breaker = breaker.code();
+        self.compact_locked(&mut inner, table, breaker)
+    }
+
+    /// Best-effort sealed append; failures are counted, never raised.
+    fn append(&self, inner: &mut StoreInner, body: &str) {
+        let line = sealed_line(body);
+        let ok = inner
+            .file
+            .as_mut()
+            .map(|f| f.write_all(line.as_bytes()).is_ok())
+            .unwrap_or(false);
+        if !ok {
+            self.write_errors.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn compact_locked(
+        &self,
+        inner: &mut StoreInner,
+        table: &KernelTable,
+        breaker: BreakerState,
+    ) -> Result<(), StoreError> {
+        let generation = inner.generation + 1;
+        let text = snapshot_to_text(table, breaker, generation);
+        let tmp = self.dir.join("table.snap.tmp");
+        {
+            let mut f = File::create(&tmp)?;
+            f.write_all(text.as_bytes())?;
+            f.sync_all()?;
+        }
+        // The commit point: a crash before this rename leaves the old
+        // snapshot + full journal; after it, the journal is stale (its
+        // generation lags) and recovery ignores it.
+        fs::rename(&tmp, self.dir.join(SNAPSHOT_FILE))?;
+        let mut file = File::create(self.dir.join(JOURNAL_FILE))?;
+        file.write_all(sealed_line(&format!("{JOURNAL_MAGIC} gen {generation}")).as_bytes())?;
+        file.sync_all()?;
+        inner.file = Some(file);
+        inner.generation = generation;
+        inner.appends = 0;
+        Ok(())
+    }
+}
+
+/// Seek-to-end helper so a resumed journal appends after the valid
+/// prefix (plain `OpenOptions::append` cannot be combined with the
+/// `set_len` truncation above on all platforms).
+trait SeekToEnd {
+    fn seek_to_end(&mut self) -> io::Result<()>;
+}
+
+impl SeekToEnd for File {
+    fn seek_to_end(&mut self) -> io::Result<()> {
+        use std::io::Seek;
+        self.seek(io::SeekFrom::End(0)).map(|_| ())
+    }
+}
+
+/// Serializes the v3 snapshot text (sorted kernel lines under the
+/// checksum envelope).
+fn snapshot_to_text(table: &KernelTable, breaker: BreakerState, generation: u64) -> String {
+    let mut out = String::new();
+    out.push_str(TABLE_HEADER_V3);
+    out.push('\n');
+    out.push_str(&format!("generation {generation}\n"));
+    out.push_str(&format!("breaker {}\n", breaker.code()));
+    for (kernel, stat, tainted) in table.snapshot_with_taint() {
+        out.push_str(&format!(
+            "kernel {} alpha {:e} weight {:e} seen {} tainted {}\n",
+            kernel,
+            stat.alpha,
+            stat.weight,
+            stat.invocations_seen,
+            u8::from(tainted)
+        ));
+    }
+    seal(out)
+}
+
+/// Parses a snapshot file of any supported version; v1/v2 load with
+/// generation 0, a closed breaker, and no taint state (those formats
+/// never carried it).
+fn parse_snapshot(text: &str) -> Result<(KernelTable, BreakerState, u64), StoreError> {
+    let header = text.lines().next().unwrap_or("").trim();
+    if header == TABLE_HEADER_V1 || header == TABLE_HEADER_V2 {
+        let table = persist::table_from_text(text).map_err(StoreError::Snapshot)?;
+        return Ok((table, BreakerState::Closed, 0));
+    }
+    let body = verify_sealed(text, TABLE_HEADER_V3).map_err(StoreError::Snapshot)?;
+    let table = KernelTable::new();
+    let mut breaker = BreakerState::Closed;
+    let mut generation = 0u64;
+    let mut lines = body.lines().enumerate();
+    lines.next(); // header, validated by the envelope
+    for (idx, raw) in lines {
+        let line_no = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let bad = |message: String| {
+            StoreError::Snapshot(ModelParseError::BadLine {
+                line: line_no,
+                message,
+            })
+        };
+        let mut tokens = line.split_whitespace();
+        match tokens.next() {
+            Some("generation") => {
+                generation = tokens
+                    .next()
+                    .ok_or_else(|| bad("missing generation".into()))?
+                    .parse()
+                    .map_err(|e| bad(format!("generation: {e}")))?;
+            }
+            Some("breaker") => {
+                let code: u8 = tokens
+                    .next()
+                    .ok_or_else(|| bad("missing breaker code".into()))?
+                    .parse()
+                    .map_err(|e| bad(format!("breaker code: {e}")))?;
+                breaker = BreakerState::from_code(code)
+                    .ok_or_else(|| bad(format!("unknown breaker code {code}")))?;
+            }
+            Some("kernel") => {
+                let (kernel, stat, tainted) = parse_entry_fields(&mut tokens).map_err(bad)?;
+                if table.stat(kernel).is_some() {
+                    return Err(bad(format!("kernel {kernel} listed twice")));
+                }
+                table.insert(kernel, stat);
+                if tainted {
+                    table.taint(kernel);
+                }
+            }
+            other => return Err(bad(format!("unknown record {other:?}"))),
+        }
+    }
+    Ok((table, breaker, generation))
+}
+
+/// Parses `<id> alpha <a> weight <w> seen <n> tainted <0|1>` — the field
+/// list shared by snapshot `kernel` lines and journal `put` records.
+fn parse_entry_fields<'a>(
+    tokens: &mut impl Iterator<Item = &'a str>,
+) -> Result<(KernelId, AlphaStat, bool), String> {
+    let kernel: KernelId = tokens
+        .next()
+        .ok_or("missing kernel id")?
+        .parse()
+        .map_err(|e| format!("kernel id: {e}"))?;
+    let keyword = |tokens: &mut dyn Iterator<Item = &'a str>, want: &str| match tokens.next() {
+        Some(t) if t == want => Ok(()),
+        other => Err(format!("expected {want:?}, found {other:?}")),
+    };
+    keyword(tokens, "alpha")?;
+    let alpha: f64 = tokens
+        .next()
+        .ok_or("missing alpha")?
+        .parse()
+        .map_err(|e| format!("alpha: {e}"))?;
+    if !(0.0..=1.0).contains(&alpha) {
+        return Err(format!("alpha {alpha} out of [0, 1]"));
+    }
+    keyword(tokens, "weight")?;
+    let weight: f64 = tokens
+        .next()
+        .ok_or("missing weight")?
+        .parse()
+        .map_err(|e| format!("weight: {e}"))?;
+    if !weight.is_finite() || weight < 0.0 {
+        return Err(format!("weight {weight} not a finite non-negative value"));
+    }
+    keyword(tokens, "seen")?;
+    let invocations_seen: u64 = tokens
+        .next()
+        .ok_or("missing seen count")?
+        .parse()
+        .map_err(|e| format!("seen count: {e}"))?;
+    keyword(tokens, "tainted")?;
+    let tainted = match tokens.next() {
+        Some("0") => false,
+        Some("1") => true,
+        other => return Err(format!("tainted flag: found {other:?}")),
+    };
+    if tokens.next().is_some() {
+        return Err("trailing tokens after tainted flag".into());
+    }
+    Ok((
+        kernel,
+        AlphaStat {
+            alpha,
+            weight,
+            invocations_seen,
+        },
+        tainted,
+    ))
+}
+
+/// Result of scanning a journal file: the records of the valid prefix
+/// and where that prefix ends.
+struct JournalScan {
+    /// Header generation, if the header line validated.
+    gen: Option<u64>,
+    records: Vec<JournalRecord>,
+    /// Byte length of the valid prefix (header + intact records).
+    valid_len: usize,
+    /// Lines abandoned after the first invalid one.
+    discarded: u64,
+}
+
+/// Walks the journal line by line, stopping at the first line that is
+/// torn (no trailing newline), fails its digest, or fails to parse.
+fn scan_journal(text: &str) -> JournalScan {
+    let mut scan = JournalScan {
+        gen: None,
+        records: Vec::new(),
+        valid_len: 0,
+        discarded: 0,
+    };
+    let mut offset = 0usize;
+    let mut lines = text.split_inclusive('\n');
+    for line in &mut lines {
+        let intact = line.ends_with('\n');
+        let parsed = intact
+            .then(|| verified_body(line.trim_end_matches('\n')))
+            .flatten()
+            .and_then(|body| {
+                if scan.gen.is_none() {
+                    let gen = body
+                        .strip_prefix(JOURNAL_MAGIC)?
+                        .trim()
+                        .strip_prefix("gen ")?
+                        .trim()
+                        .parse()
+                        .ok()?;
+                    scan.gen = Some(gen);
+                    Some(())
+                } else {
+                    scan.records.push(parse_record(body)?);
+                    Some(())
+                }
+            });
+        if parsed.is_none() {
+            scan.discarded += 1;
+            break;
+        }
+        offset += line.len();
+    }
+    scan.discarded += lines.count() as u64;
+    scan.valid_len = offset;
+    scan
+}
+
+/// Parses one verified journal record body.
+fn parse_record(body: &str) -> Option<JournalRecord> {
+    let mut tokens = body.split_whitespace();
+    match tokens.next()? {
+        "put" => {
+            let (kernel, stat, tainted) = parse_entry_fields(&mut tokens).ok()?;
+            Some(JournalRecord::Put {
+                kernel,
+                stat,
+                tainted,
+            })
+        }
+        "taint" => {
+            let kernel = tokens.next()?.parse().ok()?;
+            tokens
+                .next()
+                .is_none()
+                .then_some(JournalRecord::Taint(kernel))
+        }
+        "breaker" => {
+            let code: u8 = tokens.next()?.parse().ok()?;
+            let state = BreakerState::from_code(code)?;
+            tokens
+                .next()
+                .is_none()
+                .then_some(JournalRecord::Breaker(state))
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eas::Accumulation;
+    use std::sync::atomic::AtomicU32;
+
+    /// A unique, self-cleaning store directory per test.
+    struct TempDir(PathBuf);
+
+    impl TempDir {
+        fn new() -> TempDir {
+            static SEQ: AtomicU32 = AtomicU32::new(0);
+            let dir = std::env::temp_dir().join(format!(
+                "easched_store_{}_{}",
+                std::process::id(),
+                SEQ.fetch_add(1, Ordering::Relaxed)
+            ));
+            fs::create_dir_all(&dir).unwrap();
+            TempDir(dir)
+        }
+
+        fn path(&self) -> &Path {
+            &self.0
+        }
+    }
+
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = fs::remove_dir_all(&self.0);
+        }
+    }
+
+    fn learned_table() -> KernelTable {
+        let t = KernelTable::new();
+        t.accumulate(7, 2.0 / 3.0, 50_000.0, Accumulation::SampleWeighted);
+        t.accumulate(1, 0.0, 17.0, Accumulation::SampleWeighted);
+        t.accumulate(900, 1.0, 1e9, Accumulation::SampleWeighted);
+        t.note_reuse(7);
+        t.taint(900);
+        t
+    }
+
+    #[test]
+    fn fresh_store_starts_empty() {
+        let dir = TempDir::new();
+        let (store, recovered) = TableStore::open(dir.path()).unwrap();
+        assert!(recovered.table.is_empty());
+        assert_eq!(recovered.breaker, BreakerState::Closed);
+        assert_eq!(recovered.generation, 0);
+        assert_eq!(recovered.replayed, 0);
+        assert_eq!(store.write_errors(), 0);
+    }
+
+    #[test]
+    fn journal_replay_recovers_entries_taint_and_breaker() {
+        let dir = TempDir::new();
+        let table = learned_table();
+        {
+            let (store, _) = TableStore::open(dir.path()).unwrap();
+            for (k, _, _) in table.snapshot_with_taint() {
+                store.record_entry(&table, k);
+            }
+            store.record_taint(7);
+            store.record_breaker(BreakerState::Open);
+            // kill -9: the store is dropped without a checkpoint.
+        }
+        let (_, recovered) = TableStore::open(dir.path()).unwrap();
+        assert_eq!(recovered.table.snapshot(), table.snapshot());
+        assert!(recovered.table.is_tainted(900), "taint from put record");
+        assert!(recovered.table.is_tainted(7), "taint record replayed");
+        assert_eq!(recovered.breaker, BreakerState::Open);
+        assert_eq!(recovered.replayed, 5);
+        assert_eq!(recovered.discarded, 0);
+    }
+
+    #[test]
+    fn checkpoint_compacts_and_survives_reopen() {
+        let dir = TempDir::new();
+        let table = learned_table();
+        {
+            let (store, _) = TableStore::open(dir.path()).unwrap();
+            for (k, _, _) in table.snapshot_with_taint() {
+                store.record_entry(&table, k);
+            }
+            store.checkpoint(&table, BreakerState::HalfOpen).unwrap();
+            assert_eq!(store.generation(), 1);
+        }
+        let journal = fs::read_to_string(dir.path().join(JOURNAL_FILE)).unwrap();
+        assert_eq!(journal.lines().count(), 1, "journal reset to header only");
+        let (_, recovered) = TableStore::open(dir.path()).unwrap();
+        assert_eq!(recovered.table.snapshot(), table.snapshot());
+        assert!(recovered.table.is_tainted(900));
+        assert_eq!(recovered.breaker, BreakerState::HalfOpen);
+        assert_eq!(recovered.generation, 1);
+        assert_eq!(recovered.replayed, 0);
+    }
+
+    #[test]
+    fn auto_compaction_fires_at_threshold() {
+        let dir = TempDir::new();
+        let table = learned_table();
+        let (mut store, _) = TableStore::open(dir.path()).unwrap();
+        store.set_compact_every(4);
+        for _ in 0..4 {
+            store.record_entry(&table, 7);
+        }
+        assert_eq!(store.generation(), 1, "4th append compacted");
+        let (_, recovered) = TableStore::open(dir.path()).unwrap();
+        assert_eq!(recovered.generation, 1);
+        assert_eq!(recovered.table.lookup(7), table.lookup(7));
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_not_fatal() {
+        let dir = TempDir::new();
+        let table = learned_table();
+        {
+            let (store, _) = TableStore::open(dir.path()).unwrap();
+            store.record_entry(&table, 7);
+            store.record_entry(&table, 1);
+        }
+        let path = dir.path().join(JOURNAL_FILE);
+        let full = fs::read(&path).unwrap();
+        // Tear mid-way through the final record.
+        fs::write(&path, &full[..full.len() - 7]).unwrap();
+        let (store, recovered) = TableStore::open(dir.path()).unwrap();
+        assert_eq!(recovered.replayed, 1);
+        assert_eq!(recovered.discarded, 1);
+        assert_eq!(recovered.table.lookup(7), table.lookup(7));
+        assert_eq!(recovered.table.lookup(1), None, "torn record lost");
+        // Appends after recovery extend the truncated prefix cleanly.
+        store.record_entry(&recovered.table, 7);
+        drop(store);
+        let (_, again) = TableStore::open(dir.path()).unwrap();
+        assert_eq!(again.replayed, 2);
+        assert_eq!(again.discarded, 0);
+    }
+
+    #[test]
+    fn corrupt_line_forfeits_suffix_only() {
+        let dir = TempDir::new();
+        let table = learned_table();
+        {
+            let (store, _) = TableStore::open(dir.path()).unwrap();
+            store.record_entry(&table, 7);
+            store.record_entry(&table, 1);
+            store.record_entry(&table, 900);
+        }
+        let path = dir.path().join(JOURNAL_FILE);
+        let mut bytes = fs::read(&path).unwrap();
+        // Flip one bit in the *second* record (line 3 of the file).
+        let line_starts: Vec<usize> = std::iter::once(0)
+            .chain(
+                bytes
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &b)| b == b'\n')
+                    .map(|(i, _)| i + 1),
+            )
+            .collect();
+        bytes[line_starts[2] + 4] ^= 0x01;
+        fs::write(&path, &bytes).unwrap();
+        let (_, recovered) = TableStore::open(dir.path()).unwrap();
+        assert_eq!(recovered.replayed, 1, "only the intact prefix replays");
+        assert_eq!(recovered.discarded, 2, "flipped line and everything after");
+        assert_eq!(recovered.table.lookup(7), table.lookup(7));
+    }
+
+    #[test]
+    fn stale_journal_is_ignored_after_snapshot() {
+        let dir = TempDir::new();
+        let table = learned_table();
+        {
+            let (store, _) = TableStore::open(dir.path()).unwrap();
+            store.record_entry(&table, 7);
+            store.checkpoint(&table, BreakerState::Closed).unwrap();
+        }
+        // Simulate the crash window: restore a pre-checkpoint journal
+        // (generation 0) next to the generation-1 snapshot.
+        let path = dir.path().join(JOURNAL_FILE);
+        let mut text = sealed_line(&format!("{JOURNAL_MAGIC} gen 0"));
+        text.push_str(&sealed_line("put 5 alpha 5e-1 weight 1e0 seen 0 tainted 0"));
+        fs::write(&path, text).unwrap();
+        let (_, recovered) = TableStore::open(dir.path()).unwrap();
+        assert_eq!(recovered.generation, 1);
+        assert_eq!(recovered.replayed, 0, "stale journal ignored");
+        assert_eq!(
+            recovered.table.lookup(5),
+            None,
+            "its mutations are already in the snapshot lineage"
+        );
+        assert_eq!(recovered.table.snapshot(), table.snapshot());
+    }
+
+    #[test]
+    fn journal_ahead_of_snapshot_is_refused() {
+        let dir = TempDir::new();
+        let path = dir.path().join(JOURNAL_FILE);
+        fs::write(&path, sealed_line(&format!("{JOURNAL_MAGIC} gen 3"))).unwrap();
+        let err = TableStore::open(dir.path()).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                StoreError::GenerationAhead {
+                    journal: 3,
+                    snapshot: 0
+                }
+            ),
+            "{err}"
+        );
+        assert!(err.to_string().contains("ahead"));
+    }
+
+    #[test]
+    fn v2_snapshot_migrates() {
+        let dir = TempDir::new();
+        let table = learned_table();
+        fs::write(
+            dir.path().join(SNAPSHOT_FILE),
+            persist::table_to_text(&table),
+        )
+        .unwrap();
+        let (_, recovered) = TableStore::open(dir.path()).unwrap();
+        assert_eq!(recovered.table.snapshot(), table.snapshot());
+        assert_eq!(recovered.generation, 0);
+        assert_eq!(recovered.breaker, BreakerState::Closed);
+        assert!(
+            !recovered.table.is_tainted(900),
+            "v2 carried no taint state"
+        );
+    }
+
+    #[test]
+    fn corrupt_snapshot_is_fatal() {
+        let dir = TempDir::new();
+        let table = learned_table();
+        {
+            let (store, _) = TableStore::open(dir.path()).unwrap();
+            store.checkpoint(&table, BreakerState::Closed).unwrap();
+        }
+        let path = dir.path().join(SNAPSHOT_FILE);
+        let mut bytes = fs::read(&path).unwrap();
+        let at = bytes.len() / 2;
+        bytes[at] ^= 0x10;
+        fs::write(&path, &bytes).unwrap();
+        let err = TableStore::open(dir.path()).unwrap_err();
+        assert!(matches!(err, StoreError::Snapshot(_)), "{err}");
+    }
+
+    #[test]
+    fn breaker_transitions_deduplicate() {
+        let dir = TempDir::new();
+        let (store, _) = TableStore::open(dir.path()).unwrap();
+        store.record_breaker(BreakerState::Closed); // already the default
+        store.record_breaker(BreakerState::Open);
+        store.record_breaker(BreakerState::Open);
+        store.record_breaker(BreakerState::Closed);
+        drop(store);
+        let text = fs::read_to_string(dir.path().join(JOURNAL_FILE)).unwrap();
+        assert_eq!(
+            text.lines().filter(|l| l.starts_with("breaker")).count(),
+            2,
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn snapshot_text_is_stable_and_checksummed() {
+        let text = snapshot_to_text(&learned_table(), BreakerState::Open, 7);
+        assert!(text.starts_with("easched-kernel-table v3\ngeneration 7\nbreaker 1\n"));
+        let last = text.lines().last().unwrap();
+        assert!(last.starts_with("checksum "), "{last}");
+        let (table, breaker, generation) = parse_snapshot(&text).unwrap();
+        assert_eq!(table.snapshot(), learned_table().snapshot());
+        assert!(table.is_tainted(900));
+        assert_eq!(breaker, BreakerState::Open);
+        assert_eq!(generation, 7);
+    }
+}

@@ -303,6 +303,30 @@ impl KernelTable {
         out.sort_unstable_by_key(|&(k, _)| k);
         out
     }
+
+    /// Like [`snapshot`](KernelTable::snapshot) but carrying each entry's
+    /// taint flag — used by crash-safe persistence, which must restore
+    /// quarantine state after recovery (suspicion is runtime state, so the
+    /// plain snapshot deliberately omits it).
+    pub fn snapshot_with_taint(&self) -> Vec<(KernelId, AlphaStat, bool)> {
+        let mut out: Vec<(KernelId, AlphaStat, bool)> = Vec::with_capacity(self.len());
+        for shard in self.shards.iter() {
+            let shard = read_lock(shard);
+            out.extend(shard.iter().map(|(&k, e)| {
+                (
+                    k,
+                    AlphaStat {
+                        alpha: e.alpha,
+                        weight: e.weight,
+                        invocations_seen: e.invocations_seen.load(Ordering::Relaxed),
+                    },
+                    e.tainted.load(Ordering::Relaxed),
+                )
+            }));
+        }
+        out.sort_unstable_by_key(|&(k, _, _)| k);
+        out
+    }
 }
 
 #[cfg(test)]
@@ -408,6 +432,21 @@ mod tests {
             loaded.insert(k, stat);
         }
         assert!(!loaded.is_tainted(2));
+    }
+
+    #[test]
+    fn snapshot_with_taint_carries_the_flag() {
+        let t = KernelTable::new();
+        t.accumulate(2, 0.3, 5.0, Accumulation::SampleWeighted);
+        t.accumulate(9, 0.7, 5.0, Accumulation::SampleWeighted);
+        t.taint(9);
+        let snap = t.snapshot_with_taint();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap[0].0, 2);
+        assert!(!snap[0].2);
+        assert_eq!(snap[1].0, 9);
+        assert!(snap[1].2);
+        assert_eq!(snap[1].1, t.stat(9).unwrap());
     }
 
     #[test]

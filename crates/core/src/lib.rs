@@ -46,12 +46,14 @@ pub mod easruntime;
 pub mod engine;
 pub mod guard;
 pub mod health;
+pub mod journal;
 pub mod kernel_table;
 pub mod objective;
 pub mod persist;
 pub mod power_model;
 mod profile_loop;
 pub mod schemes;
+pub mod selfheal;
 pub mod shared;
 pub mod time_model;
 
@@ -68,6 +70,7 @@ pub use guard::{FaultKind, ObservationGuard};
 pub use health::{
     BreakerGate, BreakerState, CircuitBreaker, FaultPolicy, Health, HealthReport, HealthSnapshot,
 };
+pub use journal::{Recovered, StoreError, TableStore};
 pub use kernel_table::{AlphaStat, KernelTable, ReuseProbe};
 pub use objective::Objective;
 pub use persist::{
@@ -76,6 +79,9 @@ pub use persist::{
 };
 pub use power_model::{PowerCurve, PowerModel};
 pub use schemes::{Evaluator, SchemeResult, WorkloadComparison};
+pub use selfheal::{
+    DriftAction, DriftMonitor, DriftOutcome, DriftPolicy, Watchdog, WatchdogPolicy,
+};
 pub use shared::{SharedEas, SharedEasExt};
 pub use time_model::TimeModel;
 
@@ -84,5 +90,6 @@ pub use time_model::TimeModel;
 /// export, and model-drift analysis. See DESIGN.md §10.
 pub use easched_telemetry as telemetry;
 pub use easched_telemetry::{
-    DecisionRecord, InvocationPath, MetricsRegistry, NullSink, RingSink, TelemetrySink,
+    ControlEvent, DecisionRecord, InvocationPath, MetricsRegistry, NullSink, RingSink,
+    TelemetrySink,
 };

@@ -120,7 +120,7 @@ impl From<io::Error> for ModelParseError {
 /// FNV-1a, 64-bit. Not cryptographic — it guards against truncation and
 /// bit rot, not adversaries — but the per-byte xor-then-multiply step is
 /// injective, so any single corrupted byte changes the digest.
-fn fnv1a64(bytes: &[u8]) -> u64 {
+pub(crate) fn fnv1a64(bytes: &[u8]) -> u64 {
     let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
     for &b in bytes {
         hash ^= u64::from(b);
@@ -130,7 +130,7 @@ fn fnv1a64(bytes: &[u8]) -> u64 {
 }
 
 /// Appends the v2 trailing checksum line over everything written so far.
-fn seal(mut body: String) -> String {
+pub(crate) fn seal(mut body: String) -> String {
     let digest = fnv1a64(body.as_bytes());
     body.push_str(&format!("checksum {digest:016x}\n"));
     body
@@ -145,7 +145,7 @@ fn seal(mut body: String) -> String {
 /// matches every preceding byte; anything else is [`BadHeader`].
 ///
 /// [`BadHeader`]: ModelParseError::BadHeader
-fn verify_envelope<'a>(
+pub(crate) fn verify_envelope<'a>(
     text: &'a str,
     header_v1: &str,
     header_v2: &str,
@@ -154,8 +154,17 @@ fn verify_envelope<'a>(
     if header == header_v1 {
         return Ok(text);
     }
-    if header != header_v2 {
-        return Err(ModelParseError::BadHeader(header.to_string()));
+    verify_sealed(text, header_v2)
+}
+
+/// The checksum-required half of [`verify_envelope`]: accepts only files
+/// whose first line is exactly `header` and whose trailing `checksum`
+/// line digests every preceding byte (also used by the v3 journal
+/// snapshot, which has no unchecked legacy form).
+pub(crate) fn verify_sealed<'a>(text: &'a str, header: &str) -> Result<&'a str, ModelParseError> {
+    let found = text.lines().next().unwrap_or("").trim();
+    if found != header {
+        return Err(ModelParseError::BadHeader(found.to_string()));
     }
     // The digest covers everything up to and including the newline that
     // precedes the checksum line, so take the *last* occurrence: any
@@ -349,9 +358,9 @@ pub fn load_model(path: impl AsRef<Path>) -> Result<PowerModel, ModelParseError>
 }
 
 /// Format header of the legacy kernel-table format, version 1.
-const TABLE_HEADER_V1: &str = "easched-kernel-table v1";
+pub(crate) const TABLE_HEADER_V1: &str = "easched-kernel-table v1";
 /// Format header of the kernel-table format, version 2 (checksummed).
-const TABLE_HEADER_V2: &str = "easched-kernel-table v2";
+pub(crate) const TABLE_HEADER_V2: &str = "easched-kernel-table v2";
 
 /// Serializes a learned kernel table to the v2 text format. Lines are in
 /// kernel-id order, so equal tables serialize identically.

@@ -42,10 +42,12 @@ use crate::eas::Decision;
 use crate::engine::DecisionEngine;
 use crate::guard::FaultKind;
 use crate::health::{BreakerGate, Health};
+use crate::journal::TableStore;
 use crate::kernel_table::KernelTable;
+use crate::selfheal::DriftAction;
 use easched_runtime::telemetry::InstrumentedBackend;
-use easched_runtime::{Backend, KernelId};
-use easched_telemetry::{DecisionRecord, InvocationPath, TelemetrySink};
+use easched_runtime::{Backend, KernelId, Observation};
+use easched_telemetry::{ControlEvent, DecisionRecord, InvocationPath, TelemetrySink};
 use std::time::Instant;
 
 /// What `drive` learned about the invocation, for record construction.
@@ -80,6 +82,7 @@ impl InvocationSummary {
 /// frontends use it to maintain their decision logs and counters. With a
 /// `sink`, one [`DecisionRecord`] is emitted after the invocation
 /// completes; with `None` the loop runs the exact untelemetered path.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn schedule_invocation(
     engine: &DecisionEngine,
     table: &KernelTable,
@@ -88,44 +91,151 @@ pub(crate) fn schedule_invocation(
     backend: &mut dyn Backend,
     mut on_decision: impl FnMut(Decision),
     sink: Option<&dyn TelemetrySink>,
+    store: Option<&TableStore>,
 ) {
-    let Some(sink) = sink else {
-        drive(
-            engine,
-            table,
-            health,
-            kernel,
-            backend,
-            &mut on_decision,
-            false,
+    match sink {
+        None => {
+            drive(
+                engine,
+                table,
+                health,
+                kernel,
+                backend,
+                &mut on_decision,
+                None,
+                store,
+            );
+        }
+        Some(sink) => {
+            let items = backend.remaining();
+            let mut instrumented = InstrumentedBackend::new(backend);
+            if let Some(summary) = drive(
+                engine,
+                table,
+                health,
+                kernel,
+                &mut instrumented,
+                &mut on_decision,
+                Some(sink),
+                store,
+            ) {
+                sink.record(&build_record(
+                    engine,
+                    health,
+                    kernel,
+                    items,
+                    &instrumented,
+                    summary,
+                ));
+            }
+        }
+    }
+    if let Some(store) = store {
+        // Deduplicated inside the store: only actual transitions append.
+        store.record_breaker(health.breaker.state());
+    }
+}
+
+/// Emits a control-loop event when a sink is attached (no-op otherwise).
+fn emit(sink: Option<&dyn TelemetrySink>, event: &ControlEvent) {
+    if let Some(sink) = sink {
+        sink.control(event);
+    }
+}
+
+/// The §11 post-split control hook, shared by every path that executed a
+/// chunk: first the watchdog checks the chunk against its hard deadline —
+/// an overrun taints the entry and feeds the breaker exactly like a hung
+/// profiling round — then, when the split is drift-eligible (`drift`
+/// carries the predicted EDP and item count), its realized EDP is folded
+/// into the kernel's drift EWMA and the monitor's verdict is acted on:
+/// a `Reprofile` taints the entry so the next invocation re-profiles, a
+/// `Suppressed` only counts (the token bucket was empty). Implausible
+/// observations are vetted out before they can steer the loop, so none
+/// of the §9 fault signatures ever reach the drift monitor.
+#[allow(clippy::too_many_arguments)]
+fn after_split(
+    engine: &DecisionEngine,
+    table: &KernelTable,
+    health: &Health,
+    kernel: KernelId,
+    sink: Option<&dyn TelemetrySink>,
+    store: Option<&TableStore>,
+    obs: &Observation,
+    drift: Option<(Option<f64>, u64)>,
+) {
+    if health.watchdog().split_overrun(obs.elapsed) {
+        health.stats.note_split_overrun();
+        emit(
+            sink,
+            &ControlEvent::SplitOverrun {
+                kernel,
+                elapsed: obs.elapsed,
+            },
         );
+        // A chunk that busted its hard deadline implicates the GPU the
+        // same way a hung profiling round does, and the learned ratio it
+        // ran under is suspect — re-profile before the next reuse.
+        if health.breaker.record_gpu_fault() {
+            health.stats.note_trip();
+        }
+        table.taint(kernel);
+        if let Some(store) = store {
+            store.record_taint(kernel);
+        }
+        return;
+    }
+    let Some((predicted_edp, items)) = drift else {
         return;
     };
-    let items = backend.remaining();
-    let mut instrumented = InstrumentedBackend::new(backend);
-    if let Some(summary) = drive(
-        engine,
-        table,
-        health,
-        kernel,
-        &mut instrumented,
-        &mut on_decision,
-        true,
-    ) {
-        sink.record(&build_record(
-            engine,
-            health,
+    if engine.vet(obs).is_err() {
+        return; // §9 territory: faults must not steer the drift loop
+    }
+    let realized_edp = obs.energy_joules * obs.elapsed;
+    let Some(outcome) = health
+        .drift()
+        .observe(kernel, predicted_edp, realized_edp, items)
+    else {
+        return;
+    };
+    emit(
+        sink,
+        &ControlEvent::Drift {
             kernel,
-            items,
-            &instrumented,
-            summary,
-        ));
+            ewma: outcome.ewma,
+        },
+    );
+    match outcome.action {
+        DriftAction::Observed => {}
+        DriftAction::Reprofile => {
+            // Adaptation, not a fault: the entry goes stale so the next
+            // invocation re-profiles, but `fault_free()` stays true.
+            health.stats.note_drift_reprofile();
+            table.taint(kernel);
+            if let Some(store) = store {
+                store.record_taint(kernel);
+            }
+            emit(
+                sink,
+                &ControlEvent::Reprofile {
+                    kernel,
+                    ewma: outcome.ewma,
+                },
+            );
+        }
+        DriftAction::Suppressed => {
+            health.stats.note_reprofile_suppressed();
+            emit(sink, &ControlEvent::ReprofileSuppressed { kernel });
+        }
     }
 }
 
 /// The Figure 7 control flow proper. Returns `None` for empty
-/// invocations (nothing ran, nothing to record); `timed` enables the
-/// wall-clock decide timer, which only the telemetry path pays for.
+/// invocations (nothing ran, nothing to record). The wall-clock decide
+/// timer runs only when a sink is attached (only the telemetry path pays
+/// for it); `store`, when present, journals every table mutation so the
+/// invocation's learning survives a crash (DESIGN.md §11).
+#[allow(clippy::too_many_arguments)]
 fn drive(
     engine: &DecisionEngine,
     table: &KernelTable,
@@ -133,8 +243,10 @@ fn drive(
     kernel: KernelId,
     backend: &mut dyn Backend,
     on_decision: &mut dyn FnMut(Decision),
-    timed: bool,
+    sink: Option<&dyn TelemetrySink>,
+    store: Option<&TableStore>,
 ) -> Option<InvocationSummary> {
+    let timed = sink.is_some();
     let n = backend.remaining();
     if n == 0 {
         return None;
@@ -178,7 +290,13 @@ fn drive(
                 && n >= profile_size;
             if !due_reprofile {
                 let alpha = if n < profile_size { 0.0 } else { probe.alpha };
-                backend.run_split(alpha);
+                let obs = backend.run_split(alpha);
+                // Reused ratios are exactly what the drift monitor guards:
+                // no profiling round re-validated them this invocation.
+                // Sub-occupancy slivers ran CPU-only regardless of the
+                // learned ratio, so they carry no drift signal.
+                let drift = (n >= profile_size).then_some((None, n));
+                after_split(engine, table, health, kernel, sink, store, &obs, drift);
                 return Some(InvocationSummary::new(InvocationPath::TableHit, alpha));
             }
             // Fall through to a fresh profiling pass that re-accumulates.
@@ -188,8 +306,15 @@ fn drive(
 
     // Steps 6–10: tiny invocations cannot fill the GPU — CPU alone.
     if n < profile_size {
-        backend.run_split(0.0);
+        let obs = backend.run_split(0.0);
         table.accumulate(kernel, 0.0, n as f64, config.accumulation);
+        if let Some(store) = store {
+            store.record_entry(table, kernel);
+        }
+        // Watchdog only: a CPU-only sliver carries no drift signal, but a
+        // hung chunk still has to be caught. Ordered after the accumulate
+        // so an overrun's taint is not immediately cleared by it.
+        after_split(engine, table, health, kernel, sink, store, &obs, None);
         return Some(InvocationSummary::new(InvocationPath::SmallN, 0.0));
     }
 
@@ -219,7 +344,24 @@ fn drive(
             break; // safety: no progress (degenerate backend)
         }
         let started = timed.then(Instant::now);
-        let vetted = engine.vet(&obs);
+        // §11 watchdog: a profiling round that busted its hard deadline is
+        // cancelled — typed as a fault so it rides the same rejection path
+        // (backed-off retry, breaker escalation, degradation) as the §9
+        // signatures, which the vet below would let through: a hung round
+        // can report perfectly plausible rates.
+        let vetted = if health.watchdog().profile_overrun(obs.elapsed) {
+            health.stats.note_watchdog_trip();
+            emit(
+                sink,
+                &ControlEvent::ProfileDeadline {
+                    kernel,
+                    elapsed: obs.elapsed,
+                },
+            );
+            Err(FaultKind::DeadlineExceeded)
+        } else {
+            engine.vet(&obs)
+        };
         if let Err(fault) = vetted {
             if let Some(t) = started {
                 decide_nanos += t.elapsed().as_nanos() as u64;
@@ -281,6 +423,10 @@ fn drive(
             table.accumulate(kernel, fallback, alpha_weight, config.accumulation);
             table.taint(kernel);
             health.stats.note_taint();
+            if let Some(store) = store {
+                store.record_entry(table, kernel);
+                store.record_taint(kernel);
+            }
         }
         return Some(InvocationSummary {
             path: InvocationPath::Degraded,
@@ -294,9 +440,7 @@ fn drive(
     }
 
     // Steps 23–25: run the remainder at the decided ratio.
-    if backend.remaining() > 0 {
-        backend.run_split(alpha);
-    }
+    let split_obs = (backend.remaining() > 0).then(|| backend.run_split(alpha));
     // Step 26: sample-weighted accumulation into G.
     table.accumulate(
         kernel,
@@ -304,12 +448,31 @@ fn drive(
         alpha_weight.max(n as f64 * 0.5),
         config.accumulation,
     );
+    if let Some(store) = store {
+        store.record_entry(table, kernel);
+    }
     if faulty_rounds > 0 {
         // Some rounds were rejected even though profiling finished: the
         // learned ratio rests on a suspect invocation — re-profile next
         // time rather than reuse it.
         table.taint(kernel);
         health.stats.note_taint();
+        if let Some(store) = store {
+            store.record_taint(kernel);
+        }
+    }
+    if let Some(obs) = &split_obs {
+        // A freshly profiled split has a model prediction to drift
+        // against (P(α)·T(α)² — the same EDP form `figures telemetry`
+        // reports); fold it only for clean invocations, ordered after the
+        // accumulate so a drift taint survives it.
+        let predicted_edp = last.filter(|_| faulty_rounds == 0).map(|d| {
+            let p = engine.predict(&d);
+            p.power * p.time * p.time
+        });
+        let items = obs.cpu_items + obs.gpu_items;
+        let drift = predicted_edp.map(|edp| (Some(edp), items));
+        after_split(engine, table, health, kernel, sink, store, obs, drift);
     }
     let path = if probing {
         InvocationPath::Probe

@@ -19,11 +19,13 @@
 use crate::eas::{decision_log_csv, Decision, EasConfig, EasScheduler};
 use crate::engine::DecisionEngine;
 use crate::health::{Health, HealthReport};
+use crate::journal::{Recovered, StoreError, TableStore};
 use crate::kernel_table::KernelTable;
 use crate::power_model::PowerModel;
 use crate::profile_loop;
 use easched_runtime::{Backend, ConcurrentScheduler, KernelId, Shared};
 use easched_telemetry::TelemetrySink;
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
 
@@ -65,6 +67,7 @@ pub struct SharedEas {
     decisions: AtomicU64,
     log: Mutex<Vec<Decision>>,
     telemetry: Option<Arc<dyn TelemetrySink>>,
+    store: Option<Arc<TableStore>>,
 }
 
 impl SharedEas {
@@ -91,13 +94,60 @@ impl SharedEas {
         SharedEas::build(model, config, Some(sink))
     }
 
+    /// Like [`SharedEas::new`], but with crash-safe persistence rooted at
+    /// `dir` (see [`EasScheduler::with_persistence`]): every stream's
+    /// table mutations are journaled, and the recovered table — taint and
+    /// breaker state included — seeds the shared scheduler.
+    pub fn with_persistence(
+        model: PowerModel,
+        config: EasConfig,
+        dir: impl AsRef<Path>,
+    ) -> Result<Arc<SharedEas>, StoreError> {
+        SharedEas::build_persistent(model, config, dir, None)
+    }
+
+    /// [`SharedEas::with_persistence`] plus a telemetry sink attached from
+    /// the start — crash-safe learning *and* per-invocation
+    /// [`DecisionRecord`](easched_telemetry::DecisionRecord)s.
+    pub fn with_telemetry_and_persistence(
+        model: PowerModel,
+        config: EasConfig,
+        dir: impl AsRef<Path>,
+        sink: Arc<dyn TelemetrySink>,
+    ) -> Result<Arc<SharedEas>, StoreError> {
+        SharedEas::build_persistent(model, config, dir, Some(sink))
+    }
+
+    fn build_persistent(
+        model: PowerModel,
+        config: EasConfig,
+        dir: impl AsRef<Path>,
+        telemetry: Option<Arc<dyn TelemetrySink>>,
+    ) -> Result<Arc<SharedEas>, StoreError> {
+        let (store, recovered) = TableStore::open(dir)?;
+        let name = format!("EAS-shared({})", config.objective.name());
+        let health = Health::new(&config.fault, config.drift, config.watchdog);
+        let Recovered { table, breaker, .. } = recovered;
+        health.breaker.restore(breaker);
+        Ok(Arc::new(SharedEas {
+            engine: DecisionEngine::new(model, config),
+            table,
+            health,
+            name,
+            decisions: AtomicU64::new(0),
+            log: Mutex::new(Vec::new()),
+            telemetry,
+            store: Some(Arc::new(store)),
+        }))
+    }
+
     fn build(
         model: PowerModel,
         config: EasConfig,
         telemetry: Option<Arc<dyn TelemetrySink>>,
     ) -> Arc<SharedEas> {
         let name = format!("EAS-shared({})", config.objective.name());
-        let health = Health::new(&config.fault);
+        let health = Health::new(&config.fault, config.drift, config.watchdog);
         Arc::new(SharedEas {
             engine: DecisionEngine::new(model, config),
             table: KernelTable::new(),
@@ -106,7 +156,21 @@ impl SharedEas {
             decisions: AtomicU64::new(0),
             log: Mutex::new(Vec::new()),
             telemetry,
+            store: None,
         })
+    }
+
+    /// The persistence store, if this scheduler was built with one.
+    pub fn store(&self) -> Option<&Arc<TableStore>> {
+        self.store.as_ref()
+    }
+
+    /// Forces a snapshot + journal compaction now. No-op without a store.
+    pub fn checkpoint(&self) -> Result<(), StoreError> {
+        match &self.store {
+            Some(store) => store.checkpoint(&self.table, self.health.breaker.state()),
+            None => Ok(()),
+        }
     }
 
     /// The attached telemetry sink, if any.
@@ -186,6 +250,7 @@ impl ConcurrentScheduler for SharedEas {
                     .push(d);
             },
             self.telemetry.as_deref(),
+            self.store.as_deref(),
         );
     }
 }
@@ -213,7 +278,7 @@ impl EasScheduler {
         let name = format!("EAS-shared({})", self.engine().config().objective.name());
         let decisions = self.decisions();
         let log = self.decision_log().to_vec();
-        let (engine, table, health, telemetry) = self.into_parts();
+        let (engine, table, health, telemetry, store) = self.into_parts();
         Arc::new(SharedEas {
             engine,
             table,
@@ -222,6 +287,7 @@ impl EasScheduler {
             decisions: AtomicU64::new(decisions),
             log: Mutex::new(log),
             telemetry,
+            store,
         })
     }
 }

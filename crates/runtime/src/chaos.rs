@@ -30,6 +30,18 @@ use easched_sim::{EnergyCounter, KernelTraits, Machine};
 /// seconds of virtual time attributed to the observation.
 pub const GPU_HANG_TIMEOUT: f64 = 10.0;
 
+/// How long a wedged round stalls before a watchdog-scale cancel,
+/// seconds of virtual time attributed to the observation. Unlike
+/// [`GPU_HANG_TIMEOUT`], the driver *does* eventually return here — with
+/// internally plausible data — so only a scheduler-side deadline, not
+/// observation vetting, can catch it.
+pub const HANG_STALL: f64 = 3600.0;
+
+/// Energy multiplier of a [`Fault::PowerSurge`]: large enough to drag a
+/// kernel's realized EDP far off its prediction, small enough to stay
+/// under the observation guard's power ceiling (model max × 20).
+pub const POWER_SURGE_FACTOR: f64 = 2.5;
+
 /// One injected fault, applied to a single observation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Fault {
@@ -50,10 +62,27 @@ pub enum Fault {
     /// The GPU "completes" an absurd number of items in nanoseconds — a
     /// wildly implausible throughput reading.
     ImplausibleThroughput,
+    /// The round wedges: it eventually returns with internally consistent
+    /// timings and counters — every rate plausible, energy proportional —
+    /// but only after [`HANG_STALL`] seconds. Vetting cannot reject it;
+    /// catching it is the watchdog's job (DESIGN.md §11).
+    Hang,
+    /// Sustained power surge (thermal or firmware misbehavior): the window
+    /// burns [`POWER_SURGE_FACTOR`]× the expected energy while timings
+    /// stay truthful. Each observation passes vetting, so the learned
+    /// ratio's realized EDP drifts off its prediction — the drift
+    /// monitor's territory, not the fault guard's.
+    PowerSurge,
 }
 
 impl Fault {
-    /// Every fault kind, in a stable order (used by randomized plans).
+    /// The six *observation-corrupting* faults in a stable order (used by
+    /// randomized plans). Frozen at six deliberately: seeded
+    /// [`FaultPlan::Random`] sequences index into their `kinds` list, so
+    /// growing this array would silently reshuffle every existing seeded
+    /// chaos scenario. The §11 faults ([`Fault::Hang`],
+    /// [`Fault::PowerSurge`]) are vetting-proof by design and are scripted
+    /// explicitly where a scenario wants them.
     pub const ALL: [Fault; 6] = [
         Fault::GpuHang,
         Fault::EnergyDropout,
@@ -87,6 +116,20 @@ impl Fault {
             Fault::ImplausibleThroughput => {
                 obs.gpu_items = 1 << 50;
                 obs.gpu_time = 1.0e-12;
+            }
+            Fault::Hang => {
+                // Everything stays internally consistent — the items were
+                // all "completed", rates are minuscule but legal, energy
+                // over the stall reads as a near-idle package — except the
+                // wall clock, which busts any sane deadline.
+                obs.elapsed = HANG_STALL;
+                obs.cpu_time = HANG_STALL;
+                if obs.gpu_items > 0 {
+                    obs.gpu_time = HANG_STALL;
+                }
+            }
+            Fault::PowerSurge => {
+                obs.energy_joules *= POWER_SURGE_FACTOR;
             }
         }
         obs
@@ -122,6 +165,16 @@ pub enum FaultPlan {
         /// One past the last faulty step.
         until: u64,
     },
+    /// A sustained platform shift: every step in `from..until` burns
+    /// surge power ([`Fault::PowerSurge`]), modeling a thermal event or
+    /// firmware regression that invalidates learned ratios without ever
+    /// producing a vettable fault — the drift monitor's target scenario.
+    Drift {
+        /// First surging step.
+        from: u64,
+        /// One past the last surging step.
+        until: u64,
+    },
 }
 
 impl FaultPlan {
@@ -148,6 +201,9 @@ impl FaultPlan {
             }
             FaultPlan::GpuOutage { from, until } => {
                 (*from..*until).contains(&step).then_some(Fault::GpuHang)
+            }
+            FaultPlan::Drift { from, until } => {
+                (*from..*until).contains(&step).then_some(Fault::PowerSurge)
             }
         }
     }
@@ -427,9 +483,58 @@ mod tests {
                 Fault::CounterCorrupt => assert!(obs.counters.l3_misses > obs.counters.loads),
                 Fault::NanObservation => assert!(obs.elapsed.is_nan()),
                 Fault::ImplausibleThroughput => assert!(obs.gpu_rate() > 1.0e20),
+                Fault::Hang | Fault::PowerSurge => {
+                    unreachable!("§11 faults are not in Fault::ALL")
+                }
             }
             assert_eq!(injector.injected(), 1);
         }
+    }
+
+    #[test]
+    fn all_stays_frozen_at_the_six_vettable_faults() {
+        // Seeded Random plans index into ALL; growing it would reshuffle
+        // every existing seeded scenario (see the doc on Fault::ALL).
+        assert_eq!(Fault::ALL.len(), 6);
+        assert!(!Fault::ALL.contains(&Fault::Hang));
+        assert!(!Fault::ALL.contains(&Fault::PowerSurge));
+    }
+
+    #[test]
+    fn hang_is_internally_plausible_but_stalls() {
+        let mut injector = ChaosInjector::new(FaultPlan::Scripted(vec![(0, Fault::Hang)]));
+        let mut inner = fake();
+        let mut chaos = injector.wrap(&mut inner);
+        let obs = chaos.profile_step(2240);
+        assert_eq!(obs.elapsed, HANG_STALL);
+        // Unlike GpuHang, the chunk "completed" — rates are tiny but legal
+        // and the GPU is not silent, so observation vetting passes it.
+        assert!(obs.gpu_items > 0);
+        assert!(obs.gpu_rate() > 0.0 && obs.gpu_rate() < 10.0);
+        assert!(obs.cpu_rate() < 10.0);
+        assert!(obs.energy_joules > 0.0);
+    }
+
+    #[test]
+    fn power_surge_scales_energy_only() {
+        let clean = fake().profile_step(2240);
+        let mut injector = ChaosInjector::new(FaultPlan::Scripted(vec![(0, Fault::PowerSurge)]));
+        let mut inner = fake();
+        let mut chaos = injector.wrap(&mut inner);
+        let obs = chaos.profile_step(2240);
+        assert!((obs.energy_joules - clean.energy_joules * POWER_SURGE_FACTOR).abs() < 1e-12);
+        assert_eq!(obs.elapsed, clean.elapsed);
+        assert_eq!(obs.gpu_items, clean.gpu_items);
+    }
+
+    #[test]
+    fn drift_window_surges_exactly_its_steps() {
+        let plan = FaultPlan::Drift { from: 1, until: 3 };
+        let faults: Vec<_> = (0..4).map(|s| plan.fault_at(s)).collect();
+        assert_eq!(
+            faults,
+            vec![None, Some(Fault::PowerSurge), Some(Fault::PowerSurge), None]
+        );
     }
 
     #[test]

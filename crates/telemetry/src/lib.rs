@@ -43,5 +43,5 @@ pub use drift::{model_drift, KernelDrift};
 pub use metrics::{Counter, Gauge, LogHistogram, MetricsRegistry, ALPHA_BUCKETS};
 pub use record::{DecisionRecord, InvocationPath};
 pub use ring::AtomicRing;
-pub use sink::{NullSink, RingSink, TelemetrySink};
+pub use sink::{ControlEvent, NullSink, RingSink, TelemetrySink};
 pub use trace::{parse_trace, to_trace, TraceParseError};

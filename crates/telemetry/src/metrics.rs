@@ -5,9 +5,18 @@
 //! scheduling hot path (once per invocation, when a sink is attached), so
 //! it must never lock or allocate. [`MetricsRegistry::expose`] renders a
 //! Prometheus-style text page for scraping or snapshot diffing.
+//!
+//! The one exception to the no-locks rule is the per-kernel drift gauge
+//! map fed by [`ControlEvent`]s: after a kernel's first drift sample the
+//! gauge update is a read lock (a single uncontended atomic) plus one
+//! relaxed store; only the first sighting of a kernel takes the write
+//! lock to insert its slot.
 
 use crate::record::{DecisionRecord, InvocationPath};
+use crate::sink::ControlEvent;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{PoisonError, RwLock};
 
 /// A monotonically increasing counter.
 #[derive(Debug, Default)]
@@ -169,6 +178,17 @@ pub struct MetricsRegistry {
     pub overhead_bp: LogHistogram,
     /// Executed α, bucketed on the paper's 0.1 grid.
     pub alpha: [Counter; ALPHA_BUCKETS],
+    /// Re-profiles scheduled by the drift monitor (DESIGN.md §11).
+    pub drift_reprofiles: Counter,
+    /// Due re-profiles deferred by an empty token bucket.
+    pub reprofiles_suppressed: Counter,
+    /// Profiling rounds cancelled by the watchdog deadline.
+    pub watchdog_trips: Counter,
+    /// Chunk executions that overran the watchdog's split deadline.
+    pub split_overruns: Counter,
+    /// Latest drift EWMA per kernel, stored as `f64` bits (see
+    /// [`kernel_drift`](MetricsRegistry::kernel_drift)).
+    kernel_drift_ewma: RwLock<BTreeMap<u64, AtomicU64>>,
 }
 
 impl MetricsRegistry {
@@ -200,6 +220,61 @@ impl MetricsRegistry {
         }
         let bucket = (r.alpha.clamp(0.0, 1.0) * 10.0).round() as usize;
         self.alpha[bucket.min(ALPHA_BUCKETS - 1)].inc();
+    }
+
+    /// Folds one self-healing control event into the derived metrics.
+    pub fn control(&self, event: &ControlEvent) {
+        match *event {
+            ControlEvent::Drift { kernel, ewma } => self.set_kernel_drift(kernel, ewma),
+            ControlEvent::Reprofile { kernel, ewma } => {
+                self.drift_reprofiles.inc();
+                self.set_kernel_drift(kernel, ewma);
+            }
+            ControlEvent::ReprofileSuppressed { .. } => self.reprofiles_suppressed.inc(),
+            ControlEvent::ProfileDeadline { .. } => self.watchdog_trips.inc(),
+            ControlEvent::SplitOverrun { .. } => self.split_overruns.inc(),
+        }
+    }
+
+    /// The latest drift EWMA reported for a kernel, if any.
+    pub fn kernel_drift(&self, kernel: u64) -> Option<f64> {
+        self.kernel_drift_ewma
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(&kernel)
+            .map(|bits| f64::from_bits(bits.load(Ordering::Relaxed)))
+    }
+
+    /// Every kernel's latest drift EWMA, sorted by kernel id.
+    pub fn kernel_drifts(&self) -> Vec<(u64, f64)> {
+        self.kernel_drift_ewma
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .iter()
+            .map(|(&k, bits)| (k, f64::from_bits(bits.load(Ordering::Relaxed))))
+            .collect()
+    }
+
+    fn set_kernel_drift(&self, kernel: u64, ewma: f64) {
+        // Non-finite EWMAs are clamped at the source, but guard anyway:
+        // the exposition must stay parseable whatever arrives.
+        let bits = if ewma.is_finite() { ewma } else { 0.0 }.to_bits();
+        {
+            let map = self
+                .kernel_drift_ewma
+                .read()
+                .unwrap_or_else(PoisonError::into_inner);
+            if let Some(slot) = map.get(&kernel) {
+                slot.store(bits, Ordering::Relaxed);
+                return;
+            }
+        }
+        self.kernel_drift_ewma
+            .write()
+            .unwrap_or_else(PoisonError::into_inner)
+            .entry(kernel)
+            .or_insert_with(|| AtomicU64::new(bits))
+            .store(bits, Ordering::Relaxed);
     }
 
     /// Fraction of invocations served straight from the kernel table.
@@ -276,6 +351,26 @@ impl MetricsRegistry {
             self.breaker_transitions.get(),
         );
         counter(
+            "easched_drift_reprofiles_total",
+            "Re-profiles scheduled by the drift monitor",
+            self.drift_reprofiles.get(),
+        );
+        counter(
+            "easched_reprofiles_suppressed_total",
+            "Due re-profiles deferred by an empty token bucket",
+            self.reprofiles_suppressed.get(),
+        );
+        counter(
+            "easched_watchdog_trips_total",
+            "Profiling rounds cancelled by the watchdog deadline",
+            self.watchdog_trips.get(),
+        );
+        counter(
+            "easched_split_overruns_total",
+            "Chunk executions past the watchdog split deadline",
+            self.split_overruns.get(),
+        );
+        counter(
             "easched_profile_time_microseconds_total",
             "Realized profiling-phase time",
             self.profile_time_us.get(),
@@ -319,6 +414,20 @@ impl MetricsRegistry {
                 i as f64 / 10.0,
                 c.get()
             ));
+        }
+        let drifts = self.kernel_drifts();
+        if !drifts.is_empty() {
+            push_meta(
+                &mut out,
+                "easched_kernel_drift_ewma",
+                "Latest per-kernel EDP drift EWMA from the control loop",
+                "gauge",
+            );
+            for (kernel, ewma) in drifts {
+                out.push_str(&format!(
+                    "easched_kernel_drift_ewma{{kernel=\"{kernel}\"}} {ewma:e}\n"
+                ));
+            }
         }
         out
     }
@@ -434,6 +543,49 @@ mod tests {
     }
 
     #[test]
+    fn control_events_accumulate_and_track_latest_ewma() {
+        let reg = MetricsRegistry::default();
+        assert_eq!(reg.kernel_drift(7), None);
+        reg.control(&ControlEvent::Drift {
+            kernel: 7,
+            ewma: 0.4,
+        });
+        reg.control(&ControlEvent::Drift {
+            kernel: 7,
+            ewma: 0.8,
+        });
+        reg.control(&ControlEvent::Drift {
+            kernel: 2,
+            ewma: 0.1,
+        });
+        reg.control(&ControlEvent::Reprofile {
+            kernel: 7,
+            ewma: 2.1,
+        });
+        reg.control(&ControlEvent::ReprofileSuppressed { kernel: 7 });
+        reg.control(&ControlEvent::ProfileDeadline {
+            kernel: 2,
+            elapsed: 90.0,
+        });
+        reg.control(&ControlEvent::SplitOverrun {
+            kernel: 2,
+            elapsed: 900.0,
+        });
+        assert_eq!(reg.kernel_drift(7), Some(2.1), "last value wins");
+        assert_eq!(reg.kernel_drifts(), vec![(2, 0.1), (7, 2.1)]);
+        assert_eq!(reg.drift_reprofiles.get(), 1);
+        assert_eq!(reg.reprofiles_suppressed.get(), 1);
+        assert_eq!(reg.watchdog_trips.get(), 1);
+        assert_eq!(reg.split_overruns.get(), 1);
+        // A non-finite EWMA is clamped so the exposition stays parseable.
+        reg.control(&ControlEvent::Drift {
+            kernel: 9,
+            ewma: f64::NAN,
+        });
+        assert_eq!(reg.kernel_drift(9), Some(0.0));
+    }
+
+    #[test]
     fn exposition_is_prometheus_shaped() {
         let reg = MetricsRegistry::default();
         reg.update(&DecisionRecord {
@@ -444,7 +596,19 @@ mod tests {
             split_time: 0.75,
             ..DecisionRecord::default()
         });
+        reg.control(&ControlEvent::Drift {
+            kernel: 42,
+            ewma: 0.25,
+        });
+        reg.control(&ControlEvent::Reprofile {
+            kernel: 42,
+            ewma: 2.5,
+        });
         let page = reg.expose();
+        assert!(page.contains("# TYPE easched_kernel_drift_ewma gauge"));
+        assert!(page.contains("easched_kernel_drift_ewma{kernel=\"42\"} 2.5e0"));
+        assert!(page.contains("easched_drift_reprofiles_total 1"));
+        assert!(page.contains("easched_watchdog_trips_total 0"));
         assert!(page.contains("# TYPE easched_invocations_total counter"));
         assert!(page.contains("easched_invocations_total 1"));
         assert!(page.contains("# TYPE easched_decide_latency_nanoseconds histogram"));

@@ -13,6 +13,53 @@ use crate::record::DecisionRecord;
 use crate::ring::AtomicRing;
 use std::fmt;
 
+/// An out-of-band event from the self-healing control loop (DESIGN.md
+/// §11): drift-monitor folds, reprofile scheduling, and watchdog
+/// cancellations. Unlike [`DecisionRecord`]s these are not one-per-
+/// invocation — they fire only when the loop observes or acts — and they
+/// never enter the record ring; sinks fold them into metrics instead.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ControlEvent {
+    /// The drift monitor folded a predicted-vs-realized EDP sample into a
+    /// kernel's EWMA (fires once per monitored split).
+    Drift {
+        /// The kernel observed.
+        kernel: u64,
+        /// The EWMA after folding this sample.
+        ewma: f64,
+    },
+    /// Sustained drift crossed the bound: the kernel's table entry was
+    /// marked stale and a re-profile scheduled.
+    Reprofile {
+        /// The kernel scheduled for re-profiling.
+        kernel: u64,
+        /// The EWMA that triggered the re-profile.
+        ewma: f64,
+    },
+    /// A re-profile was due but the global token bucket was empty — the
+    /// budget guard against reprofile storms.
+    ReprofileSuppressed {
+        /// The kernel whose re-profile was deferred.
+        kernel: u64,
+    },
+    /// The watchdog cancelled a profiling round that overran its
+    /// deadline (the round is treated as a typed fault).
+    ProfileDeadline {
+        /// The kernel whose round was cancelled.
+        kernel: u64,
+        /// The round's observed elapsed time, seconds.
+        elapsed: f64,
+    },
+    /// A chunk execution overran the watchdog's split deadline; the
+    /// kernel's entry was tainted and the breaker notified.
+    SplitOverrun {
+        /// The kernel whose split overran.
+        kernel: u64,
+        /// The split's observed elapsed time, seconds.
+        elapsed: f64,
+    },
+}
+
 /// Receives one structured event per kernel invocation.
 ///
 /// Implementations must be thread-safe: the shared frontend calls
@@ -20,6 +67,14 @@ use std::fmt;
 pub trait TelemetrySink: Send + Sync + fmt::Debug {
     /// Called once per invocation, after the remainder has executed.
     fn record(&self, record: &DecisionRecord);
+
+    /// Called when the self-healing control loop observes or acts
+    /// (DESIGN.md §11). Default is a no-op so pre-existing sinks keep
+    /// compiling; like [`record`](TelemetrySink::record), implementations
+    /// must be cheap and must never panic.
+    fn control(&self, event: &ControlEvent) {
+        let _ = event;
+    }
 }
 
 /// A sink that discards everything — for tests and for measuring the
@@ -98,6 +153,10 @@ impl TelemetrySink for RingSink {
         self.metrics.update(record);
         self.ring.push(record.encode());
     }
+
+    fn control(&self, event: &ControlEvent) {
+        self.metrics.control(event);
+    }
 }
 
 #[cfg(test)]
@@ -127,6 +186,44 @@ mod tests {
         assert_eq!(sink.recorded(), 3);
         assert_eq!(sink.dropped(), 0);
         assert_eq!(sink.metrics().invocations.get(), 3);
+    }
+
+    #[test]
+    fn control_events_feed_metrics_not_the_ring() {
+        let sink = RingSink::with_capacity(8);
+        sink.control(&ControlEvent::Drift {
+            kernel: 7,
+            ewma: 0.5,
+        });
+        sink.control(&ControlEvent::Reprofile {
+            kernel: 7,
+            ewma: 2.5,
+        });
+        sink.control(&ControlEvent::ReprofileSuppressed { kernel: 9 });
+        sink.control(&ControlEvent::ProfileDeadline {
+            kernel: 7,
+            elapsed: 100.0,
+        });
+        sink.control(&ControlEvent::SplitOverrun {
+            kernel: 7,
+            elapsed: 900.0,
+        });
+        assert!(sink.snapshot().is_empty(), "events never enter the ring");
+        assert_eq!(sink.metrics().drift_reprofiles.get(), 1);
+        assert_eq!(sink.metrics().reprofiles_suppressed.get(), 1);
+        assert_eq!(sink.metrics().watchdog_trips.get(), 1);
+        assert_eq!(sink.metrics().split_overruns.get(), 1);
+        assert_eq!(sink.metrics().kernel_drift(7), Some(2.5));
+    }
+
+    #[test]
+    fn null_sink_ignores_control_events() {
+        // The default trait method: attaching a sink that only implements
+        // record() must not break when the control loop speaks.
+        NullSink.control(&ControlEvent::Drift {
+            kernel: 1,
+            ewma: 0.1,
+        });
     }
 
     #[test]

@@ -9,6 +9,8 @@
 //! ```text
 //! cargo run --release --example shared_runtime
 //! cargo run --release --example shared_runtime -- --trace shared.trace.json
+//! cargo run --release --example shared_runtime -- --store table.d --repeat 50
+//! cargo run --release --example shared_runtime -- --store table.d --verify-recovery
 //! ```
 //!
 //! With `--trace <path>`, all streams' `DecisionRecord`s land in one
@@ -16,11 +18,20 @@
 //! in Perfetto (ui.perfetto.dev) or chrome://tracing to see which stream
 //! paid the profiling cost and which got table hits (see README
 //! "Inspecting decision traces").
+//!
+//! With `--store <dir>`, every table mutation is journaled to a crash-safe
+//! store (DESIGN.md §11): the next run with the same `--store` warm-starts
+//! from the recovered table instead of re-profiling — even after a
+//! `kill -9`. `--repeat N` loops the workload set N times per stream
+//! (long enough to kill mid-flight), and `--verify-recovery` skips the run
+//! entirely: it opens the store, audits every recovered entry, and exits
+//! non-zero if recovery surfaced anything corrupt — the assertion half of
+//! ci.sh's SIGKILL smoke test.
 
 use easched::core::telemetry::{parse_trace, to_trace};
 use easched::core::{
     characterize, table_to_text, CharacterizationConfig, EasConfig, EasRuntime, Objective,
-    RingSink, SharedEas, TelemetrySink,
+    RingSink, SharedEas, TableStore, TelemetrySink,
 };
 use easched::kernels::suite;
 use easched::runtime::kernel_id_of;
@@ -30,48 +41,154 @@ use std::sync::Arc;
 
 const STREAMS: usize = 8;
 
-/// `--trace <path>` from argv, if given.
-fn trace_path() -> Option<PathBuf> {
+struct Options {
+    trace: Option<PathBuf>,
+    store: Option<PathBuf>,
+    repeat: usize,
+    verify_recovery: bool,
+}
+
+fn options() -> Options {
+    let mut opts = Options {
+        trace: None,
+        store: None,
+        repeat: 1,
+        verify_recovery: false,
+    };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
-        if a == "--trace" {
-            return Some(PathBuf::from(
-                args.next().expect("--trace requires a file path"),
-            ));
+        match a.as_str() {
+            "--trace" => {
+                opts.trace = Some(PathBuf::from(
+                    args.next().expect("--trace requires a file path"),
+                ))
+            }
+            "--store" => {
+                opts.store = Some(PathBuf::from(
+                    args.next().expect("--store requires a directory"),
+                ))
+            }
+            "--repeat" => {
+                opts.repeat = args
+                    .next()
+                    .and_then(|n| n.parse().ok())
+                    .expect("--repeat requires a count")
+            }
+            "--verify-recovery" => opts.verify_recovery = true,
+            other => panic!("unknown flag {other:?}"),
         }
     }
-    None
+    opts
+}
+
+/// Opens the store, audits what recovery produced, and exits the process:
+/// 0 when every recovered entry is well-formed, 1 otherwise. Run after a
+/// `kill -9` to prove the journal brought the table back intact — a torn
+/// tail line is expected and fine (it is discarded), corrupt *values*
+/// are not.
+fn verify_recovery(dir: &PathBuf) -> ! {
+    let (_store, rec) = TableStore::open(dir).unwrap_or_else(|e| {
+        eprintln!("recovery failed to open {}: {e}", dir.display());
+        std::process::exit(1);
+    });
+    println!(
+        "recovered generation {} (+{} journal records, {} torn/corrupt lines discarded)",
+        rec.generation, rec.replayed, rec.discarded
+    );
+    println!("breaker: {:?}", rec.breaker);
+    let mut kernels = 0usize;
+    let mut bad = 0usize;
+    for (kernel, stat, tainted) in rec.table.snapshot_with_taint() {
+        kernels += 1;
+        let ok = stat.alpha.is_finite()
+            && (0.0..=1.0).contains(&stat.alpha)
+            && stat.weight.is_finite()
+            && stat.weight > 0.0;
+        if !ok {
+            bad += 1;
+        }
+        println!(
+            "  kernel {kernel}: α = {:.4}  weight {:.0}  seen {}  tainted {tainted}  {}",
+            stat.alpha,
+            stat.weight,
+            stat.invocations_seen,
+            if ok { "ok" } else { "CORRUPT" },
+        );
+    }
+    if kernels == 0 {
+        eprintln!("recovery produced an empty table — the journal never made it to disk");
+        std::process::exit(1);
+    }
+    if bad > 0 {
+        eprintln!("{bad}/{kernels} recovered entries are corrupt");
+        std::process::exit(1);
+    }
+    println!("{kernels} kernels recovered clean");
+    std::process::exit(0);
 }
 
 fn main() {
+    let opts = options();
+    if opts.verify_recovery {
+        let dir = opts
+            .store
+            .as_ref()
+            .expect("--verify-recovery requires --store <dir>");
+        verify_recovery(dir);
+    }
+
     let platform = Platform::haswell_desktop();
     println!("characterizing {} ...", platform.name);
     let model = characterize(&platform, &CharacterizationConfig::default());
-    let tracing = trace_path().map(|p| (p, Arc::new(RingSink::with_capacity(1 << 14))));
+    let tracing = opts
+        .trace
+        .map(|p| (p, Arc::new(RingSink::with_capacity(1 << 14))));
 
-    // One scheduler, shared by every stream.
+    // One scheduler, shared by every stream. With `--store`, it first
+    // recovers whatever an earlier process learned (crashed or not).
     let config = EasConfig::new(Objective::EnergyDelay);
-    let eas = match &tracing {
-        Some((_, sink)) => {
+    let eas = match (&opts.store, &tracing) {
+        (Some(dir), Some((_, sink))) => SharedEas::with_telemetry_and_persistence(
+            model,
+            config,
+            dir,
+            sink.clone() as Arc<dyn TelemetrySink>,
+        )
+        .expect("open table store"),
+        (Some(dir), None) => {
+            SharedEas::with_persistence(model, config, dir).expect("open table store")
+        }
+        (None, Some((_, sink))) => {
             SharedEas::with_telemetry(model, config, sink.clone() as Arc<dyn TelemetrySink>)
         }
-        None => SharedEas::new(model, config),
+        (None, None) => SharedEas::new(model, config),
     };
+    if opts.store.is_some() && !eas.table().is_empty() {
+        println!(
+            "warm-started from recovered table ({} kernels)",
+            eas.table().snapshot_with_taint().len()
+        );
+    }
 
     std::thread::scope(|s| {
         for stream in 0..STREAMS {
             let eas = Arc::clone(&eas);
             let platform = platform.clone();
+            let repeat = opts.repeat;
             s.spawn(move || {
                 let mut rt = EasRuntime::with_shared(platform, eas);
-                for workload in [suite::blackscholes_small(), suite::mandelbrot_small()] {
-                    let spec = workload.spec();
-                    let outcome = rt.run(workload.as_ref());
-                    assert!(outcome.verification.is_passed());
-                    println!(
-                        "stream {stream}: {:>4}  {:>8.4} s  {:>8.3} J  EDP {:>9.4}",
-                        spec.abbrev, outcome.time, outcome.energy_joules, outcome.edp,
-                    );
+                for round in 0..repeat {
+                    for workload in [suite::blackscholes_small(), suite::mandelbrot_small()] {
+                        let spec = workload.spec();
+                        let outcome = rt.run(workload.as_ref());
+                        assert!(outcome.verification.is_passed());
+                        if round == 0 {
+                            println!(
+                                "stream {stream}: {:>4}  {:>8.4} s  {:>8.3} J  EDP {:>9.4}",
+                                spec.abbrev, outcome.time, outcome.energy_joules, outcome.edp,
+                            );
+                        }
+                    }
                 }
             });
         }
@@ -100,6 +217,10 @@ fn main() {
     // The learned table persists like the power model does, so the next
     // process warm-starts instead of re-profiling.
     println!("\npersisted table:\n{}", table_to_text(eas.table()));
+    if opts.store.is_some() {
+        eas.checkpoint().expect("checkpoint table store");
+        println!("checkpointed store (journal compacted into a fresh snapshot)");
+    }
 
     if let Some((path, sink)) = &tracing {
         let records = sink.snapshot();
