@@ -48,6 +48,22 @@ wait "$CRASH_PID" 2>/dev/null || true
 echo "==> storm chaos: hang + power-surge storm, release"
 cargo test -q --release --test selfheal
 
+echo "==> replay smoke: record a chaos storm, replay must be byte-identical"
+./target/release/easched record --out target/ci-replay.runlog --seed 7 > /dev/null
+./target/release/easched replay --log target/ci-replay.runlog
+
+echo "==> replay bisect: perturbed log must diverge and shrink to a reproducer"
+if ./target/release/easched replay --log target/ci-replay.runlog \
+    --perturb 40 --bisect --emit-fixture target/ci-replay-min.runlog > target/ci-bisect.out; then
+    echo "perturbed replay did not diverge -- the reporter is broken"
+    exit 1
+fi
+grep -q "first divergent decision" target/ci-bisect.out
+test -s target/ci-replay-min.runlog
+
+echo "==> decide-path budget: fresh measurement vs committed BENCH_decide.json"
+./target/release/bench_decide --out target/ci-bench-decide.json --check BENCH_decide.json
+
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
 
@@ -56,7 +72,8 @@ cargo clippy --workspace --all-targets -- -D warnings
 
 echo "==> clippy: no print!/eprintln! in library crates"
 for p in easched-num easched-sim easched-graph easched-kernels \
-         easched-runtime easched-core easched-telemetry easched-bench easched; do
+         easched-runtime easched-core easched-telemetry easched-replay \
+         easched-bench easched; do
     cargo clippy -q -p "$p" --lib -- -D warnings \
         -D clippy::print_stdout -D clippy::print_stderr
 done

@@ -1,0 +1,192 @@
+//! Emits `BENCH_decide.json`: a machine-readable snapshot of the two
+//! hot-path costs the paper's §5 overhead claim rests on — one scheduling
+//! decision (`ns_per_decide`, nominally a few hundred ns against the
+//! paper's 1–2 µs budget) and one telemetry record (`ns_per_record`).
+//!
+//! The Criterion benches in `benches/decision.rs` and
+//! `benches/telemetry.rs` remain the instrument for *investigating*
+//! these paths; this binary exists because the vendored criterion
+//! stand-in has no JSON output, and CI needs a versioned artifact to
+//! diff against. The methodology is deliberately simple: median of many
+//! fixed-size timed batches, which is robust to scheduling noise on
+//! loaded CI machines.
+//!
+//! ```text
+//! bench_decide [--out FILE] [--check BASELINE.json] [--factor F]
+//! ```
+//!
+//! `--check` compares the fresh measurement against a committed
+//! baseline and exits nonzero if `ns_per_decide` exceeds `F ×` the
+//! baseline (default factor 5.0 — wide, because CI machines are noisy;
+//! the point is catching accidental O(n) regressions on the decide
+//! path, not 10 % drift).
+
+use easched_core::{
+    characterize, CharacterizationConfig, DecisionRecord, EasConfig, EasScheduler, InvocationPath,
+    Objective, RingSink, TelemetrySink,
+};
+use easched_runtime::Observation;
+use easched_sim::{CounterSnapshot, Platform};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Bump when fields change meaning; checkers must match on it.
+const SCHEMA_VERSION: u32 = 1;
+
+const SAMPLES: usize = 31;
+const ITERS_PER_SAMPLE: u64 = 20_000;
+
+fn observation() -> Observation {
+    Observation {
+        elapsed: 0.001,
+        cpu_items: 1_000,
+        gpu_items: 2_048,
+        cpu_time: 0.001,
+        gpu_time: 0.001,
+        energy_joules: 0.05,
+        counters: CounterSnapshot {
+            instructions: 1e6,
+            loads: 2e5,
+            l3_misses: 1e5,
+        },
+    }
+}
+
+/// Median ns/iteration over `SAMPLES` batches of `ITERS_PER_SAMPLE`.
+fn median_ns(mut body: impl FnMut()) -> f64 {
+    // Warm up caches and branch predictors before the first sample.
+    for _ in 0..ITERS_PER_SAMPLE {
+        body();
+    }
+    let mut samples: Vec<f64> = (0..SAMPLES)
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..ITERS_PER_SAMPLE {
+                body();
+            }
+            start.elapsed().as_secs_f64() * 1.0e9 / ITERS_PER_SAMPLE as f64
+        })
+        .collect();
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[SAMPLES / 2]
+}
+
+fn measure_decide() -> f64 {
+    let platform = Platform::haswell_desktop();
+    let model = characterize(&platform, &CharacterizationConfig::default());
+    let mut eas = EasScheduler::new(model, EasConfig::new(Objective::EnergyDelay));
+    let obs = observation();
+    median_ns(|| {
+        black_box(eas.decide_alpha(black_box(&obs), black_box(500_000)));
+    })
+}
+
+fn measure_record() -> f64 {
+    let sink = RingSink::with_capacity(1 << 15);
+    let record = DecisionRecord {
+        path: InvocationPath::TableHit,
+        alpha: 0.5,
+        items: 500_000,
+        ..DecisionRecord::default()
+    };
+    let mut seq = 0u64;
+    median_ns(|| {
+        let r = DecisionRecord { seq, ..record };
+        seq = seq.wrapping_add(1);
+        sink.record(black_box(&r));
+    })
+}
+
+fn commit_hash() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short=12", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+fn render_json(ns_per_decide: f64, ns_per_record: f64, commit: &str) -> String {
+    format!(
+        "{{\n  \"schema\": \"easched-bench-decide\",\n  \"version\": {SCHEMA_VERSION},\n  \
+         \"commit\": \"{commit}\",\n  \"samples\": {SAMPLES},\n  \
+         \"iters_per_sample\": {ITERS_PER_SAMPLE},\n  \
+         \"ns_per_decide\": {ns_per_decide:.1},\n  \"ns_per_record\": {ns_per_record:.1}\n}}\n"
+    )
+}
+
+/// Pulls a numeric field out of our own schema (no JSON library in the
+/// tree; the format is fully under our control).
+fn extract_number(json: &str, field: &str) -> Option<f64> {
+    let key = format!("\"{field}\":");
+    let rest = &json[json.find(&key)? + key.len()..];
+    let end = rest.find([',', '\n', '}'])?;
+    rest[..end].trim().parse().ok()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out: Option<String> = None;
+    let mut check: Option<String> = None;
+    let mut factor = 5.0f64;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--out" => out = it.next().cloned(),
+            "--check" => check = it.next().cloned(),
+            "--factor" => {
+                factor = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--factor requires a number");
+                    std::process::exit(2);
+                })
+            }
+            other => {
+                eprintln!("unknown flag {other:?}");
+                eprintln!("usage: bench_decide [--out FILE] [--check BASELINE.json] [--factor F]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let ns_per_decide = measure_decide();
+    let ns_per_record = measure_record();
+    let json = render_json(ns_per_decide, ns_per_record, &commit_hash());
+    match &out {
+        Some(path) => {
+            std::fs::write(path, &json).unwrap_or_else(|e| {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(2);
+            });
+            println!("decide {ns_per_decide:.1} ns, record {ns_per_record:.1} ns -> {path}");
+        }
+        None => print!("{json}"),
+    }
+
+    if let Some(baseline_path) = check {
+        let baseline = std::fs::read_to_string(&baseline_path).unwrap_or_else(|e| {
+            eprintln!("cannot read baseline {baseline_path}: {e}");
+            std::process::exit(2);
+        });
+        let version = extract_number(&baseline, "version").unwrap_or(0.0) as u32;
+        if version != SCHEMA_VERSION {
+            eprintln!(
+                "baseline {baseline_path} has schema version {version}, this binary speaks {SCHEMA_VERSION}"
+            );
+            std::process::exit(2);
+        }
+        let base_decide = extract_number(&baseline, "ns_per_decide").unwrap_or_else(|| {
+            eprintln!("baseline {baseline_path} lacks ns_per_decide");
+            std::process::exit(2);
+        });
+        let bound = base_decide * factor;
+        if ns_per_decide > bound {
+            eprintln!(
+                "decide path regressed: {ns_per_decide:.1} ns > {factor}x baseline {base_decide:.1} ns"
+            );
+            std::process::exit(1);
+        }
+        println!("decide path ok: {ns_per_decide:.1} ns <= {factor}x baseline {base_decide:.1} ns");
+    }
+}

@@ -35,8 +35,9 @@ use crate::kernel_table::KernelTable;
 use crate::objective::Objective;
 use crate::power_model::PowerModel;
 use crate::profile_loop;
+use crate::seed::RunSeed;
 use crate::selfheal::{DriftPolicy, WatchdogPolicy};
-use easched_runtime::{Backend, KernelId, Scheduler};
+use easched_runtime::{Backend, Clock, KernelId, Scheduler, WallClock};
 use easched_telemetry::TelemetrySink;
 use std::path::Path;
 use std::sync::Arc;
@@ -94,6 +95,12 @@ pub struct EasConfig {
     /// Watchdog deadlines on profiling rounds and chunk executions (see
     /// [`WatchdogPolicy`]).
     pub watchdog: WatchdogPolicy,
+    /// The run's root seed: every stochastic input of a run built from
+    /// this config (chaos plans, sim backends, workload generation)
+    /// should derive from it by name (see [`RunSeed`]). Recorded in a
+    /// `RunLog`'s header, and part of the config fingerprint a replay
+    /// checks.
+    pub seed: RunSeed,
 }
 
 impl EasConfig {
@@ -110,7 +117,14 @@ impl EasConfig {
             fault: FaultPolicy::default(),
             drift: DriftPolicy::default(),
             watchdog: WatchdogPolicy::default(),
+            seed: RunSeed::default(),
         }
+    }
+
+    /// The same configuration with a different root seed (builder style).
+    pub fn with_seed(mut self, seed: RunSeed) -> EasConfig {
+        self.seed = seed;
+        self
     }
 }
 
@@ -170,6 +184,7 @@ pub(crate) type SchedulerParts = (
     Health,
     Option<Arc<dyn TelemetrySink>>,
     Option<Arc<TableStore>>,
+    Arc<dyn Clock>,
 );
 
 /// The energy-aware scheduler. One instance per platform; carries the
@@ -191,6 +206,7 @@ pub struct EasScheduler {
     current_kernel: KernelId,
     telemetry: Option<Arc<dyn TelemetrySink>>,
     store: Option<Arc<TableStore>>,
+    clock: Arc<dyn Clock>,
 }
 
 impl EasScheduler {
@@ -214,6 +230,7 @@ impl EasScheduler {
             current_kernel: 0,
             telemetry: None,
             store: None,
+            clock: Arc::new(WallClock),
         }
     }
 
@@ -264,6 +281,21 @@ impl EasScheduler {
     /// The attached telemetry sink, if any.
     pub fn telemetry(&self) -> Option<&Arc<dyn TelemetrySink>> {
         self.telemetry.as_ref()
+    }
+
+    /// Replaces the scheduler's time source. The clock only times the
+    /// vet+decide path for telemetry (`DecisionRecord::decide_nanos`), so
+    /// with a deterministic clock — e.g.
+    /// [`TickClock`](easched_runtime::TickClock) — a simulated run's
+    /// telemetry stream is bit-reproducible; record/replay installs one
+    /// on both sides. Defaults to [`WallClock`].
+    pub fn set_clock(&mut self, clock: Arc<dyn Clock>) {
+        self.clock = clock;
+    }
+
+    /// The scheduler's time source.
+    pub fn clock(&self) -> &Arc<dyn Clock> {
+        &self.clock
     }
 
     /// An *online* performance-oriented variant: the same profiling
@@ -326,6 +358,7 @@ impl EasScheduler {
             self.health,
             self.telemetry,
             self.store,
+            self.clock,
         )
     }
 
@@ -386,6 +419,7 @@ impl Scheduler for EasScheduler {
             },
             self.telemetry.as_deref(),
             self.store.as_deref(),
+            self.clock.as_ref(),
         );
     }
 }

@@ -53,6 +53,7 @@ pub mod persist;
 pub mod power_model;
 mod profile_loop;
 pub mod schemes;
+pub mod seed;
 pub mod selfheal;
 pub mod shared;
 pub mod time_model;
@@ -74,11 +75,12 @@ pub use journal::{Recovered, StoreError, TableStore};
 pub use kernel_table::{AlphaStat, KernelTable, ReuseProbe};
 pub use objective::Objective;
 pub use persist::{
-    load_model, load_table, model_from_text, model_to_text, save_model, save_table,
+    fnv1a64, load_model, load_table, model_from_text, model_to_text, save_model, save_table,
     table_from_text, table_to_text, ModelParseError,
 };
 pub use power_model::{PowerCurve, PowerModel};
 pub use schemes::{Evaluator, SchemeResult, WorkloadComparison};
+pub use seed::{RunSeed, DEFAULT_ROOT};
 pub use selfheal::{
     DriftAction, DriftMonitor, DriftOutcome, DriftPolicy, Watchdog, WatchdogPolicy,
 };

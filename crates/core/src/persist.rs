@@ -119,8 +119,10 @@ impl From<io::Error> for ModelParseError {
 
 /// FNV-1a, 64-bit. Not cryptographic — it guards against truncation and
 /// bit rot, not adversaries — but the per-byte xor-then-multiply step is
-/// injective, so any single corrupted byte changes the digest.
-pub(crate) fn fnv1a64(bytes: &[u8]) -> u64 {
+/// injective, so any single corrupted byte changes the digest. Public
+/// because the journal (§11), the run-seed derivation, and the
+/// record/replay log (`easched-replay`, §12) all seal with the same hash.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
     let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
     for &b in bytes {
         hash ^= u64::from(b);

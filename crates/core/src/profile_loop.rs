@@ -46,9 +46,8 @@ use crate::journal::TableStore;
 use crate::kernel_table::KernelTable;
 use crate::selfheal::DriftAction;
 use easched_runtime::telemetry::InstrumentedBackend;
-use easched_runtime::{Backend, KernelId, Observation};
+use easched_runtime::{Backend, Clock, KernelId, Observation};
 use easched_telemetry::{ControlEvent, DecisionRecord, InvocationPath, TelemetrySink};
-use std::time::Instant;
 
 /// What `drive` learned about the invocation, for record construction.
 struct InvocationSummary {
@@ -92,6 +91,7 @@ pub(crate) fn schedule_invocation(
     mut on_decision: impl FnMut(Decision),
     sink: Option<&dyn TelemetrySink>,
     store: Option<&TableStore>,
+    clock: &dyn Clock,
 ) {
     match sink {
         None => {
@@ -104,6 +104,7 @@ pub(crate) fn schedule_invocation(
                 &mut on_decision,
                 None,
                 store,
+                clock,
             );
         }
         Some(sink) => {
@@ -118,6 +119,7 @@ pub(crate) fn schedule_invocation(
                 &mut on_decision,
                 Some(sink),
                 store,
+                clock,
             ) {
                 sink.record(&build_record(
                     engine,
@@ -134,6 +136,11 @@ pub(crate) fn schedule_invocation(
         // Deduplicated inside the store: only actual transitions append.
         store.record_breaker(health.breaker.state());
     }
+}
+
+/// Nanoseconds elapsed on `clock` since `started` (clamped at zero).
+fn elapsed_nanos(clock: &dyn Clock, started: f64) -> u64 {
+    ((clock.now() - started).max(0.0) * 1.0e9) as u64
 }
 
 /// Emits a control-loop event when a sink is attached (no-op otherwise).
@@ -231,9 +238,10 @@ fn after_split(
 }
 
 /// The Figure 7 control flow proper. Returns `None` for empty
-/// invocations (nothing ran, nothing to record). The wall-clock decide
-/// timer runs only when a sink is attached (only the telemetry path pays
-/// for it); `store`, when present, journals every table mutation so the
+/// invocations (nothing ran, nothing to record). The decide timer — read
+/// from `clock`, wall by default, deterministic under record/replay —
+/// runs only when a sink is attached (only the telemetry path pays for
+/// it); `store`, when present, journals every table mutation so the
 /// invocation's learning survives a crash (DESIGN.md §11).
 #[allow(clippy::too_many_arguments)]
 fn drive(
@@ -245,6 +253,7 @@ fn drive(
     on_decision: &mut dyn FnMut(Decision),
     sink: Option<&dyn TelemetrySink>,
     store: Option<&TableStore>,
+    clock: &dyn Clock,
 ) -> Option<InvocationSummary> {
     let timed = sink.is_some();
     let n = backend.remaining();
@@ -343,7 +352,7 @@ fn drive(
         if consumed == 0 {
             break; // safety: no progress (degenerate backend)
         }
-        let started = timed.then(Instant::now);
+        let started = timed.then(|| clock.now());
         // §11 watchdog: a profiling round that busted its hard deadline is
         // cancelled — typed as a fault so it rides the same rejection path
         // (backed-off retry, breaker escalation, degradation) as the §9
@@ -364,7 +373,7 @@ fn drive(
         };
         if let Err(fault) = vetted {
             if let Some(t) = started {
-                decide_nanos += t.elapsed().as_nanos() as u64;
+                decide_nanos += elapsed_nanos(clock, t);
             }
             last_fault = Some(fault);
             health.stats.note_rejected();
@@ -387,7 +396,7 @@ fn drive(
         rejected_streak = 0;
         let decision = engine.decide(kernel, &obs, backend.remaining());
         if let Some(t) = started {
-            decide_nanos += t.elapsed().as_nanos() as u64;
+            decide_nanos += elapsed_nanos(clock, t);
         }
         rounds += 1;
         last = Some(decision);

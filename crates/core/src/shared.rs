@@ -23,7 +23,7 @@ use crate::journal::{Recovered, StoreError, TableStore};
 use crate::kernel_table::KernelTable;
 use crate::power_model::PowerModel;
 use crate::profile_loop;
-use easched_runtime::{Backend, ConcurrentScheduler, KernelId, Shared};
+use easched_runtime::{Backend, Clock, ConcurrentScheduler, KernelId, Shared, WallClock};
 use easched_telemetry::TelemetrySink;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -68,6 +68,7 @@ pub struct SharedEas {
     log: Mutex<Vec<Decision>>,
     telemetry: Option<Arc<dyn TelemetrySink>>,
     store: Option<Arc<TableStore>>,
+    clock: Arc<dyn Clock>,
 }
 
 impl SharedEas {
@@ -138,6 +139,7 @@ impl SharedEas {
             log: Mutex::new(Vec::new()),
             telemetry,
             store: Some(Arc::new(store)),
+            clock: Arc::new(WallClock),
         }))
     }
 
@@ -157,6 +159,7 @@ impl SharedEas {
             log: Mutex::new(Vec::new()),
             telemetry,
             store: None,
+            clock: Arc::new(WallClock),
         })
     }
 
@@ -251,6 +254,7 @@ impl ConcurrentScheduler for SharedEas {
             },
             self.telemetry.as_deref(),
             self.store.as_deref(),
+            self.clock.as_ref(),
         );
     }
 }
@@ -278,7 +282,7 @@ impl EasScheduler {
         let name = format!("EAS-shared({})", self.engine().config().objective.name());
         let decisions = self.decisions();
         let log = self.decision_log().to_vec();
-        let (engine, table, health, telemetry, store) = self.into_parts();
+        let (engine, table, health, telemetry, store, clock) = self.into_parts();
         Arc::new(SharedEas {
             engine,
             table,
@@ -288,6 +292,7 @@ impl EasScheduler {
             log: Mutex::new(log),
             telemetry,
             store,
+            clock,
         })
     }
 }

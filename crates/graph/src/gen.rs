@@ -7,6 +7,19 @@
 //! levels at full scale), and integer travel-time weights. [`rmat`] and
 //! [`erdos_renyi`] provide contrasting low-diameter topologies for the test
 //! suite and ablations.
+//!
+//! # Seeding discipline
+//!
+//! Every generator takes its seed explicitly — there is no ambient RNG
+//! state anywhere in this crate. All callers thread a *named* seed down to
+//! here: the benchmark suite passes the constants in
+//! `easched_kernels::suite::seeds` (its manifest is what the record/replay
+//! layer writes into each `RunLog`), and tests pass literals at the call
+//! site. The vendored `rand` stand-in's `StdRng` stream is therefore the
+//! only PRNG these inputs depend on; if it is ever swapped for the real
+//! crate, regenerated inputs change but recorded `RunLog`s replay
+//! unchanged, because logs carry the observations themselves (see
+//! DESIGN.md §12).
 
 use crate::csr::Csr;
 use rand::rngs::StdRng;

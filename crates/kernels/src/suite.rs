@@ -20,14 +20,119 @@ use crate::seismic::Seismic;
 use crate::skiplist::SkipList;
 use crate::workload::Workload;
 
+/// The input-generation seeds baked into every suite constructor, named
+/// and gathered in one place so nothing stochastic hides in a literal.
+///
+/// These seeds predate the runtime's recorded root seed
+/// (`easched_core::RunSeed`) and deliberately stay *outside* it: suite
+/// inputs are part of the benchmark definition — figure 9/10 byte-identity
+/// depends on them never moving — whereas the root seed governs the
+/// *run-varying* randomness (chaos plans, sim phase jitter). The
+/// record/replay layer writes [`manifest`](seeds::manifest) entries into
+/// every `RunLog` so a recorded run still names exactly which generation
+/// seeds its inputs came from.
+pub mod seeds {
+    /// BarnesHut desktop body-cluster seed.
+    pub const BARNES_HUT_DESKTOP: u64 = 0xB4;
+    /// BFS desktop road-network seed.
+    pub const BFS_DESKTOP: u64 = 0xBF5;
+    /// Connected Components desktop road-network seed.
+    pub const CC_DESKTOP: u64 = 0xCC;
+    /// Face Detect desktop photo-synthesis seed.
+    pub const FACE_DETECT_DESKTOP: u64 = 0xFD;
+    /// SkipList desktop key/lookup seed.
+    pub const SKIPLIST_DESKTOP: u64 = 0x51;
+    /// Shortest Path desktop road-network seed.
+    pub const SHORTEST_PATH_DESKTOP: u64 = 0x59;
+    /// Blackscholes desktop portfolio seed.
+    pub const BLACKSCHOLES_DESKTOP: u64 = 0xB5;
+    /// Matrix Multiply desktop input seed.
+    pub const MATMUL_DESKTOP: u64 = 0x33;
+    /// N-Body desktop initial-conditions seed.
+    pub const NBODY_DESKTOP: u64 = 0x3B;
+    /// Ray Tracer desktop scene seed.
+    pub const RAYTRACER_DESKTOP: u64 = 0x47;
+    /// SkipList tablet key/lookup seed.
+    pub const SKIPLIST_TABLET: u64 = 0x52;
+    /// Blackscholes tablet portfolio seed.
+    pub const BLACKSCHOLES_TABLET: u64 = 0xB6;
+    /// Matrix Multiply tablet input seed.
+    pub const MATMUL_TABLET: u64 = 0x34;
+    /// N-Body tablet initial-conditions seed.
+    pub const NBODY_TABLET: u64 = 0x3C;
+    /// Ray Tracer tablet scene seed.
+    pub const RAYTRACER_TABLET: u64 = 0x48;
+    /// Blackscholes small-instance portfolio seed.
+    pub const BLACKSCHOLES_SMALL: u64 = 0xB7;
+    /// BFS small-instance road-network seed.
+    pub const BFS_SMALL: u64 = 0xBF6;
+    /// BarnesHut small-instance seed.
+    pub const BARNES_HUT_SMALL: u64 = 1;
+    /// Connected Components small-instance seed.
+    pub const CC_SMALL: u64 = 2;
+    /// Face Detect small-instance seed.
+    pub const FACE_DETECT_SMALL: u64 = 3;
+    /// SkipList small-instance seed.
+    pub const SKIPLIST_SMALL: u64 = 4;
+    /// Shortest Path small-instance seed.
+    pub const SHORTEST_PATH_SMALL: u64 = 5;
+    /// Matrix Multiply small-instance seed.
+    pub const MATMUL_SMALL: u64 = 6;
+    /// N-Body small-instance seed.
+    pub const NBODY_SMALL: u64 = 7;
+    /// Ray Tracer small-instance seed.
+    pub const RAYTRACER_SMALL: u64 = 8;
+
+    /// Every named generation seed, as `(name, value)` pairs for logging
+    /// (Mandelbrot and Seismic generate no random input and have none).
+    pub fn manifest() -> Vec<(&'static str, u64)> {
+        vec![
+            ("suite/BH-desktop", BARNES_HUT_DESKTOP),
+            ("suite/BFS-desktop", BFS_DESKTOP),
+            ("suite/CC-desktop", CC_DESKTOP),
+            ("suite/FD-desktop", FACE_DETECT_DESKTOP),
+            ("suite/SL-desktop", SKIPLIST_DESKTOP),
+            ("suite/SP-desktop", SHORTEST_PATH_DESKTOP),
+            ("suite/BS-desktop", BLACKSCHOLES_DESKTOP),
+            ("suite/MM-desktop", MATMUL_DESKTOP),
+            ("suite/NB-desktop", NBODY_DESKTOP),
+            ("suite/RT-desktop", RAYTRACER_DESKTOP),
+            ("suite/SL-tablet", SKIPLIST_TABLET),
+            ("suite/BS-tablet", BLACKSCHOLES_TABLET),
+            ("suite/MM-tablet", MATMUL_TABLET),
+            ("suite/NB-tablet", NBODY_TABLET),
+            ("suite/RT-tablet", RAYTRACER_TABLET),
+            ("suite/BS-small", BLACKSCHOLES_SMALL),
+            ("suite/BFS-small", BFS_SMALL),
+            ("suite/BH-small", BARNES_HUT_SMALL),
+            ("suite/CC-small", CC_SMALL),
+            ("suite/FD-small", FACE_DETECT_SMALL),
+            ("suite/SL-small", SKIPLIST_SMALL),
+            ("suite/SP-small", SHORTEST_PATH_SMALL),
+            ("suite/MM-small", MATMUL_SMALL),
+            ("suite/NB-small", NBODY_SMALL),
+            ("suite/RT-small", RAYTRACER_SMALL),
+        ]
+    }
+}
+
 /// BarnesHut at desktop evaluation scale (50 k bodies, 1 step).
 pub fn barnes_hut_desktop() -> Box<dyn Workload> {
-    Box::new(BarnesHut::new(50_000, 0xB4, BarnesHut::default_profile()))
+    Box::new(BarnesHut::new(
+        50_000,
+        seeds::BARNES_HUT_DESKTOP,
+        BarnesHut::default_profile(),
+    ))
 }
 
 /// BFS at desktop evaluation scale (512×512 road network).
 pub fn bfs_desktop() -> Box<dyn Workload> {
-    Box::new(Bfs::new(512, 512, 0xBF5, Bfs::default_profile()))
+    Box::new(Bfs::new(
+        512,
+        512,
+        seeds::BFS_DESKTOP,
+        Bfs::default_profile(),
+    ))
 }
 
 /// Connected Components at desktop evaluation scale.
@@ -35,7 +140,7 @@ pub fn cc_desktop() -> Box<dyn Workload> {
     Box::new(ConnectedComponents::new(
         512,
         512,
-        0xCC,
+        seeds::CC_DESKTOP,
         ConnectedComponents::default_profile(),
     ))
 }
@@ -47,7 +152,7 @@ pub fn face_detect_desktop() -> Box<dyn Workload> {
         960,
         12,
         12,
-        0xFD,
+        seeds::FACE_DETECT_DESKTOP,
         FaceDetect::default_profile(),
     ))
 }
@@ -67,7 +172,7 @@ pub fn skiplist_desktop() -> Box<dyn Workload> {
     Box::new(SkipList::new(
         500_000,
         1_000_000,
-        0x51,
+        seeds::SKIPLIST_DESKTOP,
         SkipList::default_profile(),
     ))
 }
@@ -77,7 +182,7 @@ pub fn shortest_path_desktop() -> Box<dyn Workload> {
     Box::new(ShortestPath::new(
         512,
         512,
-        0x59,
+        seeds::SHORTEST_PATH_DESKTOP,
         ShortestPath::default_profile(),
     ))
 }
@@ -87,19 +192,28 @@ pub fn blackscholes_desktop() -> Box<dyn Workload> {
     Box::new(BlackScholes::new(
         65_536,
         500,
-        0xB5,
+        seeds::BLACKSCHOLES_DESKTOP,
         BlackScholes::default_profile(),
     ))
 }
 
 /// Matrix Multiply at desktop evaluation scale (512×512).
 pub fn matmul_desktop() -> Box<dyn Workload> {
-    Box::new(MatMul::new(512, 0x33, MatMul::default_profile()))
+    Box::new(MatMul::new(
+        512,
+        seeds::MATMUL_DESKTOP,
+        MatMul::default_profile(),
+    ))
 }
 
 /// N-Body at desktop evaluation scale (4096 bodies × 101 steps, as in the paper).
 pub fn nbody_desktop() -> Box<dyn Workload> {
-    Box::new(NBody::new(4096, 101, 0x3B, NBody::default_profile()))
+    Box::new(NBody::new(
+        4096,
+        101,
+        seeds::NBODY_DESKTOP,
+        NBody::default_profile(),
+    ))
 }
 
 /// Ray Tracer at desktop evaluation scale (512×384, 256 spheres, 5 lights).
@@ -109,7 +223,7 @@ pub fn raytracer_desktop() -> Box<dyn Workload> {
         384,
         256,
         5,
-        0x47,
+        seeds::RAYTRACER_DESKTOP,
         RayTracer::default_profile(),
     ))
 }
@@ -152,7 +266,7 @@ pub fn skiplist_tablet() -> Box<dyn Workload> {
     Box::new(SkipList::new(
         100_000,
         200_000,
-        0x52,
+        seeds::SKIPLIST_TABLET,
         SkipList::default_profile(),
     ))
 }
@@ -163,19 +277,28 @@ pub fn blackscholes_tablet() -> Box<dyn Workload> {
     Box::new(BlackScholes::new(
         262_144,
         100,
-        0xB6,
+        seeds::BLACKSCHOLES_TABLET,
         BlackScholes::default_profile(),
     ))
 }
 
 /// Matrix Multiply at tablet scale (256×256).
 pub fn matmul_tablet() -> Box<dyn Workload> {
-    Box::new(MatMul::new(256, 0x34, MatMul::default_profile()))
+    Box::new(MatMul::new(
+        256,
+        seeds::MATMUL_TABLET,
+        MatMul::default_profile(),
+    ))
 }
 
 /// N-Body at tablet scale (1024 bodies × 101 steps, as in the paper).
 pub fn nbody_tablet() -> Box<dyn Workload> {
-    Box::new(NBody::new(1024, 101, 0x3C, NBody::default_profile()))
+    Box::new(NBody::new(
+        1024,
+        101,
+        seeds::NBODY_TABLET,
+        NBody::default_profile(),
+    ))
 }
 
 /// Ray Tracer at tablet scale (320×240, 225 spheres).
@@ -185,7 +308,7 @@ pub fn raytracer_tablet() -> Box<dyn Workload> {
         240,
         225,
         5,
-        0x48,
+        seeds::RAYTRACER_TABLET,
         RayTracer::default_profile(),
     ))
 }
@@ -219,26 +342,30 @@ pub fn blackscholes_small() -> Box<dyn Workload> {
     Box::new(BlackScholes::new(
         512,
         4,
-        0xB7,
+        seeds::BLACKSCHOLES_SMALL,
         BlackScholes::default_profile(),
     ))
 }
 
 /// Reduced-scale BFS for tests and examples.
 pub fn bfs_small() -> Box<dyn Workload> {
-    Box::new(Bfs::new(48, 48, 0xBF6, Bfs::default_profile()))
+    Box::new(Bfs::new(48, 48, seeds::BFS_SMALL, Bfs::default_profile()))
 }
 
 /// Reduced-scale suite covering every kernel family quickly (for
 /// integration tests).
 pub fn small_suite() -> Vec<Box<dyn Workload>> {
     vec![
-        Box::new(BarnesHut::new(600, 1, BarnesHut::default_profile())),
+        Box::new(BarnesHut::new(
+            600,
+            seeds::BARNES_HUT_SMALL,
+            BarnesHut::default_profile(),
+        )),
         bfs_small(),
         Box::new(ConnectedComponents::new(
             32,
             32,
-            2,
+            seeds::CC_SMALL,
             ConnectedComponents::default_profile(),
         )),
         Box::new(FaceDetect::new(
@@ -246,26 +373,40 @@ pub fn small_suite() -> Vec<Box<dyn Workload>> {
             150,
             3,
             8,
-            3,
+            seeds::FACE_DETECT_SMALL,
             FaceDetect::default_profile(),
         )),
         mandelbrot_small(),
-        Box::new(SkipList::new(4_000, 8_000, 4, SkipList::default_profile())),
+        Box::new(SkipList::new(
+            4_000,
+            8_000,
+            seeds::SKIPLIST_SMALL,
+            SkipList::default_profile(),
+        )),
         Box::new(ShortestPath::new(
             32,
             32,
-            5,
+            seeds::SHORTEST_PATH_SMALL,
             ShortestPath::default_profile(),
         )),
         blackscholes_small(),
-        Box::new(MatMul::new(40, 6, MatMul::default_profile())),
-        Box::new(NBody::new(64, 6, 7, NBody::default_profile())),
+        Box::new(MatMul::new(
+            40,
+            seeds::MATMUL_SMALL,
+            MatMul::default_profile(),
+        )),
+        Box::new(NBody::new(
+            64,
+            6,
+            seeds::NBODY_SMALL,
+            NBody::default_profile(),
+        )),
         Box::new(RayTracer::new(
             48,
             36,
             12,
             2,
-            8,
+            seeds::RAYTRACER_SMALL,
             RayTracer::default_profile(),
         )),
         Box::new(Seismic::new(33, 29, 8, Seismic::default_profile())),
@@ -302,6 +443,32 @@ mod tests {
             assert!(v.is_passed(), "{} failed verification", w.spec().abbrev);
             assert!(trace.invocations() >= 1, "{}", w.spec().abbrev);
         }
+    }
+
+    #[test]
+    fn seed_manifest_is_frozen() {
+        // These values pin every generated benchmark input; moving one
+        // silently changes figures 9/10 and invalidates recorded runs'
+        // seed inventories. Change them only with a run-log version bump.
+        let manifest = seeds::manifest();
+        assert_eq!(manifest.len(), 25);
+        let get = |name: &str| {
+            manifest
+                .iter()
+                .find(|(n, _)| *n == name)
+                .unwrap_or_else(|| panic!("{name} missing"))
+                .1
+        };
+        assert_eq!(get("suite/BH-desktop"), 0xB4);
+        assert_eq!(get("suite/BFS-desktop"), 0xBF5);
+        assert_eq!(get("suite/BS-desktop"), 0xB5);
+        assert_eq!(get("suite/BS-small"), 0xB7);
+        assert_eq!(get("suite/BFS-small"), 0xBF6);
+        assert_eq!(get("suite/RT-tablet"), 0x48);
+        let mut names: Vec<&str> = manifest.iter().map(|(n, _)| *n).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), manifest.len(), "duplicate manifest names");
     }
 
     #[test]

@@ -1,0 +1,206 @@
+//! Shrinking a divergent log to a minimal reproducer.
+//!
+//! When a replay diverges (a code change, a perturbed log), the full
+//! storm is a poor regression artifact — hundreds of invocations of
+//! which a handful matter. [`bisect_storm`] localizes the failure: it
+//! truncates the log to the prefix ending at the divergent invocation,
+//! then greedily drops earlier invocations while the divergence keeps
+//! the same *signature* (same kernel, same differing record fields) —
+//! dropping an invocation the divergence actually depends on (one whose
+//! table learning feeds the divergent decision) changes the signature
+//! and is rejected. The surviving log is a minimal reproducer fit to
+//! check in as a regression-test fixture.
+//!
+//! Decision sequence numbers are reassigned after every cut (the live
+//! replay numbers from zero, so a shrunk log must too); everything else
+//! is carried verbatim.
+
+use crate::harness::{scheduler_for_log, ReplayError};
+use crate::log::{Event, RunLog};
+use crate::replay::{replay_log, Divergence};
+use easched_runtime::TickClock;
+use easched_telemetry::DecisionRecord;
+use std::sync::Arc;
+
+/// Outcome of shrinking a divergent log.
+#[derive(Debug)]
+pub struct BisectReport {
+    /// The divergence as seen on the full log.
+    pub divergence: Divergence,
+    /// The shrunk log, still reproducing the same divergence signature.
+    pub minimal: RunLog,
+    /// The divergence as seen on the minimal log.
+    pub minimal_divergence: Divergence,
+    /// Invocations in the original log.
+    pub original_invocations: usize,
+    /// Invocations surviving in the minimal log.
+    pub kept_invocations: usize,
+}
+
+impl BisectReport {
+    /// A human-readable summary plus the underlying divergence report.
+    pub fn render(&self) -> String {
+        format!(
+            "bisect: shrunk {} invocations to {} (divergence at decision {})\n{}",
+            self.original_invocations,
+            self.kept_invocations,
+            self.divergence.decision_index,
+            self.divergence.render()
+        )
+    }
+}
+
+/// What makes two divergences "the same failure" across shrinks: the
+/// kernel whose decision went wrong and the set of fields that differ
+/// (indices shift as invocations are dropped, so they are not part of
+/// the signature).
+fn signature(d: &Divergence) -> (Option<u64>, Vec<&'static str>) {
+    (d.recorded.or(d.live).map(|r| r.kernel), d.fields.clone())
+}
+
+/// Replays a log that bisection knows diverges, returning the first
+/// divergence; `None` for a clean candidate (shrink rejected).
+fn diverges(log: &RunLog, pristine: &easched_core::EasScheduler) -> Option<Divergence> {
+    let mut scheduler = pristine.clone();
+    // A fresh virtual clock per replay: the pristine scheduler's TickClock
+    // would otherwise carry its read counter across candidates and skew
+    // every decide_nanos after the first replay.
+    scheduler.set_clock(Arc::new(TickClock::new()));
+    replay_log(log, &mut scheduler).divergence
+}
+
+/// Bisects a divergent storm log down to a minimal reproducer.
+///
+/// Returns `Ok(None)` when the log replays cleanly (nothing to bisect);
+/// [`ReplayError`] when the log's fingerprints do not match this build.
+pub fn bisect_storm(log: &RunLog) -> Result<Option<BisectReport>, ReplayError> {
+    let pristine = scheduler_for_log(log)?;
+    let Some(divergence) = diverges(log, &pristine) else {
+        return Ok(None);
+    };
+    let target = signature(&divergence);
+
+    let (preamble, groups) = invocation_groups(&log.events);
+    let original_invocations = groups.len();
+
+    // Phase 1: truncate to the prefix ending at the divergent invocation
+    // (everything after it cannot influence an earlier decision).
+    let mut kept: Vec<usize> = (0..=divergence.invocation.min(groups.len() - 1)).collect();
+
+    // Phase 2: greedily drop earlier invocations, newest-first, keeping a
+    // cut only if the same divergence signature survives. The divergent
+    // invocation itself (the last kept) is never dropped.
+    let mut i = kept.len().saturating_sub(1);
+    while i > 0 {
+        i -= 1;
+        let candidate_kept: Vec<usize> = kept.iter().copied().filter(|&k| k != kept[i]).collect();
+        let candidate = rebuild(log, &preamble, &groups, &candidate_kept);
+        if let Some(d) = diverges(&candidate, &pristine) {
+            if signature(&d) == target {
+                kept = candidate_kept;
+            }
+        }
+    }
+
+    let minimal = rebuild(log, &preamble, &groups, &kept);
+    let minimal_divergence = diverges(&minimal, &pristine)
+        .expect("minimal log diverged during shrinking and must still diverge");
+    Ok(Some(BisectReport {
+        divergence,
+        minimal,
+        minimal_divergence,
+        original_invocations,
+        kept_invocations: kept.len(),
+    }))
+}
+
+/// Splits the event stream into the pre-invocation preamble (seed
+/// derivations) and one group per invocation (its header, steps, and
+/// decisions, in order).
+fn invocation_groups(events: &[Event]) -> (Vec<Event>, Vec<Vec<Event>>) {
+    let mut preamble = Vec::new();
+    let mut groups: Vec<Vec<Event>> = Vec::new();
+    for event in events {
+        match event {
+            Event::Invocation { .. } => groups.push(vec![event.clone()]),
+            _ => match groups.last_mut() {
+                Some(group) => group.push(event.clone()),
+                None => preamble.push(event.clone()),
+            },
+        }
+    }
+    (preamble, groups)
+}
+
+/// Reassembles a log from a subset of invocation groups, renumbering the
+/// decision stream from zero.
+fn rebuild(log: &RunLog, preamble: &[Event], groups: &[Vec<Event>], kept: &[usize]) -> RunLog {
+    let mut events: Vec<Event> = preamble.to_vec();
+    for &k in kept {
+        events.extend(groups[k].iter().cloned());
+    }
+    let mut seq = 0;
+    for event in &mut events {
+        if let Event::Decision(record) = event {
+            *event = Event::Decision(DecisionRecord { seq, ..*record });
+            seq += 1;
+        }
+    }
+    RunLog {
+        events,
+        complete: true,
+        ..*log
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::{record_chaos_storm, StormSpec};
+
+    #[test]
+    fn clean_log_has_nothing_to_bisect() {
+        let recorded = record_chaos_storm(&StormSpec::new(7));
+        assert!(bisect_storm(&recorded.log).unwrap().is_none());
+    }
+
+    #[test]
+    fn bisect_shrinks_a_perturbed_log() {
+        let mut recorded = record_chaos_storm(&StormSpec::new(7));
+        let steps = recorded
+            .log
+            .events
+            .iter()
+            .filter(|e| matches!(e, Event::Step(_)))
+            .count();
+        assert!(recorded.log.perturb_step(steps / 2));
+
+        let report = bisect_storm(&recorded.log)
+            .unwrap()
+            .expect("perturbed log diverges");
+        assert!(report.kept_invocations <= report.original_invocations);
+        assert!(report.kept_invocations >= 1);
+        // The minimal log is a self-contained reproducer with the same
+        // failure signature.
+        assert_eq!(
+            signature(&report.divergence),
+            signature(&report.minimal_divergence)
+        );
+        let text = report.minimal.to_text();
+        let reparsed = RunLog::from_text(&text).unwrap();
+        let again = bisect_storm(&reparsed).unwrap().expect("fixture diverges");
+        assert_eq!(signature(&again.divergence), signature(&report.divergence));
+    }
+
+    #[test]
+    fn groups_partition_the_stream() {
+        let recorded = record_chaos_storm(&StormSpec::new(23));
+        let (preamble, groups) = invocation_groups(&recorded.log.events);
+        let total: usize = preamble.len() + groups.iter().map(Vec::len).sum::<usize>();
+        assert_eq!(total, recorded.log.events.len());
+        assert!(preamble.iter().all(|e| matches!(e, Event::Derive { .. })));
+        assert!(groups
+            .iter()
+            .all(|g| matches!(g[0], Event::Invocation { .. })));
+    }
+}

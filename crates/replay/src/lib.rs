@@ -1,0 +1,42 @@
+//! Deterministic record/replay for the EAS pipeline (DESIGN.md §12).
+//!
+//! Every source of nondeterminism in a run is behind a seam this crate
+//! can tap: the clock ([`easched_runtime::Clock`]), the run's RNG root
+//! ([`easched_core::RunSeed`]), and the observations a backend returns.
+//! Recording taps all three into a [`RunLog`] — a line-oriented,
+//! CRC-sealed text format in the style of the persistence journal —
+//! and replaying re-feeds the recorded observations through a
+//! [`ReplayBackend`] so the scheduler re-executes its decision sequence
+//! byte-identically, chaos faults and all.
+//!
+//! The crate is layered:
+//!
+//! - [`log`] — the `RunLog` container and its torn-tail-tolerant codec;
+//! - [`record`] — [`Recorder`] (a [`easched_telemetry::TelemetrySink`])
+//!   plus the scheduler/backend shims that tap live runs;
+//! - [`replay`] — [`ReplayBackend`] and [`replay_log`], diffing the live
+//!   decision stream against the recording and snapshotting engine state
+//!   at the first divergence (time-travel debugging);
+//! - [`harness`] — the canonical chaos-storm scenario: record, replay,
+//!   fingerprint-check;
+//! - [`bisect`] — shrinking a divergent log to a minimal reproducer.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bisect;
+pub mod harness;
+pub mod log;
+pub mod record;
+pub mod replay;
+
+pub use bisect::{bisect_storm, BisectReport};
+pub use harness::{
+    record_chaos_storm, recording_setup, replay_chaos_storm, scheduler_for_log, storm_platform,
+    RecordedStorm, ReplayError, StormSpec,
+};
+pub use log::{Event, LogError, LoggedInvocation, RecordedStep, RunLog, StepCall, FORMAT_VERSION};
+pub use record::{Recorder, RecordingBackend, RecordingScheduler};
+pub use replay::{
+    differing_fields, replay_log, CollectorSink, Divergence, ReplayBackend, ReplayOutcome,
+};

@@ -1,0 +1,176 @@
+//! Property tests for the run-log codec and the end-to-end replay
+//! guarantee (ISSUE: record/replay, DESIGN.md §12).
+//!
+//! The codec properties mirror the persistence journal's: serialization
+//! round-trips byte-identically, and a torn tail (crash mid-write, the
+//! FNV-1a line-seal idiom from the v3 journal) never breaks parsing —
+//! the surviving prefix is intact and the loss is flagged, not silent.
+
+use easched_replay::{Event, LogError, RecordedStep, RunLog, StepCall};
+use easched_runtime::Observation;
+use easched_sim::CounterSnapshot;
+use easched_telemetry::DecisionRecord;
+use proptest::prelude::*;
+
+fn arb_f64() -> impl Strategy<Value = f64> {
+    // Full bit-pattern coverage (infinities and NaNs included): the codec
+    // stores float bits verbatim, so every pattern must survive.
+    any::<u64>().prop_map(f64::from_bits)
+}
+
+fn arb_observation() -> impl Strategy<Value = Observation> {
+    (
+        (arb_f64(), any::<u64>(), any::<u64>()),
+        (arb_f64(), arb_f64(), arb_f64()),
+        (arb_f64(), arb_f64(), arb_f64()),
+    )
+        .prop_map(
+            |((elapsed, cpu_items, gpu_items), (cpu_time, gpu_time, energy), (i, l, m))| {
+                Observation {
+                    elapsed,
+                    cpu_items,
+                    gpu_items,
+                    cpu_time,
+                    gpu_time,
+                    energy_joules: energy,
+                    counters: CounterSnapshot {
+                        instructions: i,
+                        loads: l,
+                        l3_misses: m,
+                    },
+                }
+            },
+        )
+}
+
+fn arb_step() -> impl Strategy<Value = RecordedStep> {
+    let call = prop_oneof![
+        any::<u64>().prop_map(|chunk| StepCall::Profile { chunk }),
+        arb_f64().prop_map(|alpha| StepCall::Split { alpha }),
+    ];
+    (call, arb_observation(), any::<u64>()).prop_map(|(call, obs, remaining_after)| RecordedStep {
+        call,
+        obs,
+        remaining_after,
+    })
+}
+
+/// Arbitrary words decoded into a record give a *canonical* record: its
+/// `encode()` is a fixed point, which is what the text format stores.
+fn arb_decision() -> impl Strategy<Value = DecisionRecord> {
+    (any::<u64>(), prop::collection::vec(any::<u64>(), 13)).prop_map(|(seq, words)| {
+        let words: [u64; 13] = words.try_into().expect("vec of 13");
+        let canonical = DecisionRecord::decode(seq, &words);
+        DecisionRecord::decode(seq, &canonical.encode())
+    })
+}
+
+fn arb_event() -> impl Strategy<Value = Event> {
+    let domain = prop_oneof![
+        Just("chaos"),
+        Just("suite/BFS-desktop"),
+        Just("workload_gen"),
+    ];
+    let label = prop_oneof![Just("BFS"), Just("BS"), Just("MB"), Just("-")];
+    prop_oneof![
+        (
+            domain,
+            prop_oneof![Just(None), any::<u64>().prop_map(Some)],
+            any::<u64>()
+        )
+            .prop_map(|(d, index, seed)| Event::Derive {
+                domain: d.to_string(),
+                index,
+                seed,
+            }),
+        (any::<u64>(), any::<u64>(), any::<u64>(), label).prop_map(
+            |(kernel, items, profile_size, l)| Event::Invocation {
+                kernel,
+                items,
+                profile_size,
+                label: l.to_string(),
+            }
+        ),
+        arb_step().prop_map(Event::Step),
+        arb_decision().prop_map(Event::Decision),
+    ]
+}
+
+fn arb_log() -> impl Strategy<Value = RunLog> {
+    (
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+        prop::collection::vec(arb_event(), 0..40),
+    )
+        .prop_map(|(root, platform_fp, config_fp, events)| RunLog {
+            root,
+            platform_fp,
+            config_fp,
+            events,
+            complete: true,
+        })
+}
+
+/// Byte offset just past the 4-line header (magic, root, platform, config).
+fn header_end(text: &str) -> usize {
+    let mut end = 0;
+    for _ in 0..4 {
+        end += text[end..].find('\n').expect("header has 4 lines") + 1;
+    }
+    end
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Serialization round-trips byte-identically, including NaN payloads
+    /// and extreme values: parse(text).to_text() == text, with every
+    /// event and header field surviving structurally intact.
+    #[test]
+    fn runlog_round_trips_byte_equal(log in arb_log()) {
+        let text = log.to_text();
+        let parsed = RunLog::from_text(&text).expect("own output parses");
+        prop_assert!(parsed.complete);
+        prop_assert_eq!(parsed.events.len(), log.events.len());
+        // Byte-level equality is the property (structural `==` would reject
+        // NaN observations, whose bit payloads the codec must preserve).
+        prop_assert_eq!(parsed.to_text(), text);
+    }
+
+    /// Cutting the byte stream anywhere behind the header yields a clean
+    /// prefix flagged incomplete — never a parse error, never a mangled
+    /// event (the CRC seal rejects the torn line).
+    #[test]
+    fn torn_tails_leave_a_replayable_prefix(log in arb_log(), cut_frac in 0.0..1.0f64) {
+        let text = log.to_text();
+        let header = header_end(&text);
+        let cut = header + ((text.len() - header) as f64 * cut_frac) as usize;
+        prop_assume!(cut < text.len());
+
+        let torn = RunLog::from_text(&text[..cut]).expect("torn tail is not a parse error");
+        prop_assert!(!torn.complete, "missing footer must be flagged");
+        prop_assert!(torn.events.len() <= log.events.len());
+        // The surviving events are a bitwise prefix of the original stream:
+        // re-sealing them reproduces the original's leading lines exactly.
+        let resealed = RunLog { complete: true, ..torn.clone() }.to_text();
+        let original: Vec<&str> = text.lines().collect();
+        let prefix: Vec<&str> = resealed.lines().collect();
+        // Last line of the reseal is its own `end` footer; skip it.
+        for (i, line) in prefix[..prefix.len() - 1].iter().enumerate() {
+            prop_assert_eq!(*line, original[i], "line {} differs", i);
+        }
+    }
+
+    /// A header cut is a hard error, not silent data loss.
+    #[test]
+    fn torn_header_is_an_error(log in arb_log(), cut in 1usize..20) {
+        let text = log.to_text();
+        let cut = cut.min(header_end(&text) - 1);
+        let result = RunLog::from_text(&text[..cut]);
+        prop_assert!(
+            matches!(result, Err(LogError::NotARunLog | LogError::MalformedHeader(_))),
+            "got {result:?}"
+        );
+    }
+}

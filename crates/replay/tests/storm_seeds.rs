@@ -1,0 +1,40 @@
+//! The acceptance-bar scenario: the three CI chaos seeds (7, 23, 1009 —
+//! the same roots `ci.sh` drives through `EASCHED_CHAOS_SEED`) each
+//! record a mixed chaos storm whose replay reproduces the decision
+//! stream byte-for-byte and reconverges to the same health counters and
+//! kernel table.
+
+use easched_replay::{record_chaos_storm, replay_chaos_storm, StormSpec};
+
+#[test]
+fn ci_chaos_seeds_replay_byte_identically() {
+    for root in [7u64, 23, 1009] {
+        let recorded = record_chaos_storm(&StormSpec::new(root));
+        let outcome = replay_chaos_storm(&recorded.log).unwrap();
+        assert!(
+            outcome.identical(),
+            "seed {root} diverged: {}",
+            outcome.divergence.unwrap().render()
+        );
+        assert!(!outcome.recorded.is_empty(), "seed {root} recorded nothing");
+        assert_eq!(
+            outcome.live.len(),
+            outcome.recorded.len(),
+            "seed {root} stream lengths"
+        );
+        assert_eq!(outcome.health, recorded.health, "seed {root} health");
+        assert_eq!(outcome.table, recorded.table, "seed {root} table");
+    }
+}
+
+#[test]
+fn logs_survive_a_text_round_trip_before_replay() {
+    let recorded = record_chaos_storm(&StormSpec::new(1009));
+    let text = recorded.log.to_text();
+    let reloaded = easched_replay::RunLog::from_text(&text).unwrap();
+    // Bitwise comparison via re-serialization: chaos-corrupted observations
+    // can carry NaNs, which structural `==` would reject.
+    assert_eq!(reloaded.to_text(), text);
+    let outcome = replay_chaos_storm(&reloaded).unwrap();
+    assert!(outcome.identical());
+}

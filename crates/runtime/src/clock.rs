@@ -1,0 +1,190 @@
+//! The time seam: every wall-clock read in this crate goes through a
+//! [`Clock`] so a run can be re-executed deterministically.
+//!
+//! The runtime has exactly two consumers of real time — the thread
+//! backend's pacing/phase timers and the work-stealing pool's per-worker
+//! busy accounting — and both used to call `Instant::now()` directly.
+//! That made any wall-clock run unrepeatable: the same workload under the
+//! same scheduler produced different observations (and, with telemetry
+//! attached, different `decide_nanos` in every `DecisionRecord`). Routing
+//! them through this trait turns time into an injected dependency:
+//!
+//! * [`WallClock`] — the production implementation, monotonic seconds
+//!   from `Instant` with real `thread::sleep` pacing;
+//! * [`TickClock`] — a deterministic counter clock: every `now()` read
+//!   advances time by a fixed tick, `sleep` advances it by the requested
+//!   duration. Two runs making the same sequence of clock calls read the
+//!   same timestamps, which is what the record/replay layer
+//!   (`easched-replay`) needs for byte-identical re-execution.
+//!
+//! The simulator path (`SimBackend`) has its own virtual time inside
+//! `easched-sim` and does not touch this seam.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// A monotonic time source, in seconds since an arbitrary per-clock epoch.
+///
+/// Implementations must be thread-safe: the pool hands one clock to every
+/// worker thread, and backends read it concurrently with the GPU proxy.
+pub trait Clock: Send + Sync + std::fmt::Debug {
+    /// Current time in seconds. Monotone non-decreasing per clock.
+    fn now(&self) -> f64;
+
+    /// Blocks (or virtually advances) for `seconds`. Implementations may
+    /// return early only if `seconds` is not positive.
+    fn sleep(&self, seconds: f64);
+}
+
+/// The production clock: monotonic wall time from [`Instant`], with a
+/// process-wide epoch so independent `WallClock` values agree with each
+/// other, and real `thread::sleep` pacing.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WallClock;
+
+fn wall_epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+impl Clock for WallClock {
+    fn now(&self) -> f64 {
+        wall_epoch().elapsed().as_secs_f64()
+    }
+
+    fn sleep(&self, seconds: f64) {
+        if seconds > 0.0 {
+            std::thread::sleep(std::time::Duration::from_secs_f64(seconds));
+        }
+    }
+}
+
+/// A deterministic clock for record/replay and tests: time is a counter,
+/// not a measurement.
+///
+/// Every [`now()`](Clock::now) advances time by one fixed tick before
+/// returning it, so repeated reads are strictly increasing and — crucially
+/// — a re-run that makes the *same sequence of clock calls* reads the
+/// *same timestamps*, regardless of host load. [`sleep`](Clock::sleep)
+/// advances time by the requested amount without blocking.
+///
+/// The default tick is 100 ns: small enough that timer-derived telemetry
+/// (e.g. `DecisionRecord::decide_nanos`) stays in a plausible range, large
+/// enough that every read is distinguishable.
+#[derive(Debug)]
+pub struct TickClock {
+    /// Elapsed femtoseconds (integer, so advancing is exact and atomic).
+    femtos: AtomicU64,
+    /// Femtoseconds added per `now()` read.
+    tick_femtos: u64,
+}
+
+/// Femtoseconds per second — the `TickClock` fixed-point scale.
+const FEMTOS_PER_SEC: f64 = 1.0e15;
+
+impl TickClock {
+    /// A deterministic clock advancing 100 ns per read.
+    pub fn new() -> TickClock {
+        TickClock::with_tick(100.0e-9)
+    }
+
+    /// A deterministic clock advancing `tick_seconds` per read.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tick_seconds` is not positive and finite.
+    pub fn with_tick(tick_seconds: f64) -> TickClock {
+        assert!(
+            tick_seconds.is_finite() && tick_seconds > 0.0,
+            "tick must be positive"
+        );
+        TickClock {
+            femtos: AtomicU64::new(0),
+            tick_femtos: (tick_seconds * FEMTOS_PER_SEC) as u64,
+        }
+    }
+
+    /// Clock reads made so far (each read is one tick).
+    pub fn reads(&self) -> u64 {
+        self.femtos.load(Ordering::Relaxed) / self.tick_femtos.max(1)
+    }
+}
+
+impl Default for TickClock {
+    fn default() -> TickClock {
+        TickClock::new()
+    }
+}
+
+impl Clock for TickClock {
+    fn now(&self) -> f64 {
+        let t = self
+            .femtos
+            .fetch_add(self.tick_femtos, Ordering::Relaxed)
+            .wrapping_add(self.tick_femtos);
+        t as f64 / FEMTOS_PER_SEC
+    }
+
+    fn sleep(&self, seconds: f64) {
+        if seconds > 0.0 {
+            let femtos = (seconds * FEMTOS_PER_SEC) as u64;
+            self.femtos.fetch_add(femtos, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wall_clock_is_monotone_and_sleeps() {
+        let c = WallClock;
+        let a = c.now();
+        c.sleep(0.002);
+        let b = c.now();
+        assert!(b >= a + 0.001, "slept {b} vs {a}");
+        c.sleep(-1.0); // negative sleep is a no-op, not a panic
+    }
+
+    #[test]
+    fn independent_wall_clocks_share_an_epoch() {
+        let a = WallClock.now();
+        let b = WallClock.now();
+        assert!(b >= a && b - a < 1.0);
+    }
+
+    #[test]
+    fn tick_clock_is_deterministic() {
+        let run = || {
+            let c = TickClock::new();
+            let mut reads = Vec::new();
+            for _ in 0..5 {
+                reads.push(c.now().to_bits());
+            }
+            c.sleep(1.5);
+            reads.push(c.now().to_bits());
+            reads
+        };
+        assert_eq!(run(), run(), "same call sequence, same timestamps");
+    }
+
+    #[test]
+    fn tick_clock_advances_per_read_and_sleep() {
+        let c = TickClock::with_tick(1.0e-6);
+        let a = c.now();
+        let b = c.now();
+        assert!((b - a - 1.0e-6).abs() < 1.0e-12);
+        c.sleep(0.5);
+        let d = c.now();
+        assert!(d > b + 0.5 - 1e-9);
+        assert_eq!(c.reads(), 500_003);
+    }
+
+    #[test]
+    #[should_panic(expected = "tick must be positive")]
+    fn tick_clock_rejects_zero_tick() {
+        TickClock::with_tick(0.0);
+    }
+}

@@ -32,6 +32,7 @@
 
 pub mod backend;
 pub mod chaos;
+pub mod clock;
 pub mod energy_probe;
 pub mod observation;
 pub mod parallel_invoker;
@@ -45,10 +46,11 @@ pub use backend::Backend;
 pub use chaos::{
     replay_trace_chaos, run_workload_chaos, ChaosBackend, ChaosInjector, Fault, FaultPlan,
 };
+pub use clock::{Clock, TickClock, WallClock};
 pub use energy_probe::{EnergyProbe, MachineProbe, RaplProbe};
 pub use observation::{Observation, RunMetrics};
 pub use parallel_invoker::ParallelInvoker;
-pub use pool::{parallel_for, PoolReport};
+pub use pool::{parallel_for, parallel_for_clocked, parallel_for_until_clocked, PoolReport};
 pub use scheduler::{ConcurrentScheduler, KernelId, Scheduler, Shared};
 pub use sim_backend::{kernel_id_of, replay_trace, run_workload, SchedulerInvoker, SimBackend};
 pub use telemetry::InstrumentedBackend;

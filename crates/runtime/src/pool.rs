@@ -7,9 +7,9 @@
 //! locally — the "CPU workers locally collect profiling information" part of
 //! the paper's adaptive profiling — and returned in a [`PoolReport`].
 
+use crate::clock::{Clock, WallClock};
 use crossbeam::deque::{Steal, Stealer, Worker};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::time::Instant;
 
 /// Per-worker and aggregate statistics from one `parallel_for`.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -66,9 +66,29 @@ pub fn parallel_for_until(
     stop: Option<&AtomicBool>,
     f: &(dyn Fn(usize) + Sync),
 ) -> PoolReport {
+    parallel_for_until_clocked(n, workers, chunk, stop, &WallClock, f)
+}
+
+/// [`parallel_for_until`] with an explicit time source: all timing in the
+/// report (wall elapsed, per-worker busy seconds) is read from `clock`
+/// instead of the host's `Instant`. With a deterministic clock the report
+/// is reproducible call-for-call — the seam the record/replay layer
+/// depends on. `parallel_for_until` is this with [`WallClock`].
+///
+/// # Panics
+///
+/// Panics if `workers` or `chunk` is zero.
+pub fn parallel_for_until_clocked(
+    n: u64,
+    workers: usize,
+    chunk: u64,
+    stop: Option<&AtomicBool>,
+    clock: &dyn Clock,
+    f: &(dyn Fn(usize) + Sync),
+) -> PoolReport {
     assert!(workers > 0, "need at least one worker");
     assert!(chunk > 0, "chunk size must be positive");
-    let start = Instant::now();
+    let start = clock.now();
 
     // Build one deque per worker and seed chunks round-robin.
     let locals: Vec<Worker<Chunk>> = (0..workers).map(|_| Worker::new_fifo()).collect();
@@ -91,7 +111,7 @@ pub fn parallel_for_until(
         for (id, local) in locals.into_iter().enumerate() {
             let stealers = &stealers;
             let handle = s.spawn(move || {
-                let t0 = Instant::now();
+                let t0 = clock.now();
                 let mut my_items = 0u64;
                 let mut my_steals = 0u64;
                 'outer: loop {
@@ -123,7 +143,7 @@ pub fn parallel_for_until(
                     }
                     my_items += c.end - c.start;
                 }
-                (my_items, t0.elapsed().as_secs_f64(), my_steals)
+                (my_items, clock.now() - t0, my_steals)
             });
             handles.push(handle);
         }
@@ -138,7 +158,7 @@ pub fn parallel_for_until(
     PoolReport {
         items_per_worker: items,
         busy_per_worker: busy,
-        elapsed: start.elapsed().as_secs_f64(),
+        elapsed: clock.now() - start,
         steals: steals.iter().sum(),
     }
 }
@@ -164,15 +184,31 @@ pub fn parallel_for_until(
 /// assert_eq!(report.total_items(), 1000);
 /// ```
 pub fn parallel_for(n: u64, workers: usize, f: &(dyn Fn(usize) + Sync)) -> PoolReport {
+    parallel_for_clocked(n, workers, &WallClock, f)
+}
+
+/// [`parallel_for`] with an explicit time source (see
+/// [`parallel_for_until_clocked`]).
+///
+/// # Panics
+///
+/// Panics if `workers` is zero.
+pub fn parallel_for_clocked(
+    n: u64,
+    workers: usize,
+    clock: &dyn Clock,
+    f: &(dyn Fn(usize) + Sync),
+) -> PoolReport {
     assert!(workers > 0, "need at least one worker");
     let chunk = (n / (workers as u64 * 8)).clamp(1, 4096);
-    parallel_for_until(n, workers, chunk, None, f)
+    parallel_for_until_clocked(n, workers, chunk, None, clock, f)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use std::sync::atomic::AtomicU64;
+    use std::time::Instant;
 
     #[test]
     fn executes_every_index_once() {
@@ -255,5 +291,17 @@ mod tests {
     #[should_panic(expected = "need at least one worker")]
     fn zero_workers_rejected() {
         parallel_for(10, 0, &|_| {});
+    }
+
+    #[test]
+    fn tick_clock_makes_reports_deterministic() {
+        use crate::clock::TickClock;
+        // One worker → a fixed sequence of clock reads → bit-identical
+        // timing in the report, run after run.
+        let run = || {
+            let clock = TickClock::new();
+            parallel_for_until_clocked(1_000, 1, 64, None, &clock, &|_| {})
+        };
+        assert_eq!(run(), run());
     }
 }

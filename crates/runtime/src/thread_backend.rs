@@ -13,11 +13,12 @@
 //! demo path trades the PCU transient model for real parallel execution.
 
 use crate::backend::Backend;
+use crate::clock::{Clock, WallClock};
 use crate::observation::Observation;
 use crate::pool;
 use easched_sim::{KernelTraits, Platform};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::time::{Duration, Instant};
+use std::sync::Arc;
 
 /// Configuration for a [`ThreadBackend`].
 #[derive(Debug, Clone)]
@@ -30,6 +31,10 @@ pub struct ThreadBackendConfig {
     pub pacing_batch: u64,
     /// Shared-counter chunk size for CPU workers.
     pub cpu_chunk: u64,
+    /// Time source for every timer and pacing sleep in the backend
+    /// (defaults to [`WallClock`]; inject a deterministic clock for
+    /// record/replay and tests).
+    pub clock: Arc<dyn Clock>,
 }
 
 impl ThreadBackendConfig {
@@ -50,7 +55,14 @@ impl ThreadBackendConfig {
             gpu_rate,
             pacing_batch: 256,
             cpu_chunk: 256,
+            clock: Arc::new(WallClock),
         }
+    }
+
+    /// Replaces the backend's time source (builder style).
+    pub fn with_clock(mut self, clock: Arc<dyn Clock>) -> ThreadBackendConfig {
+        self.clock = clock;
+        self
     }
 }
 
@@ -95,7 +107,8 @@ impl<'a> ThreadBackend<'a> {
 
     /// Runs the proxy-paced "GPU" over `[start, end)`. Returns busy seconds.
     fn gpu_execute(&self, start: u64, end: u64) -> f64 {
-        let t0 = Instant::now();
+        let clock = self.config.clock.as_ref();
+        let t0 = clock.now();
         let mut done = 0u64;
         let total = end - start;
         while done < total {
@@ -105,13 +118,13 @@ impl<'a> ThreadBackend<'a> {
             }
             done += batch;
             // Pace to the emulated device rate.
-            let target = Duration::from_secs_f64(done as f64 / self.config.gpu_rate);
-            let actual = t0.elapsed();
+            let target = done as f64 / self.config.gpu_rate;
+            let actual = clock.now() - t0;
             if target > actual {
-                std::thread::sleep(target - actual);
+                clock.sleep(target - actual);
             }
         }
-        t0.elapsed().as_secs_f64()
+        clock.now() - t0
     }
 
     /// Steady-state energy estimate for a step with the given phase
@@ -140,10 +153,11 @@ impl Backend for ThreadBackend<'_> {
         let pool_items = rem - chunk;
         let gpu_start = self.high - chunk;
 
+        let clock = Arc::clone(&self.config.clock);
         let stop = AtomicBool::new(false);
         let counter = AtomicU64::new(0);
         let executed = AtomicU64::new(0);
-        let t0 = Instant::now();
+        let t0 = clock.now();
         let mut gpu_time = 0.0;
         let mut cpu_busy = 0.0;
 
@@ -164,8 +178,9 @@ impl Backend for ThreadBackend<'_> {
                 let low = self.low;
                 let chunk_sz = self.config.cpu_chunk;
                 let process = self.process;
+                let clock = Arc::clone(&clock);
                 handles.push(s.spawn(move || {
-                    let t = Instant::now();
+                    let t = clock.now();
                     loop {
                         if stop.load(Ordering::Relaxed) {
                             break;
@@ -180,7 +195,7 @@ impl Backend for ThreadBackend<'_> {
                         }
                         executed.fetch_add(end - c, Ordering::Relaxed);
                     }
-                    t.elapsed().as_secs_f64()
+                    clock.now() - t
                 }));
             }
             gpu_time = proxy.join().expect("gpu proxy panicked");
@@ -190,7 +205,7 @@ impl Backend for ThreadBackend<'_> {
         });
 
         let cpu_items = executed.load(Ordering::Relaxed);
-        let elapsed = t0.elapsed().as_secs_f64();
+        let elapsed = clock.now() - t0;
         self.high -= chunk;
         self.low += cpu_items;
 
@@ -220,21 +235,25 @@ impl Backend for ThreadBackend<'_> {
         let low = self.low;
         let process = self.process;
 
-        let t0 = Instant::now();
+        let clock = Arc::clone(&self.config.clock);
+        let t0 = clock.now();
         let mut gpu_time = 0.0;
         let mut cpu_report = pool::PoolReport::default();
         std::thread::scope(|s| {
             let proxy = (gpu > 0).then(|| s.spawn(|| self.gpu_execute(gpu_start, self.high)));
             if cpu > 0 {
-                cpu_report = pool::parallel_for(cpu, self.config.cpu_workers, &|i| {
-                    process((low + i as u64) as usize)
-                });
+                cpu_report = pool::parallel_for_clocked(
+                    cpu,
+                    self.config.cpu_workers,
+                    clock.as_ref(),
+                    &|i| process((low + i as u64) as usize),
+                );
             }
             if let Some(p) = proxy {
                 gpu_time = p.join().expect("gpu proxy panicked");
             }
         });
-        let elapsed = t0.elapsed().as_secs_f64();
+        let elapsed = clock.now() - t0;
         self.high -= gpu;
         self.low += cpu;
 
@@ -349,5 +368,37 @@ mod tests {
     #[should_panic(expected = "gpu_rate must be positive")]
     fn config_rejects_bad_rate() {
         ThreadBackendConfig::new(2, 0.0);
+    }
+
+    #[test]
+    fn virtual_clock_runs_are_deterministic_and_unpaced() {
+        use crate::clock::TickClock;
+        let platform = Platform::haswell_desktop();
+        let t = traits();
+        let f = |_: usize| {};
+        // A single worker makes the clock-call sequence fixed; the virtual
+        // clock then makes the observations bit-identical run over run —
+        // and nothing actually sleeps, so a "slow" 1 items/s GPU finishes
+        // instantly in wall time.
+        let run = || {
+            let cfg =
+                ThreadBackendConfig::new(1, 1.0).with_clock(std::sync::Arc::new(TickClock::new()));
+            let mut b = ThreadBackend::new(cfg, &platform, &t, 4_000, &f);
+            let o1 = b.profile_step(1_000);
+            let o2 = b.run_split(0.5);
+            assert_eq!(b.remaining(), 0);
+            [
+                o1.elapsed.to_bits(),
+                o1.gpu_time.to_bits(),
+                o1.energy_joules.to_bits(),
+                o2.elapsed.to_bits(),
+                o2.gpu_time.to_bits(),
+                o2.energy_joules.to_bits(),
+            ]
+        };
+        let wall0 = std::time::Instant::now();
+        assert_eq!(run(), run());
+        // 5k items at 1 item/s would be ~83 minutes of real pacing.
+        assert!(wall0.elapsed() < std::time::Duration::from_secs(30));
     }
 }

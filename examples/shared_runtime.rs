@@ -11,6 +11,8 @@
 //! cargo run --release --example shared_runtime -- --trace shared.trace.json
 //! cargo run --release --example shared_runtime -- --store table.d --repeat 50
 //! cargo run --release --example shared_runtime -- --store table.d --verify-recovery
+//! cargo run --release --example shared_runtime -- --record run.runlog --seed 7
+//! cargo run --release --example shared_runtime -- --replay run.runlog
 //! ```
 //!
 //! With `--trace <path>`, all streams' `DecisionRecord`s land in one
@@ -27,6 +29,16 @@
 //! entirely: it opens the store, audits every recovered entry, and exits
 //! non-zero if recovery surfaced anything corrupt — the assertion half of
 //! ci.sh's SIGKILL smoke test.
+//!
+//! With `--record <file>`, one stream runs the workload set through the
+//! shared scheduler with every determinism seam tapped (virtual clock,
+//! seeded config, recorded observations — DESIGN.md §12) and writes a
+//! sealed `RunLog`; `--replay <file>` re-executes it against a freshly
+//! built scheduler and diffs the decision streams, exiting non-zero on
+//! the first divergent decision. Recording collapses to a single stream
+//! because replay is sequential: a multi-stream run's decision order is
+//! an OS scheduling artifact, which is exactly the nondeterminism the
+//! record mode exists to exclude (see README "Replaying a run").
 
 use easched::core::telemetry::{parse_trace, to_trace};
 use easched::core::{
@@ -46,6 +58,9 @@ struct Options {
     store: Option<PathBuf>,
     repeat: usize,
     verify_recovery: bool,
+    record: Option<PathBuf>,
+    replay: Option<PathBuf>,
+    seed: u64,
 }
 
 fn options() -> Options {
@@ -54,6 +69,9 @@ fn options() -> Options {
         store: None,
         repeat: 1,
         verify_recovery: false,
+        record: None,
+        replay: None,
+        seed: 7,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -75,6 +93,22 @@ fn options() -> Options {
                     .expect("--repeat requires a count")
             }
             "--verify-recovery" => opts.verify_recovery = true,
+            "--record" => {
+                opts.record = Some(PathBuf::from(
+                    args.next().expect("--record requires a file path"),
+                ))
+            }
+            "--replay" => {
+                opts.replay = Some(PathBuf::from(
+                    args.next().expect("--replay requires a file path"),
+                ))
+            }
+            "--seed" => {
+                opts.seed = args
+                    .next()
+                    .and_then(|n| n.parse().ok())
+                    .expect("--seed requires an integer")
+            }
             other => panic!("unknown flag {other:?}"),
         }
     }
@@ -127,6 +161,71 @@ fn verify_recovery(dir: &PathBuf) -> ! {
     std::process::exit(0);
 }
 
+/// `--record`: one stream, every nondeterminism seam tapped. The shared
+/// scheduler is built by `recording_setup` (storm platform, seeded
+/// config, virtual clock, recorder attached as telemetry sink), then
+/// each workload runs through the same `Shared` adapter the concurrent
+/// streams use — wrapped in a `RecordingScheduler` so every backend
+/// observation lands in the log alongside the decision stream.
+fn record_run(path: &PathBuf, seed: u64) -> ! {
+    use easched::replay::{recording_setup, storm_platform, RecordingScheduler};
+    use easched::runtime::{run_workload, Shared};
+    use easched::sim::Machine;
+
+    println!("recording single-stream run (seed {seed}) ...");
+    let (eas, recorder) = recording_setup(easched::core::RunSeed::new(seed));
+    let shared = eas.into_shared(); // carries the recorder sink + TickClock
+    let mut adapter = Shared::new(shared);
+    let mut machine = Machine::new(storm_platform());
+    for workload in [suite::blackscholes_small(), suite::mandelbrot_small()] {
+        let label = workload.spec().abbrev;
+        let mut recording = RecordingScheduler::new(&mut adapter, Arc::clone(&recorder), label);
+        let (_, verification) = run_workload(&mut machine, workload.as_ref(), &mut recording);
+        assert!(verification.is_passed());
+    }
+    let log = recorder.finish();
+    std::fs::write(path, log.to_text()).expect("write run log");
+    println!(
+        "recorded {} decisions ({} events) to {}",
+        log.decisions().len(),
+        log.events.len(),
+        path.display()
+    );
+    println!("replay with: cargo run --release --example shared_runtime -- --replay <file>");
+    std::process::exit(0);
+}
+
+/// `--replay`: rebuild the scheduler from the log's fingerprints, re-feed
+/// the recorded observations, diff the decision streams bit-for-bit.
+fn replay_run(path: &PathBuf) -> ! {
+    use easched::replay::{replay_chaos_storm, RunLog};
+
+    let text = std::fs::read_to_string(path).expect("read run log");
+    let log = RunLog::from_text(&text).unwrap_or_else(|e| {
+        eprintln!("{} is not a run log: {e:?}", path.display());
+        std::process::exit(2);
+    });
+    match replay_chaos_storm(&log) {
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+        Ok(outcome) => {
+            if let Some(divergence) = outcome.divergence {
+                println!("{}", divergence.render());
+                std::process::exit(1);
+            }
+            println!(
+                "{}: replayed {} invocations, {} decisions byte-identical",
+                path.display(),
+                outcome.invocations_replayed,
+                outcome.live.len()
+            );
+            std::process::exit(0);
+        }
+    }
+}
+
 fn main() {
     let opts = options();
     if opts.verify_recovery {
@@ -135,6 +234,12 @@ fn main() {
             .as_ref()
             .expect("--verify-recovery requires --store <dir>");
         verify_recovery(dir);
+    }
+    if let Some(path) = &opts.replay {
+        replay_run(path);
+    }
+    if let Some(path) = &opts.record {
+        record_run(path, opts.seed);
     }
 
     let platform = Platform::haswell_desktop();

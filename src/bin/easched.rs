@@ -6,6 +6,8 @@
 //! easched run --workload MB [--platform P] [--objective edp|energy|ed2|time]
 //!              [--model FILE] [--decisions FILE]
 //! easched compare --workload SM|all [--platform P] [--objective O] [--model FILE]
+//! easched record --out FILE [--seed N] [--rounds N] [--rate F]
+//! easched replay --log FILE [--bisect] [--perturb N] [--emit-fixture FILE]
 //! ```
 
 use easched::core::{
@@ -13,6 +15,7 @@ use easched::core::{
     Objective, PowerModel,
 };
 use easched::kernels::{suite, Workload};
+use easched::replay::{bisect_storm, record_chaos_storm, replay_chaos_storm, RunLog, StormSpec};
 use easched::sim::Platform;
 
 /// Parsed command line.
@@ -35,6 +38,18 @@ enum Command {
         platform: PlatformArg,
         objective: ObjectiveArg,
         model: Option<String>,
+    },
+    Record {
+        out: String,
+        seed: u64,
+        rounds: usize,
+        rate: f64,
+    },
+    Replay {
+        log: String,
+        bisect: bool,
+        perturb: Option<usize>,
+        emit_fixture: Option<String>,
     },
 }
 
@@ -85,7 +100,9 @@ usage:
   easched characterize [--platform desktop|tablet] [--save FILE]
   easched run --workload ABBREV [--platform P] [--objective edp|energy|ed2|time]
                [--model FILE] [--decisions FILE]
-  easched compare --workload ABBREV|all [--platform P] [--objective O] [--model FILE]";
+  easched compare --workload ABBREV|all [--platform P] [--objective O] [--model FILE]
+  easched record --out FILE [--seed N] [--rounds N] [--rate F]
+  easched replay --log FILE [--bisect] [--perturb N] [--emit-fixture FILE]";
 
 fn parse_args(args: &[String]) -> Result<Command, String> {
     let mut it = args.iter().map(String::as_str);
@@ -97,6 +114,14 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
     let mut model: Option<String> = None;
     let mut save: Option<String> = None;
     let mut decisions: Option<String> = None;
+    let mut out: Option<String> = None;
+    let mut log: Option<String> = None;
+    let mut seed: u64 = 7;
+    let mut rounds: usize = 2;
+    let mut rate: f64 = 0.2;
+    let mut bisect = false;
+    let mut perturb: Option<usize> = None;
+    let mut emit_fixture: Option<String> = None;
 
     while let Some(flag) = it.next() {
         let mut value = |name: &str| {
@@ -125,6 +150,32 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
             "--model" => model = Some(value("--model")?),
             "--save" => save = Some(value("--save")?),
             "--decisions" => decisions = Some(value("--decisions")?),
+            "--out" => out = Some(value("--out")?),
+            "--log" => log = Some(value("--log")?),
+            "--seed" => {
+                seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
+            "--rounds" => {
+                rounds = value("--rounds")?
+                    .parse()
+                    .map_err(|e| format!("--rounds: {e}"))?
+            }
+            "--rate" => {
+                rate = value("--rate")?
+                    .parse()
+                    .map_err(|e| format!("--rate: {e}"))?
+            }
+            "--bisect" => bisect = true,
+            "--perturb" => {
+                perturb = Some(
+                    value("--perturb")?
+                        .parse()
+                        .map_err(|e| format!("--perturb: {e}"))?,
+                )
+            }
+            "--emit-fixture" => emit_fixture = Some(value("--emit-fixture")?),
             other => return Err(format!("unknown flag {other:?}\n{USAGE}")),
         }
     }
@@ -144,6 +195,18 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
             platform,
             objective,
             model,
+        }),
+        "record" => Ok(Command::Record {
+            out: out.ok_or("record requires --out")?,
+            seed,
+            rounds,
+            rate,
+        }),
+        "replay" => Ok(Command::Replay {
+            log: log.ok_or("replay requires --log")?,
+            bisect,
+            perturb,
+            emit_fixture,
         }),
         other => Err(format!("unknown command {other:?}\n{USAGE}")),
     }
@@ -299,6 +362,96 @@ fn cmd_compare(
     }
 }
 
+fn cmd_record(out: &str, seed: u64, rounds: usize, rate: f64) {
+    let mut spec = StormSpec::new(seed);
+    spec.rounds = rounds;
+    spec.chaos_rate = rate;
+    eprintln!("recording chaos storm: seed {seed}, {rounds} round(s), fault rate {rate} ...");
+    let recorded = record_chaos_storm(&spec);
+    let decisions = recorded.log.decisions().len();
+    let events = recorded.log.events.len();
+    std::fs::write(out, recorded.log.to_text()).unwrap_or_else(|e| {
+        eprintln!("cannot write log to {out}: {e}");
+        std::process::exit(2);
+    });
+    println!("recorded {decisions} decisions ({events} events) to {out}");
+}
+
+fn load_log(path: &str) -> RunLog {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read log {path}: {e}");
+        std::process::exit(2);
+    });
+    let log = RunLog::from_text(&text).unwrap_or_else(|e| {
+        eprintln!("cannot parse log {path}: {e}");
+        std::process::exit(2);
+    });
+    if !log.complete {
+        eprintln!(
+            "warning: {path} has a torn tail; replaying the {} sealed events",
+            log.events.len()
+        );
+    }
+    log
+}
+
+fn cmd_replay(path: &str, bisect: bool, perturb: Option<usize>, emit_fixture: Option<String>) {
+    if emit_fixture.is_some() && !bisect {
+        eprintln!("--emit-fixture requires --bisect");
+        std::process::exit(2);
+    }
+    let mut log = load_log(path);
+    if let Some(step) = perturb {
+        if !log.perturb_step(step) {
+            eprintln!("--perturb {step}: log has no such step");
+            std::process::exit(2);
+        }
+        eprintln!("perturbed recorded step {step} (energy scaled; intentional divergence)");
+    }
+
+    if bisect {
+        match bisect_storm(&log) {
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(2);
+            }
+            Ok(None) => println!("{path}: replay is byte-identical; nothing to bisect"),
+            Ok(Some(report)) => {
+                println!("{}", report.render());
+                if let Some(fixture) = emit_fixture {
+                    std::fs::write(&fixture, report.minimal.to_text()).unwrap_or_else(|e| {
+                        eprintln!("cannot write fixture to {fixture}: {e}");
+                        std::process::exit(2);
+                    });
+                    println!(
+                        "minimal reproducer ({} of {} invocations) written to {fixture}",
+                        report.kept_invocations, report.original_invocations
+                    );
+                }
+                std::process::exit(1);
+            }
+        }
+    } else {
+        match replay_chaos_storm(&log) {
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(2);
+            }
+            Ok(outcome) => {
+                if let Some(divergence) = outcome.divergence {
+                    println!("{}", divergence.render());
+                    std::process::exit(1);
+                }
+                println!(
+                    "{path}: replayed {} invocations, {} decisions byte-identical",
+                    outcome.invocations_replayed,
+                    outcome.live.len()
+                );
+            }
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match parse_args(&args) {
@@ -317,6 +470,18 @@ fn main() {
             objective,
             model,
         }) => cmd_compare(&workload, platform, objective, model),
+        Ok(Command::Record {
+            out,
+            seed,
+            rounds,
+            rate,
+        }) => cmd_record(&out, seed, rounds, rate),
+        Ok(Command::Replay {
+            log,
+            bisect,
+            perturb,
+            emit_fixture,
+        }) => cmd_replay(&log, bisect, perturb, emit_fixture),
         Err(message) => {
             eprintln!("{message}");
             std::process::exit(2);
@@ -384,6 +549,70 @@ mod tests {
     #[test]
     fn run_requires_workload() {
         assert!(parse(&["run"]).unwrap_err().contains("--workload"));
+    }
+
+    #[test]
+    fn parses_record_with_defaults_and_overrides() {
+        let c = parse(&["record", "--out", "run.log"]).unwrap();
+        assert_eq!(
+            c,
+            Command::Record {
+                out: "run.log".into(),
+                seed: 7,
+                rounds: 2,
+                rate: 0.2,
+            }
+        );
+        let c = parse(&[
+            "record", "--out", "r.log", "--seed", "1009", "--rounds", "3", "--rate", "0.5",
+        ])
+        .unwrap();
+        assert_eq!(
+            c,
+            Command::Record {
+                out: "r.log".into(),
+                seed: 1009,
+                rounds: 3,
+                rate: 0.5,
+            }
+        );
+        assert!(parse(&["record"]).unwrap_err().contains("--out"));
+    }
+
+    #[test]
+    fn parses_replay_variants() {
+        let c = parse(&["replay", "--log", "run.log"]).unwrap();
+        assert_eq!(
+            c,
+            Command::Replay {
+                log: "run.log".into(),
+                bisect: false,
+                perturb: None,
+                emit_fixture: None,
+            }
+        );
+        let c = parse(&[
+            "replay",
+            "--log",
+            "run.log",
+            "--bisect",
+            "--perturb",
+            "12",
+            "--emit-fixture",
+            "min.log",
+        ])
+        .unwrap();
+        assert_eq!(
+            c,
+            Command::Replay {
+                log: "run.log".into(),
+                bisect: true,
+                perturb: Some(12),
+                emit_fixture: Some("min.log".into()),
+            }
+        );
+        assert!(parse(&["replay"]).unwrap_err().contains("--log"));
+        assert!(parse(&["replay", "--log", "x", "--perturb", "abc"]).is_err());
     }
 
     #[test]

@@ -13,6 +13,8 @@
 //!   micro-benchmarks
 //! * [`runtime`] — Concord-style work-stealing heterogeneous runtime
 //! * [`core`] — the energy-aware scheduler (EAS) itself
+//! * [`telemetry`] — decision tracing, metrics, drift detection
+//! * [`replay`] — deterministic record/replay and time-travel debugging
 //!
 //! # Quickstart
 //!
@@ -41,5 +43,7 @@ pub use easched_core as core;
 pub use easched_graph as graph;
 pub use easched_kernels as kernels;
 pub use easched_num as num;
+pub use easched_replay as replay;
 pub use easched_runtime as runtime;
 pub use easched_sim as sim;
+pub use easched_telemetry as telemetry;

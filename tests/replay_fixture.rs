@@ -1,0 +1,50 @@
+//! Regression fixture for the divergence reporter.
+//!
+//! `tests/fixtures/divergent_min.runlog` is a bisect-shrunk chaos-storm
+//! recording with one intentionally perturbed observation (produced by
+//! `easched replay --log <storm> --perturb 12 --bisect --emit-fixture`).
+//! Replaying it must *diverge* — this pins the whole reporting path:
+//! parse, fingerprint check, replay, decision diff, state snapshot.
+//!
+//! If this test fails with a fingerprint mismatch, the power model or
+//! scheduler config changed shape; regenerate the fixture with the
+//! command above (see README "Replaying a run").
+
+use easched::replay::{replay_chaos_storm, RunLog};
+
+const FIXTURE: &str = include_str!("fixtures/divergent_min.runlog");
+
+#[test]
+fn shrunk_fixture_still_trips_the_divergence_reporter() {
+    let log = RunLog::from_text(FIXTURE).expect("fixture parses");
+    assert!(log.complete, "fixture is a sealed, complete log");
+
+    let outcome = replay_chaos_storm(&log).unwrap_or_else(|e| {
+        panic!(
+            "fixture no longer matches this build ({e}); regenerate it with \
+             `easched replay --log <storm> --perturb N --bisect --emit-fixture \
+             tests/fixtures/divergent_min.runlog`"
+        )
+    });
+    let divergence = outcome
+        .divergence
+        .expect("the perturbed fixture must diverge");
+
+    // The perturbation scaled one recorded energy, so the divergent field
+    // set pins down to exactly the energy words.
+    assert!(
+        divergence.fields.iter().any(|f| f.contains("energy")),
+        "expected an energy field, got {:?}",
+        divergence.fields
+    );
+    let report = divergence.render();
+    assert!(report.contains("first divergent decision"), "{report}");
+    assert!(!divergence.table.is_empty());
+}
+
+#[test]
+fn fixture_text_is_sealed_and_stable() {
+    let log = RunLog::from_text(FIXTURE).expect("fixture parses");
+    assert_eq!(log.to_text(), FIXTURE, "fixture file is canonical");
+    assert_eq!(log.root, 7, "fixture records the seed-7 storm");
+}
