@@ -61,6 +61,17 @@ fi
 grep -q "first divergent decision" target/ci-bisect.out
 test -s target/ci-replay-min.runlog
 
+echo "==> overload storm: 8 tenants at 2x load, seed matrix, all gates"
+cargo build --release --example multi_tenant
+for seed in 7 23 1009; do
+    echo "    multi_tenant --seed $seed --ci"
+    ./target/release/examples/multi_tenant --seed "$seed" --ci > /dev/null
+done
+
+echo "==> overload replay: record one overloaded run, byte-identical via easched replay"
+./target/release/easched record --out target/ci-overload.runlog --overload --seed 7 > /dev/null
+./target/release/easched replay --log target/ci-overload.runlog
+
 echo "==> decide-path budget: fresh measurement vs committed BENCH_decide.json"
 ./target/release/bench_decide --out target/ci-bench-decide.json --check BENCH_decide.json
 

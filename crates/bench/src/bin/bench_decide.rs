@@ -16,10 +16,18 @@
 //! ```
 //!
 //! `--check` compares the fresh measurement against a committed
-//! baseline and exits nonzero if `ns_per_decide` exceeds `F ×` the
-//! baseline (default factor 5.0 — wide, because CI machines are noisy;
-//! the point is catching accidental O(n) regressions on the decide
-//! path, not 10 % drift).
+//! baseline and exits nonzero if `ns_per_decide` *or* `ns_per_record`
+//! exceeds `F ×` the baseline (default factor 5.0 — wide, because CI
+//! machines are noisy; the point is catching accidental O(n)
+//! regressions on the hot paths, not 10 % drift). The baseline is the
+//! *first* entry of the file's `runs` array — the oldest measurement,
+//! so the gate never quietly ratchets.
+//!
+//! `--out` appends a run entry instead of overwriting: the committed
+//! `BENCH_decide.json` accumulates one `{commit, ns_per_decide,
+//! ns_per_record}` entry per PR, a real latency trajectory. A v1
+//! (single-snapshot) file is migrated in place, its snapshot becoming
+//! the first run.
 
 use easched_core::{
     characterize, CharacterizationConfig, DecisionRecord, EasConfig, EasScheduler, InvocationPath,
@@ -31,7 +39,8 @@ use std::hint::black_box;
 use std::time::Instant;
 
 /// Bump when fields change meaning; checkers must match on it.
-const SCHEMA_VERSION: u32 = 1;
+/// v2 replaced the single measurement snapshot with a `runs` trajectory.
+const SCHEMA_VERSION: u32 = 2;
 
 const SAMPLES: usize = 31;
 const ITERS_PER_SAMPLE: u64 = 20_000;
@@ -108,22 +117,72 @@ fn commit_hash() -> String {
         .unwrap_or_else(|| "unknown".to_string())
 }
 
-fn render_json(ns_per_decide: f64, ns_per_record: f64, commit: &str) -> String {
+fn render_entry(commit: &str, ns_per_decide: f64, ns_per_record: f64) -> String {
     format!(
-        "{{\n  \"schema\": \"easched-bench-decide\",\n  \"version\": {SCHEMA_VERSION},\n  \
-         \"commit\": \"{commit}\",\n  \"samples\": {SAMPLES},\n  \
-         \"iters_per_sample\": {ITERS_PER_SAMPLE},\n  \
-         \"ns_per_decide\": {ns_per_decide:.1},\n  \"ns_per_record\": {ns_per_record:.1}\n}}\n"
+        "    {{\n      \"commit\": \"{commit}\",\n      \
+         \"ns_per_decide\": {ns_per_decide:.1},\n      \
+         \"ns_per_record\": {ns_per_record:.1}\n    }}"
     )
 }
 
-/// Pulls a numeric field out of our own schema (no JSON library in the
-/// tree; the format is fully under our control).
+fn render_document(entries: &[String]) -> String {
+    format!(
+        "{{\n  \"schema\": \"easched-bench-decide\",\n  \"version\": {SCHEMA_VERSION},\n  \
+         \"samples\": {SAMPLES},\n  \"iters_per_sample\": {ITERS_PER_SAMPLE},\n  \
+         \"runs\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n")
+    )
+}
+
+/// Folds a fresh entry into an existing trajectory file: v2 appends to
+/// the `runs` array, v1 is migrated (its snapshot becomes run zero).
+fn merged_document(existing: &str, entry: String) -> Result<String, String> {
+    let version = extract_number(existing, "version").unwrap_or(0.0) as u32;
+    match version {
+        1 => {
+            let commit =
+                extract_string(existing, "commit").unwrap_or_else(|| "unknown".to_string());
+            let decide =
+                extract_number(existing, "ns_per_decide").ok_or("v1 file lacks ns_per_decide")?;
+            let record =
+                extract_number(existing, "ns_per_record").ok_or("v1 file lacks ns_per_record")?;
+            Ok(render_document(&[
+                render_entry(&commit, decide, record),
+                entry,
+            ]))
+        }
+        2 => {
+            let close = existing
+                .rfind("\n  ]")
+                .ok_or("v2 file lacks a runs array")?;
+            Ok(format!(
+                "{},\n{entry}{}",
+                &existing[..close],
+                &existing[close..]
+            ))
+        }
+        other => Err(format!("unknown schema version {other}")),
+    }
+}
+
+/// Pulls the first occurrence of a numeric field out of our own schema
+/// (no JSON library in the tree; the format is fully under our
+/// control). In a v2 file the first occurrence sits in the first run —
+/// the baseline.
 fn extract_number(json: &str, field: &str) -> Option<f64> {
     let key = format!("\"{field}\":");
     let rest = &json[json.find(&key)? + key.len()..];
     let end = rest.find([',', '\n', '}'])?;
     rest[..end].trim().parse().ok()
+}
+
+/// First occurrence of a string field.
+fn extract_string(json: &str, field: &str) -> Option<String> {
+    let key = format!("\"{field}\":");
+    let rest = &json[json.find(&key)? + key.len()..];
+    let open = rest.find('"')?;
+    let rest = &rest[open + 1..];
+    Some(rest[..rest.find('"')?].to_string())
 }
 
 fn main() {
@@ -152,16 +211,23 @@ fn main() {
 
     let ns_per_decide = measure_decide();
     let ns_per_record = measure_record();
-    let json = render_json(ns_per_decide, ns_per_record, &commit_hash());
+    let entry = render_entry(&commit_hash(), ns_per_decide, ns_per_record);
     match &out {
         Some(path) => {
-            std::fs::write(path, &json).unwrap_or_else(|e| {
+            let document = match std::fs::read_to_string(path) {
+                Ok(existing) => merged_document(&existing, entry).unwrap_or_else(|e| {
+                    eprintln!("cannot append to {path}: {e}");
+                    std::process::exit(2);
+                }),
+                Err(_) => render_document(&[entry]),
+            };
+            std::fs::write(path, &document).unwrap_or_else(|e| {
                 eprintln!("cannot write {path}: {e}");
                 std::process::exit(2);
             });
             println!("decide {ns_per_decide:.1} ns, record {ns_per_record:.1} ns -> {path}");
         }
-        None => print!("{json}"),
+        None => print!("{}", render_document(&[entry])),
     }
 
     if let Some(baseline_path) = check {
@@ -170,23 +236,30 @@ fn main() {
             std::process::exit(2);
         });
         let version = extract_number(&baseline, "version").unwrap_or(0.0) as u32;
-        if version != SCHEMA_VERSION {
+        if version != 1 && version != SCHEMA_VERSION {
             eprintln!(
                 "baseline {baseline_path} has schema version {version}, this binary speaks {SCHEMA_VERSION}"
             );
             std::process::exit(2);
         }
-        let base_decide = extract_number(&baseline, "ns_per_decide").unwrap_or_else(|| {
-            eprintln!("baseline {baseline_path} lacks ns_per_decide");
-            std::process::exit(2);
-        });
-        let bound = base_decide * factor;
-        if ns_per_decide > bound {
-            eprintln!(
-                "decide path regressed: {ns_per_decide:.1} ns > {factor}x baseline {base_decide:.1} ns"
-            );
+        let mut regressed = false;
+        for (name, fresh) in [
+            ("ns_per_decide", ns_per_decide),
+            ("ns_per_record", ns_per_record),
+        ] {
+            let base = extract_number(&baseline, name).unwrap_or_else(|| {
+                eprintln!("baseline {baseline_path} lacks {name}");
+                std::process::exit(2);
+            });
+            if fresh > base * factor {
+                eprintln!("{name} regressed: {fresh:.1} ns > {factor}x baseline {base:.1} ns");
+                regressed = true;
+            } else {
+                println!("{name} ok: {fresh:.1} ns <= {factor}x baseline {base:.1} ns");
+            }
+        }
+        if regressed {
             std::process::exit(1);
         }
-        println!("decide path ok: {ns_per_decide:.1} ns <= {factor}x baseline {base_decide:.1} ns");
     }
 }

@@ -37,7 +37,7 @@ use crate::power_model::PowerModel;
 use crate::profile_loop;
 use crate::seed::RunSeed;
 use crate::selfheal::{DriftPolicy, WatchdogPolicy};
-use easched_runtime::{Backend, Clock, KernelId, Scheduler, WallClock};
+use easched_runtime::{Backend, Clock, InvocationCtx, KernelId, Scheduler, WallClock};
 use easched_telemetry::TelemetrySink;
 use std::path::Path;
 use std::sync::Arc;
@@ -124,6 +124,14 @@ impl EasConfig {
     /// The same configuration with a different root seed (builder style).
     pub fn with_seed(mut self, seed: RunSeed) -> EasConfig {
         self.seed = seed;
+        self
+    }
+
+    /// The same configuration with a different watchdog policy (builder
+    /// style) — e.g. [`WatchdogPolicy::with_deadlines`] to tighten the
+    /// 60 s / 600 s defaults for latency-sensitive deployments.
+    pub fn with_watchdog(mut self, watchdog: WatchdogPolicy) -> EasConfig {
+        self.watchdog = watchdog;
         self
     }
 }
@@ -398,12 +406,18 @@ impl EasScheduler {
     }
 }
 
-impl Scheduler for EasScheduler {
-    fn name(&self) -> &str {
-        &self.name
-    }
-
-    fn schedule(&mut self, kernel: KernelId, backend: &mut dyn Backend) {
+impl EasScheduler {
+    /// [`Scheduler::schedule`] under an explicit admission context: the
+    /// ctx's GPU policy gates offloading (brownout throttling) and its
+    /// deadline budget composes with the watchdog's own deadlines. The
+    /// default ctx runs the exact context-free path, so single-tenant
+    /// callers lose nothing by never touching this.
+    pub fn schedule_with(
+        &mut self,
+        kernel: KernelId,
+        backend: &mut dyn Backend,
+        ctx: InvocationCtx,
+    ) {
         self.current_kernel = kernel;
         let (engine, table, health) = (&self.engine, &self.table, &self.health);
         let (decisions, log) = (&mut self.decisions, &mut self.log);
@@ -420,7 +434,18 @@ impl Scheduler for EasScheduler {
             self.telemetry.as_deref(),
             self.store.as_deref(),
             self.clock.as_ref(),
+            ctx,
         );
+    }
+}
+
+impl Scheduler for EasScheduler {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn schedule(&mut self, kernel: KernelId, backend: &mut dyn Backend) {
+        self.schedule_with(kernel, backend, InvocationCtx::default());
     }
 }
 

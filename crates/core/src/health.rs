@@ -56,6 +56,11 @@ pub struct HealthStats {
     reprofiles_suppressed: AtomicU64,
     watchdog_trips: AtomicU64,
     split_overruns: AtomicU64,
+    throttled: AtomicU64,
+    requests_shed: AtomicU64,
+    requests_queued: AtomicU64,
+    quota_denials: AtomicU64,
+    brownout_transitions: AtomicU64,
 }
 
 macro_rules! note {
@@ -81,6 +86,11 @@ impl HealthStats {
         note_reprofile_suppressed => reprofiles_suppressed,
         note_watchdog_trip => watchdog_trips,
         note_split_overrun => split_overruns,
+        note_throttled => throttled,
+        note_request_shed => requests_shed,
+        note_request_queued => requests_queued,
+        note_quota_denial => quota_denials,
+        note_brownout_transition => brownout_transitions,
     }
 
     /// One plain-value read of every counter — the single point where
@@ -101,6 +111,11 @@ impl HealthStats {
             reprofiles_suppressed: self.reprofiles_suppressed.load(Ordering::Relaxed),
             watchdog_trips: self.watchdog_trips.load(Ordering::Relaxed),
             split_overruns: self.split_overruns.load(Ordering::Relaxed),
+            throttled: self.throttled.load(Ordering::Relaxed),
+            requests_shed: self.requests_shed.load(Ordering::Relaxed),
+            requests_queued: self.requests_queued.load(Ordering::Relaxed),
+            quota_denials: self.quota_denials.load(Ordering::Relaxed),
+            brownout_transitions: self.brownout_transitions.load(Ordering::Relaxed),
         }
     }
 
@@ -149,6 +164,16 @@ pub struct HealthSnapshot {
     pub watchdog_trips: u64,
     /// Chunk executions that overran the split deadline.
     pub split_overruns: u64,
+    /// Invocations forced CPU-only by an admission context (brownout).
+    pub throttled: u64,
+    /// Requests shed by the admission layer.
+    pub requests_shed: u64,
+    /// Requests queued behind earlier arrivals.
+    pub requests_queued: u64,
+    /// Requests refused by an exhausted tenant GPU quota.
+    pub quota_denials: u64,
+    /// Brownout-ladder rung changes.
+    pub brownout_transitions: u64,
 }
 
 impl From<HealthSnapshot> for HealthReport {
@@ -167,6 +192,11 @@ impl From<HealthSnapshot> for HealthReport {
             reprofiles_suppressed: s.reprofiles_suppressed,
             watchdog_trips: s.watchdog_trips,
             split_overruns: s.split_overruns,
+            throttled_invocations: s.throttled,
+            requests_shed: s.requests_shed,
+            requests_queued: s.requests_queued,
+            quota_denials: s.quota_denials,
+            brownout_transitions: s.brownout_transitions,
         }
     }
 }
@@ -195,6 +225,19 @@ impl From<HealthSnapshot> for HealthStats {
         stats
             .split_overruns
             .store(s.split_overruns, Ordering::Relaxed);
+        stats.throttled.store(s.throttled, Ordering::Relaxed);
+        stats
+            .requests_shed
+            .store(s.requests_shed, Ordering::Relaxed);
+        stats
+            .requests_queued
+            .store(s.requests_queued, Ordering::Relaxed);
+        stats
+            .quota_denials
+            .store(s.quota_denials, Ordering::Relaxed);
+        stats
+            .brownout_transitions
+            .store(s.brownout_transitions, Ordering::Relaxed);
         stats
     }
 }
@@ -233,6 +276,19 @@ pub struct HealthReport {
     pub watchdog_trips: u64,
     /// Chunk executions that overran the watchdog's split deadline.
     pub split_overruns: u64,
+    /// Invocations forced CPU-only by their admission context (brownout
+    /// or a denied GPU policy). Overload protection, not a fault: does
+    /// not disturb [`fault_free`](HealthReport::fault_free).
+    pub throttled_invocations: u64,
+    /// Requests the admission layer shed (queue overflow, brownout
+    /// stage 3). Adaptation, not a fault.
+    pub requests_shed: u64,
+    /// Requests the admission layer queued behind earlier arrivals.
+    pub requests_queued: u64,
+    /// Requests refused because a tenant's GPU quota window was spent.
+    pub quota_denials: u64,
+    /// Brownout-ladder rung changes (either direction).
+    pub brownout_transitions: u64,
 }
 
 impl HealthReport {
@@ -586,6 +642,27 @@ mod tests {
         assert_eq!(s.rejected, 0);
         assert_eq!(HealthReport::from(s), h.report());
         // Stats rebuilt from a snapshot read back identically.
+        assert_eq!(HealthStats::from(s).snapshot(), s);
+    }
+
+    #[test]
+    fn admission_counters_roundtrip_and_stay_out_of_fault_free() {
+        let h = health();
+        h.stats.note_throttled();
+        h.stats.note_request_shed();
+        h.stats.note_request_shed();
+        h.stats.note_request_queued();
+        h.stats.note_quota_denial();
+        h.stats.note_brownout_transition();
+        let r = h.report();
+        assert_eq!(r.throttled_invocations, 1);
+        assert_eq!(r.requests_shed, 2);
+        assert_eq!(r.requests_queued, 1);
+        assert_eq!(r.quota_denials, 1);
+        assert_eq!(r.brownout_transitions, 1);
+        // Overload protection is adaptation, not a fault.
+        assert!(r.fault_free());
+        let s = h.snapshot();
         assert_eq!(HealthStats::from(s).snapshot(), s);
     }
 

@@ -56,6 +56,7 @@ pub mod schemes;
 pub mod seed;
 pub mod selfheal;
 pub mod shared;
+pub mod tenancy;
 pub mod time_model;
 
 pub use characterize::{
@@ -85,6 +86,7 @@ pub use selfheal::{
     DriftAction, DriftMonitor, DriftOutcome, DriftPolicy, Watchdog, WatchdogPolicy,
 };
 pub use shared::{SharedEas, SharedEasExt};
+pub use tenancy::TenantFrontend;
 pub use time_model::TimeModel;
 
 /// The telemetry subsystem (re-exported `easched-telemetry` crate):

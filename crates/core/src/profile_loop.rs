@@ -46,7 +46,7 @@ use crate::journal::TableStore;
 use crate::kernel_table::KernelTable;
 use crate::selfheal::DriftAction;
 use easched_runtime::telemetry::InstrumentedBackend;
-use easched_runtime::{Backend, Clock, KernelId, Observation};
+use easched_runtime::{Backend, Clock, GpuPolicy, InvocationCtx, KernelId, Observation};
 use easched_telemetry::{ControlEvent, DecisionRecord, InvocationPath, TelemetrySink};
 
 /// What `drive` learned about the invocation, for record construction.
@@ -92,6 +92,7 @@ pub(crate) fn schedule_invocation(
     sink: Option<&dyn TelemetrySink>,
     store: Option<&TableStore>,
     clock: &dyn Clock,
+    ctx: InvocationCtx,
 ) {
     match sink {
         None => {
@@ -105,6 +106,7 @@ pub(crate) fn schedule_invocation(
                 None,
                 store,
                 clock,
+                ctx,
             );
         }
         Some(sink) => {
@@ -120,6 +122,7 @@ pub(crate) fn schedule_invocation(
                 Some(sink),
                 store,
                 clock,
+                ctx,
             ) {
                 sink.record(&build_record(
                     engine,
@@ -169,9 +172,13 @@ fn after_split(
     sink: Option<&dyn TelemetrySink>,
     store: Option<&TableStore>,
     obs: &Observation,
+    deadline: Option<f64>,
     drift: Option<(Option<f64>, u64)>,
 ) {
-    if health.watchdog().split_overrun(obs.elapsed) {
+    if health
+        .watchdog()
+        .split_overrun_within(obs.elapsed, deadline)
+    {
         health.stats.note_split_overrun();
         emit(
             sink,
@@ -254,6 +261,7 @@ fn drive(
     sink: Option<&dyn TelemetrySink>,
     store: Option<&TableStore>,
     clock: &dyn Clock,
+    ctx: InvocationCtx,
 ) -> Option<InvocationSummary> {
     let timed = sink.is_some();
     let n = backend.remaining();
@@ -262,6 +270,18 @@ fn drive(
     }
     let profile_size = backend.gpu_profile_size();
     let config = engine.config();
+
+    // Overload gate (DESIGN.md §13): an admission context that denies the
+    // GPU outright runs the whole invocation CPU-only and learns nothing —
+    // the same shape as a quarantined invocation, but driven by the
+    // brownout ladder rather than the breaker, so the breaker's quarantine
+    // countdown is not consumed and no probe is wasted on a request that
+    // was never going to touch the GPU.
+    if ctx.gpu == GpuPolicy::Deny {
+        health.stats.note_throttled();
+        backend.run_split(0.0);
+        return Some(InvocationSummary::new(InvocationPath::Throttled, 0.0));
+    }
 
     // §9 gate: with the breaker open the GPU is quarantined — run the
     // whole invocation CPU-only and learn nothing (a ratio learned during
@@ -292,11 +312,15 @@ fn drive(
     let mut reprofiling = false;
     if !probing {
         if let Some(probe) = table.note_reuse(kernel) {
+            // DenyNew (brownout stage 1) suppresses a due re-profile: the
+            // learned ratio is still served, but no *new* GPU profiling
+            // work starts while the package is hot.
             let due_reprofile = (probe.tainted
                 || config
                     .reprofile_every
                     .is_some_and(|k| probe.invocations_seen % k == 0))
-                && n >= profile_size;
+                && n >= profile_size
+                && ctx.gpu == GpuPolicy::Allow;
             if !due_reprofile {
                 let alpha = if n < profile_size { 0.0 } else { probe.alpha };
                 let obs = backend.run_split(alpha);
@@ -305,7 +329,17 @@ fn drive(
                 // Sub-occupancy slivers ran CPU-only regardless of the
                 // learned ratio, so they carry no drift signal.
                 let drift = (n >= profile_size).then_some((None, n));
-                after_split(engine, table, health, kernel, sink, store, &obs, drift);
+                after_split(
+                    engine,
+                    table,
+                    health,
+                    kernel,
+                    sink,
+                    store,
+                    &obs,
+                    ctx.deadline,
+                    drift,
+                );
                 return Some(InvocationSummary::new(InvocationPath::TableHit, alpha));
             }
             // Fall through to a fresh profiling pass that re-accumulates.
@@ -323,8 +357,28 @@ fn drive(
         // Watchdog only: a CPU-only sliver carries no drift signal, but a
         // hung chunk still has to be caught. Ordered after the accumulate
         // so an overrun's taint is not immediately cleared by it.
-        after_split(engine, table, health, kernel, sink, store, &obs, None);
+        after_split(
+            engine,
+            table,
+            health,
+            kernel,
+            sink,
+            store,
+            &obs,
+            ctx.deadline,
+            None,
+        );
         return Some(InvocationSummary::new(InvocationPath::SmallN, 0.0));
+    }
+
+    // DenyNew with nothing to reuse: profiling would be fresh GPU work,
+    // which brownout stage 1 forbids — run CPU-only and learn nothing (a
+    // ratio learned under a denied GPU would poison the table, exactly as
+    // during a quarantine).
+    if ctx.gpu != GpuPolicy::Allow {
+        health.stats.note_throttled();
+        backend.run_split(0.0);
+        return Some(InvocationSummary::new(InvocationPath::Throttled, 0.0));
     }
 
     // Steps 11–22: repeat profiling for `profile_fraction` of the
@@ -358,7 +412,10 @@ fn drive(
         // (backed-off retry, breaker escalation, degradation) as the §9
         // signatures, which the vet below would let through: a hung round
         // can report perfectly plausible rates.
-        let vetted = if health.watchdog().profile_overrun(obs.elapsed) {
+        let vetted = if health
+            .watchdog()
+            .profile_overrun_within(obs.elapsed, ctx.deadline)
+        {
             health.stats.note_watchdog_trip();
             emit(
                 sink,
@@ -481,7 +538,17 @@ fn drive(
         });
         let items = obs.cpu_items + obs.gpu_items;
         let drift = predicted_edp.map(|edp| (Some(edp), items));
-        after_split(engine, table, health, kernel, sink, store, obs, drift);
+        after_split(
+            engine,
+            table,
+            health,
+            kernel,
+            sink,
+            store,
+            obs,
+            ctx.deadline,
+            drift,
+        );
     }
     let path = if probing {
         InvocationPath::Probe

@@ -455,6 +455,25 @@ impl WatchdogPolicy {
             ..WatchdogPolicy::default()
         }
     }
+
+    /// An enabled policy with explicit deadlines (seconds) — the
+    /// previously hardcoded 60 s round / 600 s chunk values remain the
+    /// [`Default`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if either deadline is not positive.
+    pub fn with_deadlines(profile_deadline: f64, split_deadline: f64) -> WatchdogPolicy {
+        assert!(
+            profile_deadline > 0.0 && split_deadline > 0.0,
+            "watchdog deadlines must be positive"
+        );
+        WatchdogPolicy {
+            enabled: true,
+            profile_deadline,
+            split_deadline,
+        }
+    }
 }
 
 /// Judges observed round/chunk durations against hard deadlines. The
@@ -495,6 +514,36 @@ impl Watchdog {
     /// non-finite policy as [`profile_overrun`](Watchdog::profile_overrun)).
     pub fn split_overrun(&self, elapsed: f64) -> bool {
         self.policy.enabled && elapsed.is_finite() && elapsed > self.policy.split_deadline
+    }
+
+    /// [`profile_overrun`](Watchdog::profile_overrun) composed with an
+    /// optional per-request deadline budget from the admission layer:
+    /// the tighter of the two bounds wins. A budget applies even when
+    /// the policy's own deadlines are disabled — a tenant's contract is
+    /// not voided by a lax scheduler configuration. `None` is exactly
+    /// the policy-only check (the single-tenant fast path).
+    pub fn profile_overrun_within(&self, elapsed: f64, budget: Option<f64>) -> bool {
+        self.overrun_within(elapsed, self.policy.profile_deadline, budget)
+    }
+
+    /// [`split_overrun`](Watchdog::split_overrun) composed with an
+    /// optional per-request deadline budget (see
+    /// [`profile_overrun_within`](Watchdog::profile_overrun_within)).
+    pub fn split_overrun_within(&self, elapsed: f64, budget: Option<f64>) -> bool {
+        self.overrun_within(elapsed, self.policy.split_deadline, budget)
+    }
+
+    fn overrun_within(&self, elapsed: f64, policy_deadline: f64, budget: Option<f64>) -> bool {
+        if !elapsed.is_finite() {
+            return false;
+        }
+        let policy_bound = self.policy.enabled.then_some(policy_deadline);
+        let effective = match (policy_bound, budget) {
+            (Some(p), Some(b)) => Some(p.min(b)),
+            (Some(p), None) => Some(p),
+            (None, b) => b,
+        };
+        effective.is_some_and(|bound| elapsed > bound)
     }
 }
 
@@ -683,6 +732,35 @@ mod tests {
         let off = Watchdog::new(WatchdogPolicy::disabled());
         assert!(!off.profile_overrun(f64::INFINITY));
         assert!(!off.split_overrun(f64::INFINITY));
+    }
+
+    #[test]
+    fn watchdog_budget_composes_with_policy_deadlines() {
+        let w = Watchdog::new(WatchdogPolicy::with_deadlines(1.0, 10.0));
+        // No budget: exactly the policy-only check.
+        assert_eq!(w.profile_overrun_within(0.5, None), w.profile_overrun(0.5));
+        assert_eq!(w.profile_overrun_within(1.5, None), w.profile_overrun(1.5));
+        assert_eq!(w.split_overrun_within(11.0, None), w.split_overrun(11.0));
+        // A tighter budget wins over the policy deadline...
+        assert!(w.profile_overrun_within(0.5, Some(0.2)));
+        assert!(w.split_overrun_within(5.0, Some(1.0)));
+        // ...a looser one is inert.
+        assert!(!w.profile_overrun_within(0.5, Some(100.0)));
+        assert!(w.profile_overrun_within(1.5, Some(100.0)));
+        // Non-finite elapsed stays a broken-sensor non-event.
+        assert!(!w.profile_overrun_within(f64::NAN, Some(0.1)));
+        // A budget binds even with the policy disabled: the tenant's
+        // contract outranks a lax scheduler configuration.
+        let off = Watchdog::new(WatchdogPolicy::disabled());
+        assert!(off.profile_overrun_within(2.0, Some(1.0)));
+        assert!(!off.profile_overrun_within(0.5, Some(1.0)));
+        assert!(!off.split_overrun_within(f64::INFINITY, None));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn watchdog_with_deadlines_rejects_nonpositive() {
+        let _ = WatchdogPolicy::with_deadlines(0.0, 10.0);
     }
 
     #[test]

@@ -23,7 +23,9 @@ use crate::journal::{Recovered, StoreError, TableStore};
 use crate::kernel_table::KernelTable;
 use crate::power_model::PowerModel;
 use crate::profile_loop;
-use easched_runtime::{Backend, Clock, ConcurrentScheduler, KernelId, Shared, WallClock};
+use easched_runtime::{
+    Backend, Clock, ConcurrentScheduler, InvocationCtx, KernelId, Shared, WallClock,
+};
 use easched_telemetry::TelemetrySink;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -239,6 +241,10 @@ impl ConcurrentScheduler for SharedEas {
     }
 
     fn schedule_shared(&self, kernel: KernelId, backend: &mut dyn Backend) {
+        self.schedule_shared_ctx(kernel, backend, InvocationCtx::default());
+    }
+
+    fn schedule_shared_ctx(&self, kernel: KernelId, backend: &mut dyn Backend, ctx: InvocationCtx) {
         profile_loop::schedule_invocation(
             &self.engine,
             &self.table,
@@ -255,6 +261,7 @@ impl ConcurrentScheduler for SharedEas {
             self.telemetry.as_deref(),
             self.store.as_deref(),
             self.clock.as_ref(),
+            ctx,
         );
     }
 }

@@ -1,0 +1,277 @@
+//! The multi-tenant overload frontend: admission control, backpressure,
+//! and brownout degradation in front of a shared scheduler (DESIGN.md
+//! §13).
+//!
+//! [`TenantFrontend`] composes the deterministic
+//! [`AdmissionController`](easched_runtime::AdmissionController) — per-
+//! tenant bounded queues, weighted fair-share draining, quota windows,
+//! and the three-rung brownout ladder — with an [`Arc<SharedEas>`]: every
+//! request that survives admission executes through the shared table
+//! under an [`InvocationCtx`] derived from the current brownout rung and
+//! the tenant's deadline budget. Admission outcomes are folded into the
+//! scheduler's [`HealthReport`](crate::HealthReport) counters and, when a
+//! telemetry sink is attached, emitted as
+//! [`ControlEvent`](easched_telemetry::ControlEvent)s so Prometheus
+//! exposure carries per-tenant shed/queue/quota series.
+//!
+//! The frontend adds nothing to the single-tenant fast path: a
+//! [`SharedEas`] driven directly (no frontend) never constructs a
+//! non-default ctx and takes the exact pre-tenancy code path.
+
+use crate::shared::SharedEas;
+use easched_runtime::{
+    AdmissionConfig, AdmissionController, AdmissionOutcome, Backend, BrownoutLevel,
+    ConcurrentScheduler, InvocationCtx, KernelId, TenantRegistry, TenantStats,
+};
+use easched_telemetry::ControlEvent;
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// A multi-tenant admission frontend over one shared scheduler.
+///
+/// All admission state sits behind one mutex — admission is a few integer
+/// operations per request, orders of magnitude cheaper than the kernel
+/// executions it gates, so contention here is never the bottleneck.
+/// Kernel execution itself ([`schedule`](TenantFrontend::schedule)) runs
+/// *outside* the lock: streams still scale with the shared table's
+/// reader parallelism.
+#[derive(Debug)]
+pub struct TenantFrontend {
+    shared: Arc<SharedEas>,
+    admission: Mutex<AdmissionController>,
+}
+
+impl TenantFrontend {
+    /// A frontend over `shared` admitting the given tenants.
+    pub fn new(
+        shared: Arc<SharedEas>,
+        registry: TenantRegistry,
+        cfg: AdmissionConfig,
+    ) -> TenantFrontend {
+        TenantFrontend {
+            shared,
+            admission: Mutex::new(AdmissionController::new(registry, cfg)),
+        }
+    }
+
+    /// The scheduler behind this frontend.
+    pub fn shared(&self) -> &Arc<SharedEas> {
+        &self.shared
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, AdmissionController> {
+        // Admission state stays consistent under poisoning: every mutation
+        // completes before the lock drops, and one panicked tenant thread
+        // must not deny service to the rest.
+        self.admission
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn emit(&self, event: ControlEvent) {
+        if let Some(sink) = self.shared.telemetry() {
+            sink.control(&event);
+        }
+    }
+
+    /// Offers one request for `tenant`, returning the typed admission
+    /// outcome — never an unbounded enqueue. Sheds, queues, and quota
+    /// denials are counted in the scheduler's health report and emitted
+    /// as control events (overload protection is adaptation, not a
+    /// fault: `fault_free()` is undisturbed).
+    pub fn offer(&self, tenant: usize) -> AdmissionOutcome {
+        let (outcome, quota_denied) = {
+            let mut adm = self.lock();
+            let before = adm.tenant_stats(tenant).quota_denials;
+            let outcome = adm.offer(tenant);
+            (outcome, adm.tenant_stats(tenant).quota_denials > before)
+        };
+        let stats = &self.shared.health_state().stats;
+        match outcome {
+            AdmissionOutcome::Admit { .. } => {}
+            AdmissionOutcome::Queue { .. } => {
+                stats.note_request_queued();
+                self.emit(ControlEvent::RequestQueued {
+                    tenant: tenant as u64,
+                });
+            }
+            AdmissionOutcome::Shed { .. } => {
+                if quota_denied {
+                    stats.note_quota_denial();
+                    self.emit(ControlEvent::QuotaDenied {
+                        tenant: tenant as u64,
+                    });
+                }
+                stats.note_request_shed();
+                self.emit(ControlEvent::RequestShed {
+                    tenant: tenant as u64,
+                });
+            }
+        }
+        outcome
+    }
+
+    /// Pops up to `slots` queued requests in weighted fair-share order;
+    /// each entry is `(tenant, ticket)`.
+    pub fn drain(&self, slots: usize) -> Vec<(usize, u64)> {
+        self.lock().drain(slots)
+    }
+
+    /// Debits `gpu_seconds` of GPU-proxy time against the tenant's quota
+    /// window and fair-share debt, after its request executed.
+    pub fn complete(&self, tenant: usize, gpu_seconds: f64) {
+        self.lock().complete(tenant, gpu_seconds);
+    }
+
+    /// Feeds one simulated package-power sample to the brownout ladder.
+    /// A rung change is counted and emitted; requests flushed by a
+    /// shed-load entry are counted as sheds.
+    pub fn observe_power(&self, watts: f64) -> Option<(BrownoutLevel, BrownoutLevel)> {
+        let transition = self.lock().observe_power(watts);
+        let (from, to, flushed) = transition?;
+        let stats = &self.shared.health_state().stats;
+        stats.note_brownout_transition();
+        self.emit(ControlEvent::Brownout { level: to.code() });
+        for _ in 0..flushed {
+            stats.note_request_shed();
+        }
+        Some((from, to))
+    }
+
+    /// Advances the admission clock one tick (quota windows and shed
+    /// retry horizons are measured in ticks).
+    pub fn advance_tick(&self) {
+        self.lock().advance_tick();
+    }
+
+    /// The invocation context a drained request for `tenant` must execute
+    /// under right now: the brownout rung's GPU policy plus the tenant's
+    /// deadline budget.
+    pub fn ctx_for(&self, tenant: usize) -> InvocationCtx {
+        self.lock().ctx_for(tenant)
+    }
+
+    /// The ladder's current rung.
+    pub fn level(&self) -> BrownoutLevel {
+        self.lock().level()
+    }
+
+    /// The ladder's smoothed package-power estimate, watts (`None`
+    /// before the first sample).
+    pub fn power_ewma(&self) -> Option<f64> {
+        self.lock().power_ewma()
+    }
+
+    /// The worst relative fair-share deficit across eligible tenants
+    /// (the ci gate asserts ≤ 5 % under the overload storm).
+    pub fn fair_share_deficit(&self) -> f64 {
+        self.lock().fair_share_deficit()
+    }
+
+    /// Whether every queue respects its tenant's bound (an invariant —
+    /// `false` is a bug).
+    pub fn queues_bounded(&self) -> bool {
+        self.lock().queues_bounded()
+    }
+
+    /// A tenant's admission counters.
+    pub fn tenant_stats(&self, tenant: usize) -> TenantStats {
+        self.lock().tenant_stats(tenant)
+    }
+
+    /// Executes one admitted request through the shared scheduler under
+    /// the tenant's current context. The admission lock is *not* held
+    /// during execution.
+    pub fn schedule(&self, tenant: usize, kernel: KernelId, backend: &mut dyn Backend) {
+        let ctx = self.ctx_for(tenant);
+        self.shared.schedule_shared_ctx(kernel, backend, ctx);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classify::WorkloadClass;
+    use crate::eas::EasConfig;
+    use crate::objective::Objective;
+    use crate::power_model::{PowerCurve, PowerModel};
+    use easched_num::Polynomial;
+    use easched_runtime::backend::test_support::FakeBackend;
+    use easched_runtime::TenantSpec;
+    use easched_telemetry::RingSink;
+
+    fn flat_model(watts: f64) -> PowerModel {
+        let curves = WorkloadClass::all()
+            .into_iter()
+            .map(|c| PowerCurve::new(c, Polynomial::constant(watts), 0.0, 11))
+            .collect();
+        PowerModel::new("flat", curves)
+    }
+
+    fn frontend(sink: Option<Arc<RingSink>>) -> TenantFrontend {
+        let cfg = EasConfig::new(Objective::Time);
+        let shared = match sink {
+            Some(s) => SharedEas::with_telemetry(flat_model(50.0), cfg, s),
+            None => SharedEas::new(flat_model(50.0), cfg),
+        };
+        let registry = TenantRegistry::new(vec![
+            TenantSpec::new("a", 1.0).with_queue_cap(2),
+            TenantSpec::new("b", 3.0).with_queue_cap(2),
+        ]);
+        TenantFrontend::new(shared, registry, AdmissionConfig::default())
+    }
+
+    #[test]
+    fn outcomes_feed_health_counters_not_fault_free() {
+        let f = frontend(None);
+        assert!(matches!(f.offer(0), AdmissionOutcome::Admit { .. }));
+        assert!(matches!(f.offer(0), AdmissionOutcome::Queue { .. }));
+        assert!(matches!(f.offer(0), AdmissionOutcome::Shed { .. }));
+        let report = f.shared().health();
+        assert_eq!(report.requests_queued, 1);
+        assert_eq!(report.requests_shed, 1);
+        assert_eq!(report.quota_denials, 0);
+        assert!(report.fault_free(), "overload protection is not a fault");
+    }
+
+    #[test]
+    fn control_events_reach_the_sink() {
+        let sink = Arc::new(RingSink::default());
+        let f = frontend(Some(Arc::clone(&sink)));
+        for _ in 0..3 {
+            f.offer(1);
+        }
+        assert_eq!(sink.metrics().requests_queued.get(), 1);
+        assert_eq!(sink.metrics().requests_shed.get(), 1);
+        assert_eq!(sink.metrics().tenant_sheds(), vec![(1, 1)]);
+    }
+
+    #[test]
+    fn admitted_requests_execute_through_the_shared_table() {
+        let f = frontend(None);
+        assert!(matches!(f.offer(0), AdmissionOutcome::Admit { .. }));
+        let drained = f.drain(4);
+        assert_eq!(drained.len(), 1);
+        let (tenant, _ticket) = drained[0];
+        let mut b = FakeBackend::new(100_000, 1.0e6, 2.0e6);
+        f.schedule(tenant, 7, &mut b);
+        f.complete(tenant, 0.5);
+        assert!(f.shared().learned_alpha(7).is_some());
+        assert!(f.queues_bounded());
+        assert!(f.tenant_stats(0).gpu_seconds > 0.0);
+    }
+
+    #[test]
+    fn brownout_transition_is_counted_and_shapes_ctx() {
+        let f = frontend(None);
+        // Default budget 45 W, enter margin 1.0, streak 3: sustained
+        // 90 W drives the ladder up one rung.
+        assert!(f.observe_power(90.0).is_none());
+        assert!(f.observe_power(90.0).is_none());
+        let t = f.observe_power(90.0);
+        assert_eq!(t, Some((BrownoutLevel::Normal, BrownoutLevel::DenyGpu)));
+        assert_eq!(f.level(), BrownoutLevel::DenyGpu);
+        assert_eq!(f.shared().health().brownout_transitions, 1);
+        let ctx = f.ctx_for(0);
+        assert_ne!(ctx, InvocationCtx::default());
+    }
+}

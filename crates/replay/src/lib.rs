@@ -19,6 +19,10 @@
 //!   at the first divergence (time-travel debugging);
 //! - [`harness`] — the canonical chaos-storm scenario: record, replay,
 //!   fingerprint-check;
+//! - [`overload`] — the multi-tenant overload storm (admission control,
+//!   backpressure, brownout) recorded as a v2 log and replayed by
+//!   re-running the admission controller against the replayed decision
+//!   stream;
 //! - [`bisect`] — shrinking a divergent log to a minimal reproducer.
 
 #![forbid(unsafe_code)]
@@ -27,6 +31,7 @@
 pub mod bisect;
 pub mod harness;
 pub mod log;
+pub mod overload;
 pub mod record;
 pub mod replay;
 
@@ -35,7 +40,14 @@ pub use harness::{
     record_chaos_storm, recording_setup, replay_chaos_storm, scheduler_for_log, storm_platform,
     RecordedStorm, ReplayError, StormSpec,
 };
-pub use log::{Event, LogError, LoggedInvocation, RecordedStep, RunLog, StepCall, FORMAT_VERSION};
+pub use log::{
+    AdmissionRecord, Event, LogError, LoggedInvocation, RecordedStep, RunLog, StepCall,
+    FORMAT_VERSION, FORMAT_VERSION_ADMISSION,
+};
+pub use overload::{
+    record_overload_storm, replay_overload_storm, OverloadReplayOutcome, OverloadSpec,
+    RecordedOverload,
+};
 pub use record::{Recorder, RecordingBackend, RecordingScheduler};
 pub use replay::{
     differing_fields, replay_log, CollectorSink, Divergence, ReplayBackend, ReplayOutcome,

@@ -30,6 +30,11 @@ use easched_telemetry::DecisionRecord;
 /// carry their own observations, so old logs replay unchanged).
 pub const FORMAT_VERSION: u32 = 1;
 
+/// The version written when a log carries admission-layer events
+/// (overload runs). Single-tenant recordings keep writing v1, so every
+/// pre-tenancy log — committed fixtures included — stays byte-stable.
+pub const FORMAT_VERSION_ADMISSION: u32 = 2;
+
 /// One backend call a scheduler made during an invocation.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum StepCall {
@@ -62,6 +67,30 @@ pub struct RecordedStep {
     pub remaining_after: u64,
 }
 
+/// One admission-layer decision in an overloaded run (v2 logs only).
+///
+/// The admission controller is deterministic — replay re-runs it and
+/// demands the identical stream — so these records are both a trace for
+/// humans and a cross-check for the machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdmissionRecord {
+    /// The admission tick the decision was made on.
+    pub tick: u64,
+    /// The tenant's registry index.
+    pub tenant: u64,
+    /// The brownout rung at decision time ([`BrownoutLevel::code`]).
+    ///
+    /// [`BrownoutLevel::code`]: easched_runtime::BrownoutLevel::code
+    pub level: u8,
+    /// What happened: 0 admit, 1 queue, 2 shed, 3 execution-start marker
+    /// (delimits the invocation group of a drained request).
+    pub verdict: u8,
+    /// Verdict argument: the ticket (admit/queue/exec), the queue
+    /// position packed with the ticket, or the shed retry-after seconds
+    /// as `f64` bits.
+    pub arg: u64,
+}
+
 /// One entry in a run's ordered event stream.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Event {
@@ -92,11 +121,17 @@ pub enum Event {
     /// The telemetry record the scheduler emitted for the current
     /// invocation.
     Decision(DecisionRecord),
+    /// One admission-layer decision (overload recordings; forces v2).
+    Admission(AdmissionRecord),
 }
 
 /// A complete (or torn-tail-truncated) recorded run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RunLog {
+    /// The format version this log serializes as ([`FORMAT_VERSION`] for
+    /// single-tenant runs, [`FORMAT_VERSION_ADMISSION`] when the stream
+    /// carries admission events).
+    pub version: u32,
     /// The run's root seed (`RunSeed::root()`).
     pub root: u64,
     /// FNV-1a fingerprint of the power model text the scheduler ran with.
@@ -140,7 +175,7 @@ impl RunLog {
     /// Serializes the log, every line sealed.
     pub fn to_text(&self) -> String {
         let mut out = String::new();
-        seal_line(&mut out, &format!("easched-runlog v{FORMAT_VERSION}"));
+        seal_line(&mut out, &format!("easched-runlog v{}", self.version));
         seal_line(&mut out, &format!("root {:016x}", self.root));
         seal_line(&mut out, &format!("platform {:016x}", self.platform_fp));
         seal_line(&mut out, &format!("config {:016x}", self.config_fp));
@@ -162,7 +197,7 @@ impl RunLog {
             .strip_prefix("easched-runlog v")
             .and_then(|v| v.parse::<u32>().ok())
             .ok_or(LogError::NotARunLog)?;
-        if version != FORMAT_VERSION {
+        if version != FORMAT_VERSION && version != FORMAT_VERSION_ADMISSION {
             return Err(LogError::UnknownVersion(version));
         }
         let mut header = |tag: &str| -> Result<u64, LogError> {
@@ -189,6 +224,7 @@ impl RunLog {
             }
         }
         Ok(RunLog {
+            version,
             root,
             platform_fp,
             config_fp,
@@ -203,6 +239,18 @@ impl RunLog {
             .iter()
             .filter_map(|e| match e {
                 Event::Decision(r) => Some(*r),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// The recorded admission-layer decisions, in order (empty for v1
+    /// logs).
+    pub fn admissions(&self) -> Vec<AdmissionRecord> {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                Event::Admission(r) => Some(*r),
                 _ => None,
             })
             .collect()
@@ -231,7 +279,7 @@ impl RunLog {
                         inv.steps.push(*step);
                     }
                 }
-                Event::Derive { .. } | Event::Decision(_) => {}
+                Event::Derive { .. } | Event::Decision(_) | Event::Admission(_) => {}
             }
         }
         out
@@ -323,6 +371,10 @@ fn event_line(event: &Event) -> String {
                 .collect();
             format!("decision {} {}", record.seq, words.join(" "))
         }
+        Event::Admission(r) => format!(
+            "admission {} {} {} {} {:016x}",
+            r.tick, r.tenant, r.level, r.verdict, r.arg
+        ),
     }
 }
 
@@ -405,6 +457,21 @@ fn parse_event(body: &str) -> Option<Event> {
             end_of(parts)?;
             Some(Event::Decision(DecisionRecord::decode(seq, &words)))
         }
+        "admission" => {
+            let tick = parts.next()?.parse().ok()?;
+            let tenant = parts.next()?.parse().ok()?;
+            let level = parts.next()?.parse().ok()?;
+            let verdict = parts.next()?.parse().ok()?;
+            let arg = u64::from_str_radix(parts.next()?, 16).ok()?;
+            end_of(parts)?;
+            Some(Event::Admission(AdmissionRecord {
+                tick,
+                tenant,
+                level,
+                verdict,
+                arg,
+            }))
+        }
         _ => None,
     }
 }
@@ -452,6 +519,7 @@ mod tests {
             },
         };
         RunLog {
+            version: FORMAT_VERSION,
             root: 0xDEAD_BEEF,
             platform_fp: 0x1234,
             config_fp: 0x5678,
@@ -569,5 +637,27 @@ mod tests {
         let d = sample_log().decisions();
         assert_eq!(d.len(), 1);
         assert_eq!(d[0].kernel, 7);
+    }
+
+    #[test]
+    fn admission_events_round_trip_as_v2() {
+        let mut log = sample_log();
+        log.version = FORMAT_VERSION_ADMISSION;
+        let rec = AdmissionRecord {
+            tick: 3,
+            tenant: 5,
+            level: 1,
+            verdict: 2,
+            arg: 2.0f64.to_bits(),
+        };
+        log.events.insert(1, Event::Admission(rec));
+        let text = log.to_text();
+        assert!(text.starts_with("easched-runlog v2 "));
+        let back = RunLog::from_text(&text).unwrap();
+        assert_eq!(back.version, FORMAT_VERSION_ADMISSION);
+        assert_eq!(back.to_text(), text);
+        assert_eq!(back.admissions(), vec![rec]);
+        // v1 logs report no admissions.
+        assert!(sample_log().admissions().is_empty());
     }
 }

@@ -24,7 +24,10 @@
 //!
 //! [`EasScheduler::set_telemetry`]: easched_core::EasScheduler::set_telemetry
 
-use crate::log::{Event, RecordedStep, RunLog, StepCall};
+use crate::log::{
+    AdmissionRecord, Event, RecordedStep, RunLog, StepCall, FORMAT_VERSION,
+    FORMAT_VERSION_ADMISSION,
+};
 use easched_core::RunSeed;
 use easched_runtime::{Backend, KernelId, Observation, Scheduler};
 use easched_telemetry::{ControlEvent, DecisionRecord, TelemetrySink};
@@ -109,6 +112,29 @@ impl Recorder {
         self.push(Event::Step(step));
     }
 
+    /// Logs one admission-layer decision. Any admission event promotes
+    /// the finished log to the v2 format; single-tenant recordings that
+    /// never call this keep serializing as v1, byte-identically.
+    pub fn note_admission(&self, record: AdmissionRecord) {
+        self.push(Event::Admission(record));
+    }
+
+    /// The decision records captured so far, in publication order. The
+    /// overload harness derives its simulated power samples and GPU-proxy
+    /// debits from these — on both the record and the replay side, which
+    /// is what makes the admission controller's inputs reproducible.
+    pub fn decisions(&self) -> Vec<DecisionRecord> {
+        self.events
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .iter()
+            .filter_map(|e| match e {
+                Event::Decision(r) => Some(*r),
+                _ => None,
+            })
+            .collect()
+    }
+
     /// Events recorded so far.
     pub fn len(&self) -> usize {
         self.events
@@ -122,17 +148,26 @@ impl Recorder {
         self.len() == 0
     }
 
-    /// Snapshots the recording into a complete [`RunLog`].
+    /// Snapshots the recording into a complete [`RunLog`] — v2 iff the
+    /// stream carries admission events, v1 (the pre-tenancy format)
+    /// otherwise.
     pub fn finish(&self) -> RunLog {
+        let events = self
+            .events
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone();
+        let version = if events.iter().any(|e| matches!(e, Event::Admission(_))) {
+            FORMAT_VERSION_ADMISSION
+        } else {
+            FORMAT_VERSION
+        };
         RunLog {
+            version,
             root: self.root,
             platform_fp: self.platform_fp,
             config_fp: self.config_fp,
-            events: self
-                .events
-                .lock()
-                .unwrap_or_else(PoisonError::into_inner)
-                .clone(),
+            events,
             complete: true,
         }
     }

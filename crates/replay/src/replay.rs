@@ -427,6 +427,7 @@ mod tests {
             ..Default::default()
         };
         RunLog {
+            version: crate::log::FORMAT_VERSION,
             root: 1,
             platform_fp: 0,
             config_fp: 0,

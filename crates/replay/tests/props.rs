@@ -6,7 +6,7 @@
 //! FNV-1a line-seal idiom from the v3 journal) never breaks parsing —
 //! the surviving prefix is intact and the loss is flagged, not silent.
 
-use easched_replay::{Event, LogError, RecordedStep, RunLog, StepCall};
+use easched_replay::{AdmissionRecord, Event, LogError, RecordedStep, RunLog, StepCall};
 use easched_runtime::Observation;
 use easched_sim::CounterSnapshot;
 use easched_telemetry::DecisionRecord;
@@ -93,6 +93,22 @@ fn arb_event() -> impl Strategy<Value = Event> {
         ),
         arb_step().prop_map(Event::Step),
         arb_decision().prop_map(Event::Decision),
+        (
+            any::<u64>(),
+            any::<u64>(),
+            any::<u8>(),
+            any::<u8>(),
+            any::<u64>()
+        )
+            .prop_map(|(tick, tenant, level, verdict, arg)| Event::Admission(
+                AdmissionRecord {
+                    tick,
+                    tenant,
+                    level,
+                    verdict,
+                    arg,
+                }
+            )),
     ]
 }
 
@@ -104,6 +120,11 @@ fn arb_log() -> impl Strategy<Value = RunLog> {
         prop::collection::vec(arb_event(), 0..40),
     )
         .prop_map(|(root, platform_fp, config_fp, events)| RunLog {
+            version: if events.iter().any(|e| matches!(e, Event::Admission(_))) {
+                easched_replay::FORMAT_VERSION_ADMISSION
+            } else {
+                easched_replay::FORMAT_VERSION
+            },
             root,
             platform_fp,
             config_fp,

@@ -175,6 +175,23 @@ pub enum FaultPlan {
         /// One past the last surging step.
         until: u64,
     },
+    /// A bursty co-tenant: periodic burst windows during which steps
+    /// burn surge power ([`Fault::PowerSurge`]) with high probability
+    /// and occasionally hang the GPU ([`Fault::GpuHang`]), modeling a
+    /// noisy neighbor hammering the shared package. This is the plan the
+    /// overload-storm harness drives the brownout ladder with:
+    /// PowerSurge is vetting-proof, so only the admission layer's power
+    /// hysteresis (not the fault pipeline) can respond.
+    BurstyTenant {
+        /// Seed for the counter-based hash; same seed, same bursts.
+        seed: u64,
+        /// Burst window period, steps.
+        period: u64,
+        /// Burst window length, steps (clamped to `period`).
+        burst_len: u64,
+        /// Per-step fault probability inside a burst window.
+        rate: f64,
+    },
 }
 
 impl FaultPlan {
@@ -204,6 +221,29 @@ impl FaultPlan {
             }
             FaultPlan::Drift { from, until } => {
                 (*from..*until).contains(&step).then_some(Fault::PowerSurge)
+            }
+            FaultPlan::BurstyTenant {
+                seed,
+                period,
+                burst_len,
+                rate,
+            } => {
+                if *period == 0 || step % *period >= (*burst_len).min(*period) {
+                    return None;
+                }
+                let h = mix(*seed, step);
+                let u = (h >> 11) as f64 / (1u64 << 53) as f64;
+                if u < *rate {
+                    // Mostly power (the contended resource), occasionally
+                    // a hang so the fault pipeline stays exercised too.
+                    if mix(h, 0x5bd1_e995).is_multiple_of(8) {
+                        Some(Fault::GpuHang)
+                    } else {
+                        Some(Fault::PowerSurge)
+                    }
+                } else {
+                    None
+                }
             }
         }
     }
@@ -535,6 +575,38 @@ mod tests {
             faults,
             vec![None, Some(Fault::PowerSurge), Some(Fault::PowerSurge), None]
         );
+    }
+
+    #[test]
+    fn bursty_tenant_faults_only_inside_burst_windows() {
+        let plan = FaultPlan::BurstyTenant {
+            seed: 7,
+            period: 10,
+            burst_len: 3,
+            rate: 1.0,
+        };
+        for step in 0..100u64 {
+            let fault = plan.fault_at(step);
+            if step % 10 < 3 {
+                assert!(
+                    matches!(fault, Some(Fault::PowerSurge) | Some(Fault::GpuHang)),
+                    "step {step} inside a burst must fault"
+                );
+            } else {
+                assert_eq!(fault, None, "step {step} outside a burst is clean");
+            }
+        }
+        // Mostly power surges: the plan exists to stress the power budget.
+        let surges = (0..1000)
+            .filter(|&s| plan.fault_at(s) == Some(Fault::PowerSurge))
+            .count();
+        let hangs = (0..1000)
+            .filter(|&s| plan.fault_at(s) == Some(Fault::GpuHang))
+            .count();
+        assert!(surges > hangs * 3, "surges {surges} vs hangs {hangs}");
+        // Deterministic in the seed.
+        let seq: Vec<_> = (0..50).map(|s| plan.fault_at(s)).collect();
+        assert_eq!(seq, (0..50).map(|s| plan.fault_at(s)).collect::<Vec<_>>());
     }
 
     #[test]

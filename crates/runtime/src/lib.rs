@@ -30,6 +30,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod admission;
 pub mod backend;
 pub mod chaos;
 pub mod clock;
@@ -42,6 +43,11 @@ pub mod sim_backend;
 pub mod telemetry;
 pub mod thread_backend;
 
+pub use admission::{
+    AdmissionConfig, AdmissionController, AdmissionOutcome, BrownoutConfig, BrownoutController,
+    BrownoutLevel, GpuProxyMeter, TenantRegistry, TenantSpec, TenantStats, TenantTraffic,
+    TrafficModel,
+};
 pub use backend::Backend;
 pub use chaos::{
     replay_trace_chaos, run_workload_chaos, ChaosBackend, ChaosInjector, Fault, FaultPlan,
@@ -50,8 +56,11 @@ pub use clock::{Clock, TickClock, WallClock};
 pub use energy_probe::{EnergyProbe, MachineProbe, RaplProbe};
 pub use observation::{Observation, RunMetrics};
 pub use parallel_invoker::ParallelInvoker;
-pub use pool::{parallel_for, parallel_for_clocked, parallel_for_until_clocked, PoolReport};
-pub use scheduler::{ConcurrentScheduler, KernelId, Scheduler, Shared};
+pub use pool::{
+    parallel_for, parallel_for_clocked, parallel_for_deadline_clocked, parallel_for_until_clocked,
+    PoolReport,
+};
+pub use scheduler::{ConcurrentScheduler, GpuPolicy, InvocationCtx, KernelId, Scheduler, Shared};
 pub use sim_backend::{kernel_id_of, replay_trace, run_workload, SchedulerInvoker, SimBackend};
 pub use telemetry::InstrumentedBackend;
 pub use thread_backend::{ThreadBackend, ThreadBackendConfig};

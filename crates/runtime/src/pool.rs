@@ -86,6 +86,42 @@ pub fn parallel_for_until_clocked(
     clock: &dyn Clock,
     f: &(dyn Fn(usize) + Sync),
 ) -> PoolReport {
+    run_pool(n, workers, chunk, stop, None, clock, f)
+}
+
+/// [`parallel_for_until_clocked`] with a deadline budget: workers stop
+/// picking up new chunks once `clock` has advanced more than `deadline`
+/// seconds past the call start. In-flight chunks finish (the pool never
+/// interrupts an item), so the overrun is bounded by one chunk per
+/// worker — the same granularity the stop flag has. This is the
+/// substrate for per-request deadline budgets in the admission layer:
+/// a request past its budget degrades to partial work instead of holding
+/// a drain slot indefinitely.
+///
+/// # Panics
+///
+/// Panics if `workers` or `chunk` is zero, or `deadline` is negative.
+pub fn parallel_for_deadline_clocked(
+    n: u64,
+    workers: usize,
+    chunk: u64,
+    deadline: f64,
+    clock: &dyn Clock,
+    f: &(dyn Fn(usize) + Sync),
+) -> PoolReport {
+    assert!(deadline >= 0.0, "deadline must be non-negative");
+    run_pool(n, workers, chunk, None, Some(deadline), clock, f)
+}
+
+fn run_pool(
+    n: u64,
+    workers: usize,
+    chunk: u64,
+    stop: Option<&AtomicBool>,
+    deadline: Option<f64>,
+    clock: &dyn Clock,
+    f: &(dyn Fn(usize) + Sync),
+) -> PoolReport {
     assert!(workers > 0, "need at least one worker");
     assert!(chunk > 0, "chunk size must be positive");
     let start = clock.now();
@@ -116,6 +152,9 @@ pub fn parallel_for_until_clocked(
                 let mut my_steals = 0u64;
                 'outer: loop {
                     if stop.is_some_and(|s| s.load(Ordering::Relaxed)) {
+                        break;
+                    }
+                    if deadline.is_some_and(|d| clock.now() - start > d) {
                         break;
                     }
                     // Local work first, then steal.
@@ -291,6 +330,25 @@ mod tests {
     #[should_panic(expected = "need at least one worker")]
     fn zero_workers_rejected() {
         parallel_for(10, 0, &|_| {});
+    }
+
+    #[test]
+    fn deadline_bounds_work_without_interrupting_chunks() {
+        use crate::clock::TickClock;
+        // TickClock advances one tick per read; each chunk pickup reads
+        // the clock once, so a zero deadline admits at most the chunks
+        // already claimed before the first check fires.
+        let clock = TickClock::new();
+        let r = parallel_for_deadline_clocked(100_000, 1, 64, 0.0, &clock, &|_| {});
+        assert!(
+            r.total_items() < 100_000,
+            "zero deadline must cut the run short: {}",
+            r.total_items()
+        );
+        // A generous deadline runs to completion.
+        let clock = TickClock::new();
+        let r = parallel_for_deadline_clocked(1_000, 2, 64, 1e12, &clock, &|_| {});
+        assert_eq!(r.total_items(), 1_000);
     }
 
     #[test]

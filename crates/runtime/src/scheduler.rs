@@ -19,6 +19,46 @@ use std::sync::Arc;
 /// numeric id per kernel instead of a raw pointer.
 pub type KernelId = u64;
 
+/// What the admission layer allows this invocation to do with the GPU
+/// proxy. The default (`Allow`) is the single-tenant fast path and leaves
+/// scheduling byte-identical to a context-free call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum GpuPolicy {
+    /// Normal scheduling: profile, offload, learn.
+    #[default]
+    Allow,
+    /// Brownout stage 1: learned table entries may still be reused, but
+    /// no *new* GPU offload is profiled (unknown kernels run CPU-only
+    /// without learning).
+    DenyNew,
+    /// Brownout stage 2: force α = 0 — every invocation runs CPU-only
+    /// and learns nothing.
+    Deny,
+}
+
+/// Per-invocation admission context, threaded from the multi-tenant
+/// frontend down into the scheduling policy.
+///
+/// `InvocationCtx::default()` is the single-tenant fast path: no deadline
+/// budget, GPU fully allowed. Policies must treat a default context
+/// exactly like a context-free call.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct InvocationCtx {
+    /// GPU gating from the brownout ladder.
+    pub gpu: GpuPolicy,
+    /// Per-request deadline budget, seconds; composes with the policy's
+    /// own watchdog deadlines (the tighter bound wins).
+    pub deadline: Option<f64>,
+}
+
+impl InvocationCtx {
+    /// True when this context changes nothing relative to a context-free
+    /// call (the single-tenant fast path).
+    pub fn is_default(&self) -> bool {
+        self.gpu == GpuPolicy::Allow && self.deadline.is_none()
+    }
+}
+
 /// A work-partitioning policy.
 ///
 /// The runtime calls [`Scheduler::schedule`] once per kernel invocation with
@@ -58,6 +98,16 @@ pub trait ConcurrentScheduler: Send + Sync {
     /// Executes one kernel invocation; may be called concurrently from
     /// many threads (with distinct backends).
     fn schedule_shared(&self, kernel: KernelId, backend: &mut dyn Backend);
+
+    /// Executes one kernel invocation under an admission context.
+    ///
+    /// The default ignores the context, so existing policies keep
+    /// working; context-aware policies (EAS) override this and implement
+    /// brownout gating and deadline budgets.
+    fn schedule_shared_ctx(&self, kernel: KernelId, backend: &mut dyn Backend, ctx: InvocationCtx) {
+        let _ = ctx;
+        self.schedule_shared(kernel, backend);
+    }
 }
 
 /// Adapter presenting an `Arc<ConcurrentScheduler>` as a [`Scheduler`].
@@ -85,33 +135,59 @@ pub trait ConcurrentScheduler: Send + Sync {
 /// assert_eq!(per_thread.name(), "cpu");
 /// ```
 #[derive(Debug)]
-pub struct Shared<S: ?Sized>(Arc<S>);
+pub struct Shared<S: ?Sized> {
+    ctx: InvocationCtx,
+    policy: Arc<S>,
+}
 
 impl<S: ?Sized> Clone for Shared<S> {
     fn clone(&self) -> Self {
-        Shared(Arc::clone(&self.0))
+        Shared {
+            ctx: self.ctx,
+            policy: Arc::clone(&self.policy),
+        }
     }
 }
 
 impl<S: ConcurrentScheduler + ?Sized> Shared<S> {
-    /// Wraps a shared policy.
+    /// Wraps a shared policy with the default (single-tenant) context.
     pub fn new(policy: Arc<S>) -> Shared<S> {
-        Shared(policy)
+        Shared {
+            ctx: InvocationCtx::default(),
+            policy,
+        }
     }
 
     /// The underlying shared policy.
     pub fn policy(&self) -> &Arc<S> {
-        &self.0
+        &self.policy
+    }
+
+    /// This handle's admission context, applied to every invocation it
+    /// schedules.
+    pub fn ctx(&self) -> InvocationCtx {
+        self.ctx
+    }
+
+    /// Returns a handle with the given admission context (builder form).
+    pub fn with_ctx(mut self, ctx: InvocationCtx) -> Shared<S> {
+        self.ctx = ctx;
+        self
+    }
+
+    /// Replaces this handle's admission context in place.
+    pub fn set_ctx(&mut self, ctx: InvocationCtx) {
+        self.ctx = ctx;
     }
 }
 
 impl<S: ConcurrentScheduler + ?Sized> Scheduler for Shared<S> {
     fn name(&self) -> &str {
-        self.0.name()
+        self.policy.name()
     }
 
     fn schedule(&mut self, kernel: KernelId, backend: &mut dyn Backend) {
-        self.0.schedule_shared(kernel, backend)
+        self.policy.schedule_shared_ctx(kernel, backend, self.ctx)
     }
 }
 

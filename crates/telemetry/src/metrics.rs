@@ -186,9 +186,55 @@ pub struct MetricsRegistry {
     pub watchdog_trips: Counter,
     /// Chunk executions that overran the watchdog's split deadline.
     pub split_overruns: Counter,
+    /// Invocations whose GPU use was gated by the admission layer's
+    /// brownout ladder (ran CPU-only, learned nothing).
+    pub throttled: Counter,
+    /// Requests shed by the admission layer (queue overflow or brownout
+    /// stage 3), across tenants.
+    pub requests_shed: Counter,
+    /// Requests queued behind earlier ones, across tenants.
+    pub requests_queued: Counter,
+    /// Requests refused on an exhausted GPU quota window, across tenants.
+    pub quota_denials: Counter,
+    /// Brownout-ladder rung changes.
+    pub brownout_transitions: Counter,
+    /// Current brownout rung (0 normal … 3 shed-load).
+    pub brownout_level: Gauge,
     /// Latest drift EWMA per kernel, stored as `f64` bits (see
     /// [`kernel_drift`](MetricsRegistry::kernel_drift)).
     kernel_drift_ewma: RwLock<BTreeMap<u64, AtomicU64>>,
+    /// Per-tenant shed counts (tenant id → count).
+    tenant_sheds: RwLock<BTreeMap<u64, AtomicU64>>,
+    /// Per-tenant queued counts.
+    tenant_queued: RwLock<BTreeMap<u64, AtomicU64>>,
+    /// Per-tenant quota-denial counts.
+    tenant_quota_denials: RwLock<BTreeMap<u64, AtomicU64>>,
+}
+
+/// Bumps a labeled counter slot: a read lock plus one relaxed add after
+/// the label's first sighting; only the insert takes the write lock
+/// (the same idiom as the kernel-drift gauge map).
+fn bump_labeled(map: &RwLock<BTreeMap<u64, AtomicU64>>, key: u64) {
+    {
+        let map = map.read().unwrap_or_else(PoisonError::into_inner);
+        if let Some(slot) = map.get(&key) {
+            slot.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+    }
+    map.write()
+        .unwrap_or_else(PoisonError::into_inner)
+        .entry(key)
+        .or_insert_with(|| AtomicU64::new(0))
+        .fetch_add(1, Ordering::Relaxed);
+}
+
+fn dump_labeled(map: &RwLock<BTreeMap<u64, AtomicU64>>) -> Vec<(u64, u64)> {
+    map.read()
+        .unwrap_or_else(PoisonError::into_inner)
+        .iter()
+        .map(|(&k, v)| (k, v.load(Ordering::Relaxed)))
+        .collect()
 }
 
 impl MetricsRegistry {
@@ -203,6 +249,7 @@ impl MetricsRegistry {
             InvocationPath::Probe => self.probes.inc(),
             InvocationPath::Degraded => self.degraded.inc(),
             InvocationPath::Quarantined => self.quarantined.inc(),
+            InvocationPath::Throttled => self.throttled.inc(),
         }
         self.profile_rounds.add(u64::from(r.rounds));
         self.fault_rounds.add(u64::from(r.fault_rounds));
@@ -233,7 +280,38 @@ impl MetricsRegistry {
             ControlEvent::ReprofileSuppressed { .. } => self.reprofiles_suppressed.inc(),
             ControlEvent::ProfileDeadline { .. } => self.watchdog_trips.inc(),
             ControlEvent::SplitOverrun { .. } => self.split_overruns.inc(),
+            ControlEvent::RequestShed { tenant } => {
+                self.requests_shed.inc();
+                bump_labeled(&self.tenant_sheds, tenant);
+            }
+            ControlEvent::RequestQueued { tenant } => {
+                self.requests_queued.inc();
+                bump_labeled(&self.tenant_queued, tenant);
+            }
+            ControlEvent::QuotaDenied { tenant } => {
+                self.quota_denials.inc();
+                bump_labeled(&self.tenant_quota_denials, tenant);
+            }
+            ControlEvent::Brownout { level } => {
+                self.brownout_transitions.inc();
+                self.brownout_level.swap(u64::from(level));
+            }
         }
+    }
+
+    /// Per-tenant shed counts, sorted by tenant id.
+    pub fn tenant_sheds(&self) -> Vec<(u64, u64)> {
+        dump_labeled(&self.tenant_sheds)
+    }
+
+    /// Per-tenant queued counts, sorted by tenant id.
+    pub fn tenant_queued(&self) -> Vec<(u64, u64)> {
+        dump_labeled(&self.tenant_queued)
+    }
+
+    /// Per-tenant quota-denial counts, sorted by tenant id.
+    pub fn tenant_quota_denials(&self) -> Vec<(u64, u64)> {
+        dump_labeled(&self.tenant_quota_denials)
     }
 
     /// The latest drift EWMA reported for a kernel, if any.
@@ -371,6 +449,31 @@ impl MetricsRegistry {
             self.split_overruns.get(),
         );
         counter(
+            "easched_throttled_total",
+            "Invocations GPU-gated by the brownout ladder",
+            self.throttled.get(),
+        );
+        counter(
+            "easched_requests_shed_total",
+            "Requests shed by the admission layer",
+            self.requests_shed.get(),
+        );
+        counter(
+            "easched_requests_queued_total",
+            "Requests queued by the admission layer",
+            self.requests_queued.get(),
+        );
+        counter(
+            "easched_quota_denials_total",
+            "Requests refused on an exhausted GPU quota",
+            self.quota_denials.get(),
+        );
+        counter(
+            "easched_brownout_transitions_total",
+            "Brownout-ladder rung changes",
+            self.brownout_transitions.get(),
+        );
+        counter(
             "easched_profile_time_microseconds_total",
             "Realized profiling-phase time",
             self.profile_time_us.get(),
@@ -389,6 +492,16 @@ impl MetricsRegistry {
         out.push_str(&format!(
             "easched_breaker_state {}\n",
             self.breaker_state.get()
+        ));
+        push_meta(
+            &mut out,
+            "easched_brownout_level",
+            "Brownout rung (0 normal, 1 deny-gpu, 2 force-cpu, 3 shed-load)",
+            "gauge",
+        );
+        out.push_str(&format!(
+            "easched_brownout_level {}\n",
+            self.brownout_level.get()
         ));
         push_histogram(
             &mut out,
@@ -429,6 +542,30 @@ impl MetricsRegistry {
                 ));
             }
         }
+        let mut labeled = |name: &str, help: &str, entries: Vec<(u64, u64)>| {
+            if entries.is_empty() {
+                return;
+            }
+            push_meta(&mut out, name, help, "counter");
+            for (tenant, v) in entries {
+                out.push_str(&format!("{name}{{tenant=\"{tenant}\"}} {v}\n"));
+            }
+        };
+        labeled(
+            "easched_tenant_requests_shed_total",
+            "Requests shed by the admission layer, per tenant",
+            self.tenant_sheds(),
+        );
+        labeled(
+            "easched_tenant_requests_queued_total",
+            "Requests queued by the admission layer, per tenant",
+            self.tenant_queued(),
+        );
+        labeled(
+            "easched_tenant_quota_denials_total",
+            "Requests refused on an exhausted GPU quota, per tenant",
+            self.tenant_quota_denials(),
+        );
         out
     }
 }
@@ -583,6 +720,43 @@ mod tests {
             ewma: f64::NAN,
         });
         assert_eq!(reg.kernel_drift(9), Some(0.0));
+    }
+
+    #[test]
+    fn admission_events_accumulate_with_tenant_labels() {
+        let reg = MetricsRegistry::default();
+        reg.control(&ControlEvent::RequestShed { tenant: 3 });
+        reg.control(&ControlEvent::RequestShed { tenant: 3 });
+        reg.control(&ControlEvent::RequestShed { tenant: 0 });
+        reg.control(&ControlEvent::RequestQueued { tenant: 1 });
+        reg.control(&ControlEvent::QuotaDenied { tenant: 5 });
+        reg.control(&ControlEvent::Brownout { level: 2 });
+        assert_eq!(reg.requests_shed.get(), 3);
+        assert_eq!(reg.requests_queued.get(), 1);
+        assert_eq!(reg.quota_denials.get(), 1);
+        assert_eq!(reg.brownout_transitions.get(), 1);
+        assert_eq!(reg.brownout_level.get(), 2);
+        assert_eq!(reg.tenant_sheds(), vec![(0, 1), (3, 2)]);
+        assert_eq!(reg.tenant_queued(), vec![(1, 1)]);
+        assert_eq!(reg.tenant_quota_denials(), vec![(5, 1)]);
+        reg.update(&DecisionRecord {
+            path: InvocationPath::Throttled,
+            ..DecisionRecord::default()
+        });
+        assert_eq!(reg.throttled.get(), 1);
+        let page = reg.expose();
+        assert!(page.contains("easched_requests_shed_total 3"));
+        assert!(page.contains("easched_tenant_requests_shed_total{tenant=\"3\"} 2"));
+        assert!(page.contains("easched_tenant_requests_queued_total{tenant=\"1\"} 1"));
+        assert!(page.contains("easched_tenant_quota_denials_total{tenant=\"5\"} 1"));
+        assert!(page.contains("easched_brownout_level 2"));
+        assert!(page.contains("easched_throttled_total 1"));
+        for line in page.lines() {
+            assert!(
+                line.starts_with("# ") || line.split_whitespace().count() == 2,
+                "malformed line: {line}"
+            );
+        }
     }
 
     #[test]

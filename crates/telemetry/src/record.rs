@@ -33,6 +33,10 @@ pub enum InvocationPath {
     /// An open circuit breaker quarantined the GPU; the invocation ran
     /// CPU-only and learned nothing.
     Quarantined,
+    /// The admission layer's brownout ladder gated the GPU for this
+    /// invocation (deny-new-offload or forced α = 0); it ran CPU-only
+    /// and learned nothing.
+    Throttled,
 }
 
 impl InvocationPath {
@@ -46,6 +50,7 @@ impl InvocationPath {
             InvocationPath::Probe => 4,
             InvocationPath::Degraded => 5,
             InvocationPath::Quarantined => 6,
+            InvocationPath::Throttled => 7,
         }
     }
 
@@ -59,6 +64,7 @@ impl InvocationPath {
             4 => InvocationPath::Probe,
             5 => InvocationPath::Degraded,
             6 => InvocationPath::Quarantined,
+            7 => InvocationPath::Throttled,
             _ => return None,
         })
     }
@@ -73,6 +79,7 @@ impl InvocationPath {
             InvocationPath::Probe => "probe",
             InvocationPath::Degraded => "degraded",
             InvocationPath::Quarantined => "quarantined",
+            InvocationPath::Throttled => "throttled",
         }
     }
 
@@ -86,6 +93,7 @@ impl InvocationPath {
             "probe" => InvocationPath::Probe,
             "degraded" => InvocationPath::Degraded,
             "quarantined" => InvocationPath::Quarantined,
+            "throttled" => InvocationPath::Throttled,
             _ => return None,
         })
     }
@@ -323,12 +331,12 @@ mod tests {
 
     #[test]
     fn every_path_code_roundtrips() {
-        for code in 0..7 {
+        for code in 0..8 {
             let p = InvocationPath::from_code(code).unwrap();
             assert_eq!(p.code(), code);
             assert_eq!(InvocationPath::parse(p.as_str()), Some(p));
         }
-        assert_eq!(InvocationPath::from_code(7), None);
+        assert_eq!(InvocationPath::from_code(8), None);
         assert_eq!(InvocationPath::parse("bogus"), None);
     }
 }

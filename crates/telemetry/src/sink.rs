@@ -58,6 +58,28 @@ pub enum ControlEvent {
         /// The split's observed elapsed time, seconds.
         elapsed: f64,
     },
+    /// The admission layer shed a tenant's request (queue overflow or
+    /// brownout stage 3). Adaptation, not a fault.
+    RequestShed {
+        /// The shedding tenant's id (registry index).
+        tenant: u64,
+    },
+    /// The admission layer queued a tenant's request behind earlier ones.
+    RequestQueued {
+        /// The queuing tenant's id (registry index).
+        tenant: u64,
+    },
+    /// The admission layer refused a request because the tenant's GPU
+    /// quota window was exhausted.
+    QuotaDenied {
+        /// The denied tenant's id (registry index).
+        tenant: u64,
+    },
+    /// The brownout ladder moved to a new rung.
+    Brownout {
+        /// The new rung's stable code (0 normal … 3 shed-load).
+        level: u8,
+    },
 }
 
 /// Receives one structured event per kernel invocation.

@@ -7,15 +7,24 @@
 //!              [--model FILE] [--decisions FILE]
 //! easched compare --workload SM|all [--platform P] [--objective O] [--model FILE]
 //! easched record --out FILE [--seed N] [--rounds N] [--rate F]
+//! easched record --out FILE --overload [--seed N] [--ticks N]
 //! easched replay --log FILE [--bisect] [--perturb N] [--emit-fixture FILE]
 //! ```
+//!
+//! `replay` inspects the log's format version: a v2 (admission-event)
+//! log re-runs the multi-tenant overload storm, a v1 log the
+//! single-tenant chaos storm. Exit codes are part of the contract:
+//! 0 byte-identical, 1 divergence, 2 unusable input.
 
 use easched::core::{
     characterize, load_model, save_model, CharacterizationConfig, EasConfig, EasRuntime, Evaluator,
     Objective, PowerModel,
 };
 use easched::kernels::{suite, Workload};
-use easched::replay::{bisect_storm, record_chaos_storm, replay_chaos_storm, RunLog, StormSpec};
+use easched::replay::{
+    bisect_storm, record_chaos_storm, record_overload_storm, replay_chaos_storm,
+    replay_overload_storm, OverloadSpec, RunLog, StormSpec, FORMAT_VERSION_ADMISSION,
+};
 use easched::sim::Platform;
 
 /// Parsed command line.
@@ -44,6 +53,8 @@ enum Command {
         seed: u64,
         rounds: usize,
         rate: f64,
+        overload: bool,
+        ticks: u64,
     },
     Replay {
         log: String,
@@ -102,6 +113,7 @@ usage:
                [--model FILE] [--decisions FILE]
   easched compare --workload ABBREV|all [--platform P] [--objective O] [--model FILE]
   easched record --out FILE [--seed N] [--rounds N] [--rate F]
+  easched record --out FILE --overload [--seed N] [--ticks N]
   easched replay --log FILE [--bisect] [--perturb N] [--emit-fixture FILE]";
 
 fn parse_args(args: &[String]) -> Result<Command, String> {
@@ -122,6 +134,8 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
     let mut bisect = false;
     let mut perturb: Option<usize> = None;
     let mut emit_fixture: Option<String> = None;
+    let mut overload = false;
+    let mut ticks: u64 = OverloadSpec::new(0).ticks;
 
     while let Some(flag) = it.next() {
         let mut value = |name: &str| {
@@ -168,6 +182,12 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
                     .map_err(|e| format!("--rate: {e}"))?
             }
             "--bisect" => bisect = true,
+            "--overload" => overload = true,
+            "--ticks" => {
+                ticks = value("--ticks")?
+                    .parse()
+                    .map_err(|e| format!("--ticks: {e}"))?
+            }
             "--perturb" => {
                 perturb = Some(
                     value("--perturb")?
@@ -201,6 +221,8 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
             seed,
             rounds,
             rate,
+            overload,
+            ticks,
         }),
         "replay" => Ok(Command::Replay {
             log: log.ok_or("replay requires --log")?,
@@ -362,15 +384,34 @@ fn cmd_compare(
     }
 }
 
-fn cmd_record(out: &str, seed: u64, rounds: usize, rate: f64) {
-    let mut spec = StormSpec::new(seed);
-    spec.rounds = rounds;
-    spec.chaos_rate = rate;
-    eprintln!("recording chaos storm: seed {seed}, {rounds} round(s), fault rate {rate} ...");
-    let recorded = record_chaos_storm(&spec);
-    let decisions = recorded.log.decisions().len();
-    let events = recorded.log.events.len();
-    std::fs::write(out, recorded.log.to_text()).unwrap_or_else(|e| {
+fn cmd_record(out: &str, seed: u64, rounds: usize, rate: f64, overload: bool, ticks: u64) {
+    let log = if overload {
+        let spec = OverloadSpec {
+            ticks,
+            ..OverloadSpec::new(seed)
+        };
+        eprintln!("recording overload storm: seed {seed}, {ticks} tick(s) ...");
+        let recorded = record_overload_storm(&spec);
+        println!(
+            "storm: {} offered, {} shed, {} executed, fair-share deficit {:.4}, \
+             EDP efficiency {:.3}",
+            recorded.offered,
+            recorded.shed,
+            recorded.executed,
+            recorded.fair_share_deficit,
+            recorded.edp_efficiency(),
+        );
+        recorded.log
+    } else {
+        let mut spec = StormSpec::new(seed);
+        spec.rounds = rounds;
+        spec.chaos_rate = rate;
+        eprintln!("recording chaos storm: seed {seed}, {rounds} round(s), fault rate {rate} ...");
+        record_chaos_storm(&spec).log
+    };
+    let decisions = log.decisions().len();
+    let events = log.events.len();
+    std::fs::write(out, log.to_text()).unwrap_or_else(|e| {
         eprintln!("cannot write log to {out}: {e}");
         std::process::exit(2);
     });
@@ -407,6 +448,33 @@ fn cmd_replay(path: &str, bisect: bool, perturb: Option<usize>, emit_fixture: Op
             std::process::exit(2);
         }
         eprintln!("perturbed recorded step {step} (energy scaled; intentional divergence)");
+    }
+
+    if log.version == FORMAT_VERSION_ADMISSION {
+        if bisect {
+            eprintln!("--bisect does not support overload (v2) logs yet");
+            std::process::exit(2);
+        }
+        match replay_overload_storm(&log) {
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(2);
+            }
+            Ok(outcome) => {
+                if !outcome.identical {
+                    println!(
+                        "overload replay diverged:\n{}",
+                        outcome.first_difference.as_deref().unwrap_or("?")
+                    );
+                    std::process::exit(1);
+                }
+                println!(
+                    "{path}: overload run replayed byte-identically ({} events)",
+                    outcome.replayed.events.len()
+                );
+            }
+        }
+        return;
     }
 
     if bisect {
@@ -475,7 +543,9 @@ fn main() {
             seed,
             rounds,
             rate,
-        }) => cmd_record(&out, seed, rounds, rate),
+            overload,
+            ticks,
+        }) => cmd_record(&out, seed, rounds, rate, overload, ticks),
         Ok(Command::Replay {
             log,
             bisect,
@@ -561,6 +631,8 @@ mod tests {
                 seed: 7,
                 rounds: 2,
                 rate: 0.2,
+                overload: false,
+                ticks: OverloadSpec::new(0).ticks,
             }
         );
         let c = parse(&[
@@ -574,6 +646,8 @@ mod tests {
                 seed: 1009,
                 rounds: 3,
                 rate: 0.5,
+                overload: false,
+                ticks: OverloadSpec::new(0).ticks,
             }
         );
         assert!(parse(&["record"]).unwrap_err().contains("--out"));

@@ -1,0 +1,82 @@
+//! The `easched replay` exit-code contract, driven through the real
+//! binary: 0 byte-identical, 1 divergence, 2 unusable input. Divergence
+//! is already pinned by `tests/replay_fixture.rs` at the library level;
+//! these tests pin the *boundary* — a torn header and a wrong platform
+//! fingerprint must exit 2 (the log cannot be used at all), never 1
+//! (the log replayed and disagreed).
+
+use easched::replay::RunLog;
+use std::process::Command;
+
+const FIXTURE: &str = include_str!("fixtures/divergent_min.runlog");
+
+fn replay(dir: &std::path::Path, name: &str, text: &str) -> std::process::Output {
+    let path = dir.join(name);
+    std::fs::write(&path, text).expect("write log");
+    Command::new(env!("CARGO_BIN_EXE_easched"))
+        .args(["replay", "--log"])
+        .arg(&path)
+        .output()
+        .expect("run easched")
+}
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("easched-exitcodes-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+#[test]
+fn divergent_fixture_exits_1() {
+    let dir = temp_dir("divergent");
+    let out = replay(&dir, "divergent.runlog", FIXTURE);
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "divergence must exit 1; stdout: {} stderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr),
+    );
+}
+
+#[test]
+fn torn_header_exits_2() {
+    // Cut the log mid-header: not even the format version survives, so
+    // the file is unusable rather than divergent.
+    let torn = &FIXTURE[..FIXTURE.len().min(10)];
+    let dir = temp_dir("torn");
+    let out = replay(&dir, "torn.runlog", torn);
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "a torn header must exit 2; stderr: {}",
+        String::from_utf8_lossy(&out.stderr),
+    );
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("cannot parse log"),
+        "stderr names the parse failure: {}",
+        String::from_utf8_lossy(&out.stderr),
+    );
+}
+
+#[test]
+fn wrong_platform_fingerprint_exits_2() {
+    // Re-seal the fixture under a bumped platform fingerprint: every
+    // line CRC is valid, so the log parses — but it describes a machine
+    // this build cannot reconstruct, which is unusable, not divergent.
+    let mut log = RunLog::from_text(FIXTURE).expect("fixture parses");
+    log.platform_fp ^= 1;
+    let dir = temp_dir("platform");
+    let out = replay(&dir, "wrong_platform.runlog", &log.to_text());
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "a foreign platform fingerprint must exit 2; stderr: {}",
+        String::from_utf8_lossy(&out.stderr),
+    );
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("platform fingerprint mismatch"),
+        "stderr names the mismatch: {}",
+        String::from_utf8_lossy(&out.stderr),
+    );
+}
