@@ -72,6 +72,40 @@ echo "==> overload replay: record one overloaded run, byte-identical via easched
 ./target/release/easched record --out target/ci-overload.runlog --overload --seed 7 > /dev/null
 ./target/release/easched replay --log target/ci-overload.runlog
 
+echo "==> observability plane: live scrape during a storm + SLO exemplar replay"
+rm -f target/ci-serve.out
+./target/release/easched serve --addr 127.0.0.1:0 --seed 7 --ticks 32 \
+    --out target/ci-serve.runlog --trace target/ci-serve.trace.json \
+    --hold 20 > target/ci-serve.out 2>/dev/null &
+SERVE_PID=$!
+for _ in $(seq 1 100); do
+    grep -q '^serving on http://' target/ci-serve.out 2>/dev/null && break
+    sleep 0.2
+done
+SERVE_ADDR=$(sed -n 's|^serving on http://||p' target/ci-serve.out | head -n 1)
+test -n "$SERVE_ADDR"
+./target/release/easched scrape --addr "$SERVE_ADDR" --path /metrics > target/ci-serve-metrics.txt
+./target/release/easched scrape --addr "$SERVE_ADDR" --path /health > target/ci-serve-health.txt
+./target/release/easched scrape --addr "$SERVE_ADDR" --path /slo > target/ci-serve-slo.txt
+grep -q '^easched_invocations_total' target/ci-serve-metrics.txt
+grep -q '^easched_slo_breaches_total' target/ci-serve-metrics.txt
+grep -q '^easched_build_info{' target/ci-serve-metrics.txt
+grep -q '^easched_uptime_seconds' target/ci-serve-metrics.txt
+grep -q '"fault_free"' target/ci-serve-health.txt
+grep -q '"burn_threshold"' target/ci-serve-slo.txt
+# Wait for the post-storm artifacts (run log, then span trace) so a
+# breach exemplar can be replayed to its slice.
+for _ in $(seq 1 150); do
+    grep -q '^span trace written' target/ci-serve.out 2>/dev/null && break
+    sleep 0.2
+done
+kill "$SERVE_PID" 2>/dev/null || true
+wait "$SERVE_PID" 2>/dev/null || true
+SERVE_OFFSET=$(sed -n 's/.*--at \([0-9]*\)$/\1/p' target/ci-serve.out | head -n 1)
+test -n "$SERVE_OFFSET"
+./target/release/easched replay --log target/ci-serve.runlog --at "$SERVE_OFFSET" > /dev/null
+grep -q '"cat":"span"' target/ci-serve.trace.json
+
 echo "==> decide-path budget: fresh measurement vs committed BENCH_decide.json"
 ./target/release/bench_decide --out target/ci-bench-decide.json --check BENCH_decide.json
 

@@ -86,7 +86,7 @@ pub use selfheal::{
     DriftAction, DriftMonitor, DriftOutcome, DriftPolicy, Watchdog, WatchdogPolicy,
 };
 pub use shared::{SharedEas, SharedEasExt};
-pub use tenancy::TenantFrontend;
+pub use tenancy::{AdmittedRequest, TenantFrontend};
 pub use time_model::TimeModel;
 
 /// The telemetry subsystem (re-exported `easched-telemetry` crate):
@@ -94,6 +94,6 @@ pub use time_model::TimeModel;
 /// export, and model-drift analysis. See DESIGN.md §10.
 pub use easched_telemetry as telemetry;
 pub use easched_telemetry::{
-    ControlEvent, DecisionRecord, InvocationPath, MetricsRegistry, NullSink, RingSink,
-    TelemetrySink,
+    ControlEvent, DecisionRecord, InvocationPath, MetricsRegistry, NullSink, RingSink, SloConfig,
+    SloEvent, SloTracker, Span, SpanKind, SpanSink, TelemetrySink,
 };

@@ -47,7 +47,9 @@ use crate::kernel_table::KernelTable;
 use crate::selfheal::DriftAction;
 use easched_runtime::telemetry::InstrumentedBackend;
 use easched_runtime::{Backend, Clock, GpuPolicy, InvocationCtx, KernelId, Observation};
-use easched_telemetry::{ControlEvent, DecisionRecord, InvocationPath, TelemetrySink};
+use easched_telemetry::{
+    ControlEvent, DecisionRecord, InvocationPath, Span, SpanKind, TelemetrySink,
+};
 
 /// What `drive` learned about the invocation, for record construction.
 struct InvocationSummary {
@@ -124,14 +126,11 @@ pub(crate) fn schedule_invocation(
                 clock,
                 ctx,
             ) {
-                sink.record(&build_record(
-                    engine,
-                    health,
-                    kernel,
-                    items,
-                    &instrumented,
-                    summary,
-                ));
+                let record = build_record(engine, health, kernel, items, &instrumented, summary);
+                sink.record(&record);
+                if sink.wants_spans() {
+                    emit_invocation_spans(sink, kernel, ctx, &record, &instrumented);
+                }
             }
         }
     }
@@ -566,6 +565,86 @@ fn drive(
         alpha,
         decide_nanos,
     })
+}
+
+/// Emits the execution subtree of one invocation's trace: `decide` roots
+/// the batch, with `cpu-phase` / `gpu-phase` children carrying the
+/// instrumented per-phase totals and a zero-width `fold` closing it. The
+/// batch uses batch-relative ids and starts; the sink rebases them onto
+/// the trace's cursor, so multi-invocation requests chain their subtrees
+/// end to end. A context without a trace (direct, untenanted calls)
+/// allocates a fresh one from the sink's deterministic allocator.
+///
+/// Every duration is virtual (from the deterministic observation stream)
+/// and carried bit-exact — a chaos-corrupted phase total rides through
+/// as NaN rather than being sanitized away.
+fn emit_invocation_spans(
+    sink: &dyn TelemetrySink,
+    kernel: KernelId,
+    ctx: InvocationCtx,
+    record: &DecisionRecord,
+    backend: &InstrumentedBackend<'_>,
+) {
+    let trace = if ctx.trace != 0 {
+        ctx.trace
+    } else {
+        sink.next_trace()
+    };
+    if trace == 0 {
+        return; // sink advertises spans but has no trace allocator
+    }
+    let profile = backend.profile_totals();
+    let split = backend.split_totals();
+    let decide_dur = record.decide_nanos as f64 * 1e-9;
+    let cpu_dur = profile.cpu_time + split.cpu_time;
+    let gpu_dur = profile.gpu_time + split.gpu_time;
+    let cpu_items = profile.cpu_items + split.cpu_items;
+    let gpu_items = profile.gpu_items + split.gpu_items;
+    let clamp = |d: f64| if d.is_finite() && d > 0.0 { d } else { 0.0 };
+    let exec_end =
+        decide_dur + clamp(cpu_dur).max(if gpu_items > 0 { clamp(gpu_dur) } else { 0.0 });
+    let span = |id: u16, parent: u16, kind: SpanKind, start: f64, dur: f64, payload: f64| Span {
+        seq: 0,   // assigned by the ring
+        trace: 0, // rebased by the sink
+        kernel,
+        id,
+        parent,
+        kind,
+        tenant: ctx.tenant,
+        start,
+        dur,
+        payload,
+    };
+    let mut spans = Vec::with_capacity(4);
+    spans.push(span(1, 0, SpanKind::Decide, 0.0, decide_dur, record.alpha));
+    spans.push(span(
+        2,
+        1,
+        SpanKind::CpuPhase,
+        decide_dur,
+        cpu_dur,
+        cpu_items as f64,
+    ));
+    if gpu_items > 0 {
+        spans.push(span(
+            3,
+            1,
+            SpanKind::GpuPhase,
+            decide_dur,
+            gpu_dur,
+            gpu_items as f64,
+        ));
+    }
+    let fold_id = spans.len() as u16 + 1;
+    spans.push(span(
+        fold_id,
+        1,
+        SpanKind::Fold,
+        exec_end,
+        0.0,
+        record.alpha,
+    ));
+    sink.span_batch(trace, &mut spans);
 }
 
 /// Assembles the per-invocation telemetry record: the summary's control

@@ -23,8 +23,26 @@ use easched_runtime::{
     AdmissionConfig, AdmissionController, AdmissionOutcome, Backend, BrownoutLevel,
     ConcurrentScheduler, InvocationCtx, KernelId, TenantRegistry, TenantStats,
 };
-use easched_telemetry::ControlEvent;
+use easched_telemetry::{ControlEvent, SloEvent, SloTracker, Span, SpanKind};
 use std::sync::{Arc, Mutex, PoisonError};
+
+/// One request handed out by
+/// [`drain_detailed`](TenantFrontend::drain_detailed): the admission
+/// detail plus the causal trace allocated for it (0 when span tracing is
+/// off). Build its execution context with
+/// [`ctx_for_request`](TenantFrontend::ctx_for_request) so the
+/// scheduler's spans land on the same trace as the admission subtree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdmittedRequest {
+    /// Owning tenant's registry index.
+    pub tenant: usize,
+    /// Ticket assigned at offer time.
+    pub ticket: u64,
+    /// Full ticks the request queued between offer and drain.
+    pub waited_ticks: u64,
+    /// Causal trace id, or 0 when tracing is disabled.
+    pub trace: u64,
+}
 
 /// A multi-tenant admission frontend over one shared scheduler.
 ///
@@ -38,6 +56,7 @@ use std::sync::{Arc, Mutex, PoisonError};
 pub struct TenantFrontend {
     shared: Arc<SharedEas>,
     admission: Mutex<AdmissionController>,
+    slo: Option<Arc<SloTracker>>,
 }
 
 impl TenantFrontend {
@@ -50,7 +69,23 @@ impl TenantFrontend {
         TenantFrontend {
             shared,
             admission: Mutex::new(AdmissionController::new(registry, cfg)),
+            slo: None,
         }
+    }
+
+    /// Attaches an SLO burn-rate tracker (builder form): offers, drains,
+    /// and [`observe_request_edp`](Self::observe_request_edp) feed it,
+    /// and fired alerts are echoed as
+    /// [`ControlEvent::SloBreach`](easched_telemetry::ControlEvent)
+    /// control events.
+    pub fn with_slo(mut self, slo: Arc<SloTracker>) -> TenantFrontend {
+        self.slo = Some(slo);
+        self
+    }
+
+    /// The attached SLO tracker, if any.
+    pub fn slo(&self) -> Option<&Arc<SloTracker>> {
+        self.slo.as_ref()
     }
 
     /// The scheduler behind this frontend.
@@ -73,18 +108,44 @@ impl TenantFrontend {
         }
     }
 
+    /// Echoes a fired SLO alert into the control-event stream. The full
+    /// event (burn rates, exemplar offset) stays queryable on the
+    /// tracker; the control event is the metrics-exposure hook.
+    fn fire(&self, event: Option<SloEvent>) {
+        if let Some(e) = event {
+            self.emit(ControlEvent::SloBreach {
+                tenant: e.tenant,
+                signal: e.kind.code(),
+            });
+        }
+    }
+
+    /// The current `RunLog` offset of the attached sink (0 without a
+    /// recording sink) — the exemplar SLO events carry.
+    fn log_offset(&self) -> u64 {
+        self.shared.telemetry().map_or(0, |s| s.offset())
+    }
+
     /// Offers one request for `tenant`, returning the typed admission
     /// outcome — never an unbounded enqueue. Sheds, queues, and quota
     /// denials are counted in the scheduler's health report and emitted
     /// as control events (overload protection is adaptation, not a
     /// fault: `fault_free()` is undisturbed).
     pub fn offer(&self, tenant: usize) -> AdmissionOutcome {
-        let (outcome, quota_denied) = {
+        let (outcome, quota_denied, tick) = {
             let mut adm = self.lock();
             let before = adm.tenant_stats(tenant).quota_denials;
             let outcome = adm.offer(tenant);
-            (outcome, adm.tenant_stats(tenant).quota_denials > before)
+            (
+                outcome,
+                adm.tenant_stats(tenant).quota_denials > before,
+                adm.tick(),
+            )
         };
+        if let Some(slo) = &self.slo {
+            let shed = matches!(outcome, AdmissionOutcome::Shed { .. });
+            self.fire(slo.observe_shed(tenant as u64, shed, tick as f64, self.log_offset()));
+        }
         let stats = &self.shared.health_state().stats;
         match outcome {
             AdmissionOutcome::Admit { .. } => {}
@@ -113,7 +174,92 @@ impl TenantFrontend {
     /// Pops up to `slots` queued requests in weighted fair-share order;
     /// each entry is `(tenant, ticket)`.
     pub fn drain(&self, slots: usize) -> Vec<(usize, u64)> {
-        self.lock().drain(slots)
+        self.drain_detailed(slots)
+            .into_iter()
+            .map(|r| (r.tenant, r.ticket))
+            .collect()
+    }
+
+    /// [`drain`](Self::drain) with the observability plane attached: each
+    /// drained request reports its queue wait, gets a causal trace
+    /// allocated (when the sink traces spans) with its admission subtree
+    /// — `admit` rooting a `queue-wait` child — already published, and
+    /// feeds the queue-wait SLO signal.
+    pub fn drain_detailed(&self, slots: usize) -> Vec<AdmittedRequest> {
+        let (drained, tick) = {
+            let mut adm = self.lock();
+            let drained = adm.drain_detailed(slots);
+            (drained, adm.tick())
+        };
+        if drained.is_empty() {
+            return Vec::new();
+        }
+        let sink = self.shared.telemetry();
+        let tracing = sink.as_ref().is_some_and(|s| s.wants_spans());
+        let offset = self.log_offset();
+        drained
+            .into_iter()
+            .map(|d| {
+                let mut trace = 0;
+                if tracing {
+                    let sink = sink.expect("tracing implies a sink");
+                    trace = sink.next_trace();
+                    if trace != 0 {
+                        let wait = d.waited_ticks as f64;
+                        let mut spans = [
+                            Span {
+                                id: 1,
+                                kind: SpanKind::Admit,
+                                tenant: d.tenant as u16,
+                                dur: wait,
+                                payload: d.ticket as f64,
+                                ..Span::default()
+                            },
+                            Span {
+                                id: 2,
+                                parent: 1,
+                                kind: SpanKind::QueueWait,
+                                tenant: d.tenant as u16,
+                                dur: wait,
+                                payload: d.waited_ticks as f64,
+                                ..Span::default()
+                            },
+                        ];
+                        sink.span_batch(trace, &mut spans);
+                    }
+                }
+                if let Some(slo) = &self.slo {
+                    self.fire(slo.observe_queue_wait(
+                        d.tenant as u64,
+                        d.waited_ticks as f64,
+                        tick as f64,
+                        offset,
+                    ));
+                }
+                AdmittedRequest {
+                    tenant: d.tenant,
+                    ticket: d.ticket,
+                    waited_ticks: d.waited_ticks,
+                    trace,
+                }
+            })
+            .collect()
+    }
+
+    /// Feeds one executed request's predicted and realized EDP into the
+    /// SLO engine (the scheduler-visible pair, so record and replay feed
+    /// identical streams). No-op without a tracker.
+    pub fn observe_request_edp(&self, tenant: usize, predicted: f64, realized: f64) {
+        if let Some(slo) = &self.slo {
+            let tick = self.lock().tick();
+            self.fire(slo.observe_edp(
+                tenant as u64,
+                predicted,
+                realized,
+                tick as f64,
+                self.log_offset(),
+            ));
+        }
     }
 
     /// Debits `gpu_seconds` of GPU-proxy time against the tenant's quota
@@ -148,6 +294,15 @@ impl TenantFrontend {
     /// deadline budget.
     pub fn ctx_for(&self, tenant: usize) -> InvocationCtx {
         self.lock().ctx_for(tenant)
+    }
+
+    /// [`ctx_for`](Self::ctx_for) bound to a drained request's trace, so
+    /// the execution subtree lands on the same trace as its admission
+    /// spans.
+    pub fn ctx_for_request(&self, req: &AdmittedRequest) -> InvocationCtx {
+        let mut ctx = self.ctx_for(req.tenant);
+        ctx.trace = req.trace;
+        ctx
     }
 
     /// The ladder's current rung.
@@ -197,7 +352,7 @@ mod tests {
     use easched_num::Polynomial;
     use easched_runtime::backend::test_support::FakeBackend;
     use easched_runtime::TenantSpec;
-    use easched_telemetry::RingSink;
+    use easched_telemetry::{RingSink, SloKind};
 
     fn flat_model(watts: f64) -> PowerModel {
         let curves = WorkloadClass::all()
@@ -258,6 +413,80 @@ mod tests {
         assert!(f.shared().learned_alpha(7).is_some());
         assert!(f.queues_bounded());
         assert!(f.tenant_stats(0).gpu_seconds > 0.0);
+    }
+
+    #[test]
+    fn drained_requests_carry_traces_and_publish_admission_spans() {
+        let sink = Arc::new(RingSink::with_capacity(256).with_span_tracing(256, 0xFEED));
+        let f = frontend(Some(Arc::clone(&sink)));
+        assert!(matches!(f.offer(0), AdmissionOutcome::Admit { .. }));
+        f.advance_tick();
+        f.advance_tick();
+        let drained = f.drain_detailed(4);
+        assert_eq!(drained.len(), 1);
+        let req = drained[0];
+        assert_ne!(req.trace, 0, "tracing sink allocates a trace");
+        assert_eq!(req.waited_ticks, 2);
+
+        let spans = sink.span_snapshot();
+        assert_eq!(spans.len(), 2, "admit + queue-wait");
+        assert_eq!(spans[0].kind, SpanKind::Admit);
+        assert_eq!(spans[1].kind, SpanKind::QueueWait);
+        assert!(spans.iter().all(|s| s.trace == req.trace));
+        assert_eq!(spans[1].parent, spans[0].id);
+        assert_eq!(spans[1].payload, 2.0, "waited ticks ride as payload");
+        assert_eq!(spans[0].tenant, 0);
+
+        // Executing under the request's ctx chains the decide subtree
+        // onto the same trace, after the queue wait.
+        let ctx = f.ctx_for_request(&req);
+        assert_eq!(ctx.trace, req.trace);
+        let mut b = FakeBackend::new(100_000, 1.0e6, 2.0e6);
+        f.shared().schedule_shared_ctx(7, &mut b, ctx);
+        let spans = sink.span_snapshot();
+        assert!(spans.len() > 2, "execution subtree published");
+        assert!(spans.iter().all(|s| s.trace == req.trace));
+        let decide = spans.iter().find(|s| s.kind == SpanKind::Decide).unwrap();
+        assert!(decide.start >= 2.0, "execution starts after the queue wait");
+        assert!(spans.iter().any(|s| s.kind == SpanKind::Fold));
+        assert_eq!(decide.tenant, 0, "ctx tenant labels the execution spans");
+    }
+
+    #[test]
+    fn untraced_sink_allocates_no_traces_and_no_spans() {
+        let sink = Arc::new(RingSink::default());
+        let f = frontend(Some(Arc::clone(&sink)));
+        f.offer(0);
+        let drained = f.drain_detailed(4);
+        assert_eq!(drained[0].trace, 0);
+        assert!(sink.span_sink().is_none());
+    }
+
+    #[test]
+    fn sustained_sheds_fire_an_slo_breach_control_event() {
+        let sink = Arc::new(RingSink::default());
+        let slo = Arc::new(SloTracker::default());
+        let f = {
+            let cfg = EasConfig::new(Objective::Time);
+            let slo_sink: Arc<RingSink> = Arc::clone(&sink);
+            let shared = SharedEas::with_telemetry(flat_model(50.0), cfg, slo_sink);
+            let registry = TenantRegistry::new(vec![TenantSpec::new("a", 1.0).with_queue_cap(1)]);
+            TenantFrontend::new(shared, registry, AdmissionConfig::default())
+                .with_slo(Arc::clone(&slo))
+        };
+        // Queue cap 1 and no drains: every offer past the first sheds.
+        // 100 % shed rate burns 10× the 10 % budget in both windows.
+        for _ in 0..64 {
+            f.offer(0);
+        }
+        let events = slo.events();
+        assert!(!events.is_empty(), "sustained sheds must fire");
+        assert_eq!(events[0].kind, SloKind::ShedRate);
+        assert_eq!(sink.metrics().slo_breaches.get(), events.len() as u64);
+        assert_eq!(
+            sink.metrics().tenant_slo_breaches(),
+            vec![(0, events.len() as u64)]
+        );
     }
 
     #[test]

@@ -25,7 +25,7 @@ use easched_core::{
 use easched_kernels::suite;
 use easched_runtime::{run_workload_chaos, ChaosInjector, Fault, FaultPlan, TickClock};
 use easched_sim::{Machine, Platform};
-use easched_telemetry::TelemetrySink;
+use easched_telemetry::{FanoutSink, RingSink, TelemetrySink, DEFAULT_SPAN_CAPACITY};
 use std::sync::Arc;
 
 /// Shape of a recorded chaos storm.
@@ -161,6 +161,30 @@ pub fn recording_setup(seed: RunSeed) -> (EasScheduler, Arc<Recorder>) {
     (eas, recorder)
 }
 
+/// [`recording_setup`] plus the live observability plane: the scheduler's
+/// sink becomes a [`FanoutSink`] teeing the [`Recorder`] (run log +
+/// exemplar offsets) and a span-tracing [`RingSink`] (metrics registry +
+/// causal spans for the scrape server). The recorder stays first so
+/// [`TelemetrySink::offset`] reads log offsets; the ring sink is the
+/// span owner.
+///
+/// The trace-id root is `seed.derive("trace")` taken *directly* from the
+/// seed, not through [`Recorder::derive`]: spans are derived state
+/// (DESIGN.md §14), so the derivation must not enter the event stream —
+/// an observed run's log stays byte-identical to an unobserved one.
+pub fn recording_setup_observed(seed: RunSeed) -> (EasScheduler, Arc<Recorder>, Arc<RingSink>) {
+    let (mut eas, recorder) = recording_setup(seed);
+    let ring = Arc::new(
+        RingSink::default().with_span_tracing(DEFAULT_SPAN_CAPACITY, seed.derive("trace")),
+    );
+    let fanout = FanoutSink::new(vec![
+        Arc::clone(&recorder) as Arc<dyn TelemetrySink>,
+        Arc::clone(&ring) as Arc<dyn TelemetrySink>,
+    ]);
+    eas.set_telemetry(Some(Arc::new(fanout) as Arc<dyn TelemetrySink>));
+    (eas, recorder, ring)
+}
+
 /// Records a chaos storm, returning the log and the run's final state.
 pub fn record_chaos_storm(spec: &StormSpec) -> RecordedStorm {
     let (mut eas, recorder) = recording_setup(spec.seed);
@@ -259,6 +283,27 @@ mod tests {
         let a = record_chaos_storm(&StormSpec::new(7));
         let b = record_chaos_storm(&StormSpec::new(8));
         assert_ne!(a.log.to_text(), b.log.to_text());
+    }
+
+    #[test]
+    fn trace_ids_equal_indexed_seed_derivations() {
+        // The span sink's trace-id allocator must be the same function as
+        // `RunSeed::derive_indexed("trace", ordinal)` — that equality is
+        // what makes trace ids replay-stable without logging them. The
+        // telemetry crate cannot see `RunSeed`, so the equality is pinned
+        // here, cross-crate.
+        let seed = RunSeed::new(7);
+        let (_eas, _recorder, ring) = recording_setup_observed(seed);
+        let sink = ring.span_sink().expect("observed setup traces spans");
+        assert_eq!(sink.root(), seed.derive("trace"));
+        for ordinal in 0..32u64 {
+            assert_eq!(
+                sink.next_trace(),
+                seed.derive_indexed("trace", ordinal),
+                "trace ordinal {ordinal} diverged from the seed derivation"
+            );
+        }
+        assert_eq!(sink.traces_started(), 32);
     }
 
     #[test]

@@ -37,16 +37,17 @@ pub mod replay;
 
 pub use bisect::{bisect_storm, BisectReport};
 pub use harness::{
-    record_chaos_storm, recording_setup, replay_chaos_storm, scheduler_for_log, storm_platform,
-    RecordedStorm, ReplayError, StormSpec,
+    record_chaos_storm, recording_setup, recording_setup_observed, replay_chaos_storm,
+    scheduler_for_log, storm_platform, RecordedStorm, ReplayError, StormSpec,
 };
 pub use log::{
     AdmissionRecord, Event, LogError, LoggedInvocation, RecordedStep, RunLog, StepCall,
     FORMAT_VERSION, FORMAT_VERSION_ADMISSION,
 };
 pub use overload::{
-    record_overload_storm, replay_overload_storm, OverloadReplayOutcome, OverloadSpec,
-    RecordedOverload,
+    record_overload_storm, record_overload_storm_observed, record_overload_storm_observed_with,
+    replay_overload_storm, LiveObservability, ObservedOverload, OverloadReplayOutcome,
+    OverloadSpec, RecordedOverload,
 };
 pub use record::{Recorder, RecordingBackend, RecordingScheduler};
 pub use replay::{

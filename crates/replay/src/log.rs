@@ -285,6 +285,33 @@ impl RunLog {
         out
     }
 
+    /// Cuts the log to its first `offset` events — the prefix an SLO
+    /// exemplar names (`easched replay --at <offset>`) — then backs the
+    /// cut off to the last complete invocation boundary, dropping any
+    /// trailing `Invocation`/`Step` events whose [`DecisionRecord`] the
+    /// prefix does not contain. The slice is a well-formed, complete log
+    /// in its own right: every invocation it carries replays, and an
+    /// overload replay of the slice reproduces the sliced stream line
+    /// for line before running past the cut.
+    pub fn slice_at(&self, offset: u64) -> RunLog {
+        let take = (offset as usize).min(self.events.len());
+        let mut events: Vec<Event> = self.events[..take].to_vec();
+        while matches!(
+            events.last(),
+            Some(Event::Invocation { .. } | Event::Step(_))
+        ) {
+            events.pop();
+        }
+        RunLog {
+            version: self.version,
+            root: self.root,
+            platform_fp: self.platform_fp,
+            config_fp: self.config_fp,
+            events,
+            complete: true,
+        }
+    }
+
     /// Corrupts the `index`-th recorded step (counting across the whole
     /// run) by scaling its observed energy ×1.5 — an intentional
     /// divergence for exercising the bisect reporter. Returns `false` if
@@ -637,6 +664,29 @@ mod tests {
         let d = sample_log().decisions();
         assert_eq!(d.len(), 1);
         assert_eq!(d[0].kernel, 7);
+    }
+
+    #[test]
+    fn slice_at_trims_to_complete_invocation_boundaries() {
+        let log = sample_log();
+        // Cutting mid-invocation (after the Invocation and one Step, but
+        // before the Decision) backs off past the whole invocation.
+        let slice = log.slice_at(3);
+        assert_eq!(slice.events.len(), 1, "only the derive survives");
+        assert!(matches!(slice.events[0], Event::Derive { .. }));
+        assert!(slice.complete);
+        assert_eq!(slice.root, log.root);
+        // Cutting at or past the Decision keeps the invocation whole.
+        let full = log.slice_at(5);
+        assert_eq!(full.events.len(), 5);
+        assert_eq!(full.invocations().len(), 1);
+        assert_eq!(full.decisions().len(), 1);
+        // An offset past the end is the identity slice.
+        assert_eq!(log.slice_at(99).events.len(), log.events.len());
+        // The slice round-trips through text like any complete log.
+        let back = RunLog::from_text(&full.to_text()).unwrap();
+        assert!(back.complete);
+        assert_eq!(back.events.len(), 5);
     }
 
     #[test]

@@ -22,18 +22,22 @@
 //! That is deliberate and black-box-faithful: the admission layer reads
 //! the same telemetry an operator would, not simulator ground truth.
 
-use crate::harness::{recording_setup, scheduler_for_log, storm_platform, ReplayError};
+use crate::harness::{
+    recording_setup, recording_setup_observed, scheduler_for_log, storm_platform, ReplayError,
+};
 use crate::log::{AdmissionRecord, Event, RunLog};
 use crate::record::{Recorder, RecordingScheduler};
 use crate::replay::ReplayBackend;
-use easched_core::{table_to_text, HealthReport, RunSeed, SharedEasExt, TenantFrontend};
+use easched_core::{
+    table_to_text, EasScheduler, HealthReport, RunSeed, SharedEasExt, TenantFrontend,
+};
 use easched_kernels::suite;
 use easched_runtime::{
     run_workload, run_workload_chaos, AdmissionConfig, BrownoutLevel, ChaosInjector, FaultPlan,
     InvocationCtx, Scheduler, TenantRegistry, TenantSpec, TenantStats, TenantTraffic, TrafficModel,
 };
 use easched_sim::Machine;
-use easched_telemetry::TelemetrySink;
+use easched_telemetry::{RingSink, SloConfig, SloTracker, TelemetrySink};
 use std::sync::Arc;
 
 /// Wire verdict marking the start of one drained request's execution in
@@ -261,17 +265,21 @@ where
                 });
             }
         }
-        for (tenant, ticket) in frontend.drain(slots) {
-            let ctx = frontend.ctx_for(tenant);
+        for req in frontend.drain_detailed(slots) {
+            // `drain_detailed` has already published the admission spans
+            // and queue-wait SLO samples (both derived state, absent from
+            // the log); the ctx threads the request's trace id into the
+            // execution spans.
+            let ctx = frontend.ctx_for_request(&req);
             recorder.note_admission(AdmissionRecord {
                 tick,
-                tenant: tenant as u64,
+                tenant: req.tenant as u64,
                 level: frontend.level().code(),
                 verdict: VERDICT_EXEC,
-                arg: ticket,
+                arg: req.ticket,
             });
             let before = recorder.decisions().len();
-            let edp = exec(tenant, ticket, ctx);
+            let edp = exec(req.tenant, req.ticket, ctx);
             let records = recorder.decisions().split_off(before);
             // Proxy occupancy: the drain slot held the shared package for
             // the run's scheduler-visible time, so that is what the
@@ -280,9 +288,19 @@ where
             // the ledger; ledger granularity stays below the fairness
             // gate).
             let measured: f64 = records.iter().map(|r| r.profile_time + r.split_time).sum();
+            // The EDP SLO signal is scheduler-visible on both sides of
+            // replay: predicted objective vs realized energy·time, both
+            // straight from the decision stream the replay reproduces
+            // bit-for-bit. Ground-truth `edp` would read zero on replay.
+            let predicted: f64 = records.iter().map(|r| r.predicted_objective).sum();
+            let realized: f64 = records
+                .iter()
+                .map(|r| (r.profile_energy + r.split_energy) * (r.profile_time + r.split_time))
+                .sum();
+            frontend.observe_request_edp(req.tenant, predicted, realized);
             let debit = measured.clamp(DEBIT_FLOOR, DEBIT_CEIL);
-            frontend.complete(tenant, debit);
-            totals.kinds.push((ticket % 3) as usize);
+            frontend.complete(req.tenant, debit);
+            totals.kinds.push((req.ticket % 3) as usize);
             totals.edps.push(edp);
         }
         // Package power for the ladder: the mean of per-decision
@@ -304,10 +322,108 @@ where
     totals
 }
 
+/// An overload recording plus the live observability plane that watched
+/// it: the span-tracing ring sink (metrics registry + causal spans — the
+/// scrape server's providers) and the SLO tracker the frontend fed.
+#[derive(Debug)]
+pub struct ObservedOverload {
+    /// The recording and its acceptance-gate measurements. Its log is
+    /// byte-identical to an unobserved recording of the same spec — the
+    /// observability plane is strictly derived state.
+    pub recorded: RecordedOverload,
+    /// The ring sink that observed the run (metrics + spans).
+    pub ring: Arc<RingSink>,
+    /// The burn-rate tracker; its events carry run-log exemplar offsets
+    /// (`easched replay --at <offset>`).
+    pub slo: Arc<SloTracker>,
+}
+
 /// Records the canonical overload storm, returning the sealed v2 log,
 /// the run's final state, and the acceptance-gate measurements.
 pub fn record_overload_storm(spec: &OverloadSpec) -> RecordedOverload {
     let (eas, recorder) = recording_setup(spec.seed);
+    record_storm_with(spec, eas, recorder, None, None)
+}
+
+/// Live handles to an observed storm in flight, passed to the serve
+/// hook of [`record_overload_storm_observed_with`] just before the
+/// first tick — everything a scrape server's route providers close
+/// over.
+#[derive(Debug, Clone)]
+pub struct LiveObservability {
+    /// The admission frontend (tenant stats, brownout level).
+    pub frontend: Arc<TenantFrontend>,
+    /// Metrics registry + span ring.
+    pub ring: Arc<RingSink>,
+    /// Burn-rate tracker.
+    pub slo: Arc<SloTracker>,
+    /// The recorder (live log offset for exemplar displays).
+    pub recorder: Arc<Recorder>,
+}
+
+/// [`record_overload_storm`] with the observability plane attached: the
+/// scheduler's telemetry tees into a span-tracing [`RingSink`], the
+/// frontend feeds a [`SloTracker`] (queue-wait, EDP-ratio, and shed-rate
+/// burn rates, exemplar offsets from the recorder), and tenant names are
+/// registered with both so scrape output carries human labels. The log
+/// itself is byte-identical to the unobserved recording.
+pub fn record_overload_storm_observed(spec: &OverloadSpec) -> ObservedOverload {
+    record_overload_storm_observed_with(spec, |_| {})
+}
+
+/// [`record_overload_storm_observed`] with a hook that receives the live
+/// handles before the first tick — the `easched serve` subcommand binds
+/// its scrape server here, so every page reads a storm actually in
+/// flight.
+pub fn record_overload_storm_observed_with(
+    spec: &OverloadSpec,
+    on_live: impl FnOnce(&LiveObservability),
+) -> ObservedOverload {
+    let (eas, recorder, ring) = recording_setup_observed(spec.seed);
+    let slo = Arc::new(SloTracker::new(SloConfig::default()));
+    let registry = overload_registry();
+    for tenant in 0..registry.len() {
+        let name = &registry.spec(tenant).name;
+        slo.set_tenant_name(tenant as u64, name);
+        ring.metrics().set_tenant_name(tenant as u64, name);
+    }
+    let mut on_live = Some(on_live);
+    let ring_for_hook = Arc::clone(&ring);
+    let recorded = record_storm_with(
+        spec,
+        eas,
+        Arc::clone(&recorder),
+        Some(Arc::clone(&slo)),
+        Some(&mut |frontend: &Arc<TenantFrontend>| {
+            if let Some(hook) = on_live.take() {
+                hook(&LiveObservability {
+                    frontend: Arc::clone(frontend),
+                    ring: Arc::clone(&ring_for_hook),
+                    slo: Arc::clone(&slo),
+                    recorder: Arc::clone(&recorder),
+                });
+            }
+        }),
+    );
+    ObservedOverload {
+        recorded,
+        ring,
+        slo,
+    }
+}
+
+/// The frontend hook `record_storm_with` fires once the live handles
+/// exist, before the first tick.
+type OnLive<'a> = &'a mut dyn FnMut(&Arc<TenantFrontend>);
+
+/// The shared storm body behind both record entry points.
+fn record_storm_with(
+    spec: &OverloadSpec,
+    eas: EasScheduler,
+    recorder: Arc<Recorder>,
+    slo: Option<Arc<SloTracker>>,
+    on_live: Option<OnLive<'_>>,
+) -> RecordedOverload {
     let chaos_seed = recorder.derive(spec.seed, "chaos");
     let traffic_seed = recorder.derive(spec.seed, "traffic");
 
@@ -316,7 +432,14 @@ pub fn record_overload_storm(spec: &OverloadSpec) -> RecordedOverload {
     let tenants = registry.len();
     let cfg = overload_admission();
     let slots = cfg.slots_per_tick;
-    let frontend = TenantFrontend::new(Arc::clone(&shared), registry, cfg);
+    let mut frontend = TenantFrontend::new(Arc::clone(&shared), registry, cfg);
+    if let Some(slo) = slo {
+        frontend = frontend.with_slo(slo);
+    }
+    let frontend = Arc::new(frontend);
+    if let Some(hook) = on_live {
+        hook(&frontend);
+    }
     let traffic = TrafficModel::new(traffic_seed, overload_traffic());
 
     let workloads = overload_workloads();
@@ -564,6 +687,74 @@ mod tests {
         let b = record_overload_storm(&short_spec(23));
         assert_eq!(a.log.to_text(), b.log.to_text());
         assert_eq!(a.fair_share_deficit, b.fair_share_deficit);
+    }
+
+    #[test]
+    fn observed_storm_logs_byte_identically_to_unobserved() {
+        // The zero-cost invariant, end to end: spans, SLO tracking, and
+        // metrics are derived state, so attaching the whole observability
+        // plane must not move a single byte of the recording.
+        let plain = record_overload_storm(&short_spec(7));
+        let observed = record_overload_storm_observed(&short_spec(7));
+        assert_eq!(observed.recorded.log.to_text(), plain.log.to_text());
+        // ... while the plane actually observed the run.
+        let spans = observed.ring.span_snapshot();
+        assert!(!spans.is_empty(), "observed storm must capture spans");
+        use easched_telemetry::SpanKind;
+        for kind in [SpanKind::Admit, SpanKind::QueueWait, SpanKind::Decide] {
+            assert!(
+                spans.iter().any(|s| s.kind == kind),
+                "missing {kind:?} spans"
+            );
+        }
+        // Admission and execution batches share trace ids (causality
+        // across the admit → decide boundary).
+        let admit_traces: std::collections::BTreeSet<u64> = spans
+            .iter()
+            .filter(|s| s.kind == SpanKind::Admit)
+            .map(|s| s.trace)
+            .collect();
+        assert!(
+            spans
+                .iter()
+                .any(|s| s.kind == SpanKind::Decide && admit_traces.contains(&s.trace)),
+            "execution spans must join their admission traces"
+        );
+    }
+
+    #[test]
+    fn slo_breach_exemplar_replays_to_the_breaching_slice() {
+        // The canonical 32-tick storm sheds hard enough to breach.
+        let observed = record_overload_storm_observed(&OverloadSpec::new(7));
+        let events = observed.slo.events();
+        assert!(!events.is_empty(), "2x overload must breach an SLO");
+        // Breaches propagated to the metrics plane as control events.
+        assert!(observed.ring.metrics().slo_breaches.get() > 0);
+
+        let event = events[0];
+        assert!(
+            event.exemplar_offset > 0,
+            "exemplar must point into the log"
+        );
+        let slice = observed.recorded.log.slice_at(event.exemplar_offset);
+        assert!(!slice.events.is_empty());
+        assert!(slice.events.len() <= event.exemplar_offset as usize);
+
+        // Replaying the slice reproduces it line for line up to the cut
+        // (the replay then runs past it, regenerating the rest of the
+        // final tick — that tail is beyond the exemplar's claim).
+        let outcome = replay_overload_storm(&slice).unwrap();
+        let slice_text = slice.to_text();
+        let replay_text = outcome.replayed.to_text();
+        let body_lines = slice_text.lines().count() - 1; // drop `end` footer
+        for (i, (want, got)) in slice_text
+            .lines()
+            .zip(replay_text.lines())
+            .take(body_lines)
+            .enumerate()
+        {
+            assert_eq!(want, got, "replayed slice diverged at line {}", i + 1);
+        }
     }
 
     #[test]

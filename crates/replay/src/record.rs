@@ -184,6 +184,14 @@ impl TelemetrySink for Recorder {
         // replay regenerates them from the same observations, so the log
         // does not carry them.
     }
+
+    fn offset(&self) -> u64 {
+        // The exemplar hook (DESIGN.md §14): the current event count is
+        // exactly the prefix length `easched replay --at <offset>` cuts
+        // at, so an SLO event stamped here replays to the breaching
+        // slice.
+        self.len() as u64
+    }
 }
 
 /// Wraps a [`Scheduler`] so every invocation it handles is recorded.

@@ -42,18 +42,38 @@ pub enum GpuPolicy {
 /// `InvocationCtx::default()` is the single-tenant fast path: no deadline
 /// budget, GPU fully allowed. Policies must treat a default context
 /// exactly like a context-free call.
-#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct InvocationCtx {
     /// GPU gating from the brownout ladder.
     pub gpu: GpuPolicy,
     /// Per-request deadline budget, seconds; composes with the policy's
     /// own watchdog deadlines (the tighter bound wins).
     pub deadline: Option<f64>,
+    /// Causal trace this invocation belongs to; 0 means untraced (the
+    /// scheduler allocates a fresh trace when span tracing is enabled).
+    /// Purely observational — policies must never branch on it.
+    pub trace: u64,
+    /// Owning tenant's registry index for span labeling, or `u16::MAX`
+    /// when the invocation arrived outside any tenant frontend.
+    pub tenant: u16,
+}
+
+impl Default for InvocationCtx {
+    fn default() -> InvocationCtx {
+        InvocationCtx {
+            gpu: GpuPolicy::default(),
+            deadline: None,
+            trace: 0,
+            tenant: u16::MAX,
+        }
+    }
 }
 
 impl InvocationCtx {
     /// True when this context changes nothing relative to a context-free
-    /// call (the single-tenant fast path).
+    /// call (the single-tenant fast path). Trace/tenant labels are
+    /// observational and deliberately excluded: a traced invocation must
+    /// schedule byte-identically to an untraced one.
     pub fn is_default(&self) -> bool {
         self.gpu == GpuPolicy::Allow && self.deadline.is_none()
     }

@@ -23,6 +23,13 @@
 //!   bit-for-bit ([`trace`]).
 //! - [`model_drift`] — per-kernel predicted-vs-realized error analysis
 //!   ([`drift`]).
+//! - [`Span`] / [`SpanSink`] — causal per-request span tracing through
+//!   the same seqlock ring idiom, replay-stable by construction
+//!   ([`span`]).
+//! - [`ScrapeServer`] — a dependency-free HTTP/1.0 responder for live
+//!   `/metrics`, `/health`, `/tenants`, and `/slo` pages ([`serve`]).
+//! - [`SloTracker`] — per-tenant multi-window burn-rate SLOs whose fired
+//!   events carry replay-offset exemplars ([`slo`]).
 //!
 //! The crate is deliberately standalone — plain `std`, no dependency on
 //! the scheduler crates — so any layer (core, runtime, bench, a future
@@ -36,12 +43,20 @@ pub mod drift;
 pub mod metrics;
 pub mod record;
 pub mod ring;
+pub mod serve;
 pub mod sink;
+pub mod slo;
+pub mod span;
 pub mod trace;
 
 pub use drift::{model_drift, KernelDrift};
 pub use metrics::{Counter, Gauge, LogHistogram, MetricsRegistry, ALPHA_BUCKETS};
 pub use record::{DecisionRecord, InvocationPath};
 pub use ring::AtomicRing;
-pub use sink::{ControlEvent, NullSink, RingSink, TelemetrySink};
-pub use trace::{parse_trace, to_trace, TraceParseError};
+#[cfg(unix)]
+pub use serve::uds_get;
+pub use serve::{http_get, Page, Router, ScrapeServer, ServeConfig, TimeSource};
+pub use sink::{ControlEvent, FanoutSink, NullSink, RingSink, TelemetrySink};
+pub use slo::{BurnStatus, SloConfig, SloEvent, SloKind, SloTracker};
+pub use span::{Span, SpanKind, SpanSink, DEFAULT_SPAN_CAPACITY, NO_TENANT};
+pub use trace::{parse_spans, parse_trace, to_trace, to_trace_with_spans, TraceParseError};

@@ -200,6 +200,8 @@ pub struct MetricsRegistry {
     pub brownout_transitions: Counter,
     /// Current brownout rung (0 normal … 3 shed-load).
     pub brownout_level: Gauge,
+    /// SLO burn-rate breaches fired by the tracker, across tenants.
+    pub slo_breaches: Counter,
     /// Latest drift EWMA per kernel, stored as `f64` bits (see
     /// [`kernel_drift`](MetricsRegistry::kernel_drift)).
     kernel_drift_ewma: RwLock<BTreeMap<u64, AtomicU64>>,
@@ -209,6 +211,36 @@ pub struct MetricsRegistry {
     tenant_queued: RwLock<BTreeMap<u64, AtomicU64>>,
     /// Per-tenant quota-denial counts.
     tenant_quota_denials: RwLock<BTreeMap<u64, AtomicU64>>,
+    /// Per-tenant SLO breach counts.
+    tenant_slo_breaches: RwLock<BTreeMap<u64, AtomicU64>>,
+    /// Human-readable tenant names for labels (escaped at exposition).
+    tenant_names: RwLock<BTreeMap<u64, String>>,
+    /// Build identity rendered as `easched_build_info` (version, commit);
+    /// empty strings fall back to this crate's version / "unknown".
+    build_info: RwLock<(String, String)>,
+    /// Virtual-clock timestamp the registry was armed at, `f64` bits.
+    started_s: AtomicU64,
+    /// Latest virtual-clock timestamp observed, `f64` bits.
+    now_s: AtomicU64,
+}
+
+/// Escapes a string for use as a Prometheus label value: backslashes,
+/// double quotes, and newlines become `\\`, `\"`, and `\n` per the text
+/// exposition format, so a hostile tenant name cannot break the page.
+pub fn escape_label_value(raw: &str) -> String {
+    let mut out = String::with_capacity(raw.len());
+    for c in raw.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            // Carriage returns have no escape in the format; drop them
+            // rather than emit a bare control character.
+            '\r' => {}
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 /// Bumps a labeled counter slot: a read lock plus one relaxed add after
@@ -296,7 +328,62 @@ impl MetricsRegistry {
                 self.brownout_transitions.inc();
                 self.brownout_level.swap(u64::from(level));
             }
+            ControlEvent::SloBreach { tenant, .. } => {
+                self.slo_breaches.inc();
+                bump_labeled(&self.tenant_slo_breaches, tenant);
+            }
         }
+    }
+
+    /// Registers a human-readable tenant name; subsequent expositions
+    /// label that tenant's series `tenant="<escaped name>"` instead of
+    /// the bare registry index.
+    pub fn set_tenant_name(&self, tenant: u64, name: &str) {
+        self.tenant_names
+            .write()
+            .unwrap_or_else(PoisonError::into_inner)
+            .insert(tenant, name.to_string());
+    }
+
+    /// Sets the version/commit pair rendered in `easched_build_info`.
+    pub fn set_build_info(&self, version: &str, commit: &str) {
+        *self
+            .build_info
+            .write()
+            .unwrap_or_else(PoisonError::into_inner) = (version.to_string(), commit.to_string());
+    }
+
+    /// Arms the uptime clock: records `now` (virtual seconds, from the
+    /// caller's Clock seam) as the process start.
+    pub fn mark_started(&self, now: f64) {
+        self.started_s.store(now.to_bits(), Ordering::Relaxed);
+        self.observe_now(now);
+    }
+
+    /// Advances the uptime clock to `now` (monotonic: earlier samples are
+    /// ignored, so out-of-order observers cannot roll uptime back).
+    pub fn observe_now(&self, now: f64) {
+        let mut seen = f64::from_bits(self.now_s.load(Ordering::Relaxed));
+        while now > seen {
+            match self.now_s.compare_exchange_weak(
+                seen.to_bits(),
+                now.to_bits(),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(bits) => seen = f64::from_bits(bits),
+            }
+        }
+    }
+
+    /// Seconds between [`mark_started`](MetricsRegistry::mark_started)
+    /// and the latest [`observe_now`](MetricsRegistry::observe_now),
+    /// clamped non-negative.
+    pub fn uptime_seconds(&self) -> f64 {
+        let started = f64::from_bits(self.started_s.load(Ordering::Relaxed));
+        let now = f64::from_bits(self.now_s.load(Ordering::Relaxed));
+        (now - started).max(0.0)
     }
 
     /// Per-tenant shed counts, sorted by tenant id.
@@ -312,6 +399,11 @@ impl MetricsRegistry {
     /// Per-tenant quota-denial counts, sorted by tenant id.
     pub fn tenant_quota_denials(&self) -> Vec<(u64, u64)> {
         dump_labeled(&self.tenant_quota_denials)
+    }
+
+    /// Per-tenant SLO breach counts, sorted by tenant id.
+    pub fn tenant_slo_breaches(&self) -> Vec<(u64, u64)> {
+        dump_labeled(&self.tenant_slo_breaches)
     }
 
     /// The latest drift EWMA reported for a kernel, if any.
@@ -474,6 +566,11 @@ impl MetricsRegistry {
             self.brownout_transitions.get(),
         );
         counter(
+            "easched_slo_breaches_total",
+            "SLO burn-rate breaches fired by the tracker",
+            self.slo_breaches.get(),
+        );
+        counter(
             "easched_profile_time_microseconds_total",
             "Realized profiling-phase time",
             self.profile_time_us.get(),
@@ -542,13 +639,22 @@ impl MetricsRegistry {
                 ));
             }
         }
+        let names = self
+            .tenant_names
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone();
         let mut labeled = |name: &str, help: &str, entries: Vec<(u64, u64)>| {
             if entries.is_empty() {
                 return;
             }
             push_meta(&mut out, name, help, "counter");
             for (tenant, v) in entries {
-                out.push_str(&format!("{name}{{tenant=\"{tenant}\"}} {v}\n"));
+                let label = match names.get(&tenant) {
+                    Some(n) => escape_label_value(n),
+                    None => tenant.to_string(),
+                };
+                out.push_str(&format!("{name}{{tenant=\"{label}\"}} {v}\n"));
             }
         };
         labeled(
@@ -566,6 +672,47 @@ impl MetricsRegistry {
             "Requests refused on an exhausted GPU quota, per tenant",
             self.tenant_quota_denials(),
         );
+        labeled(
+            "easched_tenant_slo_breaches_total",
+            "SLO burn-rate breaches, per tenant",
+            self.tenant_slo_breaches(),
+        );
+        let (version, commit) = self
+            .build_info
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone();
+        let version = if version.is_empty() {
+            env!("CARGO_PKG_VERSION").to_string()
+        } else {
+            version
+        };
+        let commit = if commit.is_empty() {
+            "unknown".to_string()
+        } else {
+            commit
+        };
+        push_meta(
+            &mut out,
+            "easched_build_info",
+            "Build identity; always 1, the info rides in the labels",
+            "gauge",
+        );
+        out.push_str(&format!(
+            "easched_build_info{{version=\"{}\",commit=\"{}\"}} 1\n",
+            escape_label_value(&version),
+            escape_label_value(&commit),
+        ));
+        push_meta(
+            &mut out,
+            "easched_uptime_seconds",
+            "Virtual seconds since the registry was armed",
+            "counter",
+        );
+        out.push_str(&format!(
+            "easched_uptime_seconds {}\n",
+            self.uptime_seconds()
+        ));
         out
     }
 }
@@ -757,6 +904,86 @@ mod tests {
                 "malformed line: {line}"
             );
         }
+    }
+
+    #[test]
+    fn hostile_tenant_names_are_escaped_in_labels() {
+        let reg = MetricsRegistry::default();
+        reg.set_tenant_name(0, "evil\"} 666\nfake_metric 1");
+        reg.set_tenant_name(1, "back\\slash");
+        reg.control(&ControlEvent::RequestShed { tenant: 0 });
+        reg.control(&ControlEvent::RequestShed { tenant: 1 });
+        reg.control(&ControlEvent::RequestShed { tenant: 2 });
+        let page = reg.expose();
+        // The quote, newline, and backslash are all escaped: the hostile
+        // name cannot close the label, inject a series, or truncate it.
+        assert!(
+            page.contains("{tenant=\"evil\\\"} 666\\nfake_metric 1\"} 1"),
+            "{page}"
+        );
+        assert!(page.contains("{tenant=\"back\\\\slash\"} 1"), "{page}");
+        assert!(
+            !page.contains("fake_metric 1\n"),
+            "injected series:\n{page}"
+        );
+        // Unnamed tenants keep their numeric label.
+        assert!(page.contains("{tenant=\"2\"} 1"), "{page}");
+        // Every physical line still starts like a metric or a comment.
+        for line in page.lines() {
+            assert!(
+                line.starts_with("# ") || line.starts_with("easched_"),
+                "stray line: {line}"
+            );
+        }
+        assert_eq!(escape_label_value("plain-name"), "plain-name");
+        assert_eq!(escape_label_value("a\rb"), "ab");
+    }
+
+    #[test]
+    fn build_info_and_uptime_ride_the_exposition() {
+        let reg = MetricsRegistry::default();
+        let page = reg.expose();
+        // Defaults: crate version, unknown commit, zero uptime.
+        assert!(
+            page.contains(&format!(
+                "easched_build_info{{version=\"{}\",commit=\"unknown\"}} 1",
+                env!("CARGO_PKG_VERSION")
+            )),
+            "{page}"
+        );
+        assert!(page.contains("easched_uptime_seconds 0\n"), "{page}");
+        reg.set_build_info("1.2.3", "abc1234");
+        reg.mark_started(100.0);
+        reg.observe_now(107.5);
+        reg.observe_now(103.0); // out-of-order sample must not roll back
+        let page = reg.expose();
+        assert!(
+            page.contains("easched_build_info{version=\"1.2.3\",commit=\"abc1234\"} 1"),
+            "{page}"
+        );
+        assert!(page.contains("easched_uptime_seconds 7.5\n"), "{page}");
+    }
+
+    #[test]
+    fn slo_breach_events_count_globally_and_per_tenant() {
+        let reg = MetricsRegistry::default();
+        reg.control(&ControlEvent::SloBreach {
+            tenant: 4,
+            signal: 2,
+        });
+        reg.control(&ControlEvent::SloBreach {
+            tenant: 4,
+            signal: 0,
+        });
+        reg.control(&ControlEvent::SloBreach {
+            tenant: 1,
+            signal: 1,
+        });
+        assert_eq!(reg.slo_breaches.get(), 3);
+        assert_eq!(reg.tenant_slo_breaches(), vec![(1, 1), (4, 2)]);
+        let page = reg.expose();
+        assert!(page.contains("easched_slo_breaches_total 3"));
+        assert!(page.contains("easched_tenant_slo_breaches_total{tenant=\"4\"} 2"));
     }
 
     #[test]

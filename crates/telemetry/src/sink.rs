@@ -11,7 +11,9 @@
 use crate::metrics::MetricsRegistry;
 use crate::record::DecisionRecord;
 use crate::ring::AtomicRing;
+use crate::span::{Span, SpanSink};
 use std::fmt;
+use std::sync::Arc;
 
 /// An out-of-band event from the self-healing control loop (DESIGN.md
 /// §11): drift-monitor folds, reprofile scheduling, and watchdog
@@ -80,6 +82,15 @@ pub enum ControlEvent {
         /// The new rung's stable code (0 normal … 3 shed-load).
         level: u8,
     },
+    /// An SLO burn-rate alert fired for a tenant (DESIGN.md §14). The
+    /// full typed event — burn rates, exemplar offset — lives in the
+    /// `SloTracker`; this control event is the metrics-exposure echo.
+    SloBreach {
+        /// The breaching tenant's id (registry index).
+        tenant: u64,
+        /// Stable signal code (0 queue-wait, 1 edp-ratio, 2 shed-rate).
+        signal: u8,
+    },
 }
 
 /// Receives one structured event per kernel invocation.
@@ -97,6 +108,34 @@ pub trait TelemetrySink: Send + Sync + fmt::Debug {
     fn control(&self, event: &ControlEvent) {
         let _ = event;
     }
+
+    /// Whether this sink wants causal spans (DESIGN.md §14). Emitters
+    /// gate *all* span construction on this, so a sink that answers
+    /// `false` — the default — pays nothing.
+    fn wants_spans(&self) -> bool {
+        false
+    }
+
+    /// Allocates the next deterministic trace id (0 when the sink does
+    /// not trace).
+    fn next_trace(&self) -> u64 {
+        0
+    }
+
+    /// Publishes one batch of spans for `trace`. Ids and starts are
+    /// batch-relative (see [`SpanSink::push_batch`]); the spans are
+    /// rebased in place so the caller observes the published values.
+    /// Default is a no-op.
+    fn span_batch(&self, trace: u64, spans: &mut [Span]) {
+        let _ = (trace, spans);
+    }
+
+    /// The sink's current replay-log offset (events recorded so far), or
+    /// 0 when the sink keeps no log. SLO exemplars are read from here at
+    /// observation time.
+    fn offset(&self) -> u64 {
+        0
+    }
 }
 
 /// A sink that discards everything — for tests and for measuring the
@@ -110,11 +149,13 @@ impl TelemetrySink for NullSink {
 
 /// The standard sink: a bounded lock-free ring of the most recent
 /// records, plus a [`MetricsRegistry`] folded up front (so metrics cover
-/// *every* invocation even after the ring wraps).
+/// *every* invocation even after the ring wraps), plus — when enabled —
+/// a [`SpanSink`] for causal request traces.
 #[derive(Debug)]
 pub struct RingSink {
     ring: AtomicRing<{ DecisionRecord::WORDS }>,
     metrics: MetricsRegistry,
+    spans: Option<SpanSink>,
 }
 
 /// Default ring capacity: enough for every invocation of the benchmark
@@ -134,7 +175,29 @@ impl RingSink {
         RingSink {
             ring: AtomicRing::new(capacity),
             metrics: MetricsRegistry::default(),
+            spans: None,
         }
+    }
+
+    /// Enables causal span tracing (builder form): retains the last
+    /// `capacity` spans, allocating trace ids from `trace_root` — pass
+    /// `RunSeed::derive("trace")` for replay-stable ids.
+    pub fn with_span_tracing(mut self, capacity: usize, trace_root: u64) -> RingSink {
+        self.spans = Some(SpanSink::new(capacity, trace_root));
+        self
+    }
+
+    /// The span ring, when tracing is enabled.
+    pub fn span_sink(&self) -> Option<&SpanSink> {
+        self.spans.as_ref()
+    }
+
+    /// Snapshot of the retained spans (empty when tracing is disabled).
+    pub fn span_snapshot(&self) -> Vec<Span> {
+        self.spans
+            .as_ref()
+            .map(SpanSink::snapshot)
+            .unwrap_or_default()
     }
 
     /// Records the ring can hold.
@@ -178,6 +241,80 @@ impl TelemetrySink for RingSink {
 
     fn control(&self, event: &ControlEvent) {
         self.metrics.control(event);
+    }
+
+    fn wants_spans(&self) -> bool {
+        self.spans.is_some()
+    }
+
+    fn next_trace(&self) -> u64 {
+        self.spans.as_ref().map(SpanSink::next_trace).unwrap_or(0)
+    }
+
+    fn span_batch(&self, trace: u64, spans: &mut [Span]) {
+        if let Some(sink) = &self.spans {
+            sink.push_batch(trace, spans);
+        }
+    }
+}
+
+/// A sink that tees every event to several children — the serve CLI uses
+/// it to drive a [`Recorder`](../easched-replay) (run log + exemplar
+/// offsets) and a [`RingSink`] (metrics + spans) from one scheduler.
+///
+/// Span allocation must stay deterministic, so exactly one child — the
+/// first that [`wants_spans`](TelemetrySink::wants_spans) — owns trace
+/// ids and span batches; [`offset`](TelemetrySink::offset) likewise
+/// reports the first child with a log.
+#[derive(Debug)]
+pub struct FanoutSink {
+    children: Vec<Arc<dyn TelemetrySink>>,
+}
+
+impl FanoutSink {
+    /// A sink fanning out to `children`, in order.
+    pub fn new(children: Vec<Arc<dyn TelemetrySink>>) -> FanoutSink {
+        FanoutSink { children }
+    }
+}
+
+impl TelemetrySink for FanoutSink {
+    fn record(&self, record: &DecisionRecord) {
+        for child in &self.children {
+            child.record(record);
+        }
+    }
+
+    fn control(&self, event: &ControlEvent) {
+        for child in &self.children {
+            child.control(event);
+        }
+    }
+
+    fn wants_spans(&self) -> bool {
+        self.children.iter().any(|c| c.wants_spans())
+    }
+
+    fn next_trace(&self) -> u64 {
+        self.children
+            .iter()
+            .find(|c| c.wants_spans())
+            .map(|c| c.next_trace())
+            .unwrap_or(0)
+    }
+
+    fn span_batch(&self, trace: u64, spans: &mut [Span]) {
+        if let Some(owner) = self.children.iter().find(|c| c.wants_spans()) {
+            owner.span_batch(trace, spans);
+        }
+    }
+
+    fn offset(&self) -> u64 {
+        self.children
+            .iter()
+            .map(|c| c.offset())
+            .find(|&o| o > 0)
+            .unwrap_or(0)
     }
 }
 
@@ -246,6 +383,50 @@ mod tests {
             kernel: 1,
             ewma: 0.1,
         });
+    }
+
+    #[test]
+    fn span_tracing_is_opt_in_and_flows_through_the_sink() {
+        use crate::span::SpanKind;
+        let plain = RingSink::with_capacity(8);
+        assert!(!plain.wants_spans());
+        assert_eq!(plain.next_trace(), 0);
+        assert!(plain.span_snapshot().is_empty());
+
+        let traced = RingSink::with_capacity(8).with_span_tracing(16, 99);
+        assert!(traced.wants_spans());
+        let trace = traced.next_trace();
+        assert_ne!(trace, 0);
+        let mut batch = vec![Span {
+            id: 1,
+            kind: SpanKind::Decide,
+            dur: 0.25,
+            ..Span::default()
+        }];
+        traced.span_batch(trace, &mut batch);
+        let snap = traced.span_snapshot();
+        assert_eq!(snap.len(), 1);
+        assert_eq!(snap[0].trace, trace);
+    }
+
+    #[test]
+    fn fanout_tees_records_and_gives_spans_one_owner() {
+        let a = Arc::new(RingSink::with_capacity(8));
+        let b = Arc::new(RingSink::with_capacity(8).with_span_tracing(16, 7));
+        let fan = FanoutSink::new(vec![
+            Arc::clone(&a) as Arc<dyn TelemetrySink>,
+            Arc::clone(&b) as Arc<dyn TelemetrySink>,
+        ]);
+        fan.record(&DecisionRecord::default());
+        assert_eq!(a.recorded(), 1);
+        assert_eq!(b.recorded(), 1);
+        assert!(fan.wants_spans());
+        let trace = fan.next_trace();
+        let mut batch = vec![Span::default()];
+        fan.span_batch(trace, &mut batch);
+        assert_eq!(b.span_snapshot().len(), 1, "span owner is the traced child");
+        assert!(a.span_snapshot().is_empty());
+        assert_eq!(fan.offset(), 0, "no log-keeping child attached");
     }
 
     #[test]

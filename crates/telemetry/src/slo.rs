@@ -1,0 +1,598 @@
+//! Per-tenant SLO burn-rate tracking with replay-offset exemplars
+//! (DESIGN.md §14).
+//!
+//! Three signals per tenant, each an error-budget SLO: queue-wait p99
+//! (a request waiting longer than the target is budget spend), the
+//! admitted-EDP ratio (an execution whose realized EDP blows past its
+//! prediction by more than the margin is budget spend), and the shed
+//! rate (every shed is budget spend). For each signal the tracker keeps
+//! two sliding windows — short (default 5 min) and long (default 1 h) —
+//! of good/bad counts in coarse buckets, and computes the *burn rate*:
+//! the observed bad fraction divided by the signal's error budget. An
+//! alert fires only when **both** windows burn above the threshold — the
+//! classic multi-window rule: the short window proves the problem is
+//! happening *now*, the long window proves it is not a blip.
+//!
+//! Every fired [`SloEvent`] carries the feeding site's current `RunLog`
+//! offset as an **exemplar**: `easched replay --log … --at <offset>`
+//! replays exactly the slice of the run that spent the budget. Events
+//! are derived state — a faithful replay regenerates them from the same
+//! deterministic observation stream — so, like control events, they are
+//! never written to the log itself.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::{Mutex, PoisonError};
+
+/// Which SLO signal an observation or event concerns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SloKind {
+    /// Queue-wait p99: waits beyond the target spend the 1 % budget.
+    QueueWait,
+    /// Admitted-EDP ratio: realized EDP beyond `edp_margin ×` predicted.
+    EdpRatio,
+    /// Shed rate: refused offers against the shed budget.
+    ShedRate,
+}
+
+impl SloKind {
+    /// Stable display/wire name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SloKind::QueueWait => "queue_wait_p99",
+            SloKind::EdpRatio => "edp_ratio",
+            SloKind::ShedRate => "shed_rate",
+        }
+    }
+
+    /// Stable wire code (0..=2), used as the `SloBreach` control-event
+    /// signal byte.
+    pub fn code(self) -> u8 {
+        match self {
+            SloKind::QueueWait => 0,
+            SloKind::EdpRatio => 1,
+            SloKind::ShedRate => 2,
+        }
+    }
+
+    /// All signals, in rendering order.
+    pub fn all() -> [SloKind; 3] {
+        [SloKind::QueueWait, SloKind::EdpRatio, SloKind::ShedRate]
+    }
+}
+
+/// SLO targets and window geometry.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SloConfig {
+    /// Short window length, seconds (default 300 — 5 minutes).
+    pub short_window: f64,
+    /// Long window length, seconds (default 3600 — 1 hour).
+    pub long_window: f64,
+    /// Queue-wait target, seconds: a request waiting longer spends
+    /// budget. The budget is 1 % (it is a p99 objective).
+    pub queue_wait_target: f64,
+    /// A request's realized EDP may exceed its predicted objective by
+    /// this factor before the sample spends budget.
+    pub edp_margin: f64,
+    /// Error budget for the EDP signal: allowed fraction of
+    /// beyond-margin executions.
+    pub edp_budget: f64,
+    /// Error budget for the shed signal: allowed fraction of shed
+    /// offers.
+    pub shed_budget: f64,
+    /// Burn rate (bad fraction ÷ budget) both windows must exceed for an
+    /// alert to fire.
+    pub burn_threshold: f64,
+}
+
+impl Default for SloConfig {
+    fn default() -> SloConfig {
+        SloConfig {
+            short_window: 300.0,
+            long_window: 3600.0,
+            queue_wait_target: 4.0,
+            edp_margin: 2.0,
+            edp_budget: 0.25,
+            shed_budget: 0.1,
+            burn_threshold: 2.0,
+        }
+    }
+}
+
+/// The queue-wait signal's fixed error budget (p99 ⇒ 1 %).
+const QUEUE_WAIT_BUDGET: f64 = 0.01;
+
+/// Window buckets per signal: the short window is resolved into this
+/// many coarse buckets (the long window reuses the same bucket span).
+const BUCKETS_PER_SHORT_WINDOW: usize = 30;
+
+/// A fired SLO alert: both windows burned past the threshold.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SloEvent {
+    /// The breaching tenant's registry index.
+    pub tenant: u64,
+    /// The breaching signal.
+    pub kind: SloKind,
+    /// Short-window burn rate at fire time.
+    pub burn_short: f64,
+    /// Long-window burn rate at fire time.
+    pub burn_long: f64,
+    /// The configured threshold both rates exceeded.
+    pub threshold: f64,
+    /// Virtual time of the firing observation, seconds.
+    pub at: f64,
+    /// `RunLog` event offset at fire time — the exemplar.
+    /// `easched replay --log … --at <offset>` replays the breaching
+    /// slice. Zero when no log was attached to the run.
+    pub exemplar_offset: u64,
+}
+
+/// Burn-rate reading for one `(tenant, signal)` pair (the `/slo` page).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BurnStatus {
+    /// Tenant registry index.
+    pub tenant: u64,
+    /// Tenant display name, if registered.
+    pub name: Option<String>,
+    /// The signal.
+    pub kind: SloKind,
+    /// Short-window burn rate.
+    pub burn_short: f64,
+    /// Long-window burn rate.
+    pub burn_long: f64,
+    /// Samples in the short window.
+    pub samples_short: u64,
+    /// Whether the alert is currently firing (hysteresis-latched).
+    pub firing: bool,
+}
+
+/// One signal's sliding window: good/bad counts in coarse time buckets.
+#[derive(Debug, Default, Clone)]
+struct Window {
+    /// `bucket index -> (good, bad)`; pruned as time advances.
+    buckets: BTreeMap<u64, (u64, u64)>,
+    firing: bool,
+}
+
+#[derive(Debug, Default)]
+struct TrackerState {
+    /// `(tenant, signal) -> window`.
+    windows: BTreeMap<(u64, SloKind), Window>,
+    names: BTreeMap<u64, String>,
+    events: Vec<SloEvent>,
+}
+
+/// Cap on retained fired events (oldest dropped first).
+const MAX_EVENTS: usize = 256;
+
+/// Minimum samples a window needs before its burn rate can fire an
+/// alert: one bad first sample is a blip, not a breach.
+const MIN_SAMPLES: u64 = 10;
+
+/// The SLO engine: feed observations, read burn rates, collect fired
+/// events. Interior-mutexed — feeding happens per request / per offer,
+/// far off the per-item hot path.
+#[derive(Debug)]
+pub struct SloTracker {
+    cfg: SloConfig,
+    bucket_span: f64,
+    state: Mutex<TrackerState>,
+}
+
+impl Default for SloTracker {
+    fn default() -> SloTracker {
+        SloTracker::new(SloConfig::default())
+    }
+}
+
+impl SloTracker {
+    /// A tracker with the given targets and windows.
+    pub fn new(cfg: SloConfig) -> SloTracker {
+        SloTracker {
+            bucket_span: (cfg.short_window / BUCKETS_PER_SHORT_WINDOW as f64).max(1e-9),
+            cfg,
+            state: Mutex::new(TrackerState::default()),
+        }
+    }
+
+    /// The tracker's configuration.
+    pub fn config(&self) -> &SloConfig {
+        &self.cfg
+    }
+
+    /// Registers a tenant display name for `/slo` rendering.
+    pub fn set_tenant_name(&self, tenant: u64, name: &str) {
+        let mut state = self.lock();
+        state.names.insert(tenant, name.to_string());
+    }
+
+    /// Feeds one drained request's queue wait. Returns the alert if this
+    /// observation fired one.
+    pub fn observe_queue_wait(
+        &self,
+        tenant: u64,
+        wait_seconds: f64,
+        now: f64,
+        offset: u64,
+    ) -> Option<SloEvent> {
+        // NaN waits (chaos-corrupted observations) spend budget too.
+        let bad = wait_seconds > self.cfg.queue_wait_target || wait_seconds.is_nan();
+        self.observe(tenant, SloKind::QueueWait, bad, now, offset)
+    }
+
+    /// Feeds one offer outcome (`shed = true` spends budget).
+    pub fn observe_shed(&self, tenant: u64, shed: bool, now: f64, offset: u64) -> Option<SloEvent> {
+        self.observe(tenant, SloKind::ShedRate, shed, now, offset)
+    }
+
+    /// Feeds one executed request's predicted and realized EDP (the
+    /// scheduler-visible stream, identical under replay). A sample with
+    /// no prediction is skipped; a corrupted (non-finite) realized value
+    /// spends budget.
+    pub fn observe_edp(
+        &self,
+        tenant: u64,
+        predicted: f64,
+        realized: f64,
+        now: f64,
+        offset: u64,
+    ) -> Option<SloEvent> {
+        if predicted <= 0.0 || !predicted.is_finite() {
+            return None;
+        }
+        // NaN realized EDP (corrupted observation) spends budget too.
+        let bad = realized > self.cfg.edp_margin * predicted || realized.is_nan();
+        self.observe(tenant, SloKind::EdpRatio, bad, now, offset)
+    }
+
+    fn budget(&self, kind: SloKind) -> f64 {
+        match kind {
+            SloKind::QueueWait => QUEUE_WAIT_BUDGET,
+            SloKind::EdpRatio => self.cfg.edp_budget,
+            SloKind::ShedRate => self.cfg.shed_budget,
+        }
+    }
+
+    fn observe(
+        &self,
+        tenant: u64,
+        kind: SloKind,
+        bad: bool,
+        now: f64,
+        offset: u64,
+    ) -> Option<SloEvent> {
+        if !now.is_finite() || now < 0.0 {
+            return None;
+        }
+        let bucket = (now / self.bucket_span) as u64;
+        let budget = self.budget(kind);
+        let threshold = self.cfg.burn_threshold;
+        let (short, long) = (self.cfg.short_window, self.cfg.long_window);
+        let bucket_span = self.bucket_span;
+
+        let mut state = self.lock();
+        let window = state.windows.entry((tenant, kind)).or_default();
+        // Prune buckets older than the long window.
+        let horizon = (now - long).max(0.0);
+        let oldest = (horizon / bucket_span) as u64;
+        window.buckets = window.buckets.split_off(&oldest);
+        let entry = window.buckets.entry(bucket).or_insert((0, 0));
+        if bad {
+            entry.1 += 1;
+        } else {
+            entry.0 += 1;
+        }
+
+        let (burn_short, samples_short) =
+            burn_counted(&window.buckets, bucket, short, bucket_span, budget);
+        let (burn_long, samples_long) =
+            burn_counted(&window.buckets, bucket, long, bucket_span, budget);
+        let breaching = burn_short >= threshold
+            && burn_long >= threshold
+            && samples_short >= MIN_SAMPLES
+            && samples_long >= MIN_SAMPLES;
+        let fired = breaching && !window.firing;
+        window.firing = breaching;
+        if !fired {
+            return None;
+        }
+        let event = SloEvent {
+            tenant,
+            kind,
+            burn_short,
+            burn_long,
+            threshold,
+            at: now,
+            exemplar_offset: offset,
+        };
+        if state.events.len() >= MAX_EVENTS {
+            state.events.remove(0);
+        }
+        state.events.push(event);
+        Some(event)
+    }
+
+    /// Every fired event still retained, oldest first.
+    pub fn events(&self) -> Vec<SloEvent> {
+        self.lock().events.clone()
+    }
+
+    /// Current burn rates for every `(tenant, signal)` with data, as of
+    /// virtual time `now`.
+    pub fn burn_rates(&self, now: f64) -> Vec<BurnStatus> {
+        let state = self.lock();
+        let bucket = (now.max(0.0) / self.bucket_span) as u64;
+        state
+            .windows
+            .iter()
+            .map(|(&(tenant, kind), window)| {
+                let budget = self.budget(kind);
+                let samples_short: u64 = window
+                    .buckets
+                    .range(in_window(bucket, self.cfg.short_window, self.bucket_span))
+                    .map(|(_, &(g, b))| g + b)
+                    .sum();
+                BurnStatus {
+                    tenant,
+                    name: state.names.get(&tenant).cloned(),
+                    kind,
+                    burn_short: burn(
+                        &window.buckets,
+                        bucket,
+                        self.cfg.short_window,
+                        self.bucket_span,
+                        budget,
+                    ),
+                    burn_long: burn(
+                        &window.buckets,
+                        bucket,
+                        self.cfg.long_window,
+                        self.bucket_span,
+                        budget,
+                    ),
+                    samples_short,
+                    firing: window.firing,
+                }
+            })
+            .collect()
+    }
+
+    /// Renders the `/slo` page: burn rates and fired events as JSON.
+    pub fn render_json(&self, now: f64) -> String {
+        let statuses = self.burn_rates(now);
+        let events = self.events();
+        let mut out = String::with_capacity(512);
+        out.push_str("{\"burn_threshold\":");
+        push_json_f64(&mut out, self.cfg.burn_threshold);
+        out.push_str(",\"signals\":[");
+        for (i, s) in statuses.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"tenant\":{},\"name\":{},\"signal\":\"{}\",\"burn_short\":",
+                s.tenant,
+                match &s.name {
+                    Some(n) => format!("\"{}\"", escape_json(n)),
+                    None => "null".to_string(),
+                },
+                s.kind.as_str()
+            );
+            push_json_f64(&mut out, s.burn_short);
+            out.push_str(",\"burn_long\":");
+            push_json_f64(&mut out, s.burn_long);
+            let _ = write!(
+                out,
+                ",\"samples_short\":{},\"firing\":{}}}",
+                s.samples_short, s.firing
+            );
+        }
+        out.push_str("],\"events\":[");
+        for (i, e) in events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"tenant\":{},\"signal\":\"{}\",\"burn_short\":",
+                e.tenant,
+                e.kind.as_str()
+            );
+            push_json_f64(&mut out, e.burn_short);
+            out.push_str(",\"burn_long\":");
+            push_json_f64(&mut out, e.burn_long);
+            out.push_str(",\"at\":");
+            push_json_f64(&mut out, e.at);
+            let _ = write!(out, ",\"exemplar_offset\":{}}}", e.exemplar_offset);
+        }
+        out.push_str("]}");
+        out
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, TrackerState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// Bucket range covering the trailing `window` seconds ending at
+/// `bucket` (inclusive).
+fn in_window(bucket: u64, window: f64, bucket_span: f64) -> std::ops::RangeInclusive<u64> {
+    let span_buckets = (window / bucket_span).ceil() as u64;
+    bucket.saturating_sub(span_buckets.saturating_sub(1))..=bucket
+}
+
+/// Burn rate over the trailing window: bad fraction ÷ budget (0 with no
+/// samples). A window shorter than its nominal length — early in a run —
+/// burns over the samples it has: the alert rule's long window then
+/// simply needs sustained evidence rather than an hour of history.
+fn burn(
+    buckets: &BTreeMap<u64, (u64, u64)>,
+    bucket: u64,
+    window: f64,
+    bucket_span: f64,
+    budget: f64,
+) -> f64 {
+    burn_counted(buckets, bucket, window, bucket_span, budget).0
+}
+
+/// [`burn`] plus the window's sample count (the alert rule's
+/// [`MIN_SAMPLES`] guard needs both).
+fn burn_counted(
+    buckets: &BTreeMap<u64, (u64, u64)>,
+    bucket: u64,
+    window: f64,
+    bucket_span: f64,
+    budget: f64,
+) -> (f64, u64) {
+    let (good, bad) = buckets
+        .range(in_window(bucket, window, bucket_span))
+        .fold((0u64, 0u64), |(g, b), (_, &(dg, db))| (g + dg, b + db));
+    let total = good + bad;
+    if total == 0 || budget <= 0.0 {
+        return (0.0, total);
+    }
+    ((bad as f64 / total as f64) / budget, total)
+}
+
+/// JSON number rendering shared with the trace writer's convention:
+/// non-finite values become quoted strings.
+fn push_json_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        let _ = write!(out, "{v}");
+    } else if v.is_nan() {
+        out.push_str("\"NaN\"");
+    } else if v > 0.0 {
+        out.push_str("\"inf\"");
+    } else {
+        out.push_str("\"-inf\"");
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_alert_without_sustained_burn() {
+        let t = SloTracker::default();
+        // 1 shed in 100 offers = 10% of a 10% budget = burn 1.0 < 2.0.
+        for i in 0..100 {
+            let fired = t.observe_shed(0, i == 0, i as f64 * 0.1, i);
+            assert!(fired.is_none(), "burn below threshold must not fire");
+        }
+        let rates = t.burn_rates(10.0);
+        let shed = rates
+            .iter()
+            .find(|s| s.kind == SloKind::ShedRate)
+            .expect("shed window exists");
+        assert!(shed.burn_short < 2.0);
+        assert!(!shed.firing);
+        assert!(t.events().is_empty());
+    }
+
+    #[test]
+    fn sustained_sheds_fire_once_with_exemplar() {
+        let t = SloTracker::default();
+        let mut fired = Vec::new();
+        // 50% sheds against a 10% budget: burn 5.0 in both windows.
+        for i in 0..40u64 {
+            if let Some(e) = t.observe_shed(3, i % 2 == 0, i as f64, 1000 + i) {
+                fired.push(e);
+            }
+        }
+        assert_eq!(fired.len(), 1, "hysteresis: one event per breach episode");
+        let e = fired[0];
+        assert_eq!(e.tenant, 3);
+        assert_eq!(e.kind, SloKind::ShedRate);
+        assert!(e.burn_short >= 2.0 && e.burn_long >= 2.0);
+        assert_eq!(e.exemplar_offset, 1000 + e.at as u64);
+        assert_eq!(t.events(), fired);
+    }
+
+    #[test]
+    fn recovery_rearms_the_alert() {
+        let cfg = SloConfig {
+            short_window: 10.0,
+            long_window: 20.0,
+            ..SloConfig::default()
+        };
+        let t = SloTracker::new(cfg);
+        for i in 0..20u64 {
+            t.observe_shed(0, true, i as f64, i);
+        }
+        assert_eq!(t.events().len(), 1);
+        // A clean stretch longer than both windows clears the burn...
+        for i in 20..60u64 {
+            t.observe_shed(0, false, i as f64, i);
+        }
+        assert!(!t.burn_rates(59.0)[0].firing);
+        // ...and the next sustained breach fires a second event.
+        for i in 60..80u64 {
+            t.observe_shed(0, true, i as f64, i);
+        }
+        assert_eq!(t.events().len(), 2);
+    }
+
+    #[test]
+    fn queue_wait_is_a_p99_objective() {
+        let t = SloTracker::default();
+        // 5% of waits over target vs a 1% budget: burn 5.0 — fires.
+        let mut fired = 0;
+        for i in 0..100u64 {
+            let wait = if i % 20 == 0 { 10.0 } else { 1.0 };
+            if t.observe_queue_wait(1, wait, i as f64, i).is_some() {
+                fired += 1;
+            }
+        }
+        assert_eq!(fired, 1);
+    }
+
+    #[test]
+    fn edp_samples_without_prediction_are_skipped() {
+        let t = SloTracker::default();
+        assert!(t.observe_edp(0, 0.0, 5.0, 1.0, 0).is_none());
+        assert!(t.observe_edp(0, f64::NAN, 5.0, 1.0, 0).is_none());
+        assert!(t.burn_rates(1.0).is_empty());
+        // Corrupted realized values spend budget.
+        for i in 0..30u64 {
+            t.observe_edp(0, 1.0, f64::NAN, i as f64, i);
+        }
+        let rates = t.burn_rates(29.0);
+        assert!(rates[0].burn_short > 0.0);
+    }
+
+    #[test]
+    fn json_rendering_is_wellformed_and_escapes_names() {
+        let t = SloTracker::default();
+        t.set_tenant_name(0, "bad\"name\\with\nnewline");
+        for i in 0..30u64 {
+            t.observe_shed(0, true, i as f64, i);
+        }
+        let json = t.render_json(30.0);
+        assert!(json.contains("\"signal\":\"shed_rate\""));
+        assert!(json.contains("\"exemplar_offset\":"));
+        assert!(json.contains("bad\\\"name\\\\with\\nnewline"));
+        assert!(!json.contains('\n'), "page is a single line");
+        assert!(json.starts_with('{') && json.ends_with('}'));
+    }
+}

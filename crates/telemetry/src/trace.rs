@@ -17,6 +17,7 @@
 //! not wall-clock interleaving.
 
 use crate::record::{DecisionRecord, InvocationPath};
+use crate::span::{Span, SpanKind};
 use std::collections::HashMap;
 use std::fmt;
 
@@ -81,6 +82,66 @@ pub fn to_trace(records: &[DecisionRecord]) -> String {
             args_json(r),
         ));
         first = false;
+    }
+    out.push_str("\n]\n");
+    out
+}
+
+/// Serializes records *and* causal spans into one Chrome-trace file:
+/// the decision events exactly as [`to_trace`] lays them (pid 1, one
+/// track per kernel) plus the span forest as nested duration events
+/// (pid 2, one track per trace, `"cat":"span"`). Span ts/dur come from
+/// the sink-rebased starts, so the admit → queue-wait → decide →
+/// cpu-phase/gpu-phase → fold chain of each request renders nested on
+/// its own track; every span field rides bit-exactly in `args`, so
+/// [`parse_spans`] round-trips the span stream the way
+/// [`parse_trace`] round-trips the records.
+pub fn to_trace_with_spans(records: &[DecisionRecord], spans: &[Span]) -> String {
+    let base = to_trace(records);
+    if spans.is_empty() {
+        return base;
+    }
+    // Splice span lines in before the closing bracket.
+    let mut out = base.strip_suffix("\n]\n").unwrap_or(&base).to_string();
+    let had_events = !records.is_empty();
+    let mut tracks: HashMap<u64, u64> = HashMap::new();
+    for (i, s) in spans.iter().enumerate() {
+        if had_events || i > 0 {
+            out.push_str(",\n");
+        }
+        let next_tid = tracks.len() as u64 + 1;
+        let new_track = !tracks.contains_key(&s.trace);
+        let tid = *tracks.entry(s.trace).or_insert(next_tid);
+        if new_track {
+            out.push_str(&format!(
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":2,\"tid\":{tid},\
+                 \"args\":{{\"name\":\"trace {:#x}\"}}}},\n",
+                s.trace
+            ));
+        }
+        let ts = if s.start.is_finite() { s.start } else { 0.0 };
+        let dur = if s.dur.is_finite() && s.dur > 0.0 {
+            s.dur
+        } else {
+            0.0
+        };
+        out.push_str(&format!(
+            "{{\"name\":\"{}\",\"cat\":\"span\",\"ph\":\"X\",\"pid\":2,\"tid\":{tid},\
+             \"ts\":{:.3},\"dur\":{:.3},\"args\":{{\"seq\":{},\"trace\":{},\"kernel\":{},\
+             \"id\":{},\"parent\":{},\"tenant\":{},\"start\":{},\"dur_s\":{},\"payload\":{}}}}}",
+            s.kind.as_str(),
+            ts * 1e6,
+            dur * 1e6,
+            s.seq,
+            s.trace,
+            s.kernel,
+            s.id,
+            s.parent,
+            s.tenant,
+            json_f64(s.start),
+            json_f64(s.dur),
+            json_f64(s.payload),
+        ));
     }
     out.push_str("\n]\n");
     out
@@ -153,7 +214,7 @@ pub fn parse_trace(text: &str) -> Result<Vec<DecisionRecord>, TraceParseError> {
         if line.is_empty() || line == "[" || line == "]" {
             continue;
         }
-        if line.contains("\"ph\":\"M\"") {
+        if line.contains("\"ph\":\"M\"") || line.contains("\"cat\":\"span\"") {
             continue;
         }
         let err = |reason: &str| TraceParseError {
@@ -192,6 +253,40 @@ pub fn parse_trace(text: &str) -> Result<Vec<DecisionRecord>, TraceParseError> {
             decide_nanos: int_field(line, "decide_ns").ok_or_else(|| err("missing decide_ns"))?,
         };
         out.push(record);
+    }
+    Ok(out)
+}
+
+/// Parses the span events out of a trace produced by
+/// [`to_trace_with_spans`], in file order, ignoring decision events and
+/// metadata. `parse_spans(&to_trace_with_spans(&[], &spans))` equals
+/// `spans` bit-for-bit (the authoritative `start`/`dur` ride in `args`,
+/// not in the viewer's clamped `ts`/`dur`).
+pub fn parse_spans(text: &str) -> Result<Vec<Span>, TraceParseError> {
+    let mut out = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.trim().trim_end_matches(',');
+        if !line.contains("\"cat\":\"span\"") || line.contains("\"ph\":\"M\"") {
+            continue;
+        }
+        let err = |reason: &str| TraceParseError {
+            line: idx + 1,
+            reason: reason.to_string(),
+        };
+        let name = str_field(line, "name").ok_or_else(|| err("missing name"))?;
+        let kind = SpanKind::parse(name).ok_or_else(|| err(&format!("unknown kind {name:?}")))?;
+        out.push(Span {
+            seq: int_field(line, "seq").ok_or_else(|| err("missing seq"))?,
+            trace: int_field(line, "trace").ok_or_else(|| err("missing trace"))?,
+            kernel: int_field(line, "kernel").ok_or_else(|| err("missing kernel"))?,
+            id: int_field(line, "id").ok_or_else(|| err("missing id"))? as u16,
+            parent: int_field(line, "parent").ok_or_else(|| err("missing parent"))? as u16,
+            kind,
+            tenant: int_field(line, "tenant").ok_or_else(|| err("missing tenant"))? as u16,
+            start: f64_field(line, "start").ok_or_else(|| err("missing start"))?,
+            dur: f64_field(line, "dur_s").ok_or_else(|| err("missing dur_s"))?,
+            payload: f64_field(line, "payload").ok_or_else(|| err("missing payload"))?,
+        });
     }
     Ok(out)
 }
@@ -337,6 +432,72 @@ mod tests {
         assert_eq!(parsed[0].r_c, f64::NEG_INFINITY);
         // PartialEq can't see NaN == NaN; the bit-level check can.
         assert!(parsed[0].bitwise_eq(&r));
+    }
+
+    fn sample_span(seq: u64, trace: u64, kind: SpanKind) -> Span {
+        Span {
+            seq,
+            trace,
+            kernel: 0xAB,
+            id: seq as u16 + 1,
+            parent: seq as u16,
+            kind,
+            tenant: 3,
+            start: 0.25 * seq as f64,
+            dur: 0.125,
+            payload: 1.5,
+        }
+    }
+
+    #[test]
+    fn spans_roundtrip_bit_for_bit_including_non_finite() {
+        let spans = vec![
+            sample_span(0, 0xDEAD, SpanKind::Decide),
+            Span {
+                dur: f64::NAN,
+                payload: f64::NEG_INFINITY,
+                ..sample_span(1, 0xDEAD, SpanKind::CpuPhase)
+            },
+            sample_span(2, 0xBEEF, SpanKind::Fold),
+        ];
+        let text = to_trace_with_spans(&[], &spans);
+        let parsed = parse_spans(&text).expect("spans must parse");
+        assert_eq!(parsed.len(), spans.len());
+        for (p, s) in parsed.iter().zip(&spans) {
+            assert!(p.bitwise_eq(s), "{p:?} vs {s:?}");
+        }
+        // Viewer-facing ts/dur stay valid JSON numbers despite the NaN.
+        assert!(!text.contains("\"ts\":NaN") && !text.contains("\"dur\":NaN"));
+    }
+
+    #[test]
+    fn combined_trace_parses_both_ways() {
+        let records = vec![sample(0, 0xAA), sample(1, 0xBB)];
+        let spans = vec![
+            sample_span(0, 0x11, SpanKind::Admit),
+            sample_span(1, 0x11, SpanKind::QueueWait),
+            sample_span(2, 0x22, SpanKind::GpuPhase),
+        ];
+        let text = to_trace_with_spans(&records, &spans);
+        // The record parser ignores span lines; the span parser ignores
+        // record lines. Both reconstruct their stream exactly.
+        assert_eq!(parse_trace(&text).expect("records"), records);
+        let parsed = parse_spans(&text).expect("spans");
+        assert_eq!(parsed.len(), 3);
+        for (p, s) in parsed.iter().zip(&spans) {
+            assert!(p.bitwise_eq(s));
+        }
+        // pid 1 carries the kernels, pid 2 the traces; each trace gets a
+        // thread-name metadata line.
+        assert_eq!(text.matches("\"pid\":2").count(), 3 + 2, "{text}");
+        assert!(text.contains("trace 0x11") && text.contains("trace 0x22"));
+    }
+
+    #[test]
+    fn spans_without_records_still_form_a_json_array() {
+        let text = to_trace_with_spans(&[], &[sample_span(0, 1, SpanKind::Decide)]);
+        assert!(text.starts_with("[\n") && text.ends_with("\n]\n"), "{text}");
+        assert_eq!(parse_trace(&text).expect("no records"), vec![]);
     }
 
     #[test]

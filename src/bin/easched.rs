@@ -8,24 +8,42 @@
 //! easched compare --workload SM|all [--platform P] [--objective O] [--model FILE]
 //! easched record --out FILE [--seed N] [--rounds N] [--rate F]
 //! easched record --out FILE --overload [--seed N] [--ticks N]
-//! easched replay --log FILE [--bisect] [--perturb N] [--emit-fixture FILE]
+//! easched replay --log FILE [--at N] [--bisect] [--perturb N] [--emit-fixture FILE]
+//! easched serve [--addr HOST:PORT] [--socket PATH] [--seed N] [--ticks N]
+//!               [--out FILE] [--trace FILE] [--hold SECS]
+//! easched scrape (--addr HOST:PORT | --socket PATH) [--path /metrics]
 //! ```
 //!
 //! `replay` inspects the log's format version: a v2 (admission-event)
 //! log re-runs the multi-tenant overload storm, a v1 log the
 //! single-tenant chaos storm. Exit codes are part of the contract:
-//! 0 byte-identical, 1 divergence, 2 unusable input.
+//! 0 byte-identical, 1 divergence, 2 unusable input. `--at N` slices the
+//! log to its first `N` events (an SLO exemplar offset) and replays just
+//! that prefix.
+//!
+//! `serve` records the observed overload storm while exposing the live
+//! observability plane over HTTP: `/metrics` (Prometheus text),
+//! `/health` (JSON), `/slo` (burn rates + breach events with exemplar
+//! offsets), `/tenants` (admission counters). `scrape` is the matching
+//! dependency-free client.
 
 use easched::core::{
     characterize, load_model, save_model, CharacterizationConfig, EasConfig, EasRuntime, Evaluator,
-    Objective, PowerModel,
+    HealthReport, Objective, PowerModel, TenantFrontend,
 };
 use easched::kernels::{suite, Workload};
+use easched::replay::overload::overload_registry;
 use easched::replay::{
-    bisect_storm, record_chaos_storm, record_overload_storm, replay_chaos_storm,
-    replay_overload_storm, OverloadSpec, RunLog, StormSpec, FORMAT_VERSION_ADMISSION,
+    bisect_storm, record_chaos_storm, record_overload_storm, record_overload_storm_observed_with,
+    replay_chaos_storm, replay_overload_storm, OverloadSpec, RunLog, StormSpec,
+    FORMAT_VERSION_ADMISSION,
 };
 use easched::sim::Platform;
+use easched::telemetry::{
+    http_get, to_trace_with_spans, uds_get, Page, Router, ScrapeServer, ServeConfig, TimeSource,
+};
+use std::sync::Arc;
+use std::time::Duration;
 
 /// Parsed command line.
 #[derive(Debug, Clone, PartialEq)]
@@ -58,9 +76,24 @@ enum Command {
     },
     Replay {
         log: String,
+        at: Option<u64>,
         bisect: bool,
         perturb: Option<usize>,
         emit_fixture: Option<String>,
+    },
+    Serve {
+        addr: String,
+        socket: Option<String>,
+        seed: u64,
+        ticks: u64,
+        out: Option<String>,
+        trace: Option<String>,
+        hold: f64,
+    },
+    Scrape {
+        addr: Option<String>,
+        socket: Option<String>,
+        path: String,
     },
 }
 
@@ -114,7 +147,10 @@ usage:
   easched compare --workload ABBREV|all [--platform P] [--objective O] [--model FILE]
   easched record --out FILE [--seed N] [--rounds N] [--rate F]
   easched record --out FILE --overload [--seed N] [--ticks N]
-  easched replay --log FILE [--bisect] [--perturb N] [--emit-fixture FILE]";
+  easched replay --log FILE [--at N] [--bisect] [--perturb N] [--emit-fixture FILE]
+  easched serve [--addr HOST:PORT] [--socket PATH] [--seed N] [--ticks N]
+                [--out FILE] [--trace FILE] [--hold SECS]
+  easched scrape (--addr HOST:PORT | --socket PATH) [--path /metrics]";
 
 fn parse_args(args: &[String]) -> Result<Command, String> {
     let mut it = args.iter().map(String::as_str);
@@ -136,6 +172,12 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
     let mut emit_fixture: Option<String> = None;
     let mut overload = false;
     let mut ticks: u64 = OverloadSpec::new(0).ticks;
+    let mut at: Option<u64> = None;
+    let mut addr: Option<String> = None;
+    let mut socket: Option<String> = None;
+    let mut path: String = "/metrics".to_string();
+    let mut hold: f64 = 0.0;
+    let mut trace: Option<String> = None;
 
     while let Some(flag) = it.next() {
         let mut value = |name: &str| {
@@ -196,6 +238,16 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
                 )
             }
             "--emit-fixture" => emit_fixture = Some(value("--emit-fixture")?),
+            "--at" => at = Some(value("--at")?.parse().map_err(|e| format!("--at: {e}"))?),
+            "--addr" => addr = Some(value("--addr")?),
+            "--socket" => socket = Some(value("--socket")?),
+            "--path" => path = value("--path")?,
+            "--trace" => trace = Some(value("--trace")?),
+            "--hold" => {
+                hold = value("--hold")?
+                    .parse()
+                    .map_err(|e| format!("--hold: {e}"))?
+            }
             other => return Err(format!("unknown flag {other:?}\n{USAGE}")),
         }
     }
@@ -226,10 +278,26 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
         }),
         "replay" => Ok(Command::Replay {
             log: log.ok_or("replay requires --log")?,
+            at,
             bisect,
             perturb,
             emit_fixture,
         }),
+        "serve" => Ok(Command::Serve {
+            addr: addr.unwrap_or_else(|| "127.0.0.1:0".to_string()),
+            socket,
+            seed,
+            ticks,
+            out,
+            trace,
+            hold,
+        }),
+        "scrape" => {
+            if addr.is_none() && socket.is_none() {
+                return Err("scrape requires --addr or --socket".to_string());
+            }
+            Ok(Command::Scrape { addr, socket, path })
+        }
         other => Err(format!("unknown command {other:?}\n{USAGE}")),
     }
 }
@@ -418,6 +486,233 @@ fn cmd_record(out: &str, seed: u64, rounds: usize, rate: f64, overload: bool, ti
     println!("recorded {decisions} decisions ({events} events) to {out}");
 }
 
+/// The wall-clock adapter behind the scrape server's time seam.
+fn wall_time() -> TimeSource {
+    let origin = std::time::Instant::now();
+    Arc::new(move || origin.elapsed().as_secs_f64())
+}
+
+/// Renders a [`HealthReport`] as JSON for the `/health` page.
+fn health_json(h: &HealthReport) -> String {
+    format!(
+        "{{\"fault_free\":{},\"observations_accepted\":{},\"observations_rejected\":{},\
+         \"retries\":{},\"degraded_invocations\":{},\"breaker_trips\":{},\"probes\":{},\
+         \"recoveries\":{},\"taints\":{},\"quarantined_invocations\":{},\
+         \"drift_reprofiles\":{},\"reprofiles_suppressed\":{},\"watchdog_trips\":{},\
+         \"split_overruns\":{},\"throttled_invocations\":{},\"requests_shed\":{},\
+         \"requests_queued\":{},\"quota_denials\":{},\"brownout_transitions\":{}}}",
+        h.fault_free(),
+        h.observations_accepted,
+        h.observations_rejected,
+        h.retries,
+        h.degraded_invocations,
+        h.breaker_trips,
+        h.probes,
+        h.recoveries,
+        h.taints,
+        h.quarantined_invocations,
+        h.drift_reprofiles,
+        h.reprofiles_suppressed,
+        h.watchdog_trips,
+        h.split_overruns,
+        h.throttled_invocations,
+        h.requests_shed,
+        h.requests_queued,
+        h.quota_denials,
+        h.brownout_transitions,
+    )
+}
+
+/// Renders the per-tenant admission counters as JSON for `/tenants`.
+fn tenants_json(frontend: &TenantFrontend) -> String {
+    let registry = overload_registry();
+    let mut out = format!(
+        "{{\"brownout_level\":{},\"tenants\":[",
+        frontend.level().code()
+    );
+    for tenant in 0..registry.len() {
+        let stats = frontend.tenant_stats(tenant);
+        if tenant > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"id\":{tenant},\"name\":{:?},\"offered\":{},\"admitted\":{},\"queued\":{},\
+             \"shed\":{},\"quota_denials\":{},\"gpu_seconds\":{:.6},\"queue_len\":{},\
+             \"queue_high_water\":{}}}",
+            registry.spec(tenant).name,
+            stats.offered,
+            stats.admitted,
+            stats.queued,
+            stats.shed,
+            stats.quota_denials,
+            stats.gpu_seconds,
+            stats.queue_len,
+            stats.queue_high_water,
+        ));
+    }
+    out.push_str("]}");
+    out
+}
+
+fn cmd_serve(
+    addr: &str,
+    socket: Option<&str>,
+    seed: u64,
+    ticks: u64,
+    out: Option<String>,
+    trace: Option<String>,
+    hold: f64,
+) {
+    let spec = OverloadSpec {
+        ticks,
+        ..OverloadSpec::new(seed)
+    };
+    eprintln!("recording observed overload storm: seed {seed}, {ticks} tick(s) ...");
+    let mut server: Option<ScrapeServer> = None;
+    let observed = record_overload_storm_observed_with(&spec, |live| {
+        let time = wall_time();
+        let metrics = live.ring.metrics();
+        metrics.set_build_info(
+            env!("CARGO_PKG_VERSION"),
+            option_env!("EASCHED_COMMIT").unwrap_or("unknown"),
+        );
+        metrics.mark_started(time());
+        let router = {
+            let metrics_page = {
+                let ring = Arc::clone(&live.ring);
+                let time = Arc::clone(&time);
+                move || {
+                    let m = ring.metrics();
+                    m.observe_now(time());
+                    Page::metrics(m.expose())
+                }
+            };
+            let health_page = {
+                let frontend = Arc::clone(&live.frontend);
+                move || Page::json(health_json(&frontend.shared().health()))
+            };
+            let slo_page = {
+                let slo = Arc::clone(&live.slo);
+                // Burn windows run on storm virtual time (1 tick = 1 s);
+                // render them against the end of the run.
+                move || Page::json(slo.render_json(ticks as f64))
+            };
+            let tenants_page = {
+                let frontend = Arc::clone(&live.frontend);
+                move || Page::json(tenants_json(&frontend))
+            };
+            Router::new()
+                .route("/metrics", metrics_page)
+                .route("/health", health_page)
+                .route("/slo", slo_page)
+                .route("/tenants", tenants_page)
+        };
+        let cfg = ServeConfig::default();
+        let bound = match socket {
+            Some(path) => ScrapeServer::bind_unix(std::path::Path::new(path), router, cfg, time),
+            None => ScrapeServer::bind_tcp(addr, router, cfg, time),
+        };
+        match bound {
+            Ok(s) => {
+                match s.local_addr() {
+                    Some(a) => println!("serving on http://{a}"),
+                    None => println!("serving on unix socket {}", socket.unwrap_or("?")),
+                }
+                println!("routes: /metrics /health /slo /tenants");
+                use std::io::Write;
+                let _ = std::io::stdout().flush();
+                server = Some(s);
+            }
+            Err(e) => {
+                eprintln!("cannot bind scrape server: {e}");
+                std::process::exit(2);
+            }
+        }
+    });
+
+    let recorded = &observed.recorded;
+    println!(
+        "storm complete: {} offered, {} shed, {} executed, EDP efficiency {:.3}",
+        recorded.offered,
+        recorded.shed,
+        recorded.executed,
+        recorded.edp_efficiency(),
+    );
+    let events = observed.slo.events();
+    println!(
+        "captured {} spans, {} slo breach event(s)",
+        observed.ring.span_snapshot().len(),
+        events.len()
+    );
+    for e in &events {
+        println!(
+            "  breach: tenant {} {} burn {:.2}/{:.2} at t={:.0} — \
+             replay with: easched replay --log <LOG> --at {}",
+            e.tenant,
+            e.kind.as_str(),
+            e.burn_short,
+            e.burn_long,
+            e.at,
+            e.exemplar_offset,
+        );
+    }
+    if let Some(out) = out {
+        std::fs::write(&out, recorded.log.to_text()).unwrap_or_else(|e| {
+            eprintln!("cannot write log to {out}: {e}");
+            std::process::exit(2);
+        });
+        println!("run log written to {out}");
+    }
+    if let Some(trace) = trace {
+        let text = to_trace_with_spans(&observed.ring.snapshot(), &observed.ring.span_snapshot());
+        std::fs::write(&trace, text).unwrap_or_else(|e| {
+            eprintln!("cannot write span trace to {trace}: {e}");
+            std::process::exit(2);
+        });
+        println!("span trace written to {trace} (open in Perfetto)");
+    }
+    use std::io::Write;
+    let _ = std::io::stdout().flush();
+    if hold > 0.0 {
+        eprintln!("holding the scrape server for {hold} s ...");
+        std::thread::sleep(Duration::from_secs_f64(hold));
+    }
+    if let Some(server) = server {
+        server.shutdown();
+    }
+}
+
+fn cmd_scrape(addr: Option<&str>, socket: Option<&str>, path: &str) {
+    let timeout = Duration::from_secs(5);
+    let result = match (addr, socket) {
+        (_, Some(sock)) => uds_get(std::path::Path::new(sock), path, timeout),
+        (Some(addr), None) => {
+            use std::net::ToSocketAddrs;
+            let resolved = addr.to_socket_addrs().ok().and_then(|mut it| it.next());
+            match resolved {
+                Some(sa) => http_get(&sa, path, timeout),
+                None => {
+                    eprintln!("cannot resolve {addr}");
+                    std::process::exit(2);
+                }
+            }
+        }
+        (None, None) => unreachable!("parse_args enforces --addr or --socket"),
+    };
+    match result {
+        Ok((200, body)) => print!("{body}"),
+        Ok((status, body)) => {
+            eprintln!("HTTP {status}");
+            print!("{body}");
+            std::process::exit(1);
+        }
+        Err(e) => {
+            eprintln!("scrape failed: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
 fn load_log(path: &str) -> RunLog {
     let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
         eprintln!("cannot read log {path}: {e}");
@@ -436,9 +731,19 @@ fn load_log(path: &str) -> RunLog {
     log
 }
 
-fn cmd_replay(path: &str, bisect: bool, perturb: Option<usize>, emit_fixture: Option<String>) {
+fn cmd_replay(
+    path: &str,
+    at: Option<u64>,
+    bisect: bool,
+    perturb: Option<usize>,
+    emit_fixture: Option<String>,
+) {
     if emit_fixture.is_some() && !bisect {
         eprintln!("--emit-fixture requires --bisect");
+        std::process::exit(2);
+    }
+    if at.is_some() && bisect {
+        eprintln!("--at and --bisect are mutually exclusive");
         std::process::exit(2);
     }
     let mut log = load_log(path);
@@ -448,6 +753,14 @@ fn cmd_replay(path: &str, bisect: bool, perturb: Option<usize>, emit_fixture: Op
             std::process::exit(2);
         }
         eprintln!("perturbed recorded step {step} (energy scaled; intentional divergence)");
+    }
+    if let Some(offset) = at {
+        let full = log.events.len();
+        log = log.slice_at(offset);
+        eprintln!(
+            "sliced at offset {offset}: replaying the first {} of {full} events",
+            log.events.len()
+        );
     }
 
     if log.version == FORMAT_VERSION_ADMISSION {
@@ -461,6 +774,36 @@ fn cmd_replay(path: &str, bisect: bool, perturb: Option<usize>, emit_fixture: Op
                 std::process::exit(2);
             }
             Ok(outcome) => {
+                if at.is_some() {
+                    // A slice cuts mid-tick: the replay regenerates the
+                    // rest of the final tick, so the identity claim is
+                    // prefix equality up to the cut.
+                    let slice_text = log.to_text();
+                    let replay_text = outcome.replayed.to_text();
+                    let body_lines = slice_text.lines().count().saturating_sub(1);
+                    let divergence = slice_text
+                        .lines()
+                        .zip(replay_text.lines())
+                        .take(body_lines)
+                        .enumerate()
+                        .find(|(_, (a, b))| a != b);
+                    match divergence {
+                        Some((i, (a, b))) => {
+                            println!(
+                                "sliced overload replay diverged:\nline {}: recorded `{a}` / \
+                                 replayed `{b}`",
+                                i + 1
+                            );
+                            std::process::exit(1);
+                        }
+                        None => println!(
+                            "{path}: overload slice replayed byte-identically up to the cut \
+                             ({} events)",
+                            log.events.len()
+                        ),
+                    }
+                    return;
+                }
                 if !outcome.identical {
                     println!(
                         "overload replay diverged:\n{}",
@@ -548,10 +891,23 @@ fn main() {
         }) => cmd_record(&out, seed, rounds, rate, overload, ticks),
         Ok(Command::Replay {
             log,
+            at,
             bisect,
             perturb,
             emit_fixture,
-        }) => cmd_replay(&log, bisect, perturb, emit_fixture),
+        }) => cmd_replay(&log, at, bisect, perturb, emit_fixture),
+        Ok(Command::Serve {
+            addr,
+            socket,
+            seed,
+            ticks,
+            out,
+            trace,
+            hold,
+        }) => cmd_serve(&addr, socket.as_deref(), seed, ticks, out, trace, hold),
+        Ok(Command::Scrape { addr, socket, path }) => {
+            cmd_scrape(addr.as_deref(), socket.as_deref(), &path)
+        }
         Err(message) => {
             eprintln!("{message}");
             std::process::exit(2);
@@ -660,6 +1016,7 @@ mod tests {
             c,
             Command::Replay {
                 log: "run.log".into(),
+                at: None,
                 bisect: false,
                 perturb: None,
                 emit_fixture: None,
@@ -680,13 +1037,101 @@ mod tests {
             c,
             Command::Replay {
                 log: "run.log".into(),
+                at: None,
                 bisect: true,
                 perturb: Some(12),
                 emit_fixture: Some("min.log".into()),
             }
         );
+        let c = parse(&["replay", "--log", "run.log", "--at", "230"]).unwrap();
+        assert_eq!(
+            c,
+            Command::Replay {
+                log: "run.log".into(),
+                at: Some(230),
+                bisect: false,
+                perturb: None,
+                emit_fixture: None,
+            }
+        );
         assert!(parse(&["replay"]).unwrap_err().contains("--log"));
         assert!(parse(&["replay", "--log", "x", "--perturb", "abc"]).is_err());
+        assert!(parse(&["replay", "--log", "x", "--at", "xyz"]).is_err());
+    }
+
+    #[test]
+    fn parses_serve_with_defaults_and_overrides() {
+        let c = parse(&["serve"]).unwrap();
+        assert_eq!(
+            c,
+            Command::Serve {
+                addr: "127.0.0.1:0".into(),
+                socket: None,
+                seed: 7,
+                ticks: OverloadSpec::new(0).ticks,
+                out: None,
+                trace: None,
+                hold: 0.0,
+            }
+        );
+        let c = parse(&[
+            "serve",
+            "--addr",
+            "0.0.0.0:9100",
+            "--seed",
+            "23",
+            "--ticks",
+            "64",
+            "--out",
+            "run.log",
+            "--trace",
+            "run.trace.json",
+            "--hold",
+            "30",
+        ])
+        .unwrap();
+        assert_eq!(
+            c,
+            Command::Serve {
+                addr: "0.0.0.0:9100".into(),
+                socket: None,
+                seed: 23,
+                ticks: 64,
+                out: Some("run.log".into()),
+                trace: Some("run.trace.json".into()),
+                hold: 30.0,
+            }
+        );
+        let c = parse(&["serve", "--socket", "/tmp/eas.sock"]).unwrap();
+        match c {
+            Command::Serve { socket, .. } => assert_eq!(socket.as_deref(), Some("/tmp/eas.sock")),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_scrape_and_requires_a_target() {
+        let c = parse(&["scrape", "--addr", "127.0.0.1:9100"]).unwrap();
+        assert_eq!(
+            c,
+            Command::Scrape {
+                addr: Some("127.0.0.1:9100".into()),
+                socket: None,
+                path: "/metrics".into(),
+            }
+        );
+        let c = parse(&["scrape", "--socket", "/tmp/eas.sock", "--path", "/slo"]).unwrap();
+        assert_eq!(
+            c,
+            Command::Scrape {
+                addr: None,
+                socket: Some("/tmp/eas.sock".into()),
+                path: "/slo".into(),
+            }
+        );
+        assert!(parse(&["scrape"])
+            .unwrap_err()
+            .contains("--addr or --socket"));
     }
 
     #[test]
