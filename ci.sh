@@ -106,6 +106,31 @@ test -n "$SERVE_OFFSET"
 ./target/release/easched replay --log target/ci-serve.runlog --at "$SERVE_OFFSET" > /dev/null
 grep -q '"cat":"span"' target/ci-serve.trace.json
 
+echo "==> fleet chaos matrix: 3-node convergence under drops/dups/reorder/partition"
+for seed in 7 23 1009; do
+    echo "    fleet --seed $seed"
+    rm -rf "target/ci-fleet-$seed.d"
+    ./target/release/easched fleet --seed "$seed" \
+        --store "target/ci-fleet-$seed.d" \
+        --record "target/ci-fleet-$seed.runlog" > /dev/null
+done
+
+echo "==> fleet kill -9: SIGKILL a live fleet, every journal must recover clean"
+rm -rf target/ci-fleet-crash.d
+# One completed run seeds the stores; the long run then dies mid-flight.
+./target/release/easched fleet --seed 7 --quiet-fabric --ticks 3 \
+    --store target/ci-fleet-crash.d > /dev/null
+./target/release/easched fleet --seed 7 --quiet-fabric --ticks 5000 \
+    --store target/ci-fleet-crash.d > /dev/null 2>&1 &
+FLEET_PID=$!
+sleep 2
+kill -9 "$FLEET_PID" 2>/dev/null || true
+wait "$FLEET_PID" 2>/dev/null || true
+./target/release/easched fleet --verify-recovery target/ci-fleet-crash.d
+
+echo "==> fleet replay: recorded chaos run must be byte-identical"
+./target/release/easched fleet --replay target/ci-fleet-7.runlog
+
 echo "==> decide-path budget: fresh measurement vs committed BENCH_decide.json"
 ./target/release/bench_decide --out target/ci-bench-decide.json --check BENCH_decide.json
 
@@ -118,7 +143,7 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> clippy: no print!/eprintln! in library crates"
 for p in easched-num easched-sim easched-graph easched-kernels \
          easched-runtime easched-core easched-telemetry easched-replay \
-         easched-bench easched; do
+         easched-fleet easched-bench easched; do
     cargo clippy -q -p "$p" --lib -- -D warnings \
         -D clippy::print_stdout -D clippy::print_stderr
 done

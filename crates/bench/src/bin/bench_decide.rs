@@ -1,7 +1,9 @@
-//! Emits `BENCH_decide.json`: a machine-readable snapshot of the two
+//! Emits `BENCH_decide.json`: a machine-readable snapshot of the
 //! hot-path costs the paper's §5 overhead claim rests on — one scheduling
 //! decision (`ns_per_decide`, nominally a few hundred ns against the
-//! paper's 1–2 µs budget) and one telemetry record (`ns_per_record`).
+//! paper's 1–2 µs budget), one telemetry record (`ns_per_record`), and
+//! one fleet replication apply (`ns_per_apply`, the anti-entropy ingest
+//! path — merge cost per envelope, DESIGN.md §15).
 //!
 //! The Criterion benches in `benches/decision.rs` and
 //! `benches/telemetry.rs` remain the instrument for *investigating*
@@ -21,7 +23,9 @@
 //! machines are noisy; the point is catching accidental O(n)
 //! regressions on the hot paths, not 10 % drift). The baseline is the
 //! *first* entry of the file's `runs` array — the oldest measurement,
-//! so the gate never quietly ratchets.
+//! so the gate never quietly ratchets. Fields added later
+//! (`ns_per_apply`) gate against the first entry that *carries* them;
+//! with no such entry the gate is skipped, never tripped.
 //!
 //! `--out` appends a run entry instead of overwriting: the committed
 //! `BENCH_decide.json` accumulates one `{commit, ns_per_decide,
@@ -33,6 +37,7 @@ use easched_core::{
     characterize, CharacterizationConfig, DecisionRecord, EasConfig, EasScheduler, InvocationPath,
     Objective, RingSink, TelemetrySink,
 };
+use easched_fleet::{Envelope, Op, ReplicaTable};
 use easched_runtime::Observation;
 use easched_sim::{CounterSnapshot, Platform};
 use std::hint::black_box;
@@ -106,6 +111,45 @@ fn measure_record() -> f64 {
     })
 }
 
+/// Replication-apply throughput: one envelope merged into the replica.
+/// The stream is all watermark-fresh puts (every apply advances — the
+/// expensive path); the table resets when the pregenerated stream wraps,
+/// amortized over thousands of applies.
+fn measure_apply() -> f64 {
+    const STREAM: usize = 8_192;
+    let platforms = ["haswell-desktop", "baytrail-tablet", "skylake-minipc"];
+    let mut seqs = [0u64; 3];
+    let stream: Vec<Envelope> = (0..STREAM)
+        .map(|i| {
+            let origin = (i % 3) as u16;
+            seqs[i % 3] += 1;
+            Envelope {
+                origin,
+                platform: platforms[i % 3].to_string(),
+                generation: 1,
+                seq: seqs[i % 3],
+                op: Op::Put {
+                    kernel: (i % 128) as u64,
+                    alpha: 0.5 + (i % 10) as f64 * 0.01,
+                    weight: 10.0,
+                    seen: i as u64,
+                    tainted: false,
+                },
+            }
+        })
+        .collect();
+    let mut replica = ReplicaTable::new();
+    let mut at = 0usize;
+    median_ns(|| {
+        if at == STREAM {
+            replica = ReplicaTable::new();
+            at = 0;
+        }
+        black_box(replica.apply(black_box(&stream[at])));
+        at += 1;
+    })
+}
+
 fn commit_hash() -> String {
     std::process::Command::new("git")
         .args(["rev-parse", "--short=12", "HEAD"])
@@ -117,11 +161,12 @@ fn commit_hash() -> String {
         .unwrap_or_else(|| "unknown".to_string())
 }
 
-fn render_entry(commit: &str, ns_per_decide: f64, ns_per_record: f64) -> String {
+fn render_entry(commit: &str, ns_per_decide: f64, ns_per_record: f64, ns_per_apply: f64) -> String {
     format!(
         "    {{\n      \"commit\": \"{commit}\",\n      \
          \"ns_per_decide\": {ns_per_decide:.1},\n      \
-         \"ns_per_record\": {ns_per_record:.1}\n    }}"
+         \"ns_per_record\": {ns_per_record:.1},\n      \
+         \"ns_per_apply\": {ns_per_apply:.1}\n    }}"
     )
 }
 
@@ -146,10 +191,14 @@ fn merged_document(existing: &str, entry: String) -> Result<String, String> {
                 extract_number(existing, "ns_per_decide").ok_or("v1 file lacks ns_per_decide")?;
             let record =
                 extract_number(existing, "ns_per_record").ok_or("v1 file lacks ns_per_record")?;
-            Ok(render_document(&[
-                render_entry(&commit, decide, record),
-                entry,
-            ]))
+            // Migrated v1 entries never measured the apply path; render
+            // them without the field so the gate skips it honestly.
+            let migrated = format!(
+                "    {{\n      \"commit\": \"{commit}\",\n      \
+                 \"ns_per_decide\": {decide:.1},\n      \
+                 \"ns_per_record\": {record:.1}\n    }}"
+            );
+            Ok(render_document(&[migrated, entry]))
         }
         2 => {
             let close = existing
@@ -211,7 +260,8 @@ fn main() {
 
     let ns_per_decide = measure_decide();
     let ns_per_record = measure_record();
-    let entry = render_entry(&commit_hash(), ns_per_decide, ns_per_record);
+    let ns_per_apply = measure_apply();
+    let entry = render_entry(&commit_hash(), ns_per_decide, ns_per_record, ns_per_apply);
     match &out {
         Some(path) => {
             let document = match std::fs::read_to_string(path) {
@@ -225,7 +275,10 @@ fn main() {
                 eprintln!("cannot write {path}: {e}");
                 std::process::exit(2);
             });
-            println!("decide {ns_per_decide:.1} ns, record {ns_per_record:.1} ns -> {path}");
+            println!(
+                "decide {ns_per_decide:.1} ns, record {ns_per_record:.1} ns, \
+                 apply {ns_per_apply:.1} ns -> {path}"
+            );
         }
         None => print!("{}", render_document(&[entry])),
     }
@@ -243,14 +296,24 @@ fn main() {
             std::process::exit(2);
         }
         let mut regressed = false;
-        for (name, fresh) in [
-            ("ns_per_decide", ns_per_decide),
-            ("ns_per_record", ns_per_record),
+        for (name, fresh, required) in [
+            ("ns_per_decide", ns_per_decide, true),
+            ("ns_per_record", ns_per_record, true),
+            // Added after the original baselines; gate against the first
+            // entry that carries it, or skip if none does yet.
+            ("ns_per_apply", ns_per_apply, false),
         ] {
-            let base = extract_number(&baseline, name).unwrap_or_else(|| {
-                eprintln!("baseline {baseline_path} lacks {name}");
-                std::process::exit(2);
-            });
+            let base = match (extract_number(&baseline, name), required) {
+                (Some(base), _) => base,
+                (None, true) => {
+                    eprintln!("baseline {baseline_path} lacks {name}");
+                    std::process::exit(2);
+                }
+                (None, false) => {
+                    println!("{name}: no baseline entry carries it yet; gate skipped");
+                    continue;
+                }
+            };
             if fresh > base * factor {
                 eprintln!("{name} regressed: {fresh:.1} ns > {factor}x baseline {base:.1} ns");
                 regressed = true;

@@ -18,6 +18,15 @@ use crate::time_model::TimeModel;
 use easched_num::{golden_section_min, grid_min};
 use easched_runtime::{KernelId, Observation};
 
+/// Half-width of the α window a cross-platform warm-start prior narrows
+/// the search to (fleet replication, DESIGN.md §15). Wide enough that a
+/// mediocre prior still contains the neighborhood of this platform's own
+/// optimum — per-device energy behavior differs, so a ratio tuned on one
+/// part is only a *hint* elsewhere — and profiling always runs in full,
+/// so a bad prior costs search resolution for a few rounds, never a
+/// wrong table entry.
+pub const PRIOR_WINDOW: f64 = 0.25;
+
 /// The pure per-observation decision procedure: configuration + power
 /// model, nothing mutable.
 ///
@@ -100,6 +109,22 @@ impl DecisionEngine {
     /// One α decision from a profiling observation (Fig 7 steps 15–20).
     /// Pure: same observation in, same decision out; no interior state.
     pub fn decide(&self, kernel: KernelId, obs: &Observation, n_remaining: u64) -> Decision {
+        self.decide_with_prior(kernel, obs, n_remaining, None)
+    }
+
+    /// [`decide`](DecisionEngine::decide) with an optional cross-platform
+    /// warm-start prior: `Some(p)` narrows the α search to
+    /// `[p − PRIOR_WINDOW, p + PRIOR_WINDOW] ∩ [0, 1]` — same step
+    /// count, finer resolution near the foreign optimum. `None` is
+    /// byte-identical to the unprimed path, so single-node runs are
+    /// unaffected by the fleet plumbing.
+    pub fn decide_with_prior(
+        &self,
+        kernel: KernelId,
+        obs: &Observation,
+        n_remaining: u64,
+        prior: Option<f64>,
+    ) -> Decision {
         let r_c = obs.cpu_rate();
         let r_g = obs.gpu_rate();
         let class = self.config.classifier.classify(obs, n_remaining);
@@ -111,14 +136,21 @@ impl DecisionEngine {
             n_remaining,
             alpha,
         };
-        // Degenerate devices: all work to the live one.
+        // Degenerate devices: all work to the live one, prior or not.
         if r_g <= 0.0 {
             return decision(0.0);
         }
         if r_c <= 0.0 {
             return decision(1.0);
         }
-        decision(self.minimize(class, r_c, r_g, n_remaining))
+        let window = match prior {
+            Some(p) if p.is_finite() => {
+                let p = p.clamp(0.0, 1.0);
+                ((p - PRIOR_WINDOW).max(0.0), (p + PRIOR_WINDOW).min(1.0))
+            }
+            _ => (0.0, 1.0),
+        };
+        decision(self.minimize(class, r_c, r_g, n_remaining, window))
     }
 
     /// The model outputs backing a decision: re-evaluates P(α), T(α), and
@@ -137,8 +169,17 @@ impl DecisionEngine {
         }
     }
 
-    /// Grid- or golden-section-minimizes OBJ(P(α), T(α)) over α ∈ [0, 1].
-    fn minimize(&self, class: WorkloadClass, r_c: f64, r_g: f64, n_remaining: u64) -> f64 {
+    /// Grid- or golden-section-minimizes OBJ(P(α), T(α)) over
+    /// α ∈ [lo, hi] (the full [0, 1] unless a warm-start prior narrowed
+    /// the window).
+    fn minimize(
+        &self,
+        class: WorkloadClass,
+        r_c: f64,
+        r_g: f64,
+        n_remaining: u64,
+        (lo, hi): (f64, f64),
+    ) -> f64 {
         let curve = self.model.curve(class);
         let tm = TimeModel::new(r_c, r_g);
         let objective = &self.config.objective;
@@ -150,13 +191,13 @@ impl DecisionEngine {
             objective.evaluate(curve.predict(alpha), t)
         };
         match self.config.alpha_search {
-            AlphaSearch::Grid(steps) => grid_min(0.0, 1.0, steps.max(1), score).x,
+            AlphaSearch::Grid(steps) => grid_min(lo, hi, steps.max(1), score).x,
             AlphaSearch::GoldenSection { tol } => {
                 // Golden section finds interior optima; compare against the
                 // endpoints explicitly since boundary optima are common.
-                let (x, v) = golden_section_min(0.0, 1.0, tol.max(1e-6), score);
+                let (x, v) = golden_section_min(lo, hi, tol.max(1e-6), score);
                 let mut best = (x, v);
-                for endpoint in [0.0, 1.0] {
+                for endpoint in [lo, hi] {
                     let v = score(endpoint);
                     if v < best.1 {
                         best = (endpoint, v);
@@ -248,6 +289,56 @@ mod tests {
             };
             assert!(engine.predict(&alt).objective >= p.objective - 1e-12);
         }
+    }
+
+    #[test]
+    fn no_prior_is_byte_identical_to_decide() {
+        let engine = DecisionEngine::new(flat_model(50.0), EasConfig::new(Objective::EnergyDelay));
+        let o = obs(1_000, 2_000);
+        let plain = engine.decide(1, &o, 100_000);
+        let primed = engine.decide_with_prior(1, &o, 100_000, None);
+        assert_eq!(plain, primed);
+        // Non-finite priors are ignored, not applied.
+        let nan = engine.decide_with_prior(1, &o, 100_000, Some(f64::NAN));
+        assert_eq!(plain, nan);
+    }
+
+    #[test]
+    fn prior_narrows_the_search_window_but_never_skips_it() {
+        // Time objective on a 1:2 machine: the unprimed optimum is ≈2/3.
+        let engine = DecisionEngine::new(flat_model(50.0), EasConfig::new(Objective::Time));
+        let o = obs(1_000, 2_000);
+        let plain = engine.decide(1, &o, 500_000);
+        // A prior near the true optimum refines toward it within the
+        // window (grid resolution is finer over the narrowed span).
+        let near = engine.decide_with_prior(1, &o, 500_000, Some(0.7));
+        assert!((near.alpha - 2.0 / 3.0).abs() <= (plain.alpha - 2.0 / 3.0).abs() + 1e-12);
+        assert!(near.alpha >= 0.7 - PRIOR_WINDOW - 1e-12);
+        assert!(near.alpha <= 0.7 + PRIOR_WINDOW + 1e-12);
+        // A hostile prior clamps to the window edge nearest the optimum —
+        // bounded damage, and the next accumulation re-profiles anyway.
+        let far = engine.decide_with_prior(1, &o, 500_000, Some(0.0));
+        assert!((far.alpha - PRIOR_WINDOW).abs() < 1e-9);
+        // Out-of-range priors clamp into [0, 1] first.
+        let hi = engine.decide_with_prior(1, &o, 500_000, Some(7.0));
+        assert!(hi.alpha >= 1.0 - PRIOR_WINDOW - 1e-12);
+    }
+
+    #[test]
+    fn prior_keeps_degenerate_device_rules() {
+        let engine = DecisionEngine::new(flat_model(50.0), EasConfig::new(Objective::Energy));
+        assert_eq!(
+            engine
+                .decide_with_prior(1, &obs(1_000, 0), 1_000, Some(0.9))
+                .alpha,
+            0.0
+        );
+        assert_eq!(
+            engine
+                .decide_with_prior(1, &obs(0, 1_000), 1_000, Some(0.1))
+                .alpha,
+            1.0
+        );
     }
 
     #[test]

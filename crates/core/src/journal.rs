@@ -61,8 +61,14 @@
 //! death (`kill -9`), which is the failure mode this store defends
 //! against. `fsync` happens only at snapshot+compaction, so a *power
 //! loss* may cost the journal suffix since the last checkpoint; that
-//! trade keeps the per-invocation overhead to one small write. Append
-//! failures never panic the scheduling path — they increment
+//! trade keeps the per-invocation overhead to one small write. The
+//! checkpoint itself is made power-loss-durable end to end: the snapshot
+//! is fsynced before the rename, and the **parent directory** is fsynced
+//! after the rename and again after the journal reset — without the
+//! directory syncs, a power loss after the rename could resurrect the
+//! *old* snapshot beside the *new*-generation journal, a pair recovery
+//! rejects as [`StoreError::GenerationAhead`]. Append failures never
+//! panic the scheduling path — they increment
 //! [`write_errors`](TableStore::write_errors) and scheduling continues
 //! unpersisted.
 
@@ -442,13 +448,40 @@ impl TableStore {
         // snapshot + full journal; after it, the journal is stale (its
         // generation lags) and recovery ignores it.
         fs::rename(&tmp, self.dir.join(SNAPSHOT_FILE))?;
+        // A rename is durable only once its *directory* is synced: without
+        // this fsync, a power loss after the rename could resurrect the
+        // old snapshot beside the new-generation journal written below —
+        // a pair recovery refuses with `GenerationAhead` (the journal
+        // claims a base the snapshot no longer holds).
+        sync_dir(&self.dir)?;
         let mut file = File::create(self.dir.join(JOURNAL_FILE))?;
         file.write_all(sealed_line(&format!("{JOURNAL_MAGIC} gen {generation}")).as_bytes())?;
         file.sync_all()?;
+        // Same reasoning for the journal reset: the first compaction
+        // *creates* the directory entry, and its durability needs the
+        // directory synced too.
+        sync_dir(&self.dir)?;
         inner.file = Some(file);
         inner.generation = generation;
         inner.appends = 0;
         Ok(())
+    }
+}
+
+/// Fsyncs a directory handle so renames and file creations inside it
+/// survive power loss (POSIX makes *file* fsync say nothing about the
+/// directory entry). Filesystems that cannot sync a directory handle
+/// (some network and FUSE mounts return `EINVAL`/`ENOTSUP`) degrade to
+/// best-effort: the metadata operations already happened, and an error
+/// here must not fail a checkpoint those mounts could never make durable
+/// anyway.
+fn sync_dir(dir: &Path) -> io::Result<()> {
+    let handle = File::open(dir)?;
+    match handle.sync_all() {
+        Ok(()) => Ok(()),
+        Err(e) if e.raw_os_error() == Some(22) => Ok(()), // EINVAL
+        Err(e) if e.kind() == io::ErrorKind::Unsupported => Ok(()),
+        Err(e) => Err(e),
     }
 }
 

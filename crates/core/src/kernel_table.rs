@@ -112,6 +112,15 @@ pub struct KernelTable {
     /// `shard_count - 1`; the count is a power of two so selection is a
     /// single mask.
     mask: u64,
+    /// Cross-platform warm-start hints (fleet replication, DESIGN.md
+    /// §15): kernel id → α the same kernel learned on *another*
+    /// platform. Never served as truth — `lookup`/`note_reuse` ignore
+    /// this map entirely — a prior only narrows the α search window
+    /// while this platform profiles the kernel itself, and local
+    /// learning ([`accumulate`](KernelTable::accumulate)) erases it.
+    /// One lock for the whole map: priors are consulted once per
+    /// *profiling* invocation, never on the reuse path.
+    priors: RwLock<HashMap<KernelId, f64>>,
 }
 
 impl Default for KernelTable {
@@ -130,6 +139,7 @@ impl Clone for KernelTable {
         KernelTable {
             shards: shards.into_boxed_slice(),
             mask: self.mask,
+            priors: RwLock::new(read_lock(&self.priors).clone()),
         }
     }
 }
@@ -160,6 +170,7 @@ impl KernelTable {
         KernelTable {
             shards: shards.into_boxed_slice(),
             mask: (n - 1) as u64,
+            priors: RwLock::new(HashMap::new()),
         }
     }
 
@@ -224,9 +235,45 @@ impl KernelTable {
             .is_some_and(|e| e.tainted.load(Ordering::Relaxed))
     }
 
+    /// Installs a cross-platform warm-start prior for a kernel the fleet
+    /// has seen elsewhere (DESIGN.md §15). The prior is a *hint*, never
+    /// truth: it does not create a table entry, never skips profiling,
+    /// and only narrows the α window the
+    /// [`DecisionEngine`](crate::DecisionEngine) searches while this
+    /// platform profiles the kernel for itself. No-op once the kernel
+    /// has locally learned state — a foreign ratio must not displace a
+    /// measured one. `alpha` is clamped to [0, 1]; non-finite values are
+    /// refused (a chaos-corrupted replica entry must not steer search).
+    pub fn set_prior(&self, kernel: KernelId, alpha: f64) {
+        if !alpha.is_finite() || self.stat(kernel).is_some() {
+            return;
+        }
+        write_lock(&self.priors).insert(kernel, alpha.clamp(0.0, 1.0));
+    }
+
+    /// The warm-start prior for a kernel, if one is installed and the
+    /// kernel has no locally learned state yet.
+    pub fn prior(&self, kernel: KernelId) -> Option<f64> {
+        read_lock(&self.priors).get(&kernel).copied()
+    }
+
+    /// Drops a kernel's warm-start prior (e.g. when the fleet replicates
+    /// a taint for the entry it came from — a suspect ratio must not
+    /// seed anyone's search window).
+    pub fn clear_prior(&self, kernel: KernelId) {
+        write_lock(&self.priors).remove(&kernel);
+    }
+
+    /// Number of installed warm-start priors.
+    pub fn prior_count(&self) -> usize {
+        read_lock(&self.priors).len()
+    }
+
     /// Folds a newly computed α into the table (Fig 7 step 26).
-    /// Write-locks the owning shard only.
+    /// Write-locks the owning shard only. Local learning supersedes any
+    /// cross-platform warm-start prior for the kernel.
     pub fn accumulate(&self, kernel: KernelId, alpha: f64, weight: f64, mode: Accumulation) {
+        write_lock(&self.priors).remove(&kernel);
         let mut shard = write_lock(self.shard(kernel));
         let entry = shard.entry(kernel).or_insert(AlphaEntry {
             alpha,
@@ -447,6 +494,49 @@ mod tests {
         assert_eq!(snap[1].0, 9);
         assert!(snap[1].2);
         assert_eq!(snap[1].1, t.stat(9).unwrap());
+    }
+
+    #[test]
+    fn priors_are_hints_not_truth() {
+        let t = KernelTable::new();
+        t.set_prior(4, 0.8);
+        assert_eq!(t.prior(4), Some(0.8));
+        assert_eq!(t.prior_count(), 1);
+        // A prior is invisible to the reuse and lookup paths.
+        assert_eq!(t.lookup(4), None);
+        assert_eq!(t.note_reuse(4), None);
+        assert!(t.is_empty());
+        // Out-of-range priors clamp; corrupt ones are refused.
+        t.set_prior(5, 1.5);
+        assert_eq!(t.prior(5), Some(1.0));
+        t.set_prior(6, f64::NAN);
+        assert_eq!(t.prior(6), None);
+    }
+
+    #[test]
+    fn local_learning_supersedes_priors() {
+        let t = KernelTable::new();
+        t.set_prior(4, 0.8);
+        t.accumulate(4, 0.3, 10.0, Accumulation::SampleWeighted);
+        assert_eq!(t.prior(4), None, "accumulate erases the prior");
+        // And a learned kernel refuses new priors outright.
+        t.set_prior(4, 0.9);
+        assert_eq!(t.prior(4), None);
+        assert_eq!(t.lookup(4), Some(0.3));
+        // clear_prior drops an installed hint (taint replication path).
+        t.set_prior(7, 0.6);
+        t.clear_prior(7);
+        assert_eq!(t.prior(7), None);
+    }
+
+    #[test]
+    fn priors_survive_clone() {
+        let t = KernelTable::new();
+        t.set_prior(3, 0.4);
+        let c = t.clone();
+        assert_eq!(c.prior(3), Some(0.4));
+        t.clear_prior(3);
+        assert_eq!(c.prior(3), Some(0.4), "clone is deep");
     }
 
     #[test]

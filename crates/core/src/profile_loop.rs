@@ -385,6 +385,13 @@ fn drive(
     // with a backed-off chunk; sustained rejection degrades the
     // invocation.
     let profile_until = ((n as f64) * (1.0 - config.profile_fraction)) as u64;
+    // Fleet warm start (DESIGN.md §15): a ratio the same kernel learned
+    // on another platform narrows the α search window. Profiling still
+    // runs in full — the prior is a hint, never truth — the minimizer
+    // just searches near the foreign optimum at finer resolution. With
+    // no fleet attached the map is empty and this path is byte-identical
+    // to the unprimed loop.
+    let prior = table.prior(kernel);
     let mut alpha = 0.0;
     let mut alpha_weight = 0.0;
     let mut streak = 0usize;
@@ -450,7 +457,7 @@ fn drive(
             health.stats.note_recovery();
         }
         rejected_streak = 0;
-        let decision = engine.decide(kernel, &obs, backend.remaining());
+        let decision = engine.decide_with_prior(kernel, &obs, backend.remaining(), prior);
         if let Some(t) = started {
             decide_nanos += elapsed_nanos(clock, t);
         }

@@ -149,6 +149,106 @@ fn crash_point_harness_recovers_at_every_byte_offset() {
     }
 }
 
+/// The crash window the checkpoint's directory fsync closes: a power
+/// loss right after the snapshot rename (but before the rename's
+/// directory entry hits disk) can resurrect the *old* snapshot beside
+/// the *new*-generation journal. That pair is unrecoverable by design —
+/// replaying a journal onto a base it never extended would fabricate
+/// state — so `open` must refuse it loudly with `GenerationAhead`
+/// rather than quietly resurrect a stale table. With `sync_dir` after
+/// the rename (and after the journal reset) the window no longer exists
+/// on a real power loss; this test pins both halves of the contract.
+#[test]
+fn resurrected_stale_snapshot_refuses_recovery_with_generation_ahead() {
+    let dir = TempDir::new("dirsync");
+    let (store, _) = TableStore::open(&dir.0).expect("fresh store");
+    let table = KernelTable::new();
+    table.insert(1, stat(0.1, 1.0e3, 1));
+    store.record_entry(&table, 1);
+    store
+        .checkpoint(&table, BreakerState::Closed)
+        .expect("first checkpoint");
+    let stale_snapshot = fs::read(dir.0.join("table.snap")).expect("gen-1 snapshot");
+
+    table.insert(2, stat(0.5, 2.0e3, 2));
+    store.record_entry(&table, 2);
+    store
+        .checkpoint(&table, BreakerState::Closed)
+        .expect("second checkpoint");
+    drop(store);
+
+    // Sanity: the durable (synced) pair reopens at the new generation.
+    let (_, rec) = TableStore::open(&dir.0).expect("durable pair");
+    assert_eq!(rec.generation, 2);
+    assert!(rec.table.stat(2).is_some());
+
+    // Simulate the pre-fsync power loss: the rename is undone (old
+    // snapshot back in place) while the gen-2 journal survived.
+    fs::write(dir.0.join("table.snap"), &stale_snapshot).unwrap();
+    match TableStore::open(&dir.0) {
+        Err(easched_core::StoreError::GenerationAhead { journal, snapshot }) => {
+            assert_eq!(journal, 2);
+            assert_eq!(snapshot, 1);
+        }
+        Ok(_) => panic!("stale snapshot + new journal must not open"),
+        Err(e) => panic!("wrong error for resurrected snapshot: {e}"),
+    }
+}
+
+/// Byte-offset harness over the *checkpoint* itself: whatever prefix of
+/// the journal survives alongside either snapshot generation that could
+/// legally be on disk (old before the rename's dir entry is durable, new
+/// after), recovery either succeeds on a consistent pair or fails with
+/// the typed generation error — never panics, never fabricates state.
+#[test]
+fn crash_point_harness_covers_the_rename_window() {
+    let seed = TempDir::new("renwin");
+    let (store, _) = TableStore::open(&seed.0).expect("fresh store");
+    let table = KernelTable::new();
+    table.insert(1, stat(0.1, 1.0e3, 1));
+    store.record_entry(&table, 1);
+    store
+        .checkpoint(&table, BreakerState::Closed)
+        .expect("checkpoint to gen 1");
+    let old_snap = fs::read(seed.0.join("table.snap")).unwrap();
+    table.insert(2, stat(0.7, 7.0e3, 3));
+    store.record_entry(&table, 2);
+    store
+        .checkpoint(&table, BreakerState::Closed)
+        .expect("checkpoint to gen 2");
+    store.record_taint(1);
+    drop(store);
+    let new_snap = fs::read(seed.0.join("table.snap")).unwrap();
+    let journal = fs::read(seed.0.join("table.journal")).unwrap();
+
+    for (snap, expect_new) in [(&old_snap, false), (&new_snap, true)] {
+        for offset in 0..=journal.len() {
+            let dir = TempDir::new("renwinc");
+            fs::create_dir_all(&dir.0).unwrap();
+            fs::write(dir.0.join("table.snap"), snap).unwrap();
+            fs::write(dir.0.join("table.journal"), &journal[..offset]).unwrap();
+            match TableStore::open(&dir.0) {
+                Ok((_, rec)) => {
+                    if expect_new {
+                        assert_eq!(rec.generation, 2, "offset {offset}");
+                    } else {
+                        // Old snapshot + a journal prefix too short to
+                        // carry its gen-2 header: the journal is ignored
+                        // and the gen-1 base stands alone.
+                        assert_eq!(rec.generation, 1, "offset {offset}");
+                        assert_eq!(rec.replayed, 0, "offset {offset}");
+                    }
+                }
+                Err(easched_core::StoreError::GenerationAhead { journal, snapshot }) => {
+                    assert!(!expect_new, "offset {offset}: durable pair must open");
+                    assert_eq!((journal, snapshot), (2, 1), "offset {offset}");
+                }
+                Err(e) => panic!("offset {offset}: unexpected error {e}"),
+            }
+        }
+    }
+}
+
 #[test]
 fn v1_snapshot_migrates_and_reseals_as_v3() {
     let dir = TempDir::new("v1");

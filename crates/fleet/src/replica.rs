@@ -1,0 +1,306 @@
+//! The convergent replica: every node's view of the whole fleet's tables.
+//!
+//! Keyed by `(platform, kernel)`, each fact keeps the max-version `Put`
+//! and the max-version `Taint` *separately* (DESIGN.md §15). The
+//! effective state overlays them: a taint newer than the newest put wins
+//! (the entry is quarantined until its owner republishes), otherwise the
+//! put's own taint flag stands. Because both sides are pure max-merges,
+//! apply order cannot matter — `Put(v₁)` then `Taint(v₂)` and the reverse
+//! land in the same state — which is the whole convergence argument.
+//!
+//! The [`digest`](ReplicaTable::digest) serializes *effective* state
+//! only, never version metadata: after a crash/restart some nodes hold a
+//! superseded old-generation fact that others never saw, and that
+//! asymmetry is invisible exactly because versions stay out of the hash.
+
+use crate::frame::{Envelope, NodeId, Op, Version};
+use easched_core::fnv1a64;
+use std::collections::BTreeMap;
+
+/// The max-version `Put` body for one `(platform, kernel)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct PutFact {
+    version: Version,
+    alpha: f64,
+    weight: f64,
+    seen: u64,
+    tainted: bool,
+}
+
+/// One `(platform, kernel)` fact: independent put and taint maxima.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+struct Fact {
+    put: Option<PutFact>,
+    taint: Option<Version>,
+}
+
+/// The effective (version-free) state of one replicated entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EffectiveEntry {
+    /// Platform namespace the entry is truth in.
+    pub platform: String,
+    /// Kernel id.
+    pub kernel: u64,
+    /// Learned offload ratio (absent for a taint with no surviving put).
+    pub alpha: Option<f64>,
+    /// Accumulated sample weight.
+    pub weight: f64,
+    /// Invocations the origin had observed.
+    pub seen: u64,
+    /// Whether the entry is currently quarantined fleet-wide.
+    pub tainted: bool,
+    /// The node whose put currently defines the entry (the max-version
+    /// origin; the taint origin if no put survives).
+    pub origin: NodeId,
+}
+
+/// What applying one envelope did to the replica.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Applied {
+    /// The fact advanced (fresh maximum).
+    Advanced {
+        /// An older fact from a *different* origin was superseded —
+        /// a genuine cross-node conflict resolved by version order.
+        conflict: bool,
+    },
+    /// The envelope was at or below the stored maximum — idempotent no-op.
+    Stale,
+}
+
+/// A node's replica of the fleet's learned state.
+#[derive(Debug, Clone, Default)]
+pub struct ReplicaTable {
+    facts: BTreeMap<(String, u64), Fact>,
+}
+
+impl ReplicaTable {
+    /// An empty replica.
+    pub fn new() -> ReplicaTable {
+        ReplicaTable::default()
+    }
+
+    /// Merges one envelope. Pure max-merge per fact side: idempotent,
+    /// commutative, monotone.
+    pub fn apply(&mut self, env: &Envelope) -> Applied {
+        let key = (env.platform.clone(), env.op.kernel());
+        let fact = self.facts.entry(key).or_default();
+        let version = env.version();
+        match env.op {
+            Op::Put {
+                alpha,
+                weight,
+                seen,
+                tainted,
+                ..
+            } => {
+                let current = fact.put.map(|p| p.version);
+                if current.is_some_and(|v| v >= version) {
+                    return Applied::Stale;
+                }
+                let conflict = fact.put.is_some_and(|p| p.version.origin != version.origin);
+                fact.put = Some(PutFact {
+                    version,
+                    alpha,
+                    weight,
+                    seen,
+                    tainted,
+                });
+                Applied::Advanced { conflict }
+            }
+            Op::Taint { .. } => {
+                if fact.taint.is_some_and(|v| v >= version) {
+                    return Applied::Stale;
+                }
+                let conflict = fact.taint.is_some_and(|v| v.origin != version.origin);
+                fact.taint = Some(version);
+                Applied::Advanced { conflict }
+            }
+        }
+    }
+
+    /// The effective entries, sorted by `(platform, kernel)`.
+    pub fn effective(&self) -> Vec<EffectiveEntry> {
+        self.facts
+            .iter()
+            .map(|((platform, kernel), fact)| {
+                let taint_wins = match (&fact.put, &fact.taint) {
+                    (Some(p), Some(t)) => *t > p.version,
+                    (None, Some(_)) => true,
+                    _ => false,
+                };
+                match &fact.put {
+                    Some(p) => EffectiveEntry {
+                        platform: platform.clone(),
+                        kernel: *kernel,
+                        alpha: Some(p.alpha),
+                        weight: p.weight,
+                        seen: p.seen,
+                        tainted: taint_wins || p.tainted,
+                        origin: if taint_wins {
+                            fact.taint.expect("taint_wins implies taint").origin
+                        } else {
+                            p.version.origin
+                        },
+                    },
+                    None => EffectiveEntry {
+                        platform: platform.clone(),
+                        kernel: *kernel,
+                        alpha: None,
+                        weight: 0.0,
+                        seen: 0,
+                        tainted: true,
+                        origin: fact.taint.expect("no put implies taint").origin,
+                    },
+                }
+            })
+            .collect()
+    }
+
+    /// The effective entry for one `(platform, kernel)`, if any.
+    pub fn entry(&self, platform: &str, kernel: u64) -> Option<EffectiveEntry> {
+        self.effective()
+            .into_iter()
+            .find(|e| e.platform == platform && e.kernel == kernel)
+    }
+
+    /// Number of `(platform, kernel)` facts held.
+    pub fn len(&self) -> usize {
+        self.facts.len()
+    }
+
+    /// Whether the replica holds nothing yet.
+    pub fn is_empty(&self) -> bool {
+        self.facts.is_empty()
+    }
+
+    /// Canonical text of the effective state — byte-identical across
+    /// converged replicas, whatever order and duplication the envelopes
+    /// arrived with. Version metadata is deliberately excluded (see the
+    /// module docs).
+    pub fn digest_text(&self) -> String {
+        let mut out = String::new();
+        for e in self.effective() {
+            let alpha = e.alpha.map_or(u64::MAX, f64::to_bits);
+            out.push_str(&format!(
+                "{} {:016x} {alpha:016x} {:016x} {} {}\n",
+                e.platform,
+                e.kernel,
+                e.weight.to_bits(),
+                e.seen,
+                u8::from(e.tainted),
+            ));
+        }
+        out
+    }
+
+    /// FNV-1a of [`digest_text`](ReplicaTable::digest_text) — the
+    /// convergence checker's comparison unit.
+    pub fn digest(&self) -> u64 {
+        fnv1a64(self.digest_text().as_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn put(origin: NodeId, generation: u64, seq: u64, kernel: u64, alpha: f64) -> Envelope {
+        Envelope {
+            origin,
+            platform: "haswell-desktop".into(),
+            generation,
+            seq,
+            op: Op::Put {
+                kernel,
+                alpha,
+                weight: 10.0,
+                seen: 1,
+                tainted: false,
+            },
+        }
+    }
+
+    fn taint(origin: NodeId, generation: u64, seq: u64, kernel: u64) -> Envelope {
+        Envelope {
+            origin,
+            platform: "haswell-desktop".into(),
+            generation,
+            seq,
+            op: Op::Taint { kernel },
+        }
+    }
+
+    #[test]
+    fn apply_is_idempotent() {
+        let mut r = ReplicaTable::new();
+        let e = put(0, 1, 1, 7, 0.5);
+        assert_eq!(r.apply(&e), Applied::Advanced { conflict: false });
+        assert_eq!(r.apply(&e), Applied::Stale);
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn put_and_taint_commute() {
+        let p = put(0, 1, 1, 7, 0.5);
+        let t = taint(1, 1, 1, 7); // newer: same (gen, seq), origin 1 > 0
+        let mut ab = ReplicaTable::new();
+        ab.apply(&p);
+        ab.apply(&t);
+        let mut ba = ReplicaTable::new();
+        ba.apply(&t);
+        ba.apply(&p);
+        assert_eq!(ab.digest_text(), ba.digest_text());
+        assert!(ab.entry("haswell-desktop", 7).unwrap().tainted);
+    }
+
+    #[test]
+    fn newer_put_clears_an_older_taint() {
+        let mut r = ReplicaTable::new();
+        r.apply(&taint(0, 1, 1, 7));
+        assert!(r.entry("haswell-desktop", 7).unwrap().tainted);
+        r.apply(&put(0, 1, 2, 7, 0.4));
+        let e = r.entry("haswell-desktop", 7).unwrap();
+        assert!(!e.tainted, "republish after the taint reinstates the entry");
+        assert_eq!(e.alpha, Some(0.4));
+    }
+
+    #[test]
+    fn conflicts_resolve_by_version_order_everywhere() {
+        // Two origins race on the same platform+kernel; every replica must
+        // pick the same winner whatever the arrival order.
+        let a = put(0, 2, 3, 7, 0.3);
+        let b = put(1, 2, 3, 7, 0.8); // same (gen, seq): origin breaks the tie
+        let mut r1 = ReplicaTable::new();
+        r1.apply(&a);
+        assert_eq!(r1.apply(&b), Applied::Advanced { conflict: true });
+        let mut r2 = ReplicaTable::new();
+        r2.apply(&b);
+        assert_eq!(r2.apply(&a), Applied::Stale);
+        assert_eq!(r1.digest(), r2.digest());
+        assert_eq!(r1.entry("haswell-desktop", 7).unwrap().alpha, Some(0.8));
+    }
+
+    #[test]
+    fn digest_ignores_superseded_generations() {
+        // Node A saw gen-1 facts then the gen-2 republish; node B only ever
+        // saw gen 2 (it joined after the crash). Same digest.
+        let mut a = ReplicaTable::new();
+        a.apply(&put(0, 1, 1, 7, 0.5));
+        a.apply(&put(0, 2, 1, 7, 0.5));
+        let mut b = ReplicaTable::new();
+        b.apply(&put(0, 2, 1, 7, 0.5));
+        assert_eq!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn platforms_are_separate_namespaces() {
+        let mut r = ReplicaTable::new();
+        r.apply(&put(0, 1, 1, 7, 0.5));
+        let mut tablet = put(1, 1, 1, 7, 0.9);
+        tablet.platform = "baytrail-tablet".into();
+        r.apply(&tablet);
+        assert_eq!(r.len(), 2, "no cross-platform overwrite, ever");
+        assert_eq!(r.entry("haswell-desktop", 7).unwrap().alpha, Some(0.5));
+        assert_eq!(r.entry("baytrail-tablet", 7).unwrap().alpha, Some(0.9));
+    }
+}

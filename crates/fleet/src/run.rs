@@ -1,0 +1,726 @@
+//! The deterministic fleet run loop: invocations, anti-entropy rounds,
+//! chaos, crash/restart, convergence checking, and record/replay.
+//!
+//! One virtual tick = every live node runs its invocations, publishes
+//! journal changes, and completes one pull round over the (possibly
+//! chaotic) fabric. After the workload, drain rounds run anti-entropy
+//! alone until every live replica reports the same digest twice in a row
+//! (or the drain budget runs out — non-convergence is a *result*, not a
+//! panic). The whole run is a pure function of its [`FleetSpec`]: the
+//! recorded v3 [`RunLog`] replays byte-identically (DESIGN.md §15).
+
+use crate::frame::{Frame, FramePayload, NodeId};
+use crate::node::FleetNode;
+use crate::stats::FleetStats;
+use crate::transport::{ChaosConfig, ChaosTransport, Partition, Transport};
+use easched_core::{fnv1a64, EasConfig, Objective, RunSeed, StoreError};
+use easched_replay::{Event, RunLog, FORMAT_VERSION_FLEET};
+use easched_sim::{KernelTraits, Platform};
+use std::path::PathBuf;
+
+/// Drain rounds allowed after the workload before declaring
+/// non-convergence.
+pub const MAX_DRAIN_ROUNDS: u64 = 200;
+
+/// A scheduled kill -9 (no checkpoint) and restart of one node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashPlan {
+    /// The node to kill.
+    pub node: NodeId,
+    /// Tick at which it dies (before invocations that tick).
+    pub at_tick: u64,
+    /// Tick at which it restarts from its journal.
+    pub restart_at_tick: u64,
+}
+
+/// An injected taint (the fault pipeline quarantining an entry) used to
+/// exercise fleet-wide quarantine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TaintPlan {
+    /// Tick to inject at (after that tick's invocations).
+    pub at_tick: u64,
+    /// Node whose local entry is tainted.
+    pub node: NodeId,
+    /// Index into the synthetic kernel set.
+    pub kernel_index: u64,
+}
+
+/// Everything a fleet run depends on. Two runs with equal specs produce
+/// byte-identical logs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetSpec {
+    /// Root seed; every stream derives from it (`RunSeed` discipline).
+    pub seed: u64,
+    /// Platform preset name per node (index = node id).
+    pub platforms: Vec<String>,
+    /// Workload ticks.
+    pub ticks: u64,
+    /// Invocations per node per tick.
+    pub invocations_per_tick: u64,
+    /// Items per invocation.
+    pub items_per_invocation: u64,
+    /// Synthetic kernel pool size (kernels cycle round-robin, staggered
+    /// per node so priors matter).
+    pub kernels: u64,
+    /// Reprofile releases per node per tick.
+    pub reprofile_budget: usize,
+    /// Fabric fault profile.
+    pub chaos: ChaosConfig,
+    /// Optional kill/restart schedule.
+    pub crash: Option<CrashPlan>,
+    /// Optional taint injection.
+    pub taint: Option<TaintPlan>,
+    /// Journal root; each node stores under `<root>/node<id>`. Empty
+    /// means a per-run temp directory (removed afterwards).
+    pub store_root: PathBuf,
+}
+
+impl FleetSpec {
+    /// A 3-node fleet (one of each calibrated platform) under the
+    /// default chaos profile.
+    pub fn three_nodes(seed: u64) -> FleetSpec {
+        FleetSpec {
+            seed,
+            platforms: vec![
+                "haswell-desktop".into(),
+                "baytrail-tablet".into(),
+                "skylake-minipc".into(),
+            ],
+            ticks: 6,
+            invocations_per_tick: 2,
+            items_per_invocation: 60_000,
+            kernels: 4,
+            reprofile_budget: 2,
+            chaos: ChaosConfig::default(),
+            crash: None,
+            taint: None,
+            store_root: PathBuf::new(),
+        }
+    }
+
+    /// Serializes the spec as the log's first fleet line (single line,
+    /// whitespace-delimited; see [`FleetSpec::from_line`]).
+    pub fn to_line(&self) -> String {
+        let platforms = self.platforms.join(",");
+        let partitions = if self.chaos.partitions.is_empty() {
+            "-".to_string()
+        } else {
+            self.chaos
+                .partitions
+                .iter()
+                .map(|p| format!("{}:{}:{}:{}", p.a, p.b, p.from_tick, p.to_tick))
+                .collect::<Vec<_>>()
+                .join(",")
+        };
+        let crash = self.crash.map_or("-".to_string(), |c| {
+            format!("{}:{}:{}", c.node, c.at_tick, c.restart_at_tick)
+        });
+        let taint = self.taint.map_or("-".to_string(), |t| {
+            format!("{}:{}:{}", t.at_tick, t.node, t.kernel_index)
+        });
+        format!(
+            "spec v1 seed {:016x} platforms {platforms} ticks {} inv {} items {} kernels {} \
+             budget {} chaos {} {} {} {} {} partitions {partitions} crash {crash} taint {taint}",
+            self.seed,
+            self.ticks,
+            self.invocations_per_tick,
+            self.items_per_invocation,
+            self.kernels,
+            self.reprofile_budget,
+            self.chaos.drop_per_mille,
+            self.chaos.duplicate_per_mille,
+            self.chaos.reorder_per_mille,
+            self.chaos.torn_per_mille,
+            self.chaos.max_delay_ticks,
+        )
+    }
+
+    /// Parses a spec line (the inverse of [`FleetSpec::to_line`]). The
+    /// store root is *not* carried on the wire — replay supplies its own.
+    pub fn from_line(line: &str) -> Option<FleetSpec> {
+        // Grammar is positional keyword-value; walk it directly.
+        let mut p = line.split_whitespace();
+        if p.next() != Some("spec") || p.next() != Some("v1") {
+            return None;
+        }
+        fn expect(p: &mut std::str::SplitWhitespace<'_>, word: &str) -> Option<()> {
+            (p.next()? == word).then_some(())
+        }
+        expect(&mut p, "seed")?;
+        let seed = u64::from_str_radix(p.next()?, 16).ok()?;
+        expect(&mut p, "platforms")?;
+        let platforms: Vec<String> = p.next()?.split(',').map(str::to_string).collect();
+        expect(&mut p, "ticks")?;
+        let ticks = p.next()?.parse().ok()?;
+        expect(&mut p, "inv")?;
+        let invocations_per_tick = p.next()?.parse().ok()?;
+        expect(&mut p, "items")?;
+        let items_per_invocation = p.next()?.parse().ok()?;
+        expect(&mut p, "kernels")?;
+        let kernels = p.next()?.parse().ok()?;
+        expect(&mut p, "budget")?;
+        let reprofile_budget = p.next()?.parse().ok()?;
+        expect(&mut p, "chaos")?;
+        let chaos = ChaosConfig {
+            drop_per_mille: p.next()?.parse().ok()?,
+            duplicate_per_mille: p.next()?.parse().ok()?,
+            reorder_per_mille: p.next()?.parse().ok()?,
+            torn_per_mille: p.next()?.parse().ok()?,
+            max_delay_ticks: p.next()?.parse().ok()?,
+            partitions: Vec::new(),
+        };
+        expect(&mut p, "partitions")?;
+        let partitions_word = p.next()?;
+        let mut chaos = chaos;
+        if partitions_word != "-" {
+            for part in partitions_word.split(',') {
+                let mut f = part.split(':');
+                chaos.partitions.push(Partition {
+                    a: f.next()?.parse().ok()?,
+                    b: f.next()?.parse().ok()?,
+                    from_tick: f.next()?.parse().ok()?,
+                    to_tick: f.next()?.parse().ok()?,
+                });
+                if f.next().is_some() {
+                    return None;
+                }
+            }
+        }
+        expect(&mut p, "crash")?;
+        let crash_word = p.next()?;
+        let crash = if crash_word == "-" {
+            None
+        } else {
+            let mut f = crash_word.split(':');
+            let plan = CrashPlan {
+                node: f.next()?.parse().ok()?,
+                at_tick: f.next()?.parse().ok()?,
+                restart_at_tick: f.next()?.parse().ok()?,
+            };
+            if f.next().is_some() {
+                return None;
+            }
+            Some(plan)
+        };
+        expect(&mut p, "taint")?;
+        let taint_word = p.next()?;
+        let taint = if taint_word == "-" {
+            None
+        } else {
+            let mut f = taint_word.split(':');
+            let plan = TaintPlan {
+                at_tick: f.next()?.parse().ok()?,
+                node: f.next()?.parse().ok()?,
+                kernel_index: f.next()?.parse().ok()?,
+            };
+            if f.next().is_some() {
+                return None;
+            }
+            Some(plan)
+        };
+        if p.next().is_some() {
+            return None;
+        }
+        Some(FleetSpec {
+            seed,
+            platforms,
+            ticks,
+            invocations_per_tick,
+            items_per_invocation,
+            kernels,
+            reprofile_budget,
+            chaos,
+            crash,
+            taint,
+            store_root: PathBuf::new(),
+        })
+    }
+}
+
+/// Resolves a platform preset by its `name` field.
+pub fn platform_by_name(name: &str) -> Option<Platform> {
+    [
+        Platform::haswell_desktop(),
+        Platform::baytrail_tablet(),
+        Platform::skylake_minipc(),
+    ]
+    .into_iter()
+    .find(|p| p.name == name)
+}
+
+/// The synthetic kernel pool: deterministic per-kernel device rates,
+/// spread so the α optimum differs between kernels (and, through the
+/// machine model, between platforms).
+pub fn kernel_traits(index: u64) -> (u64, KernelTraits) {
+    let kernel_id = 100 + index;
+    let cpu = 1.0e6 * (1.0 + 0.4 * index as f64);
+    let gpu = 2.0e6 * (1.0 + 0.3 * ((index * 3) % 5) as f64);
+    let traits = KernelTraits::builder(format!("fleet-k{index}"))
+        .cpu_rate(cpu)
+        .gpu_rate(gpu)
+        .build();
+    (kernel_id, traits)
+}
+
+/// One node's slice of the final report.
+#[derive(Debug, Clone)]
+pub struct NodeReport {
+    /// Node id.
+    pub id: NodeId,
+    /// Platform name.
+    pub platform: String,
+    /// Label used in the Prometheus exposition (`node<id>`).
+    pub label: String,
+    /// Replication counters, crash-carryover included.
+    pub stats: FleetStats,
+    /// Learned table entries at the end.
+    pub table_len: usize,
+    /// Warm-start priors still pending (not yet superseded by local
+    /// learning).
+    pub priors_pending: usize,
+    /// Scheduler health: replication must leave `fault_free()` true on a
+    /// chaos-free *scheduler* path (fabric chaos is not scheduler
+    /// faults).
+    pub fault_free: bool,
+    /// Final replica digest.
+    pub digest: u64,
+}
+
+/// The outcome of a fleet run.
+#[derive(Debug, Clone)]
+pub struct FleetReport {
+    /// Whether every live replica reported the same digest (stable for
+    /// two consecutive drain rounds).
+    pub converged: bool,
+    /// Drain rounds it took (0 = converged during the workload).
+    pub drain_rounds: u64,
+    /// The converged digest (of the first node, if not converged).
+    pub digest: u64,
+    /// The converged digest text (diagnostics; canonical form).
+    pub digest_text: String,
+    /// Per-node outcomes.
+    pub nodes: Vec<NodeReport>,
+    /// The sealed v3 run log (replayable via [`replay_fleet`]).
+    pub log: RunLog,
+}
+
+/// Why a fleet run could not execute.
+#[derive(Debug)]
+pub enum FleetError {
+    /// A platform name in the spec matched no preset.
+    UnknownPlatform(String),
+    /// Spec shape is unusable (no nodes, crash node out of range, ...).
+    BadSpec(String),
+    /// A node's journal failed to open or recover.
+    Store(StoreError),
+}
+
+impl std::fmt::Display for FleetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FleetError::UnknownPlatform(name) => write!(f, "unknown platform preset {name:?}"),
+            FleetError::BadSpec(why) => write!(f, "bad fleet spec: {why}"),
+            FleetError::Store(e) => write!(f, "journal error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FleetError {}
+
+impl From<StoreError> for FleetError {
+    fn from(e: StoreError) -> FleetError {
+        FleetError::Store(e)
+    }
+}
+
+struct RunState {
+    nodes: Vec<Option<FleetNode>>,
+    /// Stats carried over from a node's previous life (crash loses the
+    /// in-memory node, not its history in the report).
+    carryover: Vec<FleetStats>,
+    transport: ChaosTransport,
+    lines: Vec<String>,
+}
+
+fn fold(into: &mut FleetStats, from: FleetStats) {
+    into.frames_sent += from.frames_sent;
+    into.frames_dropped += from.frames_dropped;
+    into.frames_duplicated += from.frames_duplicated;
+    into.frames_torn += from.frames_torn;
+    into.frames_partitioned += from.frames_partitioned;
+    into.entries_applied += from.entries_applied;
+    into.entries_rejected_stale += from.entries_rejected_stale;
+    into.entries_deferred_gap += from.entries_deferred_gap;
+    into.conflicts_resolved += from.conflicts_resolved;
+    into.priors_applied += from.priors_applied;
+    into.taints_replicated += from.taints_replicated;
+    into.reprofiles_scheduled += from.reprofiles_scheduled;
+}
+
+/// Runs a fleet to completion. Deterministic in the spec; see the module
+/// docs for the tick structure.
+pub fn run_fleet(spec: &FleetSpec) -> Result<FleetReport, FleetError> {
+    if spec.platforms.is_empty() {
+        return Err(FleetError::BadSpec("no nodes".into()));
+    }
+    if spec.kernels == 0 {
+        return Err(FleetError::BadSpec("no kernels".into()));
+    }
+    if let Some(c) = spec.crash {
+        if usize::from(c.node) >= spec.platforms.len() {
+            return Err(FleetError::BadSpec(format!(
+                "crash node {} out of range",
+                c.node
+            )));
+        }
+        if c.restart_at_tick <= c.at_tick {
+            return Err(FleetError::BadSpec("restart before crash".into()));
+        }
+    }
+    let seed = RunSeed::new(spec.seed);
+    let (store_root, scratch) = if spec.store_root.as_os_str().is_empty() {
+        let dir = std::env::temp_dir().join(format!(
+            "easched-fleet-{}-{:016x}",
+            std::process::id(),
+            seed.derive("fleet/scratch")
+        ));
+        (dir, true)
+    } else {
+        (spec.store_root.clone(), false)
+    };
+
+    let config = EasConfig::new(Objective::EnergyDelay);
+    let start_node = |id: NodeId| -> Result<FleetNode, FleetError> {
+        let name = &spec.platforms[usize::from(id)];
+        let platform =
+            platform_by_name(name).ok_or_else(|| FleetError::UnknownPlatform(name.clone()))?;
+        Ok(FleetNode::start(
+            id,
+            platform,
+            config.clone(),
+            &store_root,
+            seed.derive_indexed("fleet/machine", u64::from(id)),
+            spec.reprofile_budget,
+        )?)
+    };
+
+    let mut state = RunState {
+        nodes: Vec::new(),
+        carryover: vec![FleetStats::default(); spec.platforms.len()],
+        transport: ChaosTransport::new(
+            spec.platforms.len(),
+            seed.derive("fleet"),
+            spec.chaos.clone(),
+        ),
+        lines: vec![spec.to_line()],
+    };
+    for id in 0..spec.platforms.len() {
+        state.nodes.push(Some(start_node(id as NodeId)?));
+    }
+
+    // ---- Workload ticks ------------------------------------------------
+    for tick in 0..spec.ticks {
+        if let Some(c) = spec.crash {
+            if c.at_tick == tick {
+                // kill -9: drop without checkpoint; the fabric loses the
+                // node's in-flight frames with it.
+                if let Some(dead) = state.nodes[usize::from(c.node)].take() {
+                    fold(&mut state.carryover[usize::from(c.node)], dead.stats);
+                    state.lines.push(format!("crash {} tick {tick}", c.node));
+                }
+                state.transport.reset(c.node);
+            }
+            if c.restart_at_tick == tick && state.nodes[usize::from(c.node)].is_none() {
+                let node = start_node(c.node)?;
+                state.lines.push(format!(
+                    "restart {} tick {tick} gen {}",
+                    c.node,
+                    node.generation()
+                ));
+                state.nodes[usize::from(c.node)] = Some(node);
+            }
+        }
+
+        for slot in state.nodes.iter_mut() {
+            let Some(node) = slot else { continue };
+            node.release_reprofiles();
+            for i in 0..spec.invocations_per_tick {
+                let stride = tick * spec.invocations_per_tick + i;
+                // Stagger the cycle per node so each platform meets each
+                // kernel at a different time — the prior pathway.
+                let index = (stride + u64::from(node.id)) % spec.kernels;
+                let (kernel, traits) = kernel_traits(index);
+                let inv_seed =
+                    seed.derive_indexed("fleet/invocation", (u64::from(node.id) << 32) | stride);
+                node.run_invocation(kernel, &traits, spec.items_per_invocation, inv_seed);
+            }
+            node.publish_local();
+        }
+
+        if let Some(t) = spec.taint {
+            if t.at_tick == tick {
+                if let Some(node) = state.nodes[usize::from(t.node)].as_mut() {
+                    let (kernel, _) = kernel_traits(t.kernel_index % spec.kernels);
+                    node.taint_local(kernel);
+                    node.publish_local();
+                    state
+                        .lines
+                        .push(format!("taint {} tick {tick} kernel {kernel:016x}", t.node));
+                }
+            }
+        }
+
+        anti_entropy_round(&mut state, tick);
+
+        for slot in state.nodes.iter() {
+            let Some(node) = slot else { continue };
+            let s = node.stats;
+            state.lines.push(format!(
+                "tick {tick} node {} digest {:016x} applied {} stale {} gap {} conflicts {} \
+                 priors {} taints {}",
+                node.id,
+                node.replica().digest(),
+                s.entries_applied,
+                s.entries_rejected_stale,
+                s.entries_deferred_gap,
+                s.conflicts_resolved,
+                s.priors_applied,
+                s.taints_replicated,
+            ));
+        }
+    }
+
+    // Restart scheduled after the workload window still happens before
+    // draining (the drain must include every configured node).
+    if let Some(c) = spec.crash {
+        if state.nodes[usize::from(c.node)].is_none() {
+            let node = start_node(c.node)?;
+            state.lines.push(format!(
+                "restart {} drain gen {}",
+                c.node,
+                node.generation()
+            ));
+            state.nodes[usize::from(c.node)] = Some(node);
+        }
+    }
+
+    // ---- Drain to convergence -----------------------------------------
+    let mut drain_rounds = 0u64;
+    let mut stable_rounds = 0u32;
+    let converged = loop {
+        let digests: Vec<u64> = state
+            .nodes
+            .iter()
+            .flatten()
+            .map(|n| n.replica().digest())
+            .collect();
+        let all_equal = digests.windows(2).all(|w| w[0] == w[1]);
+        if all_equal {
+            stable_rounds += 1;
+            // Two consecutive quiet-and-equal rounds: nothing in flight
+            // could still diverge us.
+            if stable_rounds >= 2 {
+                break true;
+            }
+        } else {
+            stable_rounds = 0;
+        }
+        if drain_rounds >= MAX_DRAIN_ROUNDS {
+            break false;
+        }
+        anti_entropy_round(&mut state, spec.ticks + drain_rounds);
+        drain_rounds += 1;
+    };
+
+    // ---- Report --------------------------------------------------------
+    let mut nodes_report = Vec::new();
+    let mut digest = 0u64;
+    let mut digest_text = String::new();
+    for slot in state.nodes.iter() {
+        let Some(node) = slot else { continue };
+        if nodes_report.is_empty() {
+            digest = node.replica().digest();
+            digest_text = node.replica().digest_text();
+        }
+        let mut stats = state.carryover[usize::from(node.id)];
+        fold(&mut stats, node.stats);
+        nodes_report.push(NodeReport {
+            id: node.id,
+            platform: node.platform.name.to_string(),
+            label: format!("node{}", node.id),
+            stats,
+            table_len: node.shared().table().len(),
+            priors_pending: node.shared().table().prior_count(),
+            fault_free: node.shared().health().fault_free(),
+            digest: node.replica().digest(),
+        });
+        // Normal shutdown checkpoints; tests reopen the stores.
+        node.checkpoint()?;
+    }
+    state.lines.push(format!(
+        "converged {} rounds {drain_rounds} digest {digest:016x}",
+        u8::from(converged)
+    ));
+
+    let events = state
+        .lines
+        .iter()
+        .map(|line| Event::Fleet { line: line.clone() })
+        .collect();
+    let log = RunLog {
+        version: FORMAT_VERSION_FLEET,
+        root: spec.seed,
+        platform_fp: fnv1a64(spec.platforms.join(",").as_bytes()),
+        config_fp: fnv1a64(spec.to_line().as_bytes()),
+        events,
+        complete: true,
+    };
+
+    if scratch {
+        let _ = std::fs::remove_dir_all(&store_root);
+    }
+
+    Ok(FleetReport {
+        converged,
+        drain_rounds,
+        digest,
+        digest_text,
+        nodes: nodes_report,
+        log,
+    })
+}
+
+/// One full pull round: requests out, two delivery passes (so a
+/// request → entries exchange completes within the round on a quiet
+/// fabric), fabric stats folded back per node.
+fn anti_entropy_round(state: &mut RunState, tick: u64) {
+    let live: Vec<NodeId> = state.nodes.iter().flatten().map(|n| n.id).collect();
+    for &id in &live {
+        let node = state.nodes[usize::from(id)].as_mut().expect("live");
+        for &peer in &live {
+            if peer == id {
+                continue;
+            }
+            let frame = node.request_frame(peer);
+            node.stats.frames_sent += 1;
+            state.transport.send(id, peer, frame.encode());
+        }
+    }
+    for _pass in 0..2 {
+        state.transport.tick();
+        for &id in &live {
+            let inbox = state.transport.poll(id);
+            let mut responses: Vec<(NodeId, String)> = Vec::new();
+            {
+                let node = state.nodes[usize::from(id)].as_mut().expect("live");
+                for text in inbox {
+                    match Frame::decode(&text) {
+                        Err(_) => node.stats.frames_torn += 1,
+                        Ok(frame) => match frame.payload {
+                            FramePayload::Request(wants) => {
+                                if let Some(reply) = node.answer_request(frame.from, &wants) {
+                                    node.stats.frames_sent += 1;
+                                    responses.push((frame.from, reply.encode()));
+                                }
+                            }
+                            FramePayload::Entries(envelopes) => {
+                                node.ingest_entries(&envelopes, tick);
+                            }
+                        },
+                    }
+                }
+            }
+            for (to, text) in responses {
+                state.transport.send(id, to, text);
+            }
+        }
+    }
+    // Fold fabric-side attribution into node counters (levels, not
+    // deltas: the fabric keeps absolutes, so compute the difference).
+    for &id in &live {
+        let link = state.transport.link_stats(id);
+        let node = state.nodes[usize::from(id)].as_mut().expect("live");
+        node.stats.frames_dropped = link.dropped;
+        node.stats.frames_duplicated = link.duplicated;
+        node.stats.frames_partitioned = link.partitioned;
+    }
+}
+
+/// Re-runs a recorded fleet log and byte-compares the regenerated event
+/// stream. `Ok` carries the fresh report; `Err` names the first
+/// divergence (or why the log is not a fleet log).
+pub fn replay_fleet(recorded: &RunLog, store_root: PathBuf) -> Result<FleetReport, String> {
+    let lines = recorded.fleet_lines();
+    let first = lines
+        .first()
+        .ok_or_else(|| "log carries no fleet events".to_string())?;
+    let mut spec =
+        FleetSpec::from_line(first).ok_or_else(|| format!("unparseable fleet spec: {first}"))?;
+    spec.store_root = store_root;
+    let report = run_fleet(&spec).map_err(|e| e.to_string())?;
+    let fresh = report.log.fleet_lines();
+    if fresh.len() != lines.len() {
+        return Err(format!(
+            "event count diverged: recorded {} vs replayed {}",
+            lines.len(),
+            fresh.len()
+        ));
+    }
+    for (i, (a, b)) in lines.iter().zip(&fresh).enumerate() {
+        if a != b {
+            return Err(format!(
+                "first divergence at fleet event {i}:\n  recorded: {a}\n  replayed: {b}"
+            ));
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_line_round_trips() {
+        let mut spec = FleetSpec::three_nodes(0x2a);
+        spec.chaos.partitions.push(Partition {
+            a: 0,
+            b: 2,
+            from_tick: 1,
+            to_tick: 4,
+        });
+        spec.crash = Some(CrashPlan {
+            node: 1,
+            at_tick: 2,
+            restart_at_tick: 4,
+        });
+        spec.taint = Some(TaintPlan {
+            at_tick: 3,
+            node: 0,
+            kernel_index: 1,
+        });
+        let line = spec.to_line();
+        let back = FleetSpec::from_line(&line).expect("parses");
+        assert_eq!(back, spec);
+        assert_eq!(back.to_line(), line);
+    }
+
+    #[test]
+    fn kernel_pool_is_deterministic_and_distinct() {
+        let (id0, t0) = kernel_traits(0);
+        let (id1, t1) = kernel_traits(1);
+        assert_ne!(id0, id1);
+        assert_ne!(t0.cpu_rate(), t1.cpu_rate());
+        assert_eq!(kernel_traits(0).1.cpu_rate(), t0.cpu_rate());
+    }
+
+    #[test]
+    fn unknown_platform_is_an_error() {
+        let mut spec = FleetSpec::three_nodes(1);
+        spec.platforms[1] = "pentium-pro".into();
+        assert!(matches!(
+            run_fleet(&spec),
+            Err(FleetError::UnknownPlatform(_))
+        ));
+    }
+}

@@ -1,0 +1,110 @@
+//! Per-node replication counters and their Prometheus exposition.
+//!
+//! These are *fabric* and *protocol* counters, deliberately separate from
+//! the scheduler's [`HealthReport`](easched_core::HealthReport): dropped
+//! or torn frames are the chaos environment doing its job, not scheduler
+//! faults, so they must never disturb `fault_free()` (DESIGN.md §15).
+
+use easched_telemetry::metrics::escape_label_value;
+
+/// One node's replication counters. Plain integers — the fleet loop is
+/// single-threaded, so no atomics are needed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FleetStats {
+    /// Frames this node sent (requests and entry batches).
+    pub frames_sent: u64,
+    /// Frames destined to this node the fabric dropped.
+    pub frames_dropped: u64,
+    /// Frames destined to this node the fabric duplicated.
+    pub frames_duplicated: u64,
+    /// Frames that arrived torn or corrupt and were rejected whole.
+    pub frames_torn: u64,
+    /// Frames refused because a partition severed the link.
+    pub frames_partitioned: u64,
+    /// Envelopes applied (fresh watermark advances).
+    pub entries_applied: u64,
+    /// Envelopes skipped as duplicates or stale generations.
+    pub entries_rejected_stale: u64,
+    /// Envelopes deferred because an earlier seq had not arrived yet
+    /// (reordering; the gap closes on a later pull).
+    pub entries_deferred_gap: u64,
+    /// Replica facts where a newer version superseded a different
+    /// origin's fact (LWW conflict resolutions).
+    pub conflicts_resolved: u64,
+    /// Cross-platform entries installed as warm-start priors.
+    pub priors_applied: u64,
+    /// Taints ingested from other nodes.
+    pub taints_replicated: u64,
+    /// Kernels this node's reprofile scheduler queued after a
+    /// replicated taint.
+    pub reprofiles_scheduled: u64,
+}
+
+impl FleetStats {
+    /// Renders this node's counters as Prometheus text-exposition lines
+    /// labelled `node="<name>"`. Callers concatenate one block per node;
+    /// `# TYPE` preambles come from [`expose_fleet`].
+    fn expose_into(&self, out: &mut String, node: &str) {
+        let node = escape_label_value(node);
+        let mut line = |metric: &str, v: u64| {
+            out.push_str(&format!("easched_fleet_{metric}{{node=\"{node}\"}} {v}\n"));
+        };
+        line("frames_sent_total", self.frames_sent);
+        line("frames_dropped_total", self.frames_dropped);
+        line("frames_duplicated_total", self.frames_duplicated);
+        line("frames_torn_total", self.frames_torn);
+        line("frames_partitioned_total", self.frames_partitioned);
+        line("entries_applied_total", self.entries_applied);
+        line("entries_rejected_stale_total", self.entries_rejected_stale);
+        line("entries_deferred_gap_total", self.entries_deferred_gap);
+        line("conflicts_resolved_total", self.conflicts_resolved);
+        line("priors_applied_total", self.priors_applied);
+        line("taints_replicated_total", self.taints_replicated);
+        line("reprofiles_scheduled_total", self.reprofiles_scheduled);
+    }
+}
+
+/// Renders every node's replication counters as one Prometheus
+/// text-exposition page fragment (counters only; append it to a
+/// [`MetricsRegistry::expose`](easched_telemetry::MetricsRegistry::expose)
+/// page or serve it standalone).
+pub fn expose_fleet(nodes: &[(String, FleetStats)]) -> String {
+    let mut out = String::new();
+    out.push_str("# HELP easched_fleet Replication fabric and anti-entropy counters per node\n");
+    out.push_str("# TYPE easched_fleet counter\n");
+    for (name, stats) in nodes {
+        stats.expose_into(&mut out, name);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exposition_is_prometheus_shaped_with_node_labels() {
+        let stats = FleetStats {
+            frames_sent: 12,
+            frames_dropped: 3,
+            conflicts_resolved: 1,
+            ..FleetStats::default()
+        };
+        let page = expose_fleet(&[("node0".into(), stats), ("node1".into(), stats)]);
+        assert!(page.contains("easched_fleet_frames_sent_total{node=\"node0\"} 12"));
+        assert!(page.contains("easched_fleet_conflicts_resolved_total{node=\"node1\"} 1"));
+        // Every non-comment line is `name{node="..."} value`.
+        for line in page.lines().filter(|l| !l.starts_with('#')) {
+            assert!(
+                line.starts_with("easched_fleet_") && line.contains("{node=\""),
+                "{line}"
+            );
+        }
+    }
+
+    #[test]
+    fn hostile_node_names_are_escaped() {
+        let page = expose_fleet(&[("a\"b\\c\nd".into(), FleetStats::default())]);
+        assert!(page.contains("node=\"a\\\"b\\\\c\\nd\""), "{page}");
+    }
+}

@@ -1,0 +1,211 @@
+//! Property tests for the replication wire format and the convergent
+//! replica (DESIGN.md §15).
+//!
+//! The frame codec must be lossless for every float bit pattern (NaN
+//! payloads included — chaos-era α values ride replication verbatim) and
+//! must reject *whole* any frame that arrives torn, truncated,
+//! bit-flipped, or with duplicated lines. The replica must converge to
+//! the same digest whatever order the envelopes arrive in.
+
+use easched_fleet::{Envelope, Frame, FramePayload, Op, ReplicaTable};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+fn arb_f64() -> impl Strategy<Value = f64> {
+    any::<u64>().prop_map(f64::from_bits)
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (
+            any::<u64>(),
+            arb_f64(),
+            arb_f64(),
+            any::<u64>(),
+            any::<bool>()
+        )
+            .prop_map(|(kernel, alpha, weight, seen, tainted)| Op::Put {
+                kernel,
+                alpha,
+                weight,
+                seen,
+                tainted,
+            }),
+        any::<u64>().prop_map(|kernel| Op::Taint { kernel }),
+    ]
+}
+
+fn arb_envelope() -> impl Strategy<Value = Envelope> {
+    (
+        any::<u16>(),
+        prop_oneof![
+            Just("haswell-desktop".to_string()),
+            Just("baytrail-tablet".to_string()),
+            Just("skylake-minipc".to_string()),
+        ],
+        any::<u64>(),
+        any::<u64>(),
+        arb_op(),
+    )
+        .prop_map(|(origin, platform, generation, seq, op)| Envelope {
+            origin,
+            platform,
+            generation,
+            seq,
+            op,
+        })
+}
+
+fn arb_payload() -> impl Strategy<Value = FramePayload> {
+    prop_oneof![
+        vec((any::<u16>(), any::<u64>(), any::<u64>()), 0..6).prop_map(FramePayload::Request),
+        vec(arb_envelope(), 0..6).prop_map(FramePayload::Entries),
+    ]
+}
+
+fn arb_frame() -> impl Strategy<Value = Frame> {
+    (any::<u16>(), any::<u16>(), arb_payload()).prop_map(|(from, to, payload)| Frame {
+        from,
+        to,
+        payload,
+    })
+}
+
+proptest! {
+    /// Every frame — NaN α payloads, infinities, empty batches — decodes
+    /// back bit-exact. Floats are compared as raw bits because `NaN !=
+    /// NaN` would make `PartialEq` lie about codec fidelity.
+    #[test]
+    fn frames_round_trip_bit_exact(frame in arb_frame()) {
+        let decoded = Frame::decode(&frame.encode()).expect("own encoding decodes");
+        prop_assert_eq!(decoded.from, frame.from);
+        prop_assert_eq!(decoded.to, frame.to);
+        match (&decoded.payload, &frame.payload) {
+            (FramePayload::Request(a), FramePayload::Request(b)) => prop_assert_eq!(a, b),
+            (FramePayload::Entries(a), FramePayload::Entries(b)) => {
+                prop_assert_eq!(a.len(), b.len());
+                for (x, y) in a.iter().zip(b) {
+                    prop_assert_eq!(x.origin, y.origin);
+                    prop_assert_eq!(&x.platform, &y.platform);
+                    prop_assert_eq!(x.generation, y.generation);
+                    prop_assert_eq!(x.seq, y.seq);
+                    match (x.op, y.op) {
+                        (
+                            Op::Put { kernel: k1, alpha: a1, weight: w1, seen: s1, tainted: t1 },
+                            Op::Put { kernel: k2, alpha: a2, weight: w2, seen: s2, tainted: t2 },
+                        ) => {
+                            prop_assert_eq!(k1, k2);
+                            prop_assert_eq!(a1.to_bits(), a2.to_bits(), "alpha bits");
+                            prop_assert_eq!(w1.to_bits(), w2.to_bits(), "weight bits");
+                            prop_assert_eq!(s1, s2);
+                            prop_assert_eq!(t1, t2);
+                        }
+                        (Op::Taint { kernel: k1 }, Op::Taint { kernel: k2 }) => {
+                            prop_assert_eq!(k1, k2);
+                        }
+                        _ => prop_assert!(false, "op kind changed in flight"),
+                    }
+                }
+            }
+            _ => prop_assert!(false, "payload kind changed in flight"),
+        }
+    }
+
+    /// A torn tail — any strict truncation short of the trailing newline —
+    /// rejects the frame whole. (Cutting exactly the final `\n` leaves
+    /// every sealed line intact, which legitimately decodes.)
+    #[test]
+    fn truncations_are_rejected_whole(frame in arb_frame(), cut in any::<u64>()) {
+        let text = frame.encode();
+        let cut = (cut as usize) % text.len().max(1);
+        if cut < text.len() - 1 {
+            prop_assert!(Frame::decode(&text[..cut]).is_err(), "prefix of {} decoded", cut);
+        }
+    }
+
+    /// Any single bit flip anywhere in the frame is caught — either the
+    /// per-line CRC seal or the grammar rejects it, or the decode is
+    /// *bit-exact* anyway (a case flip inside the seal's hex text, or a
+    /// flipped trailing newline, alters representation but not content).
+    /// What can never happen is a silently different frame.
+    #[test]
+    fn single_bit_flips_never_corrupt_silently(
+        frame in arb_frame(),
+        pos in any::<u64>(),
+        bit in 0u8..8,
+    ) {
+        let pristine = frame.encode();
+        let mut bytes = pristine.clone().into_bytes();
+        let pos = (pos as usize) % bytes.len();
+        bytes[pos] ^= 1 << bit;
+        // Only valid UTF-8 corruption reaches the decoder in-process; the
+        // fabric hands frames around as `String`.
+        if let Ok(corrupt) = String::from_utf8(bytes) {
+            if let Ok(decoded) = Frame::decode(&corrupt) {
+                // Re-encoding canonicalizes; NaN-safe equality by bytes.
+                prop_assert_eq!(
+                    decoded.encode(),
+                    pristine,
+                    "flipped bit {} at {} decoded DIFFERENT content", bit, pos
+                );
+            }
+        }
+    }
+
+    /// Duplicating any line desynchronizes body count and footer: the
+    /// frame is rejected whole, never half-applied.
+    #[test]
+    fn duplicated_lines_are_rejected(frame in arb_frame(), at in any::<u64>()) {
+        let text = frame.encode();
+        let lines: Vec<&str> = text.lines().collect();
+        let at = (at as usize) % lines.len();
+        let mut doubled = Vec::with_capacity(lines.len() + 1);
+        for (i, line) in lines.iter().enumerate() {
+            doubled.push(*line);
+            if i == at {
+                doubled.push(*line);
+            }
+        }
+        let corrupt: String = doubled.iter().map(|l| format!("{l}\n")).collect();
+        prop_assert!(Frame::decode(&corrupt).is_err(), "doubled line {} decoded", at);
+    }
+
+    /// Replica convergence is order-independent: any envelope set applied
+    /// forwards, backwards, or rotated lands on the same digest.
+    #[test]
+    fn replica_digest_is_order_independent(
+        envs in vec(arb_envelope(), 1..24),
+        rot in any::<u64>(),
+    ) {
+        let rot = (rot as usize) % envs.len();
+        let mut forward = ReplicaTable::new();
+        for e in &envs {
+            forward.apply(e);
+        }
+        let mut backward = ReplicaTable::new();
+        for e in envs.iter().rev() {
+            backward.apply(e);
+        }
+        let mut rotated = ReplicaTable::new();
+        for e in envs[rot..].iter().chain(&envs[..rot]) {
+            rotated.apply(e);
+        }
+        prop_assert_eq!(forward.digest_text(), backward.digest_text());
+        prop_assert_eq!(forward.digest(), rotated.digest());
+    }
+
+    /// Applying everything twice (the duplication chaos mode end-to-end)
+    /// changes nothing.
+    #[test]
+    fn replica_apply_is_idempotent_under_duplication(envs in vec(arb_envelope(), 1..24)) {
+        let mut once = ReplicaTable::new();
+        for e in &envs {
+            once.apply(e);
+        }
+        let mut twice = ReplicaTable::new();
+        for e in envs.iter().chain(&envs) {
+            twice.apply(e);
+        }
+        prop_assert_eq!(once.digest_text(), twice.digest_text());
+    }
+}

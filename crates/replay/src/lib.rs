@@ -42,7 +42,7 @@ pub use harness::{
 };
 pub use log::{
     AdmissionRecord, Event, LogError, LoggedInvocation, RecordedStep, RunLog, StepCall,
-    FORMAT_VERSION, FORMAT_VERSION_ADMISSION,
+    FORMAT_VERSION, FORMAT_VERSION_ADMISSION, FORMAT_VERSION_FLEET,
 };
 pub use overload::{
     record_overload_storm, record_overload_storm_observed, record_overload_storm_observed_with,

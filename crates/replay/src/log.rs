@@ -35,6 +35,12 @@ pub const FORMAT_VERSION: u32 = 1;
 /// pre-tenancy log — committed fixtures included — stays byte-stable.
 pub const FORMAT_VERSION_ADMISSION: u32 = 2;
 
+/// The version written when a log carries fleet replication events
+/// (`easched fleet` recordings, DESIGN.md §15). Non-fleet recordings keep
+/// writing v1/v2, so every pre-fleet log — committed fixtures included —
+/// stays byte-stable.
+pub const FORMAT_VERSION_FLEET: u32 = 3;
+
 /// One backend call a scheduler made during an invocation.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum StepCall {
@@ -123,6 +129,18 @@ pub enum Event {
     Decision(DecisionRecord),
     /// One admission-layer decision (overload recordings; forces v2).
     Admission(AdmissionRecord),
+    /// One fleet replication event (fleet recordings; forces v3).
+    ///
+    /// The payload is an opaque single line owned by `easched-fleet` —
+    /// the log stores and seals it verbatim, and fleet replay parses it
+    /// back with the fleet crate's own grammar. Keeping the grammar out
+    /// of this crate means the replication protocol can evolve without a
+    /// run-log version bump, exactly like decision records own their
+    /// word encoding.
+    Fleet {
+        /// The fleet event line, verbatim (no newlines).
+        line: String,
+    },
 }
 
 /// A complete (or torn-tail-truncated) recorded run.
@@ -197,7 +215,10 @@ impl RunLog {
             .strip_prefix("easched-runlog v")
             .and_then(|v| v.parse::<u32>().ok())
             .ok_or(LogError::NotARunLog)?;
-        if version != FORMAT_VERSION && version != FORMAT_VERSION_ADMISSION {
+        if version != FORMAT_VERSION
+            && version != FORMAT_VERSION_ADMISSION
+            && version != FORMAT_VERSION_FLEET
+        {
             return Err(LogError::UnknownVersion(version));
         }
         let mut header = |tag: &str| -> Result<u64, LogError> {
@@ -256,6 +277,18 @@ impl RunLog {
             .collect()
     }
 
+    /// The recorded fleet replication lines, in order (empty for v1/v2
+    /// logs). The fleet crate owns the line grammar.
+    pub fn fleet_lines(&self) -> Vec<&str> {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                Event::Fleet { line } => Some(line.as_str()),
+                _ => None,
+            })
+            .collect()
+    }
+
     /// The recorded invocations, each with its backend-call steps in
     /// order — the replay backend's feed.
     pub fn invocations(&self) -> Vec<LoggedInvocation<'_>> {
@@ -279,7 +312,10 @@ impl RunLog {
                         inv.steps.push(*step);
                     }
                 }
-                Event::Derive { .. } | Event::Decision(_) | Event::Admission(_) => {}
+                Event::Derive { .. }
+                | Event::Decision(_)
+                | Event::Admission(_)
+                | Event::Fleet { .. } => {}
             }
         }
         out
@@ -402,6 +438,10 @@ fn event_line(event: &Event) -> String {
             "admission {} {} {} {} {:016x}",
             r.tick, r.tenant, r.level, r.verdict, r.arg
         ),
+        // The payload is verbatim (it may itself carry an inner seal);
+        // only newlines would break the line grammar, and the fleet
+        // writer never produces them.
+        Event::Fleet { line } => format!("fleet {}", line.replace('\n', " ")),
     }
 }
 
@@ -427,6 +467,14 @@ fn obs_words(obs: &Observation) -> String {
 }
 
 fn parse_event(body: &str) -> Option<Event> {
+    // Fleet lines are opaque to this crate and may contain arbitrary
+    // spacing — take the rest of the line verbatim instead of word-
+    // splitting it.
+    if let Some(line) = body.strip_prefix("fleet ") {
+        return Some(Event::Fleet {
+            line: line.to_string(),
+        });
+    }
     let mut parts = body.split_whitespace();
     match parts.next()? {
         "derive" => {
@@ -664,6 +712,34 @@ mod tests {
         let d = sample_log().decisions();
         assert_eq!(d.len(), 1);
         assert_eq!(d[0].kernel, 7);
+    }
+
+    #[test]
+    fn fleet_events_round_trip_verbatim_as_v3() {
+        let mut log = sample_log();
+        log.version = FORMAT_VERSION_FLEET;
+        // Fleet payloads may carry an inner seal and arbitrary spacing —
+        // both must survive verbatim.
+        log.events.push(Event::Fleet {
+            line: "spec nodes 3 seed 0007".to_string(),
+        });
+        log.events.push(Event::Fleet {
+            line: "frame 0 1 ent 2 crc 00000000deadbeef".to_string(),
+        });
+        let text = log.to_text();
+        let back = RunLog::from_text(&text).unwrap();
+        assert_eq!(back.version, FORMAT_VERSION_FLEET);
+        assert!(back.complete);
+        assert_eq!(
+            back.fleet_lines(),
+            vec![
+                "spec nodes 3 seed 0007",
+                "frame 0 1 ent 2 crc 00000000deadbeef"
+            ]
+        );
+        assert_eq!(back.to_text(), text);
+        // Fleet events never leak into the invocation feed.
+        assert_eq!(back.invocations().len(), log.invocations().len());
     }
 
     #[test]

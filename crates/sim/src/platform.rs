@@ -10,8 +10,14 @@
 //! * [`Platform::baytrail_tablet`] — Intel Atom Z3740 (4C, 1.33 GHz) with a
 //!   4-EU iGPU (448-way), 2 MiB L2, single-channel LPDDR3.
 //!
-//! All wattages come from the paper's figures; see `DESIGN.md` §2 for the
-//! calibration table.
+//! A third, fleet-added preset extends the pool beyond the paper machines:
+//!
+//! * [`Platform::skylake_minipc`] — Core i5-6500-class mini-PC (4C/4T,
+//!   3.2 GHz) with a 24-EU HD 530 iGPU (2688-way), calibrated from public
+//!   geometry and TDP envelopes (DESIGN.md §15).
+//!
+//! All paper-machine wattages come from the paper's figures; see
+//! `DESIGN.md` §2 for the calibration table.
 
 use crate::pcu::PcuParams;
 use crate::power::PowerTable;
@@ -218,6 +224,67 @@ impl Platform {
         }
     }
 
+    /// A fleet-added third platform: a Skylake-generation mini-PC
+    /// (Core i5-6500 class, 4C/4T at 3.2 GHz) with a Gen9 HD 530 iGPU
+    /// (24 EUs × 7 threads × 16-wide SIMD = 2688-way).
+    ///
+    /// Unlike the two paper machines this preset is calibrated from public
+    /// geometry and TDP envelopes rather than the paper's measurements:
+    /// desktop-class power ordering (GPU cheaper than CPU, memory-bound
+    /// draws more than compute-bound combined), a 65 W TDP ceiling, and a
+    /// slightly wider GPU than Haswell's. It exists so fleet replication
+    /// always has a platform whose α optima differ from both paper
+    /// machines — a ratio learned here is a *prior* elsewhere, never truth
+    /// (DESIGN.md §15).
+    pub fn skylake_minipc() -> Platform {
+        Platform {
+            name: "skylake-minipc",
+            cpu: CpuSpec {
+                cores: 4,
+                threads: 4,
+                base_ghz: 3.2,
+                turbo_ghz: 3.6,
+            },
+            gpu: GpuSpec {
+                execution_units: 24,
+                threads_per_eu: 7,
+                simd_width: 16,
+                min_ghz: 0.35,
+                max_ghz: 1.05,
+            },
+            memory: MemorySpec {
+                llc_bytes: 6 << 20,
+                peak_bw_bytes_per_sec: 34.1e9,
+                dram_bytes: 16 << 30,
+                shared_region_bytes: 4 << 30,
+            },
+            power: PowerTable {
+                idle: 4.0,
+                cpu_compute: 42.0,
+                cpu_memory: 54.0,
+                gpu_compute: 26.0,
+                gpu_memory: 33.0,
+                both_compute: 51.0,
+                both_memory: 58.0,
+            },
+            pcu: PcuParams {
+                tick: 0.005,
+                ramp_tau: 0.022,
+                ramp_tau_down: 0.008,
+                dip_window: 0.05,
+                dip_cpu_scale: 0.25,
+                dip_rearm: 0.150,
+                measurement_noise: 0.01,
+                tdp: Some(65.0), // i5-6500 TDP; above every operating point
+            },
+            sharing: SharingModel {
+                cpu_shared_scale: 0.95,
+                gpu_shared_scale: 0.94,
+            },
+            gpu_profile_items: 2560,
+        }
+    }
+
     /// `GPU_PROFILE_SIZE` for this platform: the number of items offloaded
     /// during one online-profiling step, chosen to (nearly) fill the GPU's
     /// hardware parallelism (paper §3.2: 2048 on the desktop's 2240-way
@@ -277,20 +344,85 @@ mod tests {
     }
 
     #[test]
+    fn minipc_geometry_is_a_gen9_hd530() {
+        let p = Platform::skylake_minipc();
+        assert_eq!(p.cpu.cores, 4);
+        assert_eq!(p.cpu.threads, 4); // i5 class: no SMT
+        assert_eq!(p.gpu.execution_units, 24);
+        assert_eq!(p.gpu.hardware_parallelism(), 2688);
+        assert_eq!(p.memory.llc_bytes, 6 << 20);
+    }
+
+    #[test]
+    fn minipc_power_ordering_is_desktop_class() {
+        // Like Haswell: GPU is the cheaper device, combined modes sit
+        // between single-device and additive power, memory-bound combined
+        // draws more than compute-bound combined.
+        let t = &Platform::skylake_minipc().power;
+        assert!(t.gpu_compute < t.cpu_compute);
+        assert!(t.both_compute > t.cpu_compute);
+        assert!(t.both_compute < t.cpu_compute + t.gpu_compute);
+        assert!(t.both_memory > t.both_compute);
+        // But it is NOT the Haswell table — fleet priors must cross a real
+        // platform gap.
+        assert_ne!(*t, Platform::haswell_desktop().power);
+    }
+
+    #[test]
+    fn minipc_stays_under_its_tdp() {
+        let p = Platform::skylake_minipc();
+        let tdp = p.pcu.tdp.expect("mini-PC has a TDP ceiling");
+        for w in [
+            p.power.idle,
+            p.power.cpu_compute,
+            p.power.cpu_memory,
+            p.power.gpu_compute,
+            p.power.gpu_memory,
+            p.power.both_compute,
+            p.power.both_memory,
+        ] {
+            assert!(w < tdp, "{w} W exceeds the {tdp} W TDP");
+        }
+    }
+
+    #[test]
     fn profile_size_near_gpu_width() {
         // Paper §3.2 uses 2048 for the 2240-way desktop GPU.
         assert_eq!(Platform::haswell_desktop().gpu_profile_size(), 2048);
         assert_eq!(Platform::baytrail_tablet().gpu_profile_size(), 448);
-        for p in [Platform::haswell_desktop(), Platform::baytrail_tablet()] {
+        assert_eq!(Platform::skylake_minipc().gpu_profile_size(), 2560);
+        for p in [
+            Platform::haswell_desktop(),
+            Platform::baytrail_tablet(),
+            Platform::skylake_minipc(),
+        ] {
             assert!(p.gpu_profile_size() <= u64::from(p.gpu.hardware_parallelism()));
         }
     }
 
     #[test]
     fn sharing_scales_are_derating() {
-        for p in [Platform::haswell_desktop(), Platform::baytrail_tablet()] {
+        for p in [
+            Platform::haswell_desktop(),
+            Platform::baytrail_tablet(),
+            Platform::skylake_minipc(),
+        ] {
             assert!(p.sharing.cpu_shared_scale > 0.0 && p.sharing.cpu_shared_scale <= 1.0);
             assert!(p.sharing.gpu_shared_scale > 0.0 && p.sharing.gpu_shared_scale <= 1.0);
+        }
+    }
+
+    #[test]
+    fn preset_names_are_unique() {
+        let names = [
+            Platform::haswell_desktop().name,
+            Platform::baytrail_tablet().name,
+            Platform::skylake_minipc().name,
+        ];
+        for (i, a) in names.iter().enumerate() {
+            for b in &names[i + 1..] {
+                assert_ne!(a, b);
+            }
         }
     }
 }

@@ -51,10 +51,14 @@ pub enum SpanKind {
     /// Folding the observed rates back into the kernel table
     /// (payload: chosen α).
     Fold,
+    /// One fleet anti-entropy application pass on a node (payload:
+    /// replica entries applied this pass; the `tenant` field carries the
+    /// node id). Emitted by `easched-fleet`, DESIGN.md §15.
+    Replication,
 }
 
 impl SpanKind {
-    /// Stable wire code (0..=5).
+    /// Stable wire code (0..=6).
     pub fn code(self) -> u8 {
         match self {
             SpanKind::Admit => 0,
@@ -63,6 +67,7 @@ impl SpanKind {
             SpanKind::CpuPhase => 3,
             SpanKind::GpuPhase => 4,
             SpanKind::Fold => 5,
+            SpanKind::Replication => 6,
         }
     }
 
@@ -75,6 +80,7 @@ impl SpanKind {
             3 => SpanKind::CpuPhase,
             4 => SpanKind::GpuPhase,
             5 => SpanKind::Fold,
+            6 => SpanKind::Replication,
             _ => return None,
         })
     }
@@ -88,6 +94,7 @@ impl SpanKind {
             SpanKind::CpuPhase => "cpu-phase",
             SpanKind::GpuPhase => "gpu-phase",
             SpanKind::Fold => "fold",
+            SpanKind::Replication => "replication",
         }
     }
 
@@ -100,6 +107,7 @@ impl SpanKind {
             "cpu-phase" => SpanKind::CpuPhase,
             "gpu-phase" => SpanKind::GpuPhase,
             "fold" => SpanKind::Fold,
+            "replication" => SpanKind::Replication,
             _ => return None,
         })
     }
@@ -332,12 +340,12 @@ mod tests {
 
     #[test]
     fn codes_and_names_roundtrip() {
-        for code in 0..6 {
+        for code in 0..7 {
             let kind = SpanKind::from_code(code).unwrap();
             assert_eq!(kind.code(), code);
             assert_eq!(SpanKind::parse(kind.as_str()), Some(kind));
         }
-        assert_eq!(SpanKind::from_code(6), None);
+        assert_eq!(SpanKind::from_code(7), None);
         assert_eq!(SpanKind::parse("???"), None);
     }
 

@@ -14,7 +14,7 @@ use easched_telemetry::{parse_spans, to_trace_with_spans, DecisionRecord, Span, 
 use proptest::prelude::*;
 
 fn arb_kind() -> impl Strategy<Value = SpanKind> {
-    (0u8..6).prop_map(|c| SpanKind::from_code(c).expect("codes 0..6 are the span kinds"))
+    (0u8..7).prop_map(|c| SpanKind::from_code(c).expect("codes 0..7 are the span kinds"))
 }
 
 /// Full bit-pattern float coverage — infinities and every NaN payload —

@@ -12,6 +12,12 @@
 //! easched serve [--addr HOST:PORT] [--socket PATH] [--seed N] [--ticks N]
 //!               [--out FILE] [--trace FILE] [--hold SECS]
 //! easched scrape (--addr HOST:PORT | --socket PATH) [--path /metrics]
+//! easched fleet [--nodes N] [--seed N] [--ticks N] [--quiet-fabric]
+//!               [--partition A:B:FROM:TO] [--crash NODE:AT:RESTART]
+//!               [--taint TICK:NODE:KERNEL] [--store DIR] [--record FILE]
+//!               [--metrics]
+//! easched fleet --replay FILE [--store DIR]
+//! easched fleet --verify-recovery DIR
 //! ```
 //!
 //! `replay` inspects the log's format version: a v2 (admission-event)
@@ -21,6 +27,13 @@
 //! log to its first `N` events (an SLO exemplar offset) and replays just
 //! that prefix.
 //!
+//! `fleet` runs a simulated multi-node fleet — each node a full scheduler
+//! on its own platform and journal — replicating via chaos-hardened
+//! anti-entropy (DESIGN.md §15). Exit codes: 0 all replicas converged
+//! byte-identically, 1 non-convergence or replay divergence, 2 unusable
+//! input. `--verify-recovery DIR` reopens every `node*` journal a
+//! previous run (or kill -9) left behind and reports what recovered.
+//!
 //! `serve` records the observed overload storm while exposing the live
 //! observability plane over HTTP: `/metrics` (Prometheus text),
 //! `/health` (JSON), `/slo` (burn rates + breach events with exemplar
@@ -29,14 +42,17 @@
 
 use easched::core::{
     characterize, load_model, save_model, CharacterizationConfig, EasConfig, EasRuntime, Evaluator,
-    HealthReport, Objective, PowerModel, TenantFrontend,
+    HealthReport, Objective, PowerModel, TableStore, TenantFrontend,
+};
+use easched::fleet::{
+    expose_fleet, replay_fleet, run_fleet, ChaosConfig, CrashPlan, FleetSpec, Partition, TaintPlan,
 };
 use easched::kernels::{suite, Workload};
 use easched::replay::overload::overload_registry;
 use easched::replay::{
     bisect_storm, record_chaos_storm, record_overload_storm, record_overload_storm_observed_with,
     replay_chaos_storm, replay_overload_storm, OverloadSpec, RunLog, StormSpec,
-    FORMAT_VERSION_ADMISSION,
+    FORMAT_VERSION_ADMISSION, FORMAT_VERSION_FLEET,
 };
 use easched::sim::Platform;
 use easched::telemetry::{
@@ -95,6 +111,20 @@ enum Command {
         socket: Option<String>,
         path: String,
     },
+    Fleet {
+        nodes: u16,
+        seed: u64,
+        ticks: u64,
+        quiet_fabric: bool,
+        partitions: Vec<Partition>,
+        crash: Option<CrashPlan>,
+        taint: Option<TaintPlan>,
+        store: Option<String>,
+        record: Option<String>,
+        metrics: bool,
+        replay: Option<String>,
+        verify_recovery: Option<String>,
+    },
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -150,7 +180,29 @@ usage:
   easched replay --log FILE [--at N] [--bisect] [--perturb N] [--emit-fixture FILE]
   easched serve [--addr HOST:PORT] [--socket PATH] [--seed N] [--ticks N]
                 [--out FILE] [--trace FILE] [--hold SECS]
-  easched scrape (--addr HOST:PORT | --socket PATH) [--path /metrics]";
+  easched scrape (--addr HOST:PORT | --socket PATH) [--path /metrics]
+  easched fleet [--nodes N] [--seed N] [--ticks N] [--quiet-fabric]
+                [--partition A:B:FROM:TO] [--crash NODE:AT:RESTART]
+                [--taint TICK:NODE:KERNEL] [--store DIR] [--record FILE] [--metrics]
+  easched fleet --replay FILE [--store DIR]
+  easched fleet --verify-recovery DIR";
+
+/// Parses an `a:b:c`-shaped flag value into its colon-separated fields.
+fn colon_fields<const N: usize>(flag: &str, value: &str) -> Result<[u64; N], String> {
+    let parts: Vec<&str> = value.split(':').collect();
+    if parts.len() != N {
+        return Err(format!(
+            "{flag} wants {N} colon-separated fields, got {value:?}"
+        ));
+    }
+    let mut out = [0u64; N];
+    for (slot, part) in out.iter_mut().zip(&parts) {
+        *slot = part
+            .parse()
+            .map_err(|e| format!("{flag} field {part:?}: {e}"))?;
+    }
+    Ok(out)
+}
 
 fn parse_args(args: &[String]) -> Result<Command, String> {
     let mut it = args.iter().map(String::as_str);
@@ -178,6 +230,17 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
     let mut path: String = "/metrics".to_string();
     let mut hold: f64 = 0.0;
     let mut trace: Option<String> = None;
+    let mut nodes: u16 = 3;
+    let mut quiet_fabric = false;
+    let mut partitions: Vec<Partition> = Vec::new();
+    let mut crash: Option<CrashPlan> = None;
+    let mut taint: Option<TaintPlan> = None;
+    let mut store: Option<String> = None;
+    let mut record: Option<String> = None;
+    let mut metrics = false;
+    let mut replay: Option<String> = None;
+    let mut verify_recovery: Option<String> = None;
+    let mut ticks_set = false;
 
     while let Some(flag) = it.next() {
         let mut value = |name: &str| {
@@ -228,8 +291,48 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
             "--ticks" => {
                 ticks = value("--ticks")?
                     .parse()
-                    .map_err(|e| format!("--ticks: {e}"))?
+                    .map_err(|e| format!("--ticks: {e}"))?;
+                ticks_set = true;
             }
+            "--nodes" => {
+                nodes = value("--nodes")?
+                    .parse()
+                    .map_err(|e| format!("--nodes: {e}"))?
+            }
+            "--quiet-fabric" => quiet_fabric = true,
+            "--partition" => {
+                let [a, b, from_tick, to_tick] =
+                    colon_fields::<4>("--partition", &value("--partition")?)?;
+                partitions.push(Partition {
+                    a: a.try_into().map_err(|_| "--partition: node out of range")?,
+                    b: b.try_into().map_err(|_| "--partition: node out of range")?,
+                    from_tick,
+                    to_tick,
+                });
+            }
+            "--crash" => {
+                let [node, at_tick, restart_at_tick] =
+                    colon_fields::<3>("--crash", &value("--crash")?)?;
+                crash = Some(CrashPlan {
+                    node: node.try_into().map_err(|_| "--crash: node out of range")?,
+                    at_tick,
+                    restart_at_tick,
+                });
+            }
+            "--taint" => {
+                let [at_tick, node, kernel_index] =
+                    colon_fields::<3>("--taint", &value("--taint")?)?;
+                taint = Some(TaintPlan {
+                    at_tick,
+                    node: node.try_into().map_err(|_| "--taint: node out of range")?,
+                    kernel_index,
+                });
+            }
+            "--store" => store = Some(value("--store")?),
+            "--record" => record = Some(value("--record")?),
+            "--metrics" => metrics = true,
+            "--replay" => replay = Some(value("--replay")?),
+            "--verify-recovery" => verify_recovery = Some(value("--verify-recovery")?),
             "--perturb" => {
                 perturb = Some(
                     value("--perturb")?
@@ -297,6 +400,28 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
                 return Err("scrape requires --addr or --socket".to_string());
             }
             Ok(Command::Scrape { addr, socket, path })
+        }
+        "fleet" => {
+            if replay.is_some() && verify_recovery.is_some() {
+                return Err("--replay and --verify-recovery are mutually exclusive".to_string());
+            }
+            if nodes == 0 {
+                return Err("--nodes must be at least 1".to_string());
+            }
+            Ok(Command::Fleet {
+                nodes,
+                seed,
+                ticks: if ticks_set { ticks } else { 6 },
+                quiet_fabric,
+                partitions,
+                crash,
+                taint,
+                store,
+                record,
+                metrics,
+                replay,
+                verify_recovery,
+            })
         }
         other => Err(format!("unknown command {other:?}\n{USAGE}")),
     }
@@ -863,6 +988,184 @@ fn cmd_replay(
     }
 }
 
+/// Reopens every `node*` journal under `dir` and reports what recovered —
+/// the cold half of the kill -9 smoke: a crashed fleet's stores must come
+/// back without manual repair.
+fn verify_fleet_recovery(dir: &str) {
+    let mut node_dirs: Vec<std::path::PathBuf> = match std::fs::read_dir(dir) {
+        Ok(rd) => rd
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| {
+                p.is_dir()
+                    && p.file_name()
+                        .and_then(|n| n.to_str())
+                        .is_some_and(|n| n.starts_with("node"))
+            })
+            .collect(),
+        Err(e) => {
+            eprintln!("cannot read {dir}: {e}");
+            std::process::exit(2);
+        }
+    };
+    node_dirs.sort();
+    if node_dirs.is_empty() {
+        eprintln!("no node* journals under {dir}");
+        std::process::exit(2);
+    }
+    let mut failed = false;
+    for d in &node_dirs {
+        match TableStore::open(d) {
+            Ok((_store, rec)) => println!(
+                "{}: generation {}, {} entry(ies), {} replayed, {} discarded",
+                d.display(),
+                rec.generation,
+                rec.table.len(),
+                rec.replayed,
+                rec.discarded,
+            ),
+            Err(e) => {
+                failed = true;
+                eprintln!("{}: FAILED to recover: {e}", d.display());
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!("all {} journal(s) recovered cleanly", node_dirs.len());
+}
+
+struct FleetArgs {
+    nodes: u16,
+    seed: u64,
+    ticks: u64,
+    quiet_fabric: bool,
+    partitions: Vec<Partition>,
+    crash: Option<CrashPlan>,
+    taint: Option<TaintPlan>,
+    store: Option<String>,
+    record: Option<String>,
+    metrics: bool,
+    replay: Option<String>,
+    verify_recovery: Option<String>,
+}
+
+fn cmd_fleet(args: FleetArgs) {
+    if let Some(dir) = args.verify_recovery {
+        verify_fleet_recovery(&dir);
+        return;
+    }
+    if let Some(path) = args.replay {
+        let log = load_log(&path);
+        if log.version != FORMAT_VERSION_FLEET {
+            eprintln!(
+                "{path} is a v{} log, not a fleet (v{FORMAT_VERSION_FLEET}) log",
+                log.version
+            );
+            std::process::exit(2);
+        }
+        let store_root = args.store.map(std::path::PathBuf::from).unwrap_or_default();
+        match replay_fleet(&log, store_root) {
+            Ok(report) => println!(
+                "{path}: fleet run replayed byte-identically \
+                 ({} fleet events, digest {:016x})",
+                report.log.fleet_lines().len(),
+                report.digest,
+            ),
+            Err(e) => {
+                println!("fleet replay diverged:\n{e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    let presets = ["haswell-desktop", "baytrail-tablet", "skylake-minipc"];
+    let mut spec = FleetSpec::three_nodes(args.seed);
+    spec.platforms = (0..args.nodes)
+        .map(|i| presets[usize::from(i) % presets.len()].to_string())
+        .collect();
+    spec.ticks = args.ticks;
+    if args.quiet_fabric {
+        spec.chaos = ChaosConfig::quiet();
+    }
+    spec.chaos.partitions = args.partitions;
+    spec.crash = args.crash;
+    spec.taint = args.taint;
+    spec.store_root = args.store.map(std::path::PathBuf::from).unwrap_or_default();
+    eprintln!(
+        "running a {}-node fleet: seed {}, {} tick(s), fabric {}{}{} ...",
+        args.nodes,
+        args.seed,
+        args.ticks,
+        if args.quiet_fabric {
+            "quiet"
+        } else {
+            "chaotic"
+        },
+        if spec.chaos.partitions.is_empty() {
+            String::new()
+        } else {
+            format!(", {} partition window(s)", spec.chaos.partitions.len())
+        },
+        spec.crash.map_or(String::new(), |c| format!(
+            ", kill -9 node {} at tick {}",
+            c.node, c.at_tick
+        )),
+    );
+    let report = run_fleet(&spec).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
+    println!(
+        "{:<5} {:<16} {:>8} {:>6} {:>4} {:>6} {:>6} {:>6} {:>7} digest",
+        "node", "platform", "applied", "stale", "gap", "confl", "prior", "taint", "dropped"
+    );
+    for n in &report.nodes {
+        println!(
+            "{:<5} {:<16} {:>8} {:>6} {:>4} {:>6} {:>6} {:>6} {:>7} {:016x}",
+            n.label,
+            n.platform,
+            n.stats.entries_applied,
+            n.stats.entries_rejected_stale,
+            n.stats.entries_deferred_gap,
+            n.stats.conflicts_resolved,
+            n.stats.priors_applied,
+            n.stats.taints_replicated,
+            n.stats.frames_dropped + n.stats.frames_torn,
+            n.digest,
+        );
+    }
+    if args.metrics {
+        let labeled: Vec<(String, easched::fleet::FleetStats)> = report
+            .nodes
+            .iter()
+            .map(|n| (n.label.clone(), n.stats))
+            .collect();
+        print!("{}", expose_fleet(&labeled));
+    }
+    if let Some(out) = args.record {
+        std::fs::write(&out, report.log.to_text()).unwrap_or_else(|e| {
+            eprintln!("cannot write log to {out}: {e}");
+            std::process::exit(2);
+        });
+        println!("fleet log written to {out}");
+    }
+    if report.converged {
+        println!(
+            "fleet converged after {} drain round(s): digest {:016x}",
+            report.drain_rounds, report.digest
+        );
+    } else {
+        println!(
+            "fleet DID NOT converge within {} drain rounds",
+            easched::fleet::MAX_DRAIN_ROUNDS
+        );
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match parse_args(&args) {
@@ -908,6 +1211,33 @@ fn main() {
         Ok(Command::Scrape { addr, socket, path }) => {
             cmd_scrape(addr.as_deref(), socket.as_deref(), &path)
         }
+        Ok(Command::Fleet {
+            nodes,
+            seed,
+            ticks,
+            quiet_fabric,
+            partitions,
+            crash,
+            taint,
+            store,
+            record,
+            metrics,
+            replay,
+            verify_recovery,
+        }) => cmd_fleet(FleetArgs {
+            nodes,
+            seed,
+            ticks,
+            quiet_fabric,
+            partitions,
+            crash,
+            taint,
+            store,
+            record,
+            metrics,
+            replay,
+            verify_recovery,
+        }),
         Err(message) => {
             eprintln!("{message}");
             std::process::exit(2);
@@ -1132,6 +1462,118 @@ mod tests {
         assert!(parse(&["scrape"])
             .unwrap_err()
             .contains("--addr or --socket"));
+    }
+
+    #[test]
+    fn parses_fleet_with_defaults_and_overrides() {
+        let c = parse(&["fleet"]).unwrap();
+        assert_eq!(
+            c,
+            Command::Fleet {
+                nodes: 3,
+                seed: 7,
+                ticks: 6,
+                quiet_fabric: false,
+                partitions: vec![],
+                crash: None,
+                taint: None,
+                store: None,
+                record: None,
+                metrics: false,
+                replay: None,
+                verify_recovery: None,
+            }
+        );
+        let c = parse(&[
+            "fleet",
+            "--nodes",
+            "5",
+            "--seed",
+            "1009",
+            "--ticks",
+            "8",
+            "--quiet-fabric",
+            "--partition",
+            "0:2:1:4",
+            "--crash",
+            "1:3:6",
+            "--taint",
+            "2:0:1",
+            "--store",
+            "/tmp/f",
+            "--record",
+            "fleet.log",
+            "--metrics",
+        ])
+        .unwrap();
+        match c {
+            Command::Fleet {
+                nodes,
+                seed,
+                ticks,
+                quiet_fabric,
+                partitions,
+                crash,
+                taint,
+                store,
+                record,
+                metrics,
+                ..
+            } => {
+                assert_eq!((nodes, seed, ticks), (5, 1009, 8));
+                assert!(quiet_fabric && metrics);
+                assert_eq!(
+                    partitions,
+                    vec![Partition {
+                        a: 0,
+                        b: 2,
+                        from_tick: 1,
+                        to_tick: 4
+                    }]
+                );
+                assert_eq!(
+                    crash,
+                    Some(CrashPlan {
+                        node: 1,
+                        at_tick: 3,
+                        restart_at_tick: 6
+                    })
+                );
+                assert_eq!(
+                    taint,
+                    Some(TaintPlan {
+                        at_tick: 2,
+                        node: 0,
+                        kernel_index: 1
+                    })
+                );
+                assert_eq!(store.as_deref(), Some("/tmp/f"));
+                assert_eq!(record.as_deref(), Some("fleet.log"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fleet_flag_shapes_are_validated() {
+        assert!(parse(&["fleet", "--nodes", "0"])
+            .unwrap_err()
+            .contains("at least 1"));
+        assert!(parse(&["fleet", "--partition", "0:2:1"])
+            .unwrap_err()
+            .contains("4 colon-separated fields"));
+        assert!(parse(&["fleet", "--crash", "1:3:6:9"]).is_err());
+        assert!(parse(&["fleet", "--taint", "a:b:c"]).is_err());
+        assert!(
+            parse(&["fleet", "--replay", "f.log", "--verify-recovery", "/tmp/f"])
+                .unwrap_err()
+                .contains("mutually exclusive")
+        );
+        let c = parse(&["fleet", "--replay", "f.log"]).unwrap();
+        match c {
+            Command::Fleet { replay, .. } => assert_eq!(replay.as_deref(), Some("f.log")),
+            other => panic!("unexpected {other:?}"),
+        }
     }
 
     #[test]

@@ -15,6 +15,8 @@
 //! * [`core`] — the energy-aware scheduler (EAS) itself
 //! * [`telemetry`] — decision tracing, metrics, drift detection
 //! * [`replay`] — deterministic record/replay and time-travel debugging
+//! * [`fleet`] — multi-node journal replication with chaos-hardened
+//!   anti-entropy
 //!
 //! # Quickstart
 //!
@@ -40,6 +42,7 @@
 //! example and DESIGN.md §8 for the layer diagram).
 
 pub use easched_core as core;
+pub use easched_fleet as fleet;
 pub use easched_graph as graph;
 pub use easched_kernels as kernels;
 pub use easched_num as num;
