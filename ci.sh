@@ -131,6 +131,54 @@ wait "$FLEET_PID" 2>/dev/null || true
 echo "==> fleet replay: recorded chaos run must be byte-identical"
 ./target/release/easched fleet --replay target/ci-fleet-7.runlog
 
+echo "==> storage chaos: every-fault-point sweep (DESIGN.md §16)"
+cargo test -q --release -p easched-core --test storage_chaos
+
+echo "==> storage chaos: seeded write-fault storms through the shared store"
+for seed in 7 23 1009; do
+    echo "    shared_runtime --chaos-fs 150 --seed $seed"
+    rm -rf "target/ci-schaos-$seed.d"
+    ./target/release/examples/shared_runtime --store "target/ci-schaos-$seed.d" \
+        --chaos-fs 150 --seed "$seed" > /dev/null
+    ./target/release/examples/shared_runtime --store "target/ci-schaos-$seed.d" \
+        --verify-recovery > /dev/null
+done
+
+echo "==> storage chaos: recorded run under injected faults replays byte-identically"
+./target/release/easched record --out target/ci-schaos.runlog --seed 7 --chaos-fs 150 > /dev/null
+./target/release/easched replay --log target/ci-schaos.runlog
+
+echo "==> storage chaos: fleet on failing disks converges, records, replays"
+./target/release/easched fleet --seed 7 --chaos-fs 200 --crash 1:2:4 \
+    --record target/ci-schaos-fleet.runlog > /dev/null
+./target/release/easched fleet --replay target/ci-schaos-fleet.runlog
+
+echo "==> storage chaos: real ENOSPC on a full tmpfs (skipped without mount privileges)"
+ENOSPC_DIR=target/ci-enospc-mnt
+rm -rf "$ENOSPC_DIR"; mkdir -p "$ENOSPC_DIR"
+if mount -t tmpfs -o size=256k tmpfs "$ENOSPC_DIR" 2>/dev/null; then
+    # Seed durable state while the disk has room, then fill the device
+    # solid: the next run hits genuine ENOSPC on every journal write.
+    # `--chaos-fs 0` injects nothing but enables the tolerant
+    # checkpoint path — the run must survive (degrade-to-memory), and
+    # once the filler is gone, recovery must audit the seeded state.
+    ./target/release/examples/shared_runtime --store "$ENOSPC_DIR/table.d" \
+        > /dev/null 2>&1 || { umount "$ENOSPC_DIR"; exit 1; }
+    dd if=/dev/zero of="$ENOSPC_DIR/filler" bs=1k count=300 2>/dev/null || true
+    ./target/release/examples/shared_runtime --store "$ENOSPC_DIR/table.d" \
+        --chaos-fs 0 --repeat 3 > /dev/null 2>&1 || {
+        echo "run on a full tmpfs must not fail hard"
+        umount "$ENOSPC_DIR"; exit 1
+    }
+    rm -f "$ENOSPC_DIR/filler"
+    ./target/release/examples/shared_runtime --store "$ENOSPC_DIR/table.d" \
+        --verify-recovery > /dev/null || { umount "$ENOSPC_DIR"; exit 1; }
+    umount "$ENOSPC_DIR"
+    echo "    ENOSPC smoke passed"
+else
+    echo "    tmpfs mount unavailable; skipped"
+fi
+
 echo "==> decide-path budget: fresh measurement vs committed BENCH_decide.json"
 ./target/release/bench_decide --out target/ci-bench-decide.json --check BENCH_decide.json
 

@@ -29,7 +29,7 @@
 
 use crate::classify::{Classifier, WorkloadClass};
 use crate::engine::DecisionEngine;
-use crate::health::{FaultPolicy, Health, HealthReport};
+use crate::health::{merge_store_health, FaultPolicy, Health, HealthReport};
 use crate::journal::{Recovered, StoreError, TableStore};
 use crate::kernel_table::KernelTable;
 use crate::objective::Objective;
@@ -37,6 +37,7 @@ use crate::power_model::PowerModel;
 use crate::profile_loop;
 use crate::seed::RunSeed;
 use crate::selfheal::{DriftPolicy, WatchdogPolicy};
+use easched_runtime::vfs::{StdFs, Vfs};
 use easched_runtime::{Backend, Clock, InvocationCtx, KernelId, Scheduler, WallClock};
 use easched_telemetry::TelemetrySink;
 use std::path::Path;
@@ -252,7 +253,20 @@ impl EasScheduler {
         config: EasConfig,
         dir: impl AsRef<Path>,
     ) -> Result<EasScheduler, StoreError> {
-        let (store, recovered) = TableStore::open(dir)?;
+        EasScheduler::with_persistence_vfs(model, config, dir, Arc::new(StdFs))
+    }
+
+    /// [`with_persistence`](EasScheduler::with_persistence) with an
+    /// explicit [`Vfs`], so storage-chaos runs can inject I/O faults
+    /// into the journal without touching the scheduling path
+    /// (DESIGN.md §16).
+    pub fn with_persistence_vfs(
+        model: PowerModel,
+        config: EasConfig,
+        dir: impl AsRef<Path>,
+        vfs: Arc<dyn Vfs>,
+    ) -> Result<EasScheduler, StoreError> {
+        let (store, recovered) = TableStore::open_with(dir, vfs)?;
         let mut s = EasScheduler::new(model, config);
         let Recovered { table, breaker, .. } = recovered;
         s.table = table;
@@ -348,7 +362,11 @@ impl EasScheduler {
     /// invocations, circuit-breaker activity (see
     /// [`HealthReport`]). All zeros on a healthy platform.
     pub fn health(&self) -> HealthReport {
-        self.health.report()
+        let mut report = self.health.report();
+        if let Some(store) = &self.store {
+            merge_store_health(&mut report, store.health());
+        }
+        report
     }
 
     /// The fault-handling state (breaker inspection for diagnostics).

@@ -197,6 +197,11 @@ impl From<HealthSnapshot> for HealthReport {
             requests_queued: s.requests_queued,
             quota_denials: s.quota_denials,
             brownout_transitions: s.brownout_transitions,
+            // Store counters live in the TableStore, not HealthStats;
+            // the scheduler frontends merge them into the report.
+            store_io_errors: 0,
+            store_degraded: 0,
+            store_bytes: 0,
         }
     }
 }
@@ -289,6 +294,25 @@ pub struct HealthReport {
     pub quota_denials: u64,
     /// Brownout-ladder rung changes (either direction).
     pub brownout_transitions: u64,
+    /// Journal/snapshot I/O failures absorbed by the table store
+    /// (DESIGN.md §16). Reduced durability, not reduced scheduling
+    /// fidelity: excluded from [`fault_free`](HealthReport::fault_free).
+    pub store_io_errors: u64,
+    /// 1 while the table store is in degrade-to-memory mode, else 0.
+    /// Excluded from [`fault_free`](HealthReport::fault_free).
+    pub store_degraded: u64,
+    /// Bytes the table store successfully persisted (journal lines and
+    /// snapshots).
+    pub store_bytes: u64,
+}
+
+/// Fold a [`StoreHealth`](crate::journal::StoreHealth) snapshot into a
+/// report. The scheduler frontends call this so `health()` carries the
+/// store counters without the store writing into `HealthStats`.
+pub(crate) fn merge_store_health(report: &mut HealthReport, s: crate::journal::StoreHealth) {
+    report.store_io_errors = s.io_errors;
+    report.store_degraded = u64::from(s.degraded);
+    report.store_bytes = s.bytes_written;
 }
 
 impl HealthReport {
@@ -664,6 +688,20 @@ mod tests {
         assert!(r.fault_free());
         let s = h.snapshot();
         assert_eq!(HealthStats::from(s).snapshot(), s);
+    }
+
+    #[test]
+    fn store_counters_stay_out_of_fault_free() {
+        let r = HealthReport {
+            store_io_errors: 9,
+            store_degraded: 1,
+            store_bytes: 4096,
+            ..HealthReport::default()
+        };
+        assert!(
+            r.fault_free(),
+            "a failing disk reduces durability, not scheduling fidelity"
+        );
     }
 
     #[test]

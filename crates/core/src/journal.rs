@@ -67,24 +67,46 @@
 //! after the rename and again after the journal reset — without the
 //! directory syncs, a power loss after the rename could resurrect the
 //! *old* snapshot beside the *new*-generation journal, a pair recovery
-//! rejects as [`StoreError::GenerationAhead`]. Append failures never
-//! panic the scheduling path — they increment
-//! [`write_errors`](TableStore::write_errors) and scheduling continues
-//! unpersisted.
+//! rejects as [`StoreError::GenerationAhead`].
+//!
+//! # Live I/O faults (DESIGN.md §16)
+//!
+//! All disk access goes through the [`Vfs`] seam, so the same code runs
+//! against the real filesystem ([`StdFs`](easched_runtime::StdFs)) or a
+//! deterministic fault injector ([`ChaosFs`](easched_runtime::ChaosFs)).
+//! Failures on the scheduling path never panic and never block a
+//! decision; they follow three rules:
+//!
+//! * **Poisoning** — after a failed write or fsync the open handle is
+//!   never trusted again (the fsyncgate lesson: a second fsync on the
+//!   same descriptor can silently report success over lost data). The
+//!   store reopens the journal, rescans the sealed prefix from disk,
+//!   truncates the tail, and resumes there.
+//! * **ENOSPC → emergency compaction** — a full disk triggers an
+//!   immediate snapshot+compaction (the snapshot is smaller than
+//!   snapshot + journal, and carries the very mutation that failed).
+//! * **Degrade-to-memory** — when the disk stays broken, the store
+//!   trips into [`StoreMode::Degraded`]: mutations land in a bounded
+//!   in-RAM buffer, counters and typed [`StorageEvent`]s surface the
+//!   state, and every [`compact_every`](TableStore::compact_every)
+//!   appends (or any explicit checkpoint) the store probes the disk
+//!   with a compaction; success **re-arms** durability. Buffered lines
+//!   are superseded by that snapshot, never replayed on top of it.
 
+use crate::guard::FaultKind;
 use crate::health::BreakerState;
 use crate::kernel_table::{AlphaStat, KernelTable};
 use crate::persist::{
     self, fnv1a64, seal, verify_sealed, ModelParseError, TABLE_HEADER_V1, TABLE_HEADER_V2,
 };
+use easched_runtime::vfs::{StdFs, Vfs, VfsFile};
 use easched_runtime::KernelId;
 use std::error::Error;
 use std::fmt;
-use std::fs::{self, File, OpenOptions};
-use std::io::{self, Write};
+use std::io;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Mutex, MutexGuard, PoisonError};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 /// Snapshot file name inside a store directory.
 const SNAPSHOT_FILE: &str = "table.snap";
@@ -96,6 +118,11 @@ const TABLE_HEADER_V3: &str = "easched-kernel-table v3";
 const JOURNAL_MAGIC: &str = "easched-table-journal v1";
 /// Default journal appends between automatic snapshot+compactions.
 const DEFAULT_COMPACT_EVERY: u64 = 256;
+/// Bound on in-RAM journal lines held while degraded; beyond it the
+/// oldest line is dropped (puts are absolute, so newest state wins).
+const MAX_BUFFERED_LINES: usize = 1024;
+/// Bound on queued [`StorageEvent`]s between telemetry drains.
+const MAX_EVENTS: usize = 64;
 
 /// Error opening or checkpointing a [`TableStore`].
 #[derive(Debug)]
@@ -174,14 +201,83 @@ enum JournalRecord {
     Breaker(BreakerState),
 }
 
+/// Durability mode of a [`TableStore`] (DESIGN.md §16).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoreMode {
+    /// The journal handle is live; mutations hit disk.
+    Durable,
+    /// The disk is broken: mutations buffer in RAM (bounded) and every
+    /// compaction interval the store probes for recovery.
+    Degraded,
+}
+
+/// One storage fault absorbed by the store, queued for telemetry (the
+/// profile loop drains these into [`ControlEvent`]s; they never enter
+/// the record ring, so recorded runs stay byte-identical).
+///
+/// [`ControlEvent`]: easched_telemetry::ControlEvent
+#[derive(Debug, Clone)]
+pub struct StorageEvent {
+    /// What failed (always one of the `FaultKind::Storage*` variants).
+    pub kind: FaultKind,
+    /// Human-readable context: operation and OS error.
+    pub detail: String,
+}
+
+/// Counter snapshot of a store's storage health, merged into
+/// [`HealthReport`](crate::HealthReport) by the scheduler frontends.
+/// None of these affect `fault_free()` — a broken disk degrades
+/// durability, not scheduling fidelity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StoreHealth {
+    /// I/O operations that failed (append, snapshot, fsync, resync).
+    pub io_errors: u64,
+    /// Bytes successfully written (journal lines + snapshots).
+    pub bytes_written: u64,
+    /// Whether the store is currently in degrade-to-memory mode.
+    pub degraded: bool,
+    /// Durable→degraded transitions over the store's lifetime.
+    pub degraded_transitions: u64,
+    /// Degraded→durable recoveries (successful re-arm compactions).
+    pub rearms: u64,
+    /// Journal lines currently buffered in RAM (degraded mode only).
+    pub buffered: u64,
+    /// Buffered lines dropped at the RAM bound.
+    pub buffered_dropped: u64,
+    /// The filesystem rejected directory fsync as unsupported
+    /// (tolerated, noted once: renames can't be made power-loss-durable
+    /// on this mount).
+    pub dir_sync_unsupported: bool,
+}
+
+/// What one append attempt did, so entry recording can route ENOSPC
+/// into emergency compaction (the one call site holding the table).
+enum AppendOutcome {
+    /// The line is on disk.
+    Written,
+    /// The line went to the RAM buffer (store degraded).
+    Buffered,
+    /// The disk is full and the line is not yet safe anywhere; the
+    /// caller must compact or degrade.
+    DiskFull,
+}
+
 /// Mutable store state behind the mutex: the append handle plus the
-/// bookkeeping compaction needs.
+/// bookkeeping compaction and degradation need.
 #[derive(Debug)]
 struct StoreInner {
-    file: Option<File>,
+    file: Option<Box<dyn VfsFile>>,
     generation: u64,
     appends: u64,
     last_breaker: u8,
+    mode: StoreMode,
+    buffered: Vec<String>,
+    buffered_dropped: u64,
+    /// Open could not *read* the journal: the recovered table may be
+    /// missing records that still exist on disk. Compaction must merge
+    /// (or refuse) before resetting the journal, else the loss becomes
+    /// durable.
+    recovery_partial: bool,
 }
 
 /// The crash-safe store: journal appends on the scheduling path, atomic
@@ -195,9 +291,17 @@ struct StoreInner {
 #[derive(Debug)]
 pub struct TableStore {
     dir: PathBuf,
+    vfs: Arc<dyn Vfs>,
     inner: Mutex<StoreInner>,
     compact_every: u64,
     write_errors: AtomicU64,
+    io_errors: AtomicU64,
+    bytes_written: AtomicU64,
+    degraded_transitions: AtomicU64,
+    rearms: AtomicU64,
+    dir_sync_unsupported: AtomicBool,
+    events: Mutex<Vec<StorageEvent>>,
+    events_pending: AtomicBool,
 }
 
 /// Locks the inner state, recovering from poisoning: a panicked tenant
@@ -226,17 +330,29 @@ impl TableStore {
     ///
     /// # Errors
     ///
-    /// [`StoreError`] on I/O failure, a corrupt snapshot, or a journal
-    /// generation ahead of the snapshot's. A torn or corrupt journal
-    /// *tail* is not an error — the suffix is discarded and counted in
-    /// [`Recovered::discarded`].
+    /// [`StoreError`] on a corrupt snapshot, a snapshot-read I/O
+    /// failure, or a journal generation ahead of the snapshot's. A torn
+    /// or corrupt journal *tail* is not an error — the suffix is
+    /// discarded and counted in [`Recovered::discarded`]. Journal-side
+    /// *write* failures during open are not errors either: the store
+    /// opens in [`StoreMode::Degraded`] and probes its way back.
     pub fn open(dir: impl AsRef<Path>) -> Result<(TableStore, Recovered), StoreError> {
+        TableStore::open_with(dir, Arc::new(StdFs))
+    }
+
+    /// [`open`](TableStore::open) with an explicit [`Vfs`] — the seam
+    /// chaos tests and `--chaos-fs` runs thread a fault injector
+    /// through.
+    pub fn open_with(
+        dir: impl AsRef<Path>,
+        vfs: Arc<dyn Vfs>,
+    ) -> Result<(TableStore, Recovered), StoreError> {
         let dir = dir.as_ref().to_path_buf();
-        fs::create_dir_all(&dir)?;
+        vfs.create_dir_all(&dir)?;
         let snap_path = dir.join(SNAPSHOT_FILE);
         let journal_path = dir.join(JOURNAL_FILE);
 
-        let (table, mut breaker, generation) = match fs::read(&snap_path) {
+        let (table, mut breaker, generation) = match vfs.read(&snap_path) {
             Ok(bytes) => parse_snapshot(&String::from_utf8_lossy(&bytes))?,
             Err(e) if e.kind() == io::ErrorKind::NotFound => {
                 (KernelTable::new(), BreakerState::Closed, 0)
@@ -247,7 +363,9 @@ impl TableStore {
         let mut replayed = 0u64;
         let mut discarded = 0u64;
         let mut resume_at: Option<u64> = None;
-        match fs::read(&journal_path) {
+        let mut open_faults: Vec<StorageEvent> = Vec::new();
+        let mut journal_readable = true;
+        match vfs.read(&journal_path) {
             Ok(bytes) => {
                 let text = String::from_utf8_lossy(&bytes);
                 let scan = scan_journal(&text);
@@ -285,38 +403,86 @@ impl TableStore {
                 }
             }
             Err(e) if e.kind() == io::ErrorKind::NotFound => {}
-            Err(e) => return Err(StoreError::Io(e)),
+            Err(e) => {
+                // The journal exists but won't read back. Failing open
+                // would take the scheduler down for a durability-only
+                // problem: open degraded on the snapshot alone instead,
+                // leaving the journal bytes untouched for forensics.
+                journal_readable = false;
+                open_faults.push(StorageEvent {
+                    kind: FaultKind::StorageWrite,
+                    detail: format!("journal read at open: {e}"),
+                });
+            }
         }
 
-        let file = match resume_at {
-            Some(len) => {
-                let file = OpenOptions::new().write(true).open(&journal_path)?;
-                // Drop the torn tail so appends extend a valid prefix.
-                file.set_len(len)?;
-                let mut file = file;
-                file.seek_to_end()?;
-                file
+        let mut mode = StoreMode::Durable;
+        let file = if journal_readable {
+            let attempt: io::Result<Box<dyn VfsFile>> = match resume_at {
+                Some(len) => (|| {
+                    let mut file = vfs.open_write(&journal_path)?;
+                    // Drop the torn tail so appends extend a valid prefix.
+                    file.set_len(len)?;
+                    file.seek_end()?;
+                    Ok(file)
+                })(),
+                None => (|| {
+                    let mut file = vfs.create(&journal_path)?;
+                    file.write_all(
+                        sealed_line(&format!("{JOURNAL_MAGIC} gen {generation}")).as_bytes(),
+                    )?;
+                    Ok(file)
+                })(),
+            };
+            match attempt {
+                Ok(file) => Some(file),
+                Err(e) => {
+                    open_faults.push(StorageEvent {
+                        kind: FaultKind::StorageWrite,
+                        detail: format!("journal open: {e}"),
+                    });
+                    mode = StoreMode::Degraded;
+                    None
+                }
             }
-            None => {
-                let mut file = File::create(&journal_path)?;
-                file.write_all(
-                    sealed_line(&format!("{JOURNAL_MAGIC} gen {generation}")).as_bytes(),
-                )?;
-                file
-            }
+        } else {
+            mode = StoreMode::Degraded;
+            None
         };
 
         let store = TableStore {
             dir,
+            vfs,
             inner: Mutex::new(StoreInner {
-                file: Some(file),
+                file,
                 generation,
                 appends: 0,
                 last_breaker: breaker.code(),
+                mode,
+                buffered: Vec::new(),
+                buffered_dropped: 0,
+                recovery_partial: !journal_readable,
             }),
             compact_every: DEFAULT_COMPACT_EVERY,
             write_errors: AtomicU64::new(0),
+            io_errors: AtomicU64::new(0),
+            bytes_written: AtomicU64::new(0),
+            degraded_transitions: AtomicU64::new(0),
+            rearms: AtomicU64::new(0),
+            dir_sync_unsupported: AtomicBool::new(false),
+            events: Mutex::new(Vec::new()),
+            events_pending: AtomicBool::new(false),
         };
+        for event in open_faults {
+            store.note_fault(event.kind, event.detail);
+        }
+        if mode == StoreMode::Degraded {
+            store.degraded_transitions.fetch_add(1, Ordering::Relaxed);
+            store.note_event(
+                FaultKind::StorageDegraded,
+                "opened in degrade-to-memory mode".into(),
+            );
+        }
         let recovered = Recovered {
             table,
             breaker,
@@ -343,8 +509,10 @@ impl TableStore {
         self.compact_every = every.max(1);
     }
 
-    /// Append or checkpoint failures swallowed on the scheduling path
+    /// Append or checkpoint failures absorbed on the scheduling path
     /// (persistence is best-effort; scheduling never blocks on disk).
+    /// Superseded by the richer [`health`](TableStore::health) but kept
+    /// as the stable quick check.
     pub fn write_errors(&self) -> u64 {
         self.write_errors.load(Ordering::Relaxed)
     }
@@ -352,6 +520,41 @@ impl TableStore {
     /// Current journal generation.
     pub fn generation(&self) -> u64 {
         lock(&self.inner).generation
+    }
+
+    /// Whether the store is currently in degrade-to-memory mode.
+    pub fn is_degraded(&self) -> bool {
+        lock(&self.inner).mode == StoreMode::Degraded
+    }
+
+    /// Snapshot of the store's storage-health counters.
+    pub fn health(&self) -> StoreHealth {
+        let inner = lock(&self.inner);
+        StoreHealth {
+            io_errors: self.io_errors.load(Ordering::Relaxed),
+            bytes_written: self.bytes_written.load(Ordering::Relaxed),
+            degraded: inner.mode == StoreMode::Degraded,
+            degraded_transitions: self.degraded_transitions.load(Ordering::Relaxed),
+            rearms: self.rearms.load(Ordering::Relaxed),
+            buffered: inner.buffered.len() as u64,
+            buffered_dropped: inner.buffered_dropped,
+            dir_sync_unsupported: self.dir_sync_unsupported.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Whether [`take_events`](TableStore::take_events) has anything to
+    /// drain — one atomic load, safe on the hot path.
+    pub fn has_events(&self) -> bool {
+        self.events_pending.load(Ordering::Acquire)
+    }
+
+    /// Drains the queued storage events (bounded at [`MAX_EVENTS`];
+    /// overflow drops the newest, counters never lie).
+    pub fn take_events(&self) -> Vec<StorageEvent> {
+        if !self.events_pending.swap(false, Ordering::AcqRel) {
+            return Vec::new();
+        }
+        std::mem::take(&mut *self.events.lock().unwrap_or_else(PoisonError::into_inner))
     }
 
     /// Journals the current state of one kernel's table entry (called
@@ -363,22 +566,39 @@ impl TableStore {
             return;
         };
         let tainted = table.is_tainted(kernel);
-        let mut inner = lock(&self.inner);
-        self.append(
-            &mut inner,
-            &format!(
-                "put {kernel} alpha {:e} weight {:e} seen {} tainted {}",
-                stat.alpha,
-                stat.weight,
-                stat.invocations_seen,
-                u8::from(tainted)
-            ),
+        let body = format!(
+            "put {kernel} alpha {:e} weight {:e} seen {} tainted {}",
+            stat.alpha,
+            stat.weight,
+            stat.invocations_seen,
+            u8::from(tainted)
         );
+        let mut inner = lock(&self.inner);
+        if let AppendOutcome::DiskFull = self.append(&mut inner, &body) {
+            // ENOSPC with the table in hand: an emergency
+            // snapshot+compaction both frees space (snapshot replaces
+            // snapshot + journal) and carries this very mutation.
+            let breaker =
+                BreakerState::from_code(inner.last_breaker).unwrap_or(BreakerState::Closed);
+            if self.compact_locked(&mut inner, table, breaker).is_err() {
+                self.write_errors.fetch_add(1, Ordering::Relaxed);
+                self.degrade(
+                    &mut inner,
+                    Some(sealed_line(&body)),
+                    "ENOSPC and emergency compaction failed",
+                );
+            }
+            return;
+        }
         inner.appends += 1;
         if inner.appends >= self.compact_every {
             let breaker =
                 BreakerState::from_code(inner.last_breaker).unwrap_or(BreakerState::Closed);
-            if self.compact_locked(&mut inner, table, breaker).is_err() {
+            // In durable mode this is routine compaction; in degraded
+            // mode it doubles as the re-arm probe (DESIGN.md §16).
+            let ok = self.compact_locked(&mut inner, table, breaker).is_ok();
+            self.rearm_after(&mut inner, ok);
+            if !ok {
                 self.write_errors.fetch_add(1, Ordering::Relaxed);
                 // Avoid retrying compaction on every subsequent append.
                 inner.appends = 0;
@@ -389,7 +609,17 @@ impl TableStore {
     /// Journals a taint mark for a kernel.
     pub fn record_taint(&self, kernel: KernelId) {
         let mut inner = lock(&self.inner);
-        self.append(&mut inner, &format!("taint {kernel}"));
+        let body = format!("taint {kernel}");
+        if let AppendOutcome::DiskFull = self.append(&mut inner, &body) {
+            // No table in hand, so no emergency compaction here: buffer
+            // the line and let the next entry append or checkpoint probe
+            // the disk.
+            self.degrade(
+                &mut inner,
+                Some(sealed_line(&body)),
+                "ENOSPC outside the entry path",
+            );
+        }
     }
 
     /// Journals a circuit-breaker transition; no-op when the state
@@ -401,11 +631,21 @@ impl TableStore {
             return;
         }
         inner.last_breaker = state.code();
-        self.append(&mut inner, &format!("breaker {}", state.code()));
+        let body = format!("breaker {}", state.code());
+        if let AppendOutcome::DiskFull = self.append(&mut inner, &body) {
+            self.degrade(
+                &mut inner,
+                Some(sealed_line(&body)),
+                "ENOSPC outside the entry path",
+            );
+        }
     }
 
     /// Writes a fresh snapshot atomically (write-temp, `fsync`, rename)
-    /// and resets the journal to the new generation.
+    /// and resets the journal to the new generation. While degraded,
+    /// a successful checkpoint is exactly the re-arm probe: it restores
+    /// durability and clears the RAM buffer (superseded by the
+    /// snapshot).
     ///
     /// # Errors
     ///
@@ -414,19 +654,262 @@ impl TableStore {
     pub fn checkpoint(&self, table: &KernelTable, breaker: BreakerState) -> Result<(), StoreError> {
         let mut inner = lock(&self.inner);
         inner.last_breaker = breaker.code();
-        self.compact_locked(&mut inner, table, breaker)
+        let result = self.compact_locked(&mut inner, table, breaker);
+        self.rearm_after(&mut inner, result.is_ok());
+        result
     }
 
-    /// Best-effort sealed append; failures are counted, never raised.
-    fn append(&self, inner: &mut StoreInner, body: &str) {
+    /// Best-effort sealed append; failures are absorbed (counted, typed,
+    /// degraded), never raised — except ENOSPC, which is returned so the
+    /// entry path can compact.
+    fn append(&self, inner: &mut StoreInner, body: &str) -> AppendOutcome {
         let line = sealed_line(body);
-        let ok = inner
-            .file
-            .as_mut()
-            .map(|f| f.write_all(line.as_bytes()).is_ok())
-            .unwrap_or(false);
-        if !ok {
-            self.write_errors.fetch_add(1, Ordering::Relaxed);
+        if inner.mode == StoreMode::Degraded {
+            self.buffer_line(inner, line);
+            return AppendOutcome::Buffered;
+        }
+        let Some(file) = inner.file.as_mut() else {
+            self.degrade(inner, Some(line), "append with no journal handle");
+            return AppendOutcome::Buffered;
+        };
+        match file.write_all(line.as_bytes()) {
+            Ok(()) => {
+                self.bytes_written
+                    .fetch_add(line.len() as u64, Ordering::Relaxed);
+                AppendOutcome::Written
+            }
+            Err(e) => {
+                self.write_errors.fetch_add(1, Ordering::Relaxed);
+                let disk_full = e.raw_os_error() == Some(28) // ENOSPC
+                    || e.kind() == io::ErrorKind::StorageFull;
+                self.note_fault(FaultKind::StorageWrite, format!("journal append: {e}"));
+                if disk_full {
+                    AppendOutcome::DiskFull
+                } else {
+                    // EIO or a short write: the handle may have torn
+                    // bytes on disk. Poison it, rescan the sealed prefix
+                    // from disk, and land the line on the fresh handle.
+                    if self.resync_handle(inner) {
+                        self.append_resynced(inner, line)
+                    } else {
+                        self.degrade(inner, Some(line), "journal handle lost after write error");
+                        AppendOutcome::Buffered
+                    }
+                }
+            }
+        }
+    }
+
+    /// One append on a freshly resynced handle. No further retries: a
+    /// second failure immediately degrades.
+    fn append_resynced(&self, inner: &mut StoreInner, line: String) -> AppendOutcome {
+        let Some(file) = inner.file.as_mut() else {
+            self.degrade(inner, Some(line), "resync produced no handle");
+            return AppendOutcome::Buffered;
+        };
+        match file.write_all(line.as_bytes()) {
+            Ok(()) => {
+                self.bytes_written
+                    .fetch_add(line.len() as u64, Ordering::Relaxed);
+                AppendOutcome::Written
+            }
+            Err(e) => {
+                self.write_errors.fetch_add(1, Ordering::Relaxed);
+                self.note_fault(FaultKind::StorageWrite, format!("append after resync: {e}"));
+                self.degrade(inner, Some(line), "append failed twice");
+                AppendOutcome::Buffered
+            }
+        }
+    }
+
+    /// Queues a typed storage event without counting an I/O error
+    /// (degradation transitions and tolerated conditions).
+    fn note_event(&self, kind: FaultKind, detail: String) {
+        let mut events = self.events.lock().unwrap_or_else(PoisonError::into_inner);
+        if events.len() < MAX_EVENTS {
+            events.push(StorageEvent { kind, detail });
+        }
+        self.events_pending.store(true, Ordering::Release);
+    }
+
+    /// Counts an I/O error and queues its typed event.
+    fn note_fault(&self, kind: FaultKind, detail: String) {
+        self.io_errors.fetch_add(1, Ordering::Relaxed);
+        self.note_event(kind, detail);
+    }
+
+    /// Trips the store into degrade-to-memory mode (idempotent) and
+    /// buffers the line that had nowhere safe to go.
+    fn degrade(&self, inner: &mut StoreInner, line: Option<String>, why: &str) {
+        if inner.mode != StoreMode::Degraded {
+            inner.mode = StoreMode::Degraded;
+            inner.file = None;
+            self.degraded_transitions.fetch_add(1, Ordering::Relaxed);
+            self.note_event(
+                FaultKind::StorageDegraded,
+                format!("degrade-to-memory: {why}"),
+            );
+        }
+        if let Some(line) = line {
+            self.buffer_line(inner, line);
+        }
+    }
+
+    /// Restores durability after a successful compaction while degraded.
+    /// Buffered lines are *dropped*, not flushed: they predate the
+    /// snapshot that just committed, and replaying absolute `put`s on
+    /// top of it at recovery would regress newer state.
+    fn rearm_after(&self, inner: &mut StoreInner, compacted: bool) {
+        if compacted && inner.mode == StoreMode::Degraded {
+            inner.mode = StoreMode::Durable;
+            inner.buffered.clear();
+            self.rearms.fetch_add(1, Ordering::Relaxed);
+            self.note_event(
+                FaultKind::StorageDegraded,
+                "durability re-armed after compaction".into(),
+            );
+        }
+    }
+
+    /// Bounded RAM buffering while degraded: at the cap the *oldest*
+    /// line drops (puts carry absolute state, so newest wins).
+    fn buffer_line(&self, inner: &mut StoreInner, line: String) {
+        if inner.buffered.len() >= MAX_BUFFERED_LINES {
+            inner.buffered.remove(0);
+            inner.buffered_dropped += 1;
+        }
+        inner.buffered.push(line);
+    }
+
+    /// Re-derives a clean journal handle after a poisoned write or
+    /// fsync: re-reads the snapshot generation and the journal's sealed
+    /// prefix *from disk*, truncates the tail, and resumes there. Never
+    /// retries on the old descriptor (fsyncgate). Returns `false` when
+    /// the disk refuses — the caller degrades.
+    fn resync_handle(&self, inner: &mut StoreInner) -> bool {
+        inner.file = None;
+        let journal_path = self.dir.join(JOURNAL_FILE);
+        let attempt = (|| -> io::Result<(Box<dyn VfsFile>, u64)> {
+            let snap_gen = match self.vfs.read(&self.dir.join(SNAPSHOT_FILE)) {
+                Ok(bytes) => parse_snapshot(&String::from_utf8_lossy(&bytes))
+                    .map(|(_, _, generation)| generation)
+                    .map_err(|e| {
+                        io::Error::new(io::ErrorKind::InvalidData, format!("snapshot: {e}"))
+                    })?,
+                Err(e) if e.kind() == io::ErrorKind::NotFound => 0,
+                Err(e) => return Err(e),
+            };
+            let resume = match self.vfs.read(&journal_path) {
+                Ok(bytes) => {
+                    let text = String::from_utf8_lossy(&bytes);
+                    let scan = scan_journal(&text);
+                    (scan.gen == Some(snap_gen)).then_some(scan.valid_len as u64)
+                }
+                Err(e) if e.kind() == io::ErrorKind::NotFound => None,
+                Err(e) => return Err(e),
+            };
+            let file = match resume {
+                Some(len) => {
+                    let mut file = self.vfs.open_write(&journal_path)?;
+                    file.set_len(len)?;
+                    file.seek_end()?;
+                    file
+                }
+                None => {
+                    let mut file = self.vfs.create(&journal_path)?;
+                    file.write_all(
+                        sealed_line(&format!("{JOURNAL_MAGIC} gen {snap_gen}")).as_bytes(),
+                    )?;
+                    file
+                }
+            };
+            Ok((file, snap_gen))
+        })();
+        match attempt {
+            Ok((file, generation)) => {
+                inner.file = Some(file);
+                inner.generation = generation;
+                true
+            }
+            Err(e) => {
+                self.note_fault(FaultKind::StorageWrite, format!("journal resync: {e}"));
+                false
+            }
+        }
+    }
+
+    /// Directory fsync with the §16 classification: unsupported mounts
+    /// are tolerated (noted once — they could never make renames
+    /// power-loss-durable anyway); real failures propagate so the
+    /// checkpoint reports honestly.
+    /// When open could not *read* the journal, records the caller's
+    /// table never saw may still be sitting on disk — and compaction is
+    /// about to reset that file. Recover them first: puts land only for
+    /// kernels the live table does not hold (the journal's values
+    /// predate this life, so a fresh in-memory value always wins),
+    /// taints always re-apply (quarantine is the safe direction). If
+    /// the journal *still* will not read, the compaction is refused:
+    /// returning `Err` leaves the previous snapshot + journal intact
+    /// and loadable, which beats durably committing silent loss.
+    fn merge_unread_journal(
+        &self,
+        inner: &mut StoreInner,
+        table: &KernelTable,
+    ) -> Result<(), StoreError> {
+        match self.vfs.read(&self.dir.join(JOURNAL_FILE)) {
+            Ok(bytes) => {
+                let text = String::from_utf8_lossy(&bytes);
+                let scan = scan_journal(&text);
+                if scan.gen == Some(inner.generation) {
+                    for record in scan.records {
+                        match record {
+                            JournalRecord::Put {
+                                kernel,
+                                stat,
+                                tainted,
+                            } => {
+                                if table.stat(kernel).is_none() {
+                                    table.insert(kernel, stat);
+                                    if tainted {
+                                        table.taint(kernel);
+                                    }
+                                }
+                            }
+                            JournalRecord::Taint(kernel) => table.taint(kernel),
+                            JournalRecord::Breaker(_) => {}
+                        }
+                    }
+                }
+                inner.recovery_partial = false;
+                Ok(())
+            }
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {
+                inner.recovery_partial = false;
+                Ok(())
+            }
+            Err(e) => {
+                self.note_fault(
+                    FaultKind::StorageWrite,
+                    format!("compaction refused, unread journal still unreadable: {e}"),
+                );
+                Err(StoreError::Io(e))
+            }
+        }
+    }
+
+    fn sync_dir_counted(&self) -> io::Result<()> {
+        match classify_dir_sync(self.vfs.sync_dir(&self.dir)) {
+            DirSyncOutcome::Synced => Ok(()),
+            DirSyncOutcome::Unsupported => {
+                if !self.dir_sync_unsupported.swap(true, Ordering::Relaxed) {
+                    self.note_event(
+                        FaultKind::StorageSync,
+                        "directory fsync unsupported on this filesystem (tolerated)".into(),
+                    );
+                }
+                Ok(())
+            }
+            DirSyncOutcome::Failed(e) => Err(e),
         }
     }
 
@@ -436,66 +919,108 @@ impl TableStore {
         table: &KernelTable,
         breaker: BreakerState,
     ) -> Result<(), StoreError> {
+        if inner.recovery_partial {
+            self.merge_unread_journal(inner, table)?;
+        }
         let generation = inner.generation + 1;
         let text = snapshot_to_text(table, breaker, generation);
         let tmp = self.dir.join("table.snap.tmp");
-        {
-            let mut f = File::create(&tmp)?;
-            f.write_all(text.as_bytes())?;
-            f.sync_all()?;
+        // Once the rename commits, the *old* journal is stale (its
+        // generation lags the snapshot) and the live handle must not be
+        // reused; track where the failure landed.
+        let mut renamed = false;
+        let mut step = "write snapshot temp";
+        let result = (|| -> io::Result<Box<dyn VfsFile>> {
+            {
+                let mut f = self.vfs.create(&tmp)?;
+                step = "fill snapshot temp";
+                f.write_all(text.as_bytes())?;
+                step = "fsync snapshot temp";
+                f.sync_all()?;
+            }
+            // The commit point: a crash before this rename leaves the old
+            // snapshot + full journal; after it, the journal is stale (its
+            // generation lags) and recovery ignores it.
+            step = "rename snapshot";
+            self.vfs.rename(&tmp, &self.dir.join(SNAPSHOT_FILE))?;
+            renamed = true;
+            // A rename is durable only once its *directory* is synced:
+            // without this fsync, a power loss after the rename could
+            // resurrect the old snapshot beside the new-generation journal
+            // written below — a pair recovery refuses with
+            // `GenerationAhead` (the journal claims a base the snapshot no
+            // longer holds).
+            step = "fsync directory";
+            self.sync_dir_counted()?;
+            step = "reset journal";
+            let mut file = self.vfs.create(&self.dir.join(JOURNAL_FILE))?;
+            step = "write journal header";
+            file.write_all(sealed_line(&format!("{JOURNAL_MAGIC} gen {generation}")).as_bytes())?;
+            step = "fsync journal";
+            file.sync_all()?;
+            // Same reasoning for the journal reset: the first compaction
+            // *creates* the directory entry, and its durability needs the
+            // directory synced too.
+            step = "fsync directory after reset";
+            self.sync_dir_counted()?;
+            Ok(file)
+        })();
+        match result {
+            Ok(file) => {
+                self.bytes_written
+                    .fetch_add(text.len() as u64, Ordering::Relaxed);
+                inner.file = Some(file);
+                inner.generation = generation;
+                inner.appends = 0;
+                Ok(())
+            }
+            Err(e) => {
+                let kind = if step.contains("fsync") {
+                    FaultKind::StorageSync
+                } else {
+                    FaultKind::StorageWrite
+                };
+                self.note_fault(kind, format!("compaction, {step}: {e}"));
+                if renamed {
+                    // The snapshot committed but something after it
+                    // failed: the old handle now points at a stale (or
+                    // truncated) journal. Poison it and re-derive from
+                    // the new on-disk state; if even that fails, degrade.
+                    if !self.resync_handle(inner) {
+                        self.degrade(inner, None, "journal lost after snapshot commit");
+                    } else {
+                        inner.appends = 0;
+                    }
+                }
+                Err(StoreError::Io(e))
+            }
         }
-        // The commit point: a crash before this rename leaves the old
-        // snapshot + full journal; after it, the journal is stale (its
-        // generation lags) and recovery ignores it.
-        fs::rename(&tmp, self.dir.join(SNAPSHOT_FILE))?;
-        // A rename is durable only once its *directory* is synced: without
-        // this fsync, a power loss after the rename could resurrect the
-        // old snapshot beside the new-generation journal written below —
-        // a pair recovery refuses with `GenerationAhead` (the journal
-        // claims a base the snapshot no longer holds).
-        sync_dir(&self.dir)?;
-        let mut file = File::create(self.dir.join(JOURNAL_FILE))?;
-        file.write_all(sealed_line(&format!("{JOURNAL_MAGIC} gen {generation}")).as_bytes())?;
-        file.sync_all()?;
-        // Same reasoning for the journal reset: the first compaction
-        // *creates* the directory entry, and its durability needs the
-        // directory synced too.
-        sync_dir(&self.dir)?;
-        inner.file = Some(file);
-        inner.generation = generation;
-        inner.appends = 0;
-        Ok(())
     }
 }
 
-/// Fsyncs a directory handle so renames and file creations inside it
-/// survive power loss (POSIX makes *file* fsync say nothing about the
-/// directory entry). Filesystems that cannot sync a directory handle
-/// (some network and FUSE mounts return `EINVAL`/`ENOTSUP`) degrade to
-/// best-effort: the metadata operations already happened, and an error
-/// here must not fail a checkpoint those mounts could never make durable
-/// anyway.
-fn sync_dir(dir: &Path) -> io::Result<()> {
-    let handle = File::open(dir)?;
-    match handle.sync_all() {
-        Ok(()) => Ok(()),
-        Err(e) if e.raw_os_error() == Some(22) => Ok(()), // EINVAL
-        Err(e) if e.kind() == io::ErrorKind::Unsupported => Ok(()),
-        Err(e) => Err(e),
-    }
+/// Classification of a directory-fsync result: some mounts (network
+/// filesystems, FUSE) cannot sync a directory handle at all and report
+/// `EINVAL`/`ENOTSUP` — a capability gap, not a failing disk. POSIX
+/// makes *file* fsync say nothing about the directory entry, so on such
+/// mounts renames are simply never power-loss-durable and the store
+/// tolerates (but notes) it. Everything else is a real error.
+#[derive(Debug)]
+enum DirSyncOutcome {
+    /// The directory entry is durable.
+    Synced,
+    /// This filesystem cannot fsync directories (tolerated, noted once).
+    Unsupported,
+    /// A real sync failure — propagated to the caller.
+    Failed(io::Error),
 }
 
-/// Seek-to-end helper so a resumed journal appends after the valid
-/// prefix (plain `OpenOptions::append` cannot be combined with the
-/// `set_len` truncation above on all platforms).
-trait SeekToEnd {
-    fn seek_to_end(&mut self) -> io::Result<()>;
-}
-
-impl SeekToEnd for File {
-    fn seek_to_end(&mut self) -> io::Result<()> {
-        use std::io::Seek;
-        self.seek(io::SeekFrom::End(0)).map(|_| ())
+fn classify_dir_sync(result: io::Result<()>) -> DirSyncOutcome {
+    match result {
+        Ok(()) => DirSyncOutcome::Synced,
+        Err(e) if e.raw_os_error() == Some(22) => DirSyncOutcome::Unsupported, // EINVAL
+        Err(e) if e.raw_os_error() == Some(95) => DirSyncOutcome::Unsupported, // ENOTSUP
+        Err(e) if e.kind() == io::ErrorKind::Unsupported => DirSyncOutcome::Unsupported,
+        Err(e) => DirSyncOutcome::Failed(e),
     }
 }
 
@@ -729,6 +1254,9 @@ fn parse_record(body: &str) -> Option<JournalRecord> {
 mod tests {
     use super::*;
     use crate::eas::Accumulation;
+    use easched_runtime::vfs::{ChaosFs, ChaosFsPlan, StorageFault};
+    use easched_runtime::TickClock;
+    use std::fs;
     use std::sync::atomic::AtomicU32;
 
     /// A unique, self-cleaning store directory per test.
@@ -1002,5 +1530,198 @@ mod tests {
         assert!(table.is_tainted(900));
         assert_eq!(breaker, BreakerState::Open);
         assert_eq!(generation, 7);
+    }
+
+    /// A chaos store over `dir` with the given plan (seed fixed: the
+    /// schedules below pin exact operation indices).
+    fn chaos_store(dir: &Path, plan: ChaosFsPlan) -> (TableStore, Recovered, ChaosFs) {
+        let vfs = ChaosFs::new(42, plan, Arc::new(TickClock::new()));
+        let (store, recovered) =
+            TableStore::open_with(dir, Arc::new(vfs.clone())).expect("open never fails on writes");
+        (store, recovered, vfs)
+    }
+
+    #[test]
+    fn classify_dir_sync_distinguishes_unsupported_from_failure() {
+        assert!(matches!(classify_dir_sync(Ok(())), DirSyncOutcome::Synced));
+        // EINVAL, ENOTSUP, and ErrorKind::Unsupported are capability
+        // gaps: tolerated.
+        for err in [
+            io::Error::from_raw_os_error(22),
+            io::Error::from_raw_os_error(95),
+            io::Error::new(io::ErrorKind::Unsupported, "no dir fsync here"),
+        ] {
+            assert!(
+                matches!(classify_dir_sync(Err(err)), DirSyncOutcome::Unsupported),
+                "capability gap must be tolerated"
+            );
+        }
+        // A real EIO propagates.
+        let DirSyncOutcome::Failed(e) = classify_dir_sync(Err(io::Error::from_raw_os_error(5)))
+        else {
+            panic!("EIO is a real failure");
+        };
+        assert_eq!(e.raw_os_error(), Some(5));
+    }
+
+    #[test]
+    fn dir_sync_unsupported_is_tolerated_and_noted_once() {
+        let dir = TempDir::new();
+        let plan = ChaosFsPlan {
+            dir_sync_unsupported: true,
+            ..ChaosFsPlan::default()
+        };
+        let (store, _, _) = chaos_store(dir.path(), plan);
+        let table = learned_table();
+        store
+            .checkpoint(&table, BreakerState::Closed)
+            .expect("tolerated");
+        store
+            .checkpoint(&table, BreakerState::Closed)
+            .expect("tolerated");
+        let health = store.health();
+        assert!(health.dir_sync_unsupported);
+        assert_eq!(health.io_errors, 0, "a capability gap is not an I/O error");
+        let syncs = store
+            .take_events()
+            .into_iter()
+            .filter(|e| e.kind == FaultKind::StorageSync)
+            .count();
+        assert_eq!(syncs, 1, "noted once across four dir syncs");
+    }
+
+    #[test]
+    fn every_fsync_point_in_a_checkpoint_propagates_failure() {
+        // Open consumes ops 0..=3 on a fresh dir (2 reads, create,
+        // header write); a checkpoint spans the 9 ops after it. Schedule
+        // an fsync failure at each op: exactly the four sync points
+        // (snapshot fsync, dir fsync, journal fsync, dir fsync again)
+        // must fail the checkpoint — syncs are never silently absorbed.
+        let mut failures = 0;
+        for op in 4..13 {
+            let dir = TempDir::new();
+            let (store, _, _) =
+                chaos_store(dir.path(), ChaosFsPlan::at(op, StorageFault::FsyncFail));
+            if store
+                .checkpoint(&learned_table(), BreakerState::Closed)
+                .is_err()
+            {
+                failures += 1;
+            }
+            // Whatever happened, the store must still be usable and the
+            // on-disk state loadable.
+            store.record_entry(&learned_table(), 7);
+            let (_, recovered) = TableStore::open(dir.path()).expect("loadable");
+            assert_eq!(recovered.table.lookup(7), learned_table().lookup(7));
+        }
+        assert_eq!(failures, 4, "one per fsync point, no more, no less");
+    }
+
+    #[test]
+    fn enospc_on_append_triggers_emergency_compaction() {
+        let dir = TempDir::new();
+        let table = learned_table();
+        // Op 4 is the first journal append after a fresh open.
+        let (store, _, _) = chaos_store(dir.path(), ChaosFsPlan::at(4, StorageFault::Enospc));
+        store.record_entry(&table, 7);
+        assert!(!store.is_degraded(), "compaction freed the disk");
+        assert_eq!(store.generation(), 1, "emergency snapshot committed");
+        assert!(store.health().io_errors >= 1);
+        let (_, recovered) = TableStore::open(dir.path()).expect("loadable");
+        assert_eq!(
+            recovered.table.lookup(7),
+            table.lookup(7),
+            "the failed mutation rode the emergency snapshot"
+        );
+    }
+
+    #[test]
+    fn persistent_enospc_degrades_then_checkpoint_rearms() {
+        let dir = TempDir::new();
+        let table = learned_table();
+        // Append fails with ENOSPC *and* the emergency compaction's
+        // temp-file create fails right after: degrade-to-memory.
+        let plan = ChaosFsPlan {
+            schedule: vec![(4, StorageFault::Enospc), (5, StorageFault::Enospc)],
+            ..ChaosFsPlan::default()
+        };
+        let (store, _, _) = chaos_store(dir.path(), plan);
+        store.record_entry(&table, 7);
+        assert!(store.is_degraded());
+        store.record_entry(&table, 1);
+        // As in the profile loop, the table is tainted alongside the
+        // journal record — the re-arm snapshot carries it even though
+        // the buffered line is superseded.
+        table.taint(7);
+        store.record_taint(7);
+        let health = store.health();
+        assert_eq!(health.degraded_transitions, 1);
+        assert_eq!(health.buffered, 3, "mutations buffer in RAM while degraded");
+        // The disk "clears" (the schedule is exhausted): an explicit
+        // checkpoint is the re-arm probe.
+        store
+            .checkpoint(&table, BreakerState::Closed)
+            .expect("re-arm");
+        let health = store.health();
+        assert!(!health.degraded);
+        assert_eq!(health.rearms, 1);
+        assert_eq!(health.buffered, 0, "superseded by the snapshot");
+        store.record_entry(&table, 900);
+        let (_, recovered) = TableStore::open(dir.path()).expect("loadable");
+        assert_eq!(recovered.table.snapshot(), table.snapshot());
+        assert!(recovered.table.is_tainted(7), "taint survived via snapshot");
+    }
+
+    #[test]
+    fn short_write_poisons_handle_and_resyncs_to_sealed_prefix() {
+        let dir = TempDir::new();
+        let table = learned_table();
+        let (store, _, _) = chaos_store(dir.path(), ChaosFsPlan::at(4, StorageFault::ShortWrite));
+        store.record_entry(&table, 7); // torn on disk, then resynced + relanded
+        store.record_entry(&table, 1);
+        assert!(!store.is_degraded());
+        assert_eq!(store.health().io_errors, 1);
+        drop(store);
+        let (_, recovered) = TableStore::open(dir.path()).expect("loadable");
+        assert_eq!(recovered.discarded, 0, "the torn bytes were truncated away");
+        assert_eq!(recovered.replayed, 2);
+        assert_eq!(recovered.table.lookup(7), table.lookup(7));
+        assert_eq!(recovered.table.lookup(1), table.lookup(1));
+    }
+
+    #[test]
+    fn unreadable_journal_opens_degraded_not_fatal() {
+        let dir = TempDir::new();
+        let table = learned_table();
+        {
+            let (store, _) = TableStore::open(dir.path()).unwrap();
+            store.checkpoint(&table, BreakerState::Closed).unwrap();
+        }
+        // Snapshot read (op 0) is fine; journal read (op 1) EIOs.
+        let (store, recovered, _) = chaos_store(dir.path(), ChaosFsPlan::at(1, StorageFault::Eio));
+        assert!(store.is_degraded(), "journal unreadable: degraded open");
+        assert_eq!(
+            recovered.table.snapshot(),
+            table.snapshot(),
+            "the snapshot alone still recovers the table"
+        );
+        // And the store can still re-arm once the disk behaves.
+        store
+            .checkpoint(&table, BreakerState::Closed)
+            .expect("re-arm");
+        assert!(!store.is_degraded());
+    }
+
+    #[test]
+    fn storage_events_drain_once_and_are_typed() {
+        let dir = TempDir::new();
+        let (store, _, _) = chaos_store(dir.path(), ChaosFsPlan::at(4, StorageFault::Enospc));
+        assert!(!store.has_events());
+        store.record_entry(&learned_table(), 7);
+        assert!(store.has_events());
+        let events = store.take_events();
+        assert!(events.iter().any(|e| e.kind == FaultKind::StorageWrite));
+        assert!(!store.has_events());
+        assert!(store.take_events().is_empty(), "drained");
     }
 }

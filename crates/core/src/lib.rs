@@ -72,12 +72,13 @@ pub use guard::{FaultKind, ObservationGuard};
 pub use health::{
     BreakerGate, BreakerState, CircuitBreaker, FaultPolicy, Health, HealthReport, HealthSnapshot,
 };
-pub use journal::{Recovered, StoreError, TableStore};
+pub use journal::{Recovered, StorageEvent, StoreError, StoreHealth, StoreMode, TableStore};
 pub use kernel_table::{AlphaStat, KernelTable, ReuseProbe};
 pub use objective::Objective;
 pub use persist::{
-    fnv1a64, load_model, load_table, model_from_text, model_to_text, save_model, save_table,
-    table_from_text, table_to_text, ModelParseError,
+    fnv1a64, load_model, load_model_with, load_table, load_table_with, model_from_text,
+    model_to_text, save_model, save_model_with, save_table, save_table_with, table_from_text,
+    table_to_text, ModelParseError,
 };
 pub use power_model::{PowerCurve, PowerModel};
 pub use schemes::{Evaluator, SchemeResult, WorkloadComparison};

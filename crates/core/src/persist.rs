@@ -39,6 +39,7 @@ use crate::classify::WorkloadClass;
 use crate::kernel_table::{AlphaStat, KernelTable};
 use crate::power_model::{PowerCurve, PowerModel};
 use easched_num::Polynomial;
+use easched_runtime::vfs::Vfs;
 use std::error::Error;
 use std::fmt;
 use std::fs;
@@ -350,6 +351,19 @@ pub fn save_model(model: &PowerModel, path: impl AsRef<Path>) -> io::Result<()> 
     fs::write(path, model_to_text(model))
 }
 
+/// [`save_model`] through an explicit [`Vfs`] (the storage-chaos seam).
+///
+/// # Errors
+///
+/// Propagates filesystem errors, injected or real.
+pub fn save_model_with(
+    vfs: &dyn Vfs,
+    model: &PowerModel,
+    path: impl AsRef<Path>,
+) -> io::Result<()> {
+    vfs.write(path.as_ref(), model_to_text(model).as_bytes())
+}
+
 /// Loads a model from a file.
 ///
 /// # Errors
@@ -357,6 +371,19 @@ pub fn save_model(model: &PowerModel, path: impl AsRef<Path>) -> io::Result<()> 
 /// [`ModelParseError`] on I/O or format problems.
 pub fn load_model(path: impl AsRef<Path>) -> Result<PowerModel, ModelParseError> {
     model_from_text(&fs::read_to_string(path)?)
+}
+
+/// [`load_model`] through an explicit [`Vfs`].
+///
+/// # Errors
+///
+/// [`ModelParseError`] on I/O or format problems.
+pub fn load_model_with(
+    vfs: &dyn Vfs,
+    path: impl AsRef<Path>,
+) -> Result<PowerModel, ModelParseError> {
+    let bytes = vfs.read(path.as_ref())?;
+    model_from_text(&String::from_utf8_lossy(&bytes))
 }
 
 /// Format header of the legacy kernel-table format, version 1.
@@ -474,6 +501,19 @@ pub fn save_table(table: &KernelTable, path: impl AsRef<Path>) -> io::Result<()>
     fs::write(path, table_to_text(table))
 }
 
+/// [`save_table`] through an explicit [`Vfs`] (the storage-chaos seam).
+///
+/// # Errors
+///
+/// Propagates filesystem errors, injected or real.
+pub fn save_table_with(
+    vfs: &dyn Vfs,
+    table: &KernelTable,
+    path: impl AsRef<Path>,
+) -> io::Result<()> {
+    vfs.write(path.as_ref(), table_to_text(table).as_bytes())
+}
+
 /// Loads a kernel table from a file.
 ///
 /// # Errors
@@ -481,6 +521,19 @@ pub fn save_table(table: &KernelTable, path: impl AsRef<Path>) -> io::Result<()>
 /// [`ModelParseError`] on I/O or format problems.
 pub fn load_table(path: impl AsRef<Path>) -> Result<KernelTable, ModelParseError> {
     table_from_text(&fs::read_to_string(path)?)
+}
+
+/// [`load_table`] through an explicit [`Vfs`].
+///
+/// # Errors
+///
+/// [`ModelParseError`] on I/O or format problems.
+pub fn load_table_with(
+    vfs: &dyn Vfs,
+    path: impl AsRef<Path>,
+) -> Result<KernelTable, ModelParseError> {
+    let bytes = vfs.read(path.as_ref())?;
+    table_from_text(&String::from_utf8_lossy(&bytes))
 }
 
 #[cfg(test)]

@@ -137,6 +137,20 @@ pub(crate) fn schedule_invocation(
     if let Some(store) = store {
         // Deduplicated inside the store: only actual transitions append.
         store.record_breaker(health.breaker.state());
+        // Storage faults the store absorbed this invocation surface as
+        // control events — never as decision records, so fault-free runs
+        // and chaos runs record byte-identical rings (DESIGN.md §16).
+        if store.has_events() {
+            for ev in store.take_events() {
+                emit(
+                    sink,
+                    &ControlEvent::StorageFault {
+                        kind: ev.kind.code(),
+                        degraded: store.is_degraded(),
+                    },
+                );
+            }
+        }
     }
 }
 

@@ -18,11 +18,12 @@
 
 use crate::eas::{decision_log_csv, Decision, EasConfig, EasScheduler};
 use crate::engine::DecisionEngine;
-use crate::health::{Health, HealthReport};
+use crate::health::{merge_store_health, Health, HealthReport};
 use crate::journal::{Recovered, StoreError, TableStore};
 use crate::kernel_table::KernelTable;
 use crate::power_model::PowerModel;
 use crate::profile_loop;
+use easched_runtime::vfs::{StdFs, Vfs};
 use easched_runtime::{
     Backend, Clock, ConcurrentScheduler, InvocationCtx, KernelId, Shared, WallClock,
 };
@@ -106,7 +107,19 @@ impl SharedEas {
         config: EasConfig,
         dir: impl AsRef<Path>,
     ) -> Result<Arc<SharedEas>, StoreError> {
-        SharedEas::build_persistent(model, config, dir, None)
+        SharedEas::build_persistent(model, config, dir, None, Arc::new(StdFs))
+    }
+
+    /// [`SharedEas::with_persistence`] with an explicit [`Vfs`], so
+    /// storage-chaos runs can inject I/O faults into the journal without
+    /// touching the scheduling path (DESIGN.md §16).
+    pub fn with_persistence_vfs(
+        model: PowerModel,
+        config: EasConfig,
+        dir: impl AsRef<Path>,
+        vfs: Arc<dyn Vfs>,
+    ) -> Result<Arc<SharedEas>, StoreError> {
+        SharedEas::build_persistent(model, config, dir, None, vfs)
     }
 
     /// [`SharedEas::with_persistence`] plus a telemetry sink attached from
@@ -118,7 +131,20 @@ impl SharedEas {
         dir: impl AsRef<Path>,
         sink: Arc<dyn TelemetrySink>,
     ) -> Result<Arc<SharedEas>, StoreError> {
-        SharedEas::build_persistent(model, config, dir, Some(sink))
+        SharedEas::build_persistent(model, config, dir, Some(sink), Arc::new(StdFs))
+    }
+
+    /// [`SharedEas::with_telemetry_and_persistence`] with an explicit
+    /// [`Vfs`] — the full chaos wiring: journaled learning, typed
+    /// `StorageFault` control events on the sink, injected I/O faults.
+    pub fn with_telemetry_persistence_vfs(
+        model: PowerModel,
+        config: EasConfig,
+        dir: impl AsRef<Path>,
+        sink: Arc<dyn TelemetrySink>,
+        vfs: Arc<dyn Vfs>,
+    ) -> Result<Arc<SharedEas>, StoreError> {
+        SharedEas::build_persistent(model, config, dir, Some(sink), vfs)
     }
 
     fn build_persistent(
@@ -126,8 +152,9 @@ impl SharedEas {
         config: EasConfig,
         dir: impl AsRef<Path>,
         telemetry: Option<Arc<dyn TelemetrySink>>,
+        vfs: Arc<dyn Vfs>,
     ) -> Result<Arc<SharedEas>, StoreError> {
-        let (store, recovered) = TableStore::open(dir)?;
+        let (store, recovered) = TableStore::open_with(dir, vfs)?;
         let name = format!("EAS-shared({})", config.objective.name());
         let health = Health::new(&config.fault, config.drift, config.watchdog);
         let Recovered { table, breaker, .. } = recovered;
@@ -225,7 +252,11 @@ impl SharedEas {
     /// Fault-pipeline telemetry aggregated across all streams (see
     /// [`HealthReport`]). All zeros on a healthy platform.
     pub fn health(&self) -> HealthReport {
-        self.health.report()
+        let mut report = self.health.report();
+        if let Some(store) = &self.store {
+            merge_store_health(&mut report, store.health());
+        }
+        report
     }
 
     /// The fault-handling state shared by all streams (breaker inspection

@@ -48,7 +48,7 @@ pub use run::{
     kernel_traits, platform_by_name, replay_fleet, run_fleet, CrashPlan, FleetError, FleetReport,
     FleetSpec, NodeReport, TaintPlan, MAX_DRAIN_ROUNDS,
 };
-pub use stats::{expose_fleet, FleetStats};
+pub use stats::{expose_fleet, expose_fleet_store, FleetStats};
 pub use transport::{
     ChaosConfig, ChaosTransport, LinkStats, Partition, PerfectTransport, Transport,
 };

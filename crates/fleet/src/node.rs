@@ -15,8 +15,11 @@ use crate::frame::{Envelope, Frame, NodeId, Op};
 use crate::replica::{Applied, ReplicaTable};
 use crate::reprofile::ReprofileScheduler;
 use crate::stats::FleetStats;
-use easched_core::{characterize, CharacterizationConfig, EasConfig, SharedEas, StoreError};
+use easched_core::{
+    characterize, CharacterizationConfig, EasConfig, SharedEas, StoreError, StoreHealth,
+};
 use easched_runtime::sim_backend::SimBackend;
+use easched_runtime::vfs::{StdFs, Vfs};
 use easched_runtime::ConcurrentScheduler;
 use easched_sim::{KernelTraits, Machine, Platform};
 use easched_telemetry::{Span, SpanKind, SpanSink};
@@ -27,6 +30,10 @@ use std::sync::Arc;
 /// Cap on envelopes per entries frame — the batching knob. Leftovers go
 /// out on the next pull round.
 pub const MAX_ENTRIES_PER_FRAME: usize = 128;
+
+/// Attempts the start-time fencing checkpoint gets under injected I/O
+/// faults before the node settles for an in-memory epoch bump.
+const START_CHECKPOINT_RETRIES: usize = 8;
 
 /// Last state published for a kernel, used to detect changes worth an
 /// envelope (bit-exact float comparison, so re-publishing is silent only
@@ -97,14 +104,52 @@ impl FleetNode {
         machine_seed: u64,
         reprofile_budget: usize,
     ) -> Result<FleetNode, StoreError> {
+        FleetNode::start_with(
+            id,
+            platform,
+            config,
+            store_root,
+            machine_seed,
+            reprofile_budget,
+            Arc::new(StdFs),
+        )
+    }
+
+    /// [`start`](FleetNode::start) with an explicit [`Vfs`], so a fleet
+    /// run can put each node's journal on its own fault-injecting
+    /// filesystem (DESIGN.md §16).
+    ///
+    /// The start-time fencing checkpoint is retried a few times under
+    /// injected faults (each attempt advances the chaos op stream). If
+    /// the disk stays down the node still starts — degraded, with an
+    /// in-memory epoch bump standing in for the durable one, so this
+    /// life's envelopes cannot collide with the recovered generation.
+    #[allow(clippy::too_many_arguments)]
+    pub fn start_with(
+        id: NodeId,
+        platform: Platform,
+        config: EasConfig,
+        store_root: &Path,
+        machine_seed: u64,
+        reprofile_budget: usize,
+        vfs: Arc<dyn Vfs>,
+    ) -> Result<FleetNode, StoreError> {
         let store_dir = store_root.join(format!("node{id}"));
         let model = characterize(&platform, &CharacterizationConfig::default());
-        let shared = SharedEas::with_persistence(model, config, &store_dir)?;
-        shared.checkpoint()?;
-        let generation = shared
-            .store()
-            .expect("with_persistence attaches a store")
-            .generation();
+        let shared = SharedEas::with_persistence_vfs(model, config, &store_dir, vfs)?;
+        let mut fenced = false;
+        for _ in 0..START_CHECKPOINT_RETRIES {
+            if shared.checkpoint().is_ok() {
+                fenced = true;
+                break;
+            }
+        }
+        let store = shared.store().expect("with_persistence attaches a store");
+        let generation = if fenced {
+            store.generation()
+        } else {
+            store.generation() + 1
+        };
         let machine = Machine::with_seed(platform.clone(), machine_seed);
         let mut node = FleetNode {
             id,
@@ -177,6 +222,14 @@ impl FleetNode {
     /// Checkpoints the journal (normal shutdown; a crash skips this).
     pub fn checkpoint(&self) -> Result<(), StoreError> {
         self.shared.checkpoint()
+    }
+
+    /// This node's storage-health counters (DESIGN.md §16).
+    pub fn store_health(&self) -> StoreHealth {
+        self.shared
+            .store()
+            .expect("fleet nodes always persist")
+            .health()
     }
 
     /// Quarantines a kernel locally (the fault pipeline's taint) so the

@@ -13,10 +13,13 @@ use crate::frame::{Frame, FramePayload, NodeId};
 use crate::node::FleetNode;
 use crate::stats::FleetStats;
 use crate::transport::{ChaosConfig, ChaosTransport, Partition, Transport};
-use easched_core::{fnv1a64, EasConfig, Objective, RunSeed, StoreError};
+use easched_core::{fnv1a64, EasConfig, Objective, RunSeed, StoreError, StoreHealth};
 use easched_replay::{Event, RunLog, FORMAT_VERSION_FLEET};
+use easched_runtime::vfs::{ChaosFs, ChaosFsPlan, StdFs, Vfs};
+use easched_runtime::TickClock;
 use easched_sim::{KernelTraits, Platform};
 use std::path::PathBuf;
+use std::sync::Arc;
 
 /// Drain rounds allowed after the workload before declaring
 /// non-convergence.
@@ -70,6 +73,11 @@ pub struct FleetSpec {
     pub crash: Option<CrashPlan>,
     /// Optional taint injection.
     pub taint: Option<TaintPlan>,
+    /// Optional storage-chaos rate (per-mille, [`ChaosFsPlan::storm`]):
+    /// each node's journal goes on its own deterministic fault-injecting
+    /// filesystem, seeded per node (DESIGN.md §16). `None` keeps plain
+    /// disk I/O and the pre-chaos wire format.
+    pub chaos_fs: Option<u16>,
     /// Journal root; each node stores under `<root>/node<id>`. Empty
     /// means a per-run temp directory (removed afterwards).
     pub store_root: PathBuf,
@@ -94,6 +102,7 @@ impl FleetSpec {
             chaos: ChaosConfig::default(),
             crash: None,
             taint: None,
+            chaos_fs: None,
             store_root: PathBuf::new(),
         }
     }
@@ -118,7 +127,7 @@ impl FleetSpec {
         let taint = self.taint.map_or("-".to_string(), |t| {
             format!("{}:{}:{}", t.at_tick, t.node, t.kernel_index)
         });
-        format!(
+        let mut line = format!(
             "spec v1 seed {:016x} platforms {platforms} ticks {} inv {} items {} kernels {} \
              budget {} chaos {} {} {} {} {} partitions {partitions} crash {crash} taint {taint}",
             self.seed,
@@ -132,7 +141,14 @@ impl FleetSpec {
             self.chaos.reorder_per_mille,
             self.chaos.torn_per_mille,
             self.chaos.max_delay_ticks,
-        )
+        );
+        // Trailing optional token: emitted only when set, so every
+        // pre-storage-chaos log — committed fixtures included — stays
+        // byte-stable.
+        if let Some(rate) = self.chaos_fs {
+            line.push_str(&format!(" chaosfs {rate}"));
+        }
+        line
     }
 
     /// Parses a spec line (the inverse of [`FleetSpec::to_line`]). The
@@ -218,6 +234,11 @@ impl FleetSpec {
             }
             Some(plan)
         };
+        let chaos_fs = match p.next() {
+            None => None,
+            Some("chaosfs") => Some(p.next()?.parse().ok()?),
+            Some(_) => return None,
+        };
         if p.next().is_some() {
             return None;
         }
@@ -232,6 +253,7 @@ impl FleetSpec {
             chaos,
             crash,
             taint,
+            chaos_fs,
             store_root: PathBuf::new(),
         })
     }
@@ -282,6 +304,9 @@ pub struct NodeReport {
     /// chaos-free *scheduler* path (fabric chaos is not scheduler
     /// faults).
     pub fault_free: bool,
+    /// Storage-health counters for this node's journal (all zero unless
+    /// the run injected storage chaos; see DESIGN.md §16).
+    pub store: StoreHealth,
     /// Final replica digest.
     pub digest: u64,
 }
@@ -394,13 +419,25 @@ pub fn run_fleet(spec: &FleetSpec) -> Result<FleetReport, FleetError> {
         let name = &spec.platforms[usize::from(id)];
         let platform =
             platform_by_name(name).ok_or_else(|| FleetError::UnknownPlatform(name.clone()))?;
-        Ok(FleetNode::start(
+        // Per-node fault stream, reseeded (deterministically) on every
+        // start: a restarted node replays the same fault schedule its
+        // previous life saw, so crash/restart plans stay byte-stable.
+        let vfs: Arc<dyn Vfs> = match spec.chaos_fs {
+            None => Arc::new(StdFs),
+            Some(rate) => Arc::new(ChaosFs::new(
+                seed.derive_indexed("fleet/chaosfs", u64::from(id)),
+                ChaosFsPlan::storm(rate),
+                Arc::new(TickClock::new()),
+            )),
+        };
+        Ok(FleetNode::start_with(
             id,
             platform,
             config.clone(),
             &store_root,
             seed.derive_indexed("fleet/machine", u64::from(id)),
             spec.reprofile_budget,
+            vfs,
         )?)
     };
 
@@ -544,6 +581,7 @@ pub fn run_fleet(spec: &FleetSpec) -> Result<FleetReport, FleetError> {
         }
         let mut stats = state.carryover[usize::from(node.id)];
         fold(&mut stats, node.stats);
+        let store = node.store_health();
         nodes_report.push(NodeReport {
             id: node.id,
             platform: node.platform.name.to_string(),
@@ -552,10 +590,36 @@ pub fn run_fleet(spec: &FleetSpec) -> Result<FleetReport, FleetError> {
             table_len: node.shared().table().len(),
             priors_pending: node.shared().table().prior_count(),
             fault_free: node.shared().health().fault_free(),
+            store,
             digest: node.replica().digest(),
         });
-        // Normal shutdown checkpoints; tests reopen the stores.
-        node.checkpoint()?;
+        if spec.chaos_fs.is_some() {
+            // Storage-health lines ride the recorded log only on chaos
+            // runs (the fault stream is seed-deterministic, so replay
+            // reproduces them byte-identically); fault-free logs stay
+            // byte-stable.
+            state.lines.push(format!(
+                "storehealth node {} io {} degraded {} transitions {} rearms {} dropped {}",
+                node.id,
+                store.io_errors,
+                u8::from(store.degraded),
+                store.degraded_transitions,
+                store.rearms,
+                store.buffered_dropped,
+            ));
+        }
+        // Normal shutdown checkpoints; tests reopen the stores. Under
+        // injected storage faults the checkpoint may legitimately fail —
+        // the node ends degraded rather than failing the whole run.
+        match node.checkpoint() {
+            Ok(()) => {}
+            Err(e) if spec.chaos_fs.is_some() => {
+                state
+                    .lines
+                    .push(format!("checkpoint node {} failed {e}", node.id));
+            }
+            Err(e) => return Err(e.into()),
+        }
     }
     state.lines.push(format!(
         "converged {} rounds {drain_rounds} digest {digest:016x}",
@@ -712,6 +776,43 @@ mod tests {
         assert_ne!(id0, id1);
         assert_ne!(t0.cpu_rate(), t1.cpu_rate());
         assert_eq!(kernel_traits(0).1.cpu_rate(), t0.cpu_rate());
+    }
+
+    #[test]
+    fn spec_line_round_trips_with_chaos_fs() {
+        let mut spec = FleetSpec::three_nodes(0x2b);
+        spec.chaos_fs = Some(150);
+        let line = spec.to_line();
+        assert!(line.ends_with("chaosfs 150"), "{line}");
+        let back = FleetSpec::from_line(&line).expect("parses");
+        assert_eq!(back, spec);
+        // The pre-chaos wire format stays accepted (old fixtures).
+        spec.chaos_fs = None;
+        assert_eq!(FleetSpec::from_line(&spec.to_line()), Some(spec));
+    }
+
+    #[test]
+    fn storage_chaos_fleet_converges_and_replays_byte_identically() {
+        let base = std::env::temp_dir().join(format!("fleet-chaosfs-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&base);
+        let mut spec = FleetSpec::three_nodes(7);
+        spec.chaos_fs = Some(200);
+        spec.crash = Some(CrashPlan {
+            node: 1,
+            at_tick: 2,
+            restart_at_tick: 4,
+        });
+        spec.store_root = base.join("record");
+        let report = run_fleet(&spec).expect("chaotic disks never fail the run");
+        assert!(report.converged, "replication is storage-independent");
+        let injected: u64 = report.nodes.iter().map(|n| n.store.io_errors).sum();
+        assert!(injected > 0, "a 20% write-fault storm must land something");
+        for node in &report.nodes {
+            assert!(node.fault_free, "storage faults stay out of fault_free");
+        }
+        let replayed = replay_fleet(&report.log, base.join("replay")).expect("byte-identical");
+        assert_eq!(replayed.digest, report.digest);
+        let _ = std::fs::remove_dir_all(&base);
     }
 
     #[test]

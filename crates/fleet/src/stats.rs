@@ -5,6 +5,7 @@
 //! or torn frames are the chaos environment doing its job, not scheduler
 //! faults, so they must never disturb `fault_free()` (DESIGN.md §15).
 
+use easched_core::StoreHealth;
 use easched_telemetry::metrics::escape_label_value;
 
 /// One node's replication counters. Plain integers — the fleet loop is
@@ -78,6 +79,28 @@ pub fn expose_fleet(nodes: &[(String, FleetStats)]) -> String {
     out
 }
 
+/// Renders every node's journal storage-health counters (DESIGN.md §16)
+/// as a page fragment beside [`expose_fleet`]: the single-node
+/// `easched_store_*` series, node-labelled.
+pub fn expose_fleet_store(nodes: &[(String, StoreHealth)]) -> String {
+    let mut out = String::new();
+    out.push_str("# HELP easched_store Per-node journal storage health\n");
+    out.push_str("# TYPE easched_store counter\n");
+    for (name, health) in nodes {
+        let node = escape_label_value(name);
+        let mut line = |metric: &str, v: u64| {
+            out.push_str(&format!("easched_store_{metric}{{node=\"{node}\"}} {v}\n"));
+        };
+        line("io_errors", health.io_errors);
+        line("degraded", u64::from(health.degraded));
+        line("bytes", health.bytes_written);
+        line("degraded_transitions", health.degraded_transitions);
+        line("rearms", health.rearms);
+        line("buffered_dropped", health.buffered_dropped);
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -106,5 +129,31 @@ mod tests {
     fn hostile_node_names_are_escaped() {
         let page = expose_fleet(&[("a\"b\\c\nd".into(), FleetStats::default())]);
         assert!(page.contains("node=\"a\\\"b\\\\c\\nd\""), "{page}");
+    }
+
+    #[test]
+    fn store_health_exposes_per_node() {
+        let healthy = StoreHealth::default();
+        let sick = StoreHealth {
+            io_errors: 4,
+            degraded: true,
+            bytes_written: 512,
+            degraded_transitions: 1,
+            rearms: 0,
+            buffered_dropped: 2,
+            ..StoreHealth::default()
+        };
+        let page = expose_fleet_store(&[("node0".into(), healthy), ("node1".into(), sick)]);
+        assert!(page.contains("easched_store_io_errors{node=\"node0\"} 0"));
+        assert!(page.contains("easched_store_io_errors{node=\"node1\"} 4"));
+        assert!(page.contains("easched_store_degraded{node=\"node1\"} 1"));
+        assert!(page.contains("easched_store_bytes{node=\"node1\"} 512"));
+        assert!(page.contains("easched_store_buffered_dropped{node=\"node1\"} 2"));
+        for line in page.lines().filter(|l| !l.starts_with('#')) {
+            assert!(
+                line.starts_with("easched_store_") && line.contains("{node=\""),
+                "{line}"
+            );
+        }
     }
 }

@@ -19,9 +19,12 @@
 //! distinguishes a truncated log from a complete one.
 
 use easched_core::fnv1a64;
+use easched_runtime::vfs::Vfs;
 use easched_runtime::Observation;
 use easched_sim::CounterSnapshot;
 use easched_telemetry::DecisionRecord;
+use std::io;
+use std::path::Path;
 
 /// Format version written in the header. Bump when the line grammar
 /// changes; [`RunLog::from_text`] refuses versions it does not know, so a
@@ -202,6 +205,32 @@ impl RunLog {
         }
         seal_line(&mut out, &format!("end {}", self.events.len()));
         out
+    }
+
+    /// Writes the serialized log through a [`Vfs`] — the storage-chaos
+    /// seam (DESIGN.md §16). With [`StdFs`](easched_runtime::vfs::StdFs)
+    /// this is `fs::write` plus an fsync; under a chaos fs the write can
+    /// fail, which is the point.
+    pub fn save_with(&self, vfs: &dyn Vfs, path: &Path) -> io::Result<()> {
+        vfs.write(path, self.to_text().as_bytes())?;
+        let mut file = vfs.open_write(path)?;
+        file.sync_all()
+    }
+
+    /// [`save_with`](RunLog::save_with) under fault injection: retries up
+    /// to `attempts` times, advancing the chaos fs's op counter past the
+    /// fault window each round. Returns how many attempts failed before
+    /// one stuck, or the last error once the budget is spent — the
+    /// CLI-level twin of the store's degrade-and-re-arm loop.
+    pub fn save_with_retries(&self, vfs: &dyn Vfs, path: &Path, attempts: u32) -> io::Result<u32> {
+        let mut failed = 0;
+        loop {
+            match self.save_with(vfs, path) {
+                Ok(()) => return Ok(failed),
+                Err(e) if failed + 1 >= attempts => return Err(e),
+                Err(_) => failed += 1,
+            }
+        }
     }
 
     /// Parses a log, tolerating a torn tail: the first line whose seal or
@@ -644,6 +673,32 @@ mod tests {
         assert_eq!(back.to_text(), text);
         assert!(back.complete);
         assert_eq!(back.events.len(), log.events.len());
+    }
+
+    #[test]
+    fn save_with_retries_rides_out_injected_faults() {
+        use easched_runtime::vfs::{ChaosFs, ChaosFsPlan, StorageFault};
+        use easched_runtime::TickClock;
+        use std::sync::Arc;
+
+        let dir = std::env::temp_dir().join(format!("runlog-chaos-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("run.log");
+        let log = sample_log();
+        // Attempt 1 consumes ops 0 (create) and 1 (write_all, faulted);
+        // attempt 2 runs ops 2..=5 (create, write_all, open_write,
+        // sync_all — faulted); attempt 3 must land on ops 6..=9.
+        let plan = ChaosFsPlan::at(1, StorageFault::Enospc).then(5, StorageFault::FsyncFail);
+        let vfs = ChaosFs::new(11, plan, Arc::new(TickClock::new()));
+        let failed = log.save_with_retries(&vfs, &path, 8).unwrap();
+        assert_eq!(failed, 2, "both scheduled faults cost one attempt each");
+        let back = RunLog::from_text(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert!(back.complete);
+        assert_eq!(back.to_text(), log.to_text());
+        // A budget smaller than the fault window surfaces the error.
+        let stubborn = ChaosFs::new(11, ChaosFsPlan::storm(1000), Arc::new(TickClock::new()));
+        assert!(log.save_with_retries(&stubborn, &path, 3).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -42,6 +42,7 @@ pub mod scheduler;
 pub mod sim_backend;
 pub mod telemetry;
 pub mod thread_backend;
+pub mod vfs;
 
 pub use admission::{
     AdmissionConfig, AdmissionController, AdmissionOutcome, BrownoutConfig, BrownoutController,
@@ -64,3 +65,4 @@ pub use scheduler::{ConcurrentScheduler, GpuPolicy, InvocationCtx, KernelId, Sch
 pub use sim_backend::{kernel_id_of, replay_trace, run_workload, SchedulerInvoker, SimBackend};
 pub use telemetry::InstrumentedBackend;
 pub use thread_backend::{ThreadBackend, ThreadBackendConfig};
+pub use vfs::{ChaosFs, ChaosFsPlan, StdFs, StorageFault, Vfs, VfsFile};

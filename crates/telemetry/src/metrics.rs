@@ -202,6 +202,14 @@ pub struct MetricsRegistry {
     pub brownout_level: Gauge,
     /// SLO burn-rate breaches fired by the tracker, across tenants.
     pub slo_breaches: Counter,
+    /// Storage-layer I/O faults absorbed by the table store (DESIGN.md
+    /// §16): failed appends, poisoned fsyncs, degradation transitions.
+    pub store_io_errors: Counter,
+    /// 1 while the table store is in degrade-to-memory mode, else 0.
+    pub store_degraded: Gauge,
+    /// Bytes the table store successfully persisted (set from the health
+    /// report by the scrape frontends; control events do not carry it).
+    pub store_bytes: Gauge,
     /// Latest drift EWMA per kernel, stored as `f64` bits (see
     /// [`kernel_drift`](MetricsRegistry::kernel_drift)).
     kernel_drift_ewma: RwLock<BTreeMap<u64, AtomicU64>>,
@@ -331,6 +339,10 @@ impl MetricsRegistry {
             ControlEvent::SloBreach { tenant, .. } => {
                 self.slo_breaches.inc();
                 bump_labeled(&self.tenant_slo_breaches, tenant);
+            }
+            ControlEvent::StorageFault { degraded, .. } => {
+                self.store_io_errors.inc();
+                self.store_degraded.swap(u64::from(degraded));
             }
         }
     }
@@ -571,6 +583,11 @@ impl MetricsRegistry {
             self.slo_breaches.get(),
         );
         counter(
+            "easched_store_io_errors",
+            "Storage I/O faults absorbed by the table store",
+            self.store_io_errors.get(),
+        );
+        counter(
             "easched_profile_time_microseconds_total",
             "Realized profiling-phase time",
             self.profile_time_us.get(),
@@ -600,6 +617,23 @@ impl MetricsRegistry {
             "easched_brownout_level {}\n",
             self.brownout_level.get()
         ));
+        push_meta(
+            &mut out,
+            "easched_store_degraded",
+            "1 while the table store is in degrade-to-memory mode",
+            "gauge",
+        );
+        out.push_str(&format!(
+            "easched_store_degraded {}\n",
+            self.store_degraded.get()
+        ));
+        push_meta(
+            &mut out,
+            "easched_store_bytes",
+            "Bytes the table store successfully persisted",
+            "gauge",
+        );
+        out.push_str(&format!("easched_store_bytes {}\n", self.store_bytes.get()));
         push_histogram(
             &mut out,
             "easched_decide_latency_nanoseconds",
@@ -984,6 +1018,31 @@ mod tests {
         let page = reg.expose();
         assert!(page.contains("easched_slo_breaches_total 3"));
         assert!(page.contains("easched_tenant_slo_breaches_total{tenant=\"4\"} 2"));
+    }
+
+    #[test]
+    fn storage_fault_events_count_and_track_degradation() {
+        let reg = MetricsRegistry::default();
+        reg.control(&ControlEvent::StorageFault {
+            kind: 8,
+            degraded: false,
+        });
+        reg.control(&ControlEvent::StorageFault {
+            kind: 10,
+            degraded: true,
+        });
+        assert_eq!(reg.store_io_errors.get(), 2);
+        assert_eq!(reg.store_degraded.get(), 1);
+        reg.control(&ControlEvent::StorageFault {
+            kind: 10,
+            degraded: false,
+        });
+        assert_eq!(reg.store_degraded.get(), 0, "re-arm clears the gauge");
+        reg.store_bytes.swap(4096);
+        let page = reg.expose();
+        assert!(page.contains("easched_store_io_errors 3"));
+        assert!(page.contains("easched_store_degraded 0"));
+        assert!(page.contains("easched_store_bytes 4096"));
     }
 
     #[test]

@@ -91,6 +91,17 @@ pub enum ControlEvent {
         /// Stable signal code (0 queue-wait, 1 edp-ratio, 2 shed-rate).
         signal: u8,
     },
+    /// The table store absorbed a storage-layer I/O fault (DESIGN.md
+    /// §16): a failed append, a poisoned fsync, or a degradation-state
+    /// transition. Reduced durability, never reduced scheduling fidelity.
+    StorageFault {
+        /// The stable `FaultKind` code (8 write, 9 fsync, 10
+        /// degradation transition).
+        kind: u8,
+        /// Whether the store is in degrade-to-memory mode after this
+        /// event.
+        degraded: bool,
+    },
 }
 
 /// Receives one structured event per kernel invocation.

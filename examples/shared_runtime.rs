@@ -30,6 +30,14 @@
 //! non-zero if recovery surfaced anything corrupt — the assertion half of
 //! ci.sh's SIGKILL smoke test.
 //!
+//! With `--chaos-fs <per-mille>`, the store's filesystem is wrapped in a
+//! seed-deterministic `ChaosFs` (DESIGN.md §16) that injects ENOSPC,
+//! short writes, and fsync failures at the given per-mille rate. The
+//! scheduler must keep deciding at full fidelity while the store degrades
+//! to memory and re-arms; the final checkpoint is retried a bounded
+//! number of times and a persistent failure is reported, not fatal —
+//! exactly the behaviour ci.sh's storage-chaos stage asserts.
+//!
 //! With `--record <file>`, one stream runs the workload set through the
 //! shared scheduler with every determinism seam tapped (virtual clock,
 //! seeded config, recorded observations — DESIGN.md §12) and writes a
@@ -43,10 +51,12 @@
 use easched::core::telemetry::{parse_trace, to_trace};
 use easched::core::{
     characterize, table_to_text, CharacterizationConfig, EasConfig, EasRuntime, Objective,
-    RingSink, SharedEas, TableStore, TelemetrySink,
+    RingSink, RunSeed, SharedEas, TableStore, TelemetrySink,
 };
 use easched::kernels::suite;
 use easched::runtime::kernel_id_of;
+use easched::runtime::vfs::{ChaosFs, ChaosFsPlan, StdFs, Vfs};
+use easched::runtime::TickClock;
 use easched::sim::Platform;
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -61,6 +71,7 @@ struct Options {
     record: Option<PathBuf>,
     replay: Option<PathBuf>,
     seed: u64,
+    chaos_fs: Option<u16>,
 }
 
 fn options() -> Options {
@@ -72,6 +83,7 @@ fn options() -> Options {
         record: None,
         replay: None,
         seed: 7,
+        chaos_fs: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -108,6 +120,14 @@ fn options() -> Options {
                     .next()
                     .and_then(|n| n.parse().ok())
                     .expect("--seed requires an integer")
+            }
+            "--chaos-fs" => {
+                let rate: u16 = args
+                    .next()
+                    .and_then(|n| n.parse().ok())
+                    .expect("--chaos-fs requires a per-mille rate (0..=1000)");
+                assert!(rate <= 1000, "--chaos-fs rate must be 0..=1000 per mille");
+                opts.chaos_fs = Some(rate);
             }
             other => panic!("unknown flag {other:?}"),
         }
@@ -251,17 +271,34 @@ fn main() {
 
     // One scheduler, shared by every stream. With `--store`, it first
     // recovers whatever an earlier process learned (crashed or not).
+    // `--chaos-fs` swaps the store's filesystem for a seed-deterministic
+    // fault injector; everything above the Vfs seam is unchanged.
     let config = EasConfig::new(Objective::EnergyDelay);
+    let vfs: Arc<dyn Vfs> = match opts.chaos_fs {
+        None => Arc::new(StdFs),
+        Some(rate) => {
+            println!(
+                "storage chaos: ChaosFs storm at {rate}\u{2030} (seed {})",
+                opts.seed
+            );
+            Arc::new(ChaosFs::new(
+                RunSeed::new(opts.seed).derive("chaos-fs"),
+                ChaosFsPlan::storm(rate),
+                Arc::new(TickClock::new()),
+            ))
+        }
+    };
     let eas = match (&opts.store, &tracing) {
-        (Some(dir), Some((_, sink))) => SharedEas::with_telemetry_and_persistence(
+        (Some(dir), Some((_, sink))) => SharedEas::with_telemetry_persistence_vfs(
             model,
             config,
             dir,
             sink.clone() as Arc<dyn TelemetrySink>,
+            vfs,
         )
         .expect("open table store"),
         (Some(dir), None) => {
-            SharedEas::with_persistence(model, config, dir).expect("open table store")
+            SharedEas::with_persistence_vfs(model, config, dir, vfs).expect("open table store")
         }
         (None, Some((_, sink))) => {
             SharedEas::with_telemetry(model, config, sink.clone() as Arc<dyn TelemetrySink>)
@@ -323,8 +360,40 @@ fn main() {
     // process warm-starts instead of re-profiling.
     println!("\npersisted table:\n{}", table_to_text(eas.table()));
     if opts.store.is_some() {
-        eas.checkpoint().expect("checkpoint table store");
-        println!("checkpointed store (journal compacted into a fresh snapshot)");
+        // Under `--chaos-fs` the checkpoint may hit injected faults; each
+        // retry advances the fault stream past the window, so a bounded
+        // loop re-arms durability. A still-failing disk is reported, not
+        // fatal — the scheduler kept full fidelity the whole run.
+        let attempts = if opts.chaos_fs.is_some() { 32 } else { 1 };
+        let mut failed = 0u32;
+        loop {
+            match eas.checkpoint() {
+                Ok(()) => {
+                    if failed > 0 {
+                        println!("checkpoint re-armed after {failed} injected faults");
+                    }
+                    println!("checkpointed store (journal compacted into a fresh snapshot)");
+                    break;
+                }
+                Err(e) if opts.chaos_fs.is_some() => {
+                    failed += 1;
+                    if failed >= attempts {
+                        println!("checkpoint still failing after {failed} attempts ({e}); store stays degraded-to-memory");
+                        break;
+                    }
+                }
+                Err(e) => panic!("checkpoint table store: {e}"),
+            }
+        }
+        let health = eas.health();
+        if opts.chaos_fs.is_some() {
+            println!(
+                "store health: {} io errors absorbed, degraded {}, {} journal bytes",
+                health.store_io_errors,
+                health.store_degraded != 0,
+                health.store_bytes
+            );
+        }
     }
 
     if let Some((path, sink)) = &tracing {

@@ -7,6 +7,7 @@
 //!              [--model FILE] [--decisions FILE]
 //! easched compare --workload SM|all [--platform P] [--objective O] [--model FILE]
 //! easched record --out FILE [--seed N] [--rounds N] [--rate F]
+//!                [--chaos-fs PERMILLE]
 //! easched record --out FILE --overload [--seed N] [--ticks N]
 //! easched replay --log FILE [--at N] [--bisect] [--perturb N] [--emit-fixture FILE]
 //! easched serve [--addr HOST:PORT] [--socket PATH] [--seed N] [--ticks N]
@@ -14,8 +15,8 @@
 //! easched scrape (--addr HOST:PORT | --socket PATH) [--path /metrics]
 //! easched fleet [--nodes N] [--seed N] [--ticks N] [--quiet-fabric]
 //!               [--partition A:B:FROM:TO] [--crash NODE:AT:RESTART]
-//!               [--taint TICK:NODE:KERNEL] [--store DIR] [--record FILE]
-//!               [--metrics]
+//!               [--taint TICK:NODE:KERNEL] [--chaos-fs PERMILLE]
+//!               [--store DIR] [--record FILE] [--metrics]
 //! easched fleet --replay FILE [--store DIR]
 //! easched fleet --verify-recovery DIR
 //! ```
@@ -42,10 +43,11 @@
 
 use easched::core::{
     characterize, load_model, save_model, CharacterizationConfig, EasConfig, EasRuntime, Evaluator,
-    HealthReport, Objective, PowerModel, TableStore, TenantFrontend,
+    HealthReport, Objective, PowerModel, RunSeed, TableStore, TenantFrontend,
 };
 use easched::fleet::{
-    expose_fleet, replay_fleet, run_fleet, ChaosConfig, CrashPlan, FleetSpec, Partition, TaintPlan,
+    expose_fleet, expose_fleet_store, replay_fleet, run_fleet, ChaosConfig, CrashPlan, FleetSpec,
+    Partition, TaintPlan,
 };
 use easched::kernels::{suite, Workload};
 use easched::replay::overload::overload_registry;
@@ -54,6 +56,8 @@ use easched::replay::{
     replay_chaos_storm, replay_overload_storm, OverloadSpec, RunLog, StormSpec,
     FORMAT_VERSION_ADMISSION, FORMAT_VERSION_FLEET,
 };
+use easched::runtime::vfs::{ChaosFs, ChaosFsPlan};
+use easched::runtime::TickClock;
 use easched::sim::Platform;
 use easched::telemetry::{
     http_get, to_trace_with_spans, uds_get, Page, Router, ScrapeServer, ServeConfig, TimeSource,
@@ -89,6 +93,7 @@ enum Command {
         rate: f64,
         overload: bool,
         ticks: u64,
+        chaos_fs: Option<u16>,
     },
     Replay {
         log: String,
@@ -119,6 +124,7 @@ enum Command {
         partitions: Vec<Partition>,
         crash: Option<CrashPlan>,
         taint: Option<TaintPlan>,
+        chaos_fs: Option<u16>,
         store: Option<String>,
         record: Option<String>,
         metrics: bool,
@@ -175,7 +181,7 @@ usage:
   easched run --workload ABBREV [--platform P] [--objective edp|energy|ed2|time]
                [--model FILE] [--decisions FILE]
   easched compare --workload ABBREV|all [--platform P] [--objective O] [--model FILE]
-  easched record --out FILE [--seed N] [--rounds N] [--rate F]
+  easched record --out FILE [--seed N] [--rounds N] [--rate F] [--chaos-fs PERMILLE]
   easched record --out FILE --overload [--seed N] [--ticks N]
   easched replay --log FILE [--at N] [--bisect] [--perturb N] [--emit-fixture FILE]
   easched serve [--addr HOST:PORT] [--socket PATH] [--seed N] [--ticks N]
@@ -183,7 +189,8 @@ usage:
   easched scrape (--addr HOST:PORT | --socket PATH) [--path /metrics]
   easched fleet [--nodes N] [--seed N] [--ticks N] [--quiet-fabric]
                 [--partition A:B:FROM:TO] [--crash NODE:AT:RESTART]
-                [--taint TICK:NODE:KERNEL] [--store DIR] [--record FILE] [--metrics]
+                [--taint TICK:NODE:KERNEL] [--chaos-fs PERMILLE]
+                [--store DIR] [--record FILE] [--metrics]
   easched fleet --replay FILE [--store DIR]
   easched fleet --verify-recovery DIR";
 
@@ -240,6 +247,7 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
     let mut metrics = false;
     let mut replay: Option<String> = None;
     let mut verify_recovery: Option<String> = None;
+    let mut chaos_fs: Option<u16> = None;
     let mut ticks_set = false;
 
     while let Some(flag) = it.next() {
@@ -333,6 +341,15 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
             "--metrics" => metrics = true,
             "--replay" => replay = Some(value("--replay")?),
             "--verify-recovery" => verify_recovery = Some(value("--verify-recovery")?),
+            "--chaos-fs" => {
+                let rate: u16 = value("--chaos-fs")?
+                    .parse()
+                    .map_err(|e| format!("--chaos-fs: {e}"))?;
+                if rate > 1000 {
+                    return Err("--chaos-fs is a per-mille rate (0..=1000)".to_string());
+                }
+                chaos_fs = Some(rate);
+            }
             "--perturb" => {
                 perturb = Some(
                     value("--perturb")?
@@ -378,6 +395,7 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
             rate,
             overload,
             ticks,
+            chaos_fs,
         }),
         "replay" => Ok(Command::Replay {
             log: log.ok_or("replay requires --log")?,
@@ -416,6 +434,7 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
                 partitions,
                 crash,
                 taint,
+                chaos_fs,
                 store,
                 record,
                 metrics,
@@ -577,7 +596,15 @@ fn cmd_compare(
     }
 }
 
-fn cmd_record(out: &str, seed: u64, rounds: usize, rate: f64, overload: bool, ticks: u64) {
+fn cmd_record(
+    out: &str,
+    seed: u64,
+    rounds: usize,
+    rate: f64,
+    overload: bool,
+    ticks: u64,
+    chaos_fs: Option<u16>,
+) {
     let log = if overload {
         let spec = OverloadSpec {
             ticks,
@@ -604,10 +631,35 @@ fn cmd_record(out: &str, seed: u64, rounds: usize, rate: f64, overload: bool, ti
     };
     let decisions = log.decisions().len();
     let events = log.events.len();
-    std::fs::write(out, log.to_text()).unwrap_or_else(|e| {
-        eprintln!("cannot write log to {out}: {e}");
-        std::process::exit(2);
-    });
+    match chaos_fs {
+        None => std::fs::write(out, log.to_text()).unwrap_or_else(|e| {
+            eprintln!("cannot write log to {out}: {e}");
+            std::process::exit(2);
+        }),
+        // Storage chaos on the save path (DESIGN.md §16): the log is
+        // written through a deterministic fault-injecting filesystem,
+        // retried until the fault window passes. The log *contents* are
+        // untouched — a fault-free replay of a chaos-saved log is still
+        // byte-identical.
+        Some(per_mille) => {
+            let vfs = ChaosFs::new(
+                RunSeed::new(seed).derive("chaos-fs"),
+                ChaosFsPlan::storm(per_mille),
+                Arc::new(TickClock::new()),
+            );
+            match log.save_with_retries(&vfs, std::path::Path::new(out), 32) {
+                Ok(0) => {}
+                Ok(failed) => eprintln!(
+                    "chaos-fs: {failed} save attempt(s) absorbed injected faults \
+                     before the log landed"
+                ),
+                Err(e) => {
+                    eprintln!("cannot write log to {out} (after 32 chaotic attempts): {e}");
+                    std::process::exit(2);
+                }
+            }
+        }
+    }
     println!("recorded {decisions} decisions ({events} events) to {out}");
 }
 
@@ -625,7 +677,8 @@ fn health_json(h: &HealthReport) -> String {
          \"recoveries\":{},\"taints\":{},\"quarantined_invocations\":{},\
          \"drift_reprofiles\":{},\"reprofiles_suppressed\":{},\"watchdog_trips\":{},\
          \"split_overruns\":{},\"throttled_invocations\":{},\"requests_shed\":{},\
-         \"requests_queued\":{},\"quota_denials\":{},\"brownout_transitions\":{}}}",
+         \"requests_queued\":{},\"quota_denials\":{},\"brownout_transitions\":{},\
+         \"store_io_errors\":{},\"store_degraded\":{},\"store_bytes\":{}}}",
         h.fault_free(),
         h.observations_accepted,
         h.observations_rejected,
@@ -645,6 +698,9 @@ fn health_json(h: &HealthReport) -> String {
         h.requests_queued,
         h.quota_denials,
         h.brownout_transitions,
+        h.store_io_errors,
+        h.store_degraded,
+        h.store_bytes,
     )
 }
 
@@ -1044,6 +1100,7 @@ struct FleetArgs {
     partitions: Vec<Partition>,
     crash: Option<CrashPlan>,
     taint: Option<TaintPlan>,
+    chaos_fs: Option<u16>,
     store: Option<String>,
     record: Option<String>,
     metrics: bool,
@@ -1093,9 +1150,10 @@ fn cmd_fleet(args: FleetArgs) {
     spec.chaos.partitions = args.partitions;
     spec.crash = args.crash;
     spec.taint = args.taint;
+    spec.chaos_fs = args.chaos_fs;
     spec.store_root = args.store.map(std::path::PathBuf::from).unwrap_or_default();
     eprintln!(
-        "running a {}-node fleet: seed {}, {} tick(s), fabric {}{}{} ...",
+        "running a {}-node fleet: seed {}, {} tick(s), fabric {}{}{}{} ...",
         args.nodes,
         args.seed,
         args.ticks,
@@ -1113,6 +1171,8 @@ fn cmd_fleet(args: FleetArgs) {
             ", kill -9 node {} at tick {}",
             c.node, c.at_tick
         )),
+        spec.chaos_fs
+            .map_or(String::new(), |p| format!(", storage chaos {p}\u{2030}")),
     );
     let report = run_fleet(&spec).unwrap_or_else(|e| {
         eprintln!("{e}");
@@ -1137,6 +1197,24 @@ fn cmd_fleet(args: FleetArgs) {
             n.digest,
         );
     }
+    if spec.chaos_fs.is_some() {
+        println!(
+            "{:<5} {:>9} {:>8} {:>11} {:>6} {:>7} {:>10}",
+            "node", "io-errors", "degraded", "transitions", "rearms", "dropped", "bytes"
+        );
+        for n in &report.nodes {
+            println!(
+                "{:<5} {:>9} {:>8} {:>11} {:>6} {:>7} {:>10}",
+                n.label,
+                n.store.io_errors,
+                u8::from(n.store.degraded),
+                n.store.degraded_transitions,
+                n.store.rearms,
+                n.store.buffered_dropped,
+                n.store.bytes_written,
+            );
+        }
+    }
     if args.metrics {
         let labeled: Vec<(String, easched::fleet::FleetStats)> = report
             .nodes
@@ -1144,6 +1222,12 @@ fn cmd_fleet(args: FleetArgs) {
             .map(|n| (n.label.clone(), n.stats))
             .collect();
         print!("{}", expose_fleet(&labeled));
+        let stores: Vec<(String, easched::core::StoreHealth)> = report
+            .nodes
+            .iter()
+            .map(|n| (n.label.clone(), n.store))
+            .collect();
+        print!("{}", expose_fleet_store(&stores));
     }
     if let Some(out) = args.record {
         std::fs::write(&out, report.log.to_text()).unwrap_or_else(|e| {
@@ -1191,7 +1275,8 @@ fn main() {
             rate,
             overload,
             ticks,
-        }) => cmd_record(&out, seed, rounds, rate, overload, ticks),
+            chaos_fs,
+        }) => cmd_record(&out, seed, rounds, rate, overload, ticks, chaos_fs),
         Ok(Command::Replay {
             log,
             at,
@@ -1219,6 +1304,7 @@ fn main() {
             partitions,
             crash,
             taint,
+            chaos_fs,
             store,
             record,
             metrics,
@@ -1232,6 +1318,7 @@ fn main() {
             partitions,
             crash,
             taint,
+            chaos_fs,
             store,
             record,
             metrics,
@@ -1319,10 +1406,21 @@ mod tests {
                 rate: 0.2,
                 overload: false,
                 ticks: OverloadSpec::new(0).ticks,
+                chaos_fs: None,
             }
         );
         let c = parse(&[
-            "record", "--out", "r.log", "--seed", "1009", "--rounds", "3", "--rate", "0.5",
+            "record",
+            "--out",
+            "r.log",
+            "--seed",
+            "1009",
+            "--rounds",
+            "3",
+            "--rate",
+            "0.5",
+            "--chaos-fs",
+            "150",
         ])
         .unwrap();
         assert_eq!(
@@ -1334,9 +1432,13 @@ mod tests {
                 rate: 0.5,
                 overload: false,
                 ticks: OverloadSpec::new(0).ticks,
+                chaos_fs: Some(150),
             }
         );
         assert!(parse(&["record"]).unwrap_err().contains("--out"));
+        assert!(parse(&["record", "--out", "r.log", "--chaos-fs", "1200"])
+            .unwrap_err()
+            .contains("per-mille"));
     }
 
     #[test]
@@ -1477,6 +1579,7 @@ mod tests {
                 partitions: vec![],
                 crash: None,
                 taint: None,
+                chaos_fs: None,
                 store: None,
                 record: None,
                 metrics: false,
@@ -1499,6 +1602,8 @@ mod tests {
             "1:3:6",
             "--taint",
             "2:0:1",
+            "--chaos-fs",
+            "250",
             "--store",
             "/tmp/f",
             "--record",
@@ -1515,6 +1620,7 @@ mod tests {
                 partitions,
                 crash,
                 taint,
+                chaos_fs,
                 store,
                 record,
                 metrics,
@@ -1547,6 +1653,7 @@ mod tests {
                         kernel_index: 1
                     })
                 );
+                assert_eq!(chaos_fs, Some(250));
                 assert_eq!(store.as_deref(), Some("/tmp/f"));
                 assert_eq!(record.as_deref(), Some("fleet.log"));
             }
